@@ -1,0 +1,263 @@
+//! Convergence diagnostics for MCMC output.
+//!
+//! The paper notes (§4.3) that quantile estimation from samples needs
+//! large sample sizes and quotes a binomial accuracy bound for the
+//! empirical 2.5%-quantile. These diagnostics make the required checks
+//! executable: integrated autocorrelation / effective sample size
+//! (the honest divisor for Monte-Carlo error bars), the Geweke
+//! mean-stationarity Z-score, and the paper's own quantile-precision
+//! bound.
+
+use nhpp_special::norm_ppf;
+
+/// Effective sample size of a (possibly autocorrelated) chain, via the
+/// initial-positive-sequence estimator of the integrated autocorrelation
+/// time (Geyer 1992): sum lag-pair autocorrelations `ρ(2k) + ρ(2k+1)`
+/// while the pair sums stay positive.
+///
+/// Returns `0` for chains shorter than 4 or with zero variance.
+///
+/// # Example
+///
+/// ```
+/// use nhpp_bayes::diagnostics::effective_sample_size;
+/// // White noise: ESS ≈ n.
+/// let chain: Vec<f64> = (0..2000).map(|i| ((i * 2654435761u64 as usize) % 1000) as f64).collect();
+/// let ess = effective_sample_size(&chain);
+/// assert!(ess > 1000.0);
+/// ```
+pub fn effective_sample_size(chain: &[f64]) -> f64 {
+    let n = chain.len();
+    if n < 4 {
+        return 0.0;
+    }
+    let mean = chain.iter().sum::<f64>() / n as f64;
+    let var = chain.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    if var <= 0.0 {
+        return 0.0;
+    }
+    let autocorr = |lag: usize| -> f64 {
+        chain[..n - lag]
+            .iter()
+            .zip(&chain[lag..])
+            .map(|(&a, &b)| (a - mean) * (b - mean))
+            .sum::<f64>()
+            / (n as f64 * var)
+    };
+    // Initial positive sequence over lag pairs.
+    let mut tau = 1.0;
+    let mut lag = 1;
+    while lag + 1 < n / 2 {
+        let pair = autocorr(lag) + autocorr(lag + 1);
+        if pair <= 0.0 {
+            break;
+        }
+        tau += 2.0 * pair;
+        lag += 2;
+    }
+    n as f64 / tau
+}
+
+/// Geweke convergence Z-score: compares the mean of the first `10%` of
+/// the chain with the last `50%`, standardised by their (ESS-corrected)
+/// variances. |Z| ≳ 2 signals non-stationarity (unconverged burn-in).
+///
+/// Returns NaN for chains shorter than 40 samples.
+pub fn geweke_z(chain: &[f64]) -> f64 {
+    let n = chain.len();
+    if n < 40 {
+        return f64::NAN;
+    }
+    let head = &chain[..n / 10];
+    let tail = &chain[n / 2..];
+    let stats = |part: &[f64]| -> (f64, f64) {
+        let m = part.iter().sum::<f64>() / part.len() as f64;
+        let v = part.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / part.len() as f64;
+        let ess = effective_sample_size(part).max(1.0);
+        (m, v / ess)
+    };
+    let (m1, se1) = stats(head);
+    let (m2, se2) = stats(tail);
+    (m1 - m2) / (se1 + se2).sqrt()
+}
+
+/// The paper's §6 quantile-precision argument, generalised: with `n`
+/// independent samples, the empirical `p`-quantile lies between the true
+/// `p − δ` and `p + δ` quantiles with confidence `level`, where
+/// `δ = z·√(p(1−p)/n)`. Returns `δ`.
+///
+/// For the paper's case (`n = 20 000`, `p = 0.025`, 95% confidence) this
+/// gives `δ ≈ 0.0022` — i.e. the empirical 2.5%-quantile is between the
+/// theoretical 2.3%- and 2.7%-quantiles, slightly looser than but
+/// consistent with the paper's quoted 2.4%–2.6% (which assumes the
+/// asymptotic normal without continuity correction).
+pub fn quantile_precision(n: usize, p: f64, level: f64) -> f64 {
+    if n == 0 || !(0.0..=1.0).contains(&p) || !(0.0 < level && level < 1.0) {
+        return f64::NAN;
+    }
+    let z = norm_ppf(0.5 + level / 2.0);
+    z * (p * (1.0 - p) / n as f64).sqrt()
+}
+
+/// Gelman–Rubin potential scale reduction factor `R̂` across parallel
+/// chains of equal length. Values near 1 indicate the chains mix over
+/// the same distribution; `R̂ ≳ 1.1` is the customary alarm threshold.
+///
+/// Returns NaN for fewer than two chains, mismatched lengths, chains
+/// shorter than 4, or zero within-chain variance.
+pub fn gelman_rubin(chains: &[Vec<f64>]) -> f64 {
+    let m = chains.len();
+    if m < 2 {
+        return f64::NAN;
+    }
+    let n = chains[0].len();
+    if n < 4 || chains.iter().any(|c| c.len() != n) {
+        return f64::NAN;
+    }
+    let chain_means: Vec<f64> =
+        chains.iter().map(|c| c.iter().sum::<f64>() / n as f64).collect();
+    let grand_mean = chain_means.iter().sum::<f64>() / m as f64;
+    // Between-chain variance (of means, scaled by n).
+    let b = n as f64
+        * chain_means
+            .iter()
+            .map(|&cm| (cm - grand_mean) * (cm - grand_mean))
+            .sum::<f64>()
+        / (m as f64 - 1.0);
+    // Mean within-chain variance.
+    let w = chains
+        .iter()
+        .zip(&chain_means)
+        .map(|(c, &cm)| {
+            c.iter().map(|&x| (x - cm) * (x - cm)).sum::<f64>() / (n as f64 - 1.0)
+        })
+        .sum::<f64>()
+        / m as f64;
+    if !(w > 0.0) {
+        return f64::NAN;
+    }
+    let v_hat = (n as f64 - 1.0) / n as f64 * w + b / n as f64;
+    (v_hat / w).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcmc::{McmcOptions, McmcPosterior};
+    use nhpp_data::sys17;
+    use nhpp_models::prior::NhppPrior;
+    use nhpp_models::ModelSpec;
+
+    #[test]
+    fn ess_of_iid_chain_is_near_n() {
+        // A deterministic low-discrepancy sequence behaves like i.i.d.
+        let chain: Vec<f64> = (0..4000).map(|i| ((i * 389) % 997) as f64).collect();
+        let ess = effective_sample_size(&chain);
+        assert!(ess > 2000.0, "ess={ess}");
+    }
+
+    #[test]
+    fn ess_of_correlated_chain_is_reduced() {
+        // AR(1)-like chain with strong positive correlation.
+        let mut chain = Vec::with_capacity(4000);
+        let mut x = 0.0f64;
+        let mut lcg: u64 = 12345;
+        for _ in 0..4000 {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let noise = (lcg >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            x = 0.95 * x + noise;
+            chain.push(x);
+        }
+        let ess = effective_sample_size(&chain);
+        // AR(1) with φ=0.95 has τ ≈ (1+φ)/(1−φ) = 39.
+        assert!(ess < 400.0, "ess={ess}");
+        assert!(ess > 20.0, "ess={ess}");
+    }
+
+    #[test]
+    fn ess_edge_cases() {
+        assert_eq!(effective_sample_size(&[]), 0.0);
+        assert_eq!(effective_sample_size(&[1.0, 2.0]), 0.0);
+        assert_eq!(effective_sample_size(&[3.0; 100]), 0.0);
+    }
+
+    #[test]
+    fn geweke_flags_a_trending_chain() {
+        let trending: Vec<f64> = (0..2000).map(|i| i as f64 / 100.0).collect();
+        assert!(geweke_z(&trending).abs() > 3.0);
+        assert!(geweke_z(&[1.0; 10]).is_nan());
+    }
+
+    #[test]
+    fn gibbs_chain_passes_diagnostics() {
+        // The thinned Gibbs chain on DT-Info should be close to i.i.d.
+        let data = sys17::failure_times().into();
+        let post = McmcPosterior::fit_gibbs(
+            ModelSpec::goel_okumoto(),
+            NhppPrior::paper_info_times(),
+            &data,
+            McmcOptions::default(),
+        )
+        .unwrap();
+        let omega: Vec<f64> = post.samples().map(|(w, _)| w).collect();
+        let ess = effective_sample_size(&omega);
+        assert!(
+            ess > 0.5 * omega.len() as f64,
+            "ess={ess} of {}",
+            omega.len()
+        );
+        let z = geweke_z(&omega);
+        assert!(z.abs() < 4.0, "geweke z={z}");
+    }
+
+    #[test]
+    fn gelman_rubin_near_one_for_same_target() {
+        // Four Gibbs chains with different seeds must agree.
+        let data: nhpp_data::ObservedData = sys17::failure_times().into();
+        let chains: Vec<Vec<f64>> = (0..4)
+            .map(|seed| {
+                McmcPosterior::fit_gibbs(
+                    ModelSpec::goel_okumoto(),
+                    NhppPrior::paper_info_times(),
+                    &data,
+                    McmcOptions::fast(seed),
+                )
+                .unwrap()
+                .samples()
+                .map(|(w, _)| w)
+                .collect()
+            })
+            .collect();
+        let r_hat = gelman_rubin(&chains);
+        assert!(r_hat < 1.05, "r_hat = {r_hat}");
+        // R̂ can dip slightly below 1 for well-mixed finite chains
+        // ((n−1)/n·W + B/n < W when B is tiny).
+        assert!(r_hat > 0.97, "r_hat = {r_hat}");
+    }
+
+    #[test]
+    fn gelman_rubin_flags_disagreeing_chains() {
+        // Two chains stuck in different places.
+        let a: Vec<f64> = (0..500).map(|i| (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..500).map(|i| 100.0 + (i % 7) as f64).collect();
+        let r_hat = gelman_rubin(&[a, b]);
+        assert!(r_hat > 3.0, "r_hat = {r_hat}");
+    }
+
+    #[test]
+    fn gelman_rubin_edge_cases() {
+        assert!(gelman_rubin(&[vec![1.0; 10]]).is_nan());
+        assert!(gelman_rubin(&[vec![1.0; 10], vec![1.0; 8]]).is_nan());
+        assert!(gelman_rubin(&[vec![2.0; 10], vec![2.0; 10]]).is_nan());
+    }
+
+    #[test]
+    fn paper_quantile_precision_case() {
+        let delta = quantile_precision(20_000, 0.025, 0.95);
+        assert!((delta - 0.00216).abs() < 2e-4, "delta={delta}");
+        assert!(quantile_precision(0, 0.5, 0.95).is_nan());
+        assert!(quantile_precision(100, 1.5, 0.95).is_nan());
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for the Bayesian estimators.
+
+use nhpp_dist::DistError;
+use nhpp_models::ModelError;
+use nhpp_numeric::NumericError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising while fitting a Bayesian posterior approximation.
+#[derive(Debug)]
+pub enum BayesError {
+    /// The underlying model layer failed (bad parameters, EM divergence…).
+    Model(ModelError),
+    /// A numerical routine failed (quadrature, root finding…).
+    Numeric(NumericError),
+    /// A distribution operation failed (sampling, truncation…).
+    Dist(DistError),
+    /// The posterior surface was unusable (e.g. the Hessian at the MAP is
+    /// not negative definite, or the integration box has zero mass).
+    IllPosed {
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// An option value was invalid.
+    InvalidOption {
+        /// Explanation of the violated precondition.
+        message: &'static str,
+    },
+}
+
+impl fmt::Display for BayesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BayesError::Model(e) => write!(f, "model error: {e}"),
+            BayesError::Numeric(e) => write!(f, "numeric error: {e}"),
+            BayesError::Dist(e) => write!(f, "distribution error: {e}"),
+            BayesError::IllPosed { message } => write!(f, "ill-posed posterior: {message}"),
+            BayesError::InvalidOption { message } => write!(f, "invalid option: {message}"),
+        }
+    }
+}
+
+impl Error for BayesError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BayesError::Model(e) => Some(e),
+            BayesError::Numeric(e) => Some(e),
+            BayesError::Dist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for BayesError {
+    fn from(e: ModelError) -> Self {
+        BayesError::Model(e)
+    }
+}
+
+impl From<NumericError> for BayesError {
+    fn from(e: NumericError) -> Self {
+        BayesError::Numeric(e)
+    }
+}
+
+impl From<DistError> for BayesError {
+    fn from(e: DistError) -> Self {
+        BayesError::Dist(e)
+    }
+}

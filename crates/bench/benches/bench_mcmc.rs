@@ -1,0 +1,57 @@
+//! Table 6 analogue: the full-cost MCMC runs with the paper's sampling
+//! plan (10 000 burn-in sweeps, thinning 10, 20 000 retained samples),
+//! for both the failure-time and grouped datasets, plus the
+//! Metropolis–Hastings alternative.
+//!
+//! Paper variate counts: 630 000 (D_T) and 8 610 000 (D_G) per run; the
+//! asserted counts below pin our implementation to the same formulas.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nhpp_bayes::mcmc::{McmcOptions, McmcPosterior};
+use nhpp_bench::Scenario;
+use nhpp_models::ModelSpec;
+use std::hint::black_box;
+
+fn bench_mcmc(c: &mut Criterion) {
+    let spec = ModelSpec::goel_okumoto();
+    let sweeps = 10_000 + 10 * 20_000u64;
+
+    let dt = Scenario::dt_info();
+    // Pin the variate-count formula (3 per sweep for GO + times).
+    let probe = McmcPosterior::fit_gibbs(spec, dt.prior, &dt.data, McmcOptions::default()).unwrap();
+    assert_eq!(probe.variate_count(), 3 * sweeps);
+
+    let mut group = c.benchmark_group("mcmc-table6");
+    group.sample_size(10);
+    group.bench_function("gibbs/DT-Info/630k-variates", |b| {
+        b.iter(|| {
+            black_box(
+                McmcPosterior::fit_gibbs(spec, dt.prior, &dt.data, McmcOptions::default()).unwrap(),
+            )
+        })
+    });
+
+    let dg = Scenario::dg_info();
+    let probe = McmcPosterior::fit_gibbs(spec, dg.prior, &dg.data, McmcOptions::default()).unwrap();
+    assert_eq!(probe.variate_count(), (3 + 38) * sweeps);
+    group.bench_function("gibbs/DG-Info/8.6M-variates", |b| {
+        b.iter(|| {
+            black_box(
+                McmcPosterior::fit_gibbs(spec, dg.prior, &dg.data, McmcOptions::default()).unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("metropolis/DT-Info", |b| {
+        b.iter(|| {
+            black_box(
+                McmcPosterior::fit_metropolis(spec, dt.prior, &dt.data, McmcOptions::default())
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mcmc);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! End-to-end fitting cost of all five posterior approximations on both
+//! Info scenarios — the headline "VB2 accuracy at a fraction of MCMC
+//! cost" comparison (paper §6, Tables 6–7 combined).
+//!
+//! MCMC here uses a reduced sampling plan so the comparison grid stays
+//! tractable; `bench_mcmc` times the paper's full plan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nhpp_bayes::laplace::LaplacePosterior;
+use nhpp_bayes::mcmc::{McmcOptions, McmcPosterior};
+use nhpp_bayes::nint::{bounds_from_posterior, NintOptions, NintPosterior};
+use nhpp_bench::Scenario;
+use nhpp_models::ModelSpec;
+use nhpp_vb::{Vb1Options, Vb1Posterior, Vb2Posterior};
+use std::hint::black_box;
+
+fn bench_methods(c: &mut Criterion) {
+    let spec = ModelSpec::goel_okumoto();
+    for scenario in Scenario::info_only() {
+        let mut group = c.benchmark_group(format!("fit/{}", scenario.name));
+        group.sample_size(10);
+
+        let vb2_opts = scenario.vb2_options();
+        group.bench_function("VB2", |b| {
+            b.iter(|| {
+                black_box(
+                    Vb2Posterior::fit(spec, scenario.prior, &scenario.data, vb2_opts).unwrap(),
+                )
+            })
+        });
+        group.bench_function("VB1", |b| {
+            b.iter(|| {
+                black_box(
+                    Vb1Posterior::fit(spec, scenario.prior, &scenario.data, Vb1Options::default())
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_function("LAPL", |b| {
+            b.iter(|| {
+                black_box(LaplacePosterior::fit(spec, scenario.prior, &scenario.data).unwrap())
+            })
+        });
+        let vb2 = Vb2Posterior::fit(spec, scenario.prior, &scenario.data, vb2_opts).unwrap();
+        let bounds = bounds_from_posterior(&vb2);
+        group.bench_function("NINT", |b| {
+            b.iter(|| {
+                black_box(
+                    NintPosterior::fit(
+                        spec,
+                        scenario.prior,
+                        &scenario.data,
+                        bounds,
+                        NintOptions::default(),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        group.bench_function("MCMC-10k", |b| {
+            b.iter(|| {
+                black_box(
+                    McmcPosterior::fit_gibbs(
+                        spec,
+                        scenario.prior,
+                        &scenario.data,
+                        McmcOptions {
+                            burn_in: 1_000,
+                            thin: 1,
+                            n_samples: 10_000,
+                            seed: 1,
+                        },
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the special-function hot path.
+//!
+//! Every method in the workspace bottoms out in the regularised
+//! incomplete gamma function (`gamma_p`/`gamma_q`/`ln_gamma_q`): NHPP
+//! CDFs, VB2's `ζ` fixed point, NINT's grid, MCMC's truncated-gamma
+//! imputations. These benches pin the per-call cost across the argument
+//! regimes the estimators actually hit, so substrate regressions are
+//! visible before they show up as mysterious slowdowns in Table 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nhpp_special::{gamma_p, gamma_p_inv, ln_gamma, ln_gamma_q};
+use std::hint::black_box;
+
+fn bench_incomplete_gamma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("special/gamma_p");
+    // (shape, x) pairs: series branch, CF branch, large-shape regime.
+    for (label, a, x) in [
+        ("series-small", 1.0, 0.5),
+        ("cf-tail", 1.0, 5.0),
+        ("series-mid", 40.0, 30.0),
+        ("cf-mid", 40.0, 60.0),
+        ("large-shape", 1000.0, 1000.0),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(a, x), |b, &(a, x)| {
+            b.iter(|| black_box(gamma_p(black_box(a), black_box(x))))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("special/ln_gamma_q-deep-tail");
+    for (label, a, x) in [
+        ("r=5", 1.0, 5.0),
+        ("r=50", 1.0, 50.0),
+        ("shape-40", 40.0, 120.0),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(a, x), |b, &(a, x)| {
+            b.iter(|| black_box(ln_gamma_q(black_box(a), black_box(x))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_inverse_and_lngamma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("special/inverse-and-lngamma");
+    group.bench_function("gamma_p_inv/median", |b| {
+        b.iter(|| black_box(gamma_p_inv(black_box(40.0), black_box(0.5))))
+    });
+    group.bench_function("gamma_p_inv/tail", |b| {
+        b.iter(|| black_box(gamma_p_inv(black_box(40.0), black_box(0.995))))
+    });
+    group.bench_function("ln_gamma/shape-40", |b| {
+        b.iter(|| black_box(ln_gamma(black_box(40.0))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incomplete_gamma, bench_inverse_and_lngamma);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Table 7 analogue: VB2 cost against the truncation point
+//! `n_max ∈ {100, 200, 500, 1000}` for both datasets, using the paper's
+//! successive-substitution inner solver.
+//!
+//! The paper observes super-linear growth in `n_max` for its Mathematica
+//! implementation and conjectures Newton would restore linearity; the
+//! Newton variant itself is timed in `bench_ablation`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nhpp_bench::Scenario;
+use nhpp_models::ModelSpec;
+use nhpp_vb::{SolverKind, Truncation, Vb2Options, Vb2Posterior};
+use std::hint::black_box;
+
+fn bench_vb2(c: &mut Criterion) {
+    let spec = ModelSpec::goel_okumoto();
+    for scenario in Scenario::info_only() {
+        let mut group = c.benchmark_group(format!("vb2-table7/{}", scenario.name));
+        group.sample_size(10);
+        for n_max in [100u64, 200, 500, 1000] {
+            let options = Vb2Options {
+                solver: SolverKind::SuccessiveSubstitution,
+                truncation: Truncation::Fixed { n_max },
+                ..Vb2Options::default()
+            };
+            group.bench_with_input(BenchmarkId::from_parameter(n_max), &n_max, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        Vb2Posterior::fit(spec, scenario.prior, &scenario.data, options).unwrap(),
+                    )
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_vb2);
+criterion_main!(benches);

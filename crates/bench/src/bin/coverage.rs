@@ -1,0 +1,7 @@
+//! Empirical interval-coverage study across methods (extension beyond
+//! the paper). Run with `--release`; ~200 simulated campaigns.
+
+fn main() {
+    let study = nhpp_bench::coverage::CoverageStudy::default();
+    print!("{}", nhpp_bench::coverage::report(&study));
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 1 of the paper: contour grids (CSV) for
+//! NINT/LAPL/VB1/VB2 and an MCMC scatter sample, written to
+//! `results/`, plus ASCII contours on stdout. Run with `--release`.
+
+use std::fs;
+
+fn main() {
+    let (report, files) = nhpp_bench::reports::figure1();
+    print!("{report}");
+    let dir = std::path::Path::new("results");
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("cannot create results/: {e}");
+        return;
+    }
+    for (name, csv) in files {
+        let path = dir.join(&name);
+        match fs::write(&path, csv) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Demonstrates the ill-posed flat-prior regime (the paper's
+//! `D_G`-NoInfo blow-up) on early-phase data. Run with `--release`.
+
+fn main() {
+    print!("{}", nhpp_bench::reports::illposed());
+}

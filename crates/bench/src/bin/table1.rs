@@ -1,0 +1,5 @@
+//! Regenerates Table 1 of the paper. Run with `--release`.
+
+fn main() {
+    print!("{}", nhpp_bench::reports::table1());
+}

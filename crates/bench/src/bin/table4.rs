@@ -1,0 +1,5 @@
+//! Regenerates Table 4 of the paper. Run with `--release`.
+
+fn main() {
+    print!("{}", nhpp_bench::reports::table4());
+}

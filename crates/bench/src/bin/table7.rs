@@ -1,0 +1,5 @@
+//! Regenerates Table 7 of the paper. Run with `--release`.
+
+fn main() {
+    print!("{}", nhpp_bench::reports::table7());
+}

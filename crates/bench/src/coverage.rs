@@ -1,0 +1,226 @@
+//! Empirical coverage study of interval estimators.
+//!
+//! The paper argues that interval *accuracy* matters more than point
+//! accuracy for small samples. This harness makes that claim measurable:
+//! simulate many test campaigns from a known Goel–Okumoto process, fit
+//! each method, and count how often its nominal 95% interval for `ω`
+//! actually contains the generating value. A calibrated method lands
+//! near 95%; VB1's too-narrow intervals and Wald/LAPL's symmetric ones
+//! under-cover — the quantitative version of the paper's Tables 2–5
+//! message.
+
+use nhpp_bayes::laplace::LaplacePosterior;
+use nhpp_bayes::laplace_log::LaplaceLogPosterior;
+use nhpp_data::simulate::NhppSimulator;
+use nhpp_data::ObservedData;
+use nhpp_dist::Gamma;
+use nhpp_models::confidence::{profile_interval, Param};
+use nhpp_models::prior::NhppPrior;
+use nhpp_models::{ModelSpec, Posterior};
+use nhpp_vb::{Vb1Options, Vb1Posterior, Vb2Options, Vb2Posterior};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// Parameters of the simulation study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageStudy {
+    /// Generating expected fault count.
+    pub omega_true: f64,
+    /// Generating detection rate.
+    pub beta_true: f64,
+    /// Censoring time per campaign.
+    pub t_end: f64,
+    /// Number of simulated campaigns.
+    pub replications: usize,
+    /// Nominal interval level.
+    pub level: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CoverageStudy {
+    fn default() -> Self {
+        // Deliberately small-sample: ~30 failures per campaign with the
+        // growth curve only ~63% saturated — the regime the paper
+        // targets, where interval methods genuinely differ.
+        CoverageStudy {
+            omega_true: 40.0,
+            beta_true: 2e-4,
+            t_end: 5_000.0,
+            replications: 200,
+            level: 0.95,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Coverage counts for one method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Tally {
+    /// Campaigns in which the interval contained the true ω.
+    pub covered: usize,
+    /// Campaigns successfully fitted.
+    pub fitted: usize,
+}
+
+impl Tally {
+    fn record(&mut self, interval: Option<(f64, f64)>, truth: f64) {
+        if let Some((lo, hi)) = interval {
+            self.fitted += 1;
+            if lo <= truth && truth <= hi {
+                self.covered += 1;
+            }
+        }
+    }
+
+    /// Empirical coverage rate (NaN with no successful fits).
+    pub fn rate(&self) -> f64 {
+        self.covered as f64 / self.fitted as f64
+    }
+}
+
+/// Results keyed by method label, in presentation order.
+pub type CoverageResults = Vec<(&'static str, Tally)>;
+
+/// Runs the study and returns per-method tallies for the ω interval.
+pub fn run_study(study: &CoverageStudy) -> CoverageResults {
+    let spec = ModelSpec::goel_okumoto();
+    let simulator = NhppSimulator::goel_okumoto(study.omega_true, study.beta_true)
+        .expect("valid study parameters");
+    // A weak prior centred at the truth (fair to all Bayesian methods).
+    let prior = NhppPrior::informative(
+        Gamma::from_mean_sd(study.omega_true, study.omega_true).expect("valid"),
+        Gamma::from_mean_sd(study.beta_true, study.beta_true).expect("valid"),
+    );
+
+    let mut vb2 = Tally::default();
+    let mut vb1 = Tally::default();
+    let mut lapl = Tally::default();
+    let mut lapl_log = Tally::default();
+    let mut profile = Tally::default();
+
+    for rep in 0..study.replications {
+        let mut rng = StdRng::seed_from_u64(study.seed.wrapping_add(rep as u64));
+        let Ok(trace) = simulator.simulate_censored(&mut rng, study.t_end) else {
+            continue;
+        };
+        if trace.len() < 3 {
+            continue; // nothing to fit
+        }
+        let data: ObservedData = trace.into();
+
+        vb2.record(
+            Vb2Posterior::fit(spec, prior, &data, Vb2Options::default())
+                .ok()
+                .map(|p| p.credible_interval_omega(study.level)),
+            study.omega_true,
+        );
+        vb1.record(
+            Vb1Posterior::fit(spec, prior, &data, Vb1Options::default())
+                .ok()
+                .map(|p| p.credible_interval_omega(study.level)),
+            study.omega_true,
+        );
+        lapl.record(
+            LaplacePosterior::fit(spec, prior, &data)
+                .ok()
+                .map(|p| p.credible_interval_omega(study.level)),
+            study.omega_true,
+        );
+        lapl_log.record(
+            LaplaceLogPosterior::fit(spec, prior, &data)
+                .ok()
+                .map(|p| p.credible_interval_omega(study.level)),
+            study.omega_true,
+        );
+        profile.record(
+            profile_interval(spec, &data, Param::Omega, study.level).ok(),
+            study.omega_true,
+        );
+    }
+    vec![
+        ("VB2", vb2),
+        ("VB1", vb1),
+        ("LAPL", lapl),
+        ("LAPL-LOG", lapl_log),
+        ("PROFILE", profile),
+    ]
+}
+
+/// Formats the study results as a report.
+pub fn report(study: &CoverageStudy) -> String {
+    let results = run_study(study);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Coverage study: {} campaigns from GO(omega={}, beta={:.1e}), t_end={}, nominal {:.0}%",
+        study.replications,
+        study.omega_true,
+        study.beta_true,
+        study.t_end,
+        study.level * 100.0
+    )
+    .unwrap();
+    writeln!(out, "{:<10} {:>8} {:>10}", "method", "fitted", "coverage").unwrap();
+    for (name, tally) in results {
+        writeln!(
+            out,
+            "{:<10} {:>8} {:>9.1}%",
+            name,
+            tally.fitted,
+            tally.rate() * 100.0
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "(binomial se at 95%/200 reps ≈ 1.5pp. VB1's structural variance\n deficit shows as clear under-coverage; PROFILE's fitted count drops\n where the likelihood admits no finite upper bound — the frequentist\n face of the same small-sample problem.)"
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_study_shows_the_expected_ordering() {
+        let study = CoverageStudy {
+            replications: 60,
+            ..CoverageStudy::default()
+        };
+        let results = run_study(&study);
+        let get = |name: &str| {
+            results
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, t)| *t)
+                .expect("method present")
+        };
+        let vb2 = get("VB2");
+        let vb1 = get("VB1");
+        assert!(vb2.fitted >= 55, "vb2 fitted {}", vb2.fitted);
+        // VB2 is roughly calibrated; VB1's narrow intervals clearly
+        // under-cover in this small-sample regime.
+        assert!(vb2.rate() >= 0.88, "VB2 coverage {}", vb2.rate());
+        assert!(
+            vb1.rate() < vb2.rate() - 0.05,
+            "VB1 {} vs VB2 {}",
+            vb1.rate(),
+            vb2.rate()
+        );
+    }
+
+    #[test]
+    fn tally_arithmetic() {
+        let mut tally = Tally::default();
+        tally.record(Some((1.0, 3.0)), 2.0);
+        tally.record(Some((1.0, 3.0)), 5.0);
+        tally.record(None, 2.0);
+        assert_eq!(tally.fitted, 2);
+        assert_eq!(tally.covered, 1);
+        assert!((tally.rate() - 0.5).abs() < 1e-12);
+    }
+}

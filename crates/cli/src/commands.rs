@@ -1,0 +1,773 @@
+//! Subcommand implementations. Every command is a pure function from
+//! parsed arguments to an output string, so the full CLI surface is
+//! unit-testable without spawning processes.
+
+use crate::args::{ArgError, ParsedArgs};
+use nhpp_bayes::laplace::LaplacePosterior;
+use nhpp_bayes::mcmc::{McmcOptions, McmcPosterior};
+use nhpp_bayes::nint::{bounds_from_posterior, NintOptions, NintPosterior};
+use nhpp_data::simulate::NhppSimulator;
+use nhpp_data::{io, laplace_trend_factor, ObservedData};
+use nhpp_dist::Gamma;
+use nhpp_models::prior::NhppPrior;
+use nhpp_models::selection::{akaike_weights, score_models};
+use nhpp_models::{confidence, ModelSpec, Posterior};
+use nhpp_vb::{Truncation, Vb1Options, Vb1Posterior, Vb2Options, Vb2Posterior};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::BufReader;
+
+/// Top-level CLI error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing/validation failure.
+    Args(ArgError),
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// Any downstream failure, with context.
+    Run(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::UnknownCommand(cmd) => {
+                write!(f, "unknown command '{cmd}' (try 'nhpp help')")
+            }
+            CliError::Run(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+fn run_err<E: std::fmt::Display>(context: &str) -> impl FnOnce(E) -> CliError + '_ {
+    move |e| CliError::Run(format!("{context}: {e}"))
+}
+
+/// Usage text.
+pub const HELP: &str = "\
+nhpp — Bayesian interval estimation for NHPP software reliability models
+
+USAGE:
+  nhpp <command> [--key value ...] [--grouped]
+
+COMMANDS:
+  fit       Fit a posterior and print parameter estimates and intervals
+  report    Full markdown analysis: trend, model selection, fit,
+            growth-curve band, prediction
+  predict   Posterior-predictive failure counts over a future window
+  simulate  Generate a synthetic failure trace (CSV on stdout)
+  select    Rank model families by AIC/BIC on the data
+  trend     Laplace trend test for reliability growth
+  help      Show this message
+
+COMMON OPTIONS:
+  --data FILE        input CSV ('# t_end=..' + one time per line, or
+                     'boundary,count' lines with --grouped)
+  --grouped          treat the input as grouped counts
+  --model M          go | dss | gamma:<alpha0>        [default go]
+  --method M         vb2 | vb1 | laplace | mcmc | nint | profile | all
+                     [default vb2]
+  --prior P          flat | wmean,wsd,bmean,bsd       [default flat]
+  --level L          credible/confidence level        [default 0.95]
+
+EXAMPLES:
+  nhpp fit --data failures.csv --prior 50,16,1e-5,3.2e-6 --method all
+  nhpp predict --data counts.csv --grouped --window 5
+  nhpp simulate --omega 40 --beta 1e-5 --t-end 200000 --seed 7
+";
+
+/// Dispatches a parsed command line and returns the printable output.
+///
+/// # Errors
+///
+/// [`CliError`] on unknown commands, bad arguments or downstream
+/// failures.
+pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => Ok(HELP.to_string()),
+        "fit" => cmd_fit(args),
+        "report" => cmd_report(args),
+        "predict" => cmd_predict(args),
+        "simulate" => cmd_simulate(args),
+        "select" => cmd_select(args),
+        "trend" => cmd_trend(args),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn load_data(args: &ParsedArgs) -> Result<ObservedData, CliError> {
+    let path = args.require("data")?;
+    let file = File::open(path).map_err(run_err(&format!("cannot open {path}")))?;
+    let reader = BufReader::new(file);
+    if args.flag("grouped") {
+        Ok(io::read_grouped(reader)
+            .map_err(run_err("parsing grouped data"))?
+            .into())
+    } else {
+        Ok(io::read_failure_times(reader)
+            .map_err(run_err("parsing failure times"))?
+            .into())
+    }
+}
+
+fn parse_model(args: &ParsedArgs) -> Result<ModelSpec, CliError> {
+    match args.get("model").unwrap_or("go") {
+        "go" => Ok(ModelSpec::goel_okumoto()),
+        "dss" => Ok(ModelSpec::delayed_s_shaped()),
+        other => {
+            let alpha0 = other
+                .strip_prefix("gamma:")
+                .and_then(|v| v.parse::<f64>().ok())
+                .ok_or_else(|| {
+                    CliError::Run(format!("bad --model '{other}' (go | dss | gamma:<a0>)"))
+                })?;
+            ModelSpec::gamma_type(alpha0).map_err(run_err("invalid alpha0"))
+        }
+    }
+}
+
+fn parse_prior(args: &ParsedArgs) -> Result<NhppPrior, CliError> {
+    match args.get("prior").unwrap_or("flat") {
+        "flat" => Ok(NhppPrior::flat()),
+        spec => {
+            let parts: Vec<f64> = spec
+                .split(',')
+                .map(|p| p.trim().parse::<f64>())
+                .collect::<Result<_, _>>()
+                .map_err(run_err("parsing --prior"))?;
+            if parts.len() != 4 {
+                return Err(CliError::Run(
+                    "--prior expects 'flat' or four numbers: wmean,wsd,bmean,bsd".into(),
+                ));
+            }
+            Ok(NhppPrior::informative(
+                Gamma::from_mean_sd(parts[0], parts[1]).map_err(run_err("omega prior"))?,
+                Gamma::from_mean_sd(parts[2], parts[3]).map_err(run_err("beta prior"))?,
+            ))
+        }
+    }
+}
+
+/// VB2 options matching the prior kind (capped truncation for flat
+/// priors, whose exact posterior over N is improper).
+fn vb2_options(prior: &NhppPrior, data: &ObservedData) -> Vb2Options {
+    if prior.omega.is_flat() || prior.beta.is_flat() {
+        Vb2Options {
+            truncation: Truncation::AdaptiveCapped {
+                epsilon: 5e-15,
+                cap: (5 * data.total_count() as u64).max(100),
+            },
+            ..Vb2Options::default()
+        }
+    } else {
+        Vb2Options::default()
+    }
+}
+
+fn fit_method(
+    method: &str,
+    spec: ModelSpec,
+    prior: NhppPrior,
+    data: &ObservedData,
+) -> Result<Box<dyn Posterior>, CliError> {
+    match method {
+        "vb2" => Ok(Box::new(
+            Vb2Posterior::fit(spec, prior, data, vb2_options(&prior, data))
+                .map_err(run_err("VB2 fit"))?,
+        )),
+        "vb1" => Ok(Box::new(
+            Vb1Posterior::fit(spec, prior, data, Vb1Options::default())
+                .map_err(run_err("VB1 fit"))?,
+        )),
+        "laplace" => Ok(Box::new(
+            LaplacePosterior::fit(spec, prior, data).map_err(run_err("Laplace fit"))?,
+        )),
+        "mcmc" => Ok(Box::new(
+            McmcPosterior::fit_gibbs(spec, prior, data, McmcOptions::default())
+                .map_err(run_err("MCMC fit"))?,
+        )),
+        "nint" => {
+            let vb2 = Vb2Posterior::fit(spec, prior, data, vb2_options(&prior, data))
+                .map_err(run_err("VB2 pre-fit for NINT bounds"))?;
+            Ok(Box::new(
+                NintPosterior::fit(
+                    spec,
+                    prior,
+                    data,
+                    bounds_from_posterior(&vb2),
+                    NintOptions::default(),
+                )
+                .map_err(run_err("NINT fit"))?,
+            ))
+        }
+        other => Err(CliError::Run(format!(
+            "unknown --method '{other}' (vb2 | vb1 | laplace | mcmc | nint | profile | all)"
+        ))),
+    }
+}
+
+fn cmd_fit(args: &ParsedArgs) -> Result<String, CliError> {
+    let data = load_data(args)?;
+    let spec = parse_model(args)?;
+    let prior = parse_prior(args)?;
+    let level = args.get_f64("level", 0.95)?;
+    let method = args.get("method").unwrap_or("vb2").to_string();
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "data: {} failures to t={}, model alpha0={}, level {:.0}%",
+        data.total_count(),
+        data.observation_end(),
+        spec.alpha0(),
+        level * 100.0
+    )
+    .unwrap();
+
+    if method == "profile" {
+        let w = confidence::profile_interval(spec, &data, confidence::Param::Omega, level)
+            .map_err(run_err("profile interval (omega)"))?;
+        let b = confidence::profile_interval(spec, &data, confidence::Param::Beta, level)
+            .map_err(run_err("profile interval (beta)"))?;
+        let wald =
+            confidence::wald_intervals(spec, &data, level).map_err(run_err("wald intervals"))?;
+        writeln!(
+            out,
+            "MLE: omega = {:.4}, beta = {:.6e}",
+            wald.mle.0, wald.mle.1
+        )
+        .unwrap();
+        writeln!(out, "profile CI omega: {:.4} .. {:.4}", w.0, w.1).unwrap();
+        writeln!(out, "profile CI beta : {:.6e} .. {:.6e}", b.0, b.1).unwrap();
+        writeln!(
+            out,
+            "wald    CI omega: {:.4} .. {:.4}",
+            wald.omega.0, wald.omega.1
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "wald    CI beta : {:.6e} .. {:.6e}",
+            wald.beta.0, wald.beta.1
+        )
+        .unwrap();
+        return Ok(out);
+    }
+
+    let methods: Vec<String> = if method == "all" {
+        ["nint", "laplace", "mcmc", "vb1", "vb2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        vec![method]
+    };
+    writeln!(
+        out,
+        "{:<8} {:>10} {:>12} {:>22} {:>12}",
+        "method", "E[omega]", "E[beta]", "omega interval", "Cov"
+    )
+    .unwrap();
+    for m in methods {
+        let posterior = fit_method(&m, spec, prior, &data)?;
+        let (lo, hi) = posterior.credible_interval_omega(level);
+        writeln!(
+            out,
+            "{:<8} {:>10.4} {:>12.5e} {:>10.3} .. {:>8.3} {:>12.3e}",
+            posterior.method_name(),
+            posterior.mean_omega(),
+            posterior.mean_beta(),
+            lo,
+            hi,
+            posterior.covariance(),
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_report(args: &ParsedArgs) -> Result<String, CliError> {
+    let data = load_data(args)?;
+    let prior = parse_prior(args)?;
+    let level = args.get_f64("level", 0.95)?;
+    let mut out = String::new();
+    writeln!(out, "# NHPP reliability analysis\n").unwrap();
+    writeln!(
+        out,
+        "- observations: **{}** failures up to t = {}",
+        data.total_count(),
+        data.observation_end()
+    )
+    .unwrap();
+
+    // Trend (failure-time data only).
+    if let nhpp_data::ObservedData::Times(times) = &data {
+        let trend = nhpp_data::laplace_trend_factor(times);
+        writeln!(
+            out,
+            "- Laplace trend factor: **{trend:.2}** ({})",
+            if trend < -1.96 {
+                "significant reliability growth"
+            } else {
+                "no significant growth trend"
+            }
+        )
+        .unwrap();
+    }
+
+    // Model selection.
+    let candidates = [
+        ("goel-okumoto", ModelSpec::goel_okumoto()),
+        ("delayed-s-shaped", ModelSpec::delayed_s_shaped()),
+    ];
+    let scores = score_models(&candidates, &data).map_err(run_err("scoring"))?;
+    let weights = akaike_weights(&scores);
+    writeln!(out, "\n## Model selection\n").unwrap();
+    writeln!(out, "| model | logLik | AIC | weight |").unwrap();
+    writeln!(out, "|---|---|---|---|").unwrap();
+    for (score, weight) in scores.iter().zip(&weights) {
+        writeln!(
+            out,
+            "| {} | {:.2} | {:.2} | {:.3} |",
+            score.name, score.fit.log_likelihood, score.aic, weight
+        )
+        .unwrap();
+    }
+    let spec = scores[0].spec;
+    writeln!(out, "\nproceeding with **{}**.", scores[0].name).unwrap();
+
+    // Posterior fit.
+    let posterior = Vb2Posterior::fit(spec, prior, &data, vb2_options(&prior, &data))
+        .map_err(run_err("VB2 fit"))?;
+    let (w_lo, w_hi) = posterior.credible_interval_omega(level);
+    let (b_lo, b_hi) = posterior.credible_interval_beta(level);
+    writeln!(out, "\n## Posterior (VB2)\n").unwrap();
+    writeln!(
+        out,
+        "| quantity | estimate | {:.0}% interval |",
+        level * 100.0
+    )
+    .unwrap();
+    writeln!(out, "|---|---|---|").unwrap();
+    writeln!(
+        out,
+        "| total faults ω | {:.2} | {:.2} .. {:.2} |",
+        posterior.mean_omega(),
+        w_lo,
+        w_hi
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "| detection rate β | {:.4e} | {:.4e} .. {:.4e} |",
+        posterior.mean_beta(),
+        b_lo,
+        b_hi
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "| residual faults | {:.2} | — |",
+        posterior.mean_n() - data.total_count() as f64
+    )
+    .unwrap();
+
+    // Goodness of fit before anyone trusts the intervals.
+    let point_model =
+        nhpp_models::GammaNhpp::new(spec, posterior.mean_omega(), posterior.mean_beta())
+            .map_err(run_err("point model"))?;
+    writeln!(out, "\n## Goodness of fit\n").unwrap();
+    match &data {
+        nhpp_data::ObservedData::Times(times) => {
+            match nhpp_models::gof::ks_test(&point_model, times) {
+                Ok(gof) => writeln!(
+                    out,
+                    "Kolmogorov-Smirnov (time-rescaled): D = {:.4}, p = {:.3} — {}",
+                    gof.statistic,
+                    gof.p_value,
+                    if gof.p_value > 0.05 {
+                        "no evidence against the model"
+                    } else {
+                        "MODEL REJECTED at 5%"
+                    }
+                )
+                .unwrap(),
+                Err(e) => writeln!(out, "KS test unavailable: {e}").unwrap(),
+            }
+        }
+        nhpp_data::ObservedData::Grouped(grouped) => {
+            match nhpp_models::gof::chi_square_test(&point_model, grouped) {
+                Ok(gof) => writeln!(
+                    out,
+                    "chi-square ({} dof): X2 = {:.3}, p = {:.3} — {}",
+                    gof.dof,
+                    gof.statistic,
+                    gof.p_value,
+                    if gof.p_value > 0.05 {
+                        "no evidence against the model"
+                    } else {
+                        "MODEL REJECTED at 5%"
+                    }
+                )
+                .unwrap(),
+                Err(e) => writeln!(out, "chi-square test unavailable: {e}").unwrap(),
+            }
+        }
+    }
+
+    // Growth-curve band over eight grid points.
+    let t_end = data.observation_end();
+    let grid: Vec<f64> = (1..=8).map(|i| t_end * i as f64 / 8.0).collect();
+    let band = posterior
+        .mean_value_band(&grid, level)
+        .map_err(run_err("mean value band"))?;
+    writeln!(out, "\n## Growth-curve credible band\n").unwrap();
+    writeln!(out, "| t | lower | mean Λ(t) | upper |").unwrap();
+    writeln!(out, "|---|---|---|---|").unwrap();
+    for point in band {
+        writeln!(
+            out,
+            "| {:.1} | {:.2} | {:.2} | {:.2} |",
+            point.t, point.lower, point.mean, point.upper
+        )
+        .unwrap();
+    }
+
+    // Prediction over the next 10% of the observation window.
+    let window = t_end * 0.1;
+    let predictive = posterior
+        .predictive_failures(t_end, window)
+        .map_err(run_err("predictive distribution"))?;
+    let (p_lo, p_hi) = predictive
+        .interval(level)
+        .ok_or_else(|| CliError::Run("invalid level".into()))?;
+    writeln!(out, "\n## Prediction (next {window:.1} time units)\n").unwrap();
+    writeln!(
+        out,
+        "expected failures **{:.2}** ({:.0}% predictive interval {p_lo} .. {p_hi}); P(no failure) = {:.4}",
+        predictive.mean(),
+        level * 100.0,
+        predictive.prob_zero()
+    )
+    .unwrap();
+    Ok(out)
+}
+
+fn cmd_predict(args: &ParsedArgs) -> Result<String, CliError> {
+    let data = load_data(args)?;
+    let spec = parse_model(args)?;
+    let prior = parse_prior(args)?;
+    let window = args.get_f64("window", data.observation_end() * 0.1)?;
+    let level = args.get_f64("level", 0.95)?;
+
+    let posterior = Vb2Posterior::fit(spec, prior, &data, vb2_options(&prior, &data))
+        .map_err(run_err("VB2 fit"))?;
+    let t = data.observation_end();
+    let predictive = posterior
+        .predictive_failures(t, window)
+        .map_err(run_err("predictive distribution"))?;
+
+    let mut out = String::new();
+    writeln!(out, "window: ({t}, {}]", t + window).unwrap();
+    writeln!(
+        out,
+        "expected failures: {:.3} (sd {:.3})",
+        predictive.mean(),
+        predictive.variance().sqrt()
+    )
+    .unwrap();
+    let (lo, hi) = predictive
+        .interval(level)
+        .ok_or_else(|| CliError::Run("invalid level".into()))?;
+    writeln!(
+        out,
+        "{:.0}% predictive interval: {lo} .. {hi} failures",
+        level * 100.0
+    )
+    .unwrap();
+    writeln!(out, "P(no failure) = {:.4}", predictive.prob_zero()).unwrap();
+    writeln!(out, "\n k   P(K=k)    cumulative").unwrap();
+    let mut cumulative = 0.0;
+    for k in 0..=predictive.k_max().min(15) {
+        cumulative += predictive.pmf(k);
+        writeln!(
+            out,
+            "{k:>2}   {:>8.5}  {:>8.5}",
+            predictive.pmf(k),
+            cumulative
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_simulate(args: &ParsedArgs) -> Result<String, CliError> {
+    let omega = args.get_f64("omega", 40.0)?;
+    let beta = args.get_f64("beta", 1e-5)?;
+    let t_end = args.get_f64("t-end", 2e5)?;
+    let seed = args.get_u64("seed", 42)?;
+    let spec = parse_model(args)?;
+    let law = spec.failure_law(beta).map_err(run_err("failure law"))?;
+    let sim = NhppSimulator::new(omega, law).map_err(run_err("simulator"))?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut out = Vec::new();
+    if let Some(bins) = args.get("bins") {
+        let bins: usize = bins
+            .parse()
+            .map_err(|_| CliError::Run("--bins expects a positive integer".into()))?;
+        let width = t_end / bins as f64;
+        let boundaries = (1..=bins).map(|i| i as f64 * width).collect();
+        let grouped = sim
+            .simulate_grouped(&mut rng, boundaries)
+            .map_err(run_err("simulation"))?;
+        io::write_grouped(&mut out, &grouped).map_err(run_err("serialising"))?;
+    } else {
+        let trace = sim
+            .simulate_censored(&mut rng, t_end)
+            .map_err(run_err("simulation"))?;
+        io::write_failure_times(&mut out, &trace).map_err(run_err("serialising"))?;
+    }
+    String::from_utf8(out).map_err(|e| CliError::Run(e.to_string()))
+}
+
+fn cmd_select(args: &ParsedArgs) -> Result<String, CliError> {
+    let data = load_data(args)?;
+    let candidates = [
+        ("goel-okumoto", ModelSpec::goel_okumoto()),
+        ("delayed-s-shaped", ModelSpec::delayed_s_shaped()),
+        (
+            "gamma(0.5)",
+            ModelSpec::gamma_type(0.5).expect("valid constant"),
+        ),
+        (
+            "gamma(3)",
+            ModelSpec::gamma_type(3.0).expect("valid constant"),
+        ),
+    ];
+    let scores = score_models(&candidates, &data).map_err(run_err("scoring"))?;
+    let weights = akaike_weights(&scores);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<18} {:>10} {:>10} {:>10} {:>8} {:>10} {:>12}",
+        "model", "logLik", "AIC", "BIC", "weight", "omega^", "beta^"
+    )
+    .unwrap();
+    for (score, weight) in scores.iter().zip(weights) {
+        writeln!(
+            out,
+            "{:<18} {:>10.3} {:>10.3} {:>10.3} {:>8.3} {:>10.3} {:>12.5e}",
+            score.name,
+            score.fit.log_likelihood,
+            score.aic,
+            score.bic,
+            weight,
+            score.fit.model.omega(),
+            score.fit.model.beta(),
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_trend(args: &ParsedArgs) -> Result<String, CliError> {
+    let data = load_data(args)?;
+    let ObservedData::Times(times) = &data else {
+        return Err(CliError::Run(
+            "the trend test needs failure-time data (not --grouped)".into(),
+        ));
+    };
+    let u = laplace_trend_factor(times);
+    let mut out = String::new();
+    writeln!(out, "Laplace trend factor: {u:.4}").unwrap();
+    let verdict = if u < -1.96 {
+        "significant reliability GROWTH (fit a finite-failures NHPP)"
+    } else if u > 1.96 {
+        "significant reliability DETERIORATION (an NHPP growth model is inappropriate)"
+    } else {
+        "no significant trend at the 5% level"
+    };
+    writeln!(out, "verdict: {verdict}").unwrap();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ParsedArgs;
+    use std::io::Write as _;
+
+    fn parse(words: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(words.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn temp_times_csv() -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("nhpp_cli_test_{}.csv", std::process::id()));
+        let mut file = File::create(&path).unwrap();
+        let mut buf = Vec::new();
+        io::write_failure_times(&mut buf, &nhpp_data::sys17::failure_times()).unwrap();
+        file.write_all(&buf).unwrap();
+        path
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run(&parse(&["help"])).unwrap().contains("USAGE"));
+        let err = run(&parse(&["frobnicate"])).unwrap_err();
+        assert!(matches!(err, CliError::UnknownCommand(_)));
+    }
+
+    #[test]
+    fn fit_vb2_end_to_end() {
+        let path = temp_times_csv();
+        let out = run(&parse(&[
+            "fit",
+            "--data",
+            path.to_str().unwrap(),
+            "--prior",
+            "50,15.8,1e-5,3.2e-6",
+        ]))
+        .unwrap();
+        assert!(out.contains("VB2"), "{out}");
+        assert!(out.contains("38 failures"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn fit_profile_end_to_end() {
+        let path = temp_times_csv();
+        let out = run(&parse(&[
+            "fit",
+            "--data",
+            path.to_str().unwrap(),
+            "--method",
+            "profile",
+        ]))
+        .unwrap();
+        assert!(out.contains("profile CI omega"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn report_end_to_end() {
+        let path = temp_times_csv();
+        let out = run(&parse(&[
+            "report",
+            "--data",
+            path.to_str().unwrap(),
+            "--prior",
+            "50,15.8,1e-5,3.2e-6",
+        ]))
+        .unwrap();
+        assert!(out.contains("# NHPP reliability analysis"), "{out}");
+        assert!(out.contains("## Model selection"));
+        assert!(out.contains("## Goodness of fit"));
+        assert!(out.contains("Kolmogorov-Smirnov"));
+        assert!(out.contains("## Growth-curve credible band"));
+        assert!(out.contains("## Prediction"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn predict_end_to_end() {
+        let path = temp_times_csv();
+        let out = run(&parse(&[
+            "predict",
+            "--data",
+            path.to_str().unwrap(),
+            "--window",
+            "20000",
+            "--prior",
+            "50,15.8,1e-5,3.2e-6",
+        ]))
+        .unwrap();
+        assert!(out.contains("expected failures"), "{out}");
+        assert!(out.contains("P(no failure)"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn simulate_round_trips_through_the_reader() {
+        let out = run(&parse(&[
+            "simulate", "--omega", "30", "--beta", "1e-4", "--t-end", "20000", "--seed", "3",
+        ]))
+        .unwrap();
+        let parsed = io::read_failure_times(out.as_bytes()).unwrap();
+        assert!(parsed.observation_end() == 20000.0);
+        assert!(!parsed.is_empty());
+        // Grouped variant.
+        let out = run(&parse(&[
+            "simulate", "--omega", "30", "--beta", "1e-4", "--t-end", "20000", "--bins", "8",
+        ]))
+        .unwrap();
+        let grouped = io::read_grouped(out.as_bytes()).unwrap();
+        assert_eq!(grouped.len(), 8);
+    }
+
+    #[test]
+    fn select_ranks_models() {
+        let path = temp_times_csv();
+        let out = run(&parse(&["select", "--data", path.to_str().unwrap()])).unwrap();
+        let first_model_line = out.lines().nth(1).unwrap();
+        assert!(first_model_line.starts_with("goel-okumoto"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn trend_detects_growth() {
+        let path = temp_times_csv();
+        let out = run(&parse(&["trend", "--data", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("GROWTH"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn trend_rejects_grouped() {
+        let path = temp_times_csv();
+        let err = run(&parse(&[
+            "trend",
+            "--data",
+            path.to_str().unwrap(),
+            "--grouped",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Run(_)));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_method_and_prior_are_reported() {
+        let path = temp_times_csv();
+        let err = run(&parse(&[
+            "fit",
+            "--data",
+            path.to_str().unwrap(),
+            "--method",
+            "voodoo",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("voodoo"));
+        let err = run(&parse(&[
+            "fit",
+            "--data",
+            path.to_str().unwrap(),
+            "--prior",
+            "1,2,3",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("four numbers"));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,33 @@
+//! `nhpp` — command-line Bayesian interval estimation for NHPP software
+//! reliability models. See `nhpp help` or [`commands::HELP`].
+
+// `!(x > 0.0)`-style guards are used deliberately throughout: unlike
+// `x <= 0.0`, they also reject NaN, which is exactly the validation the
+// numerical code needs.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+mod args;
+mod commands;
+
+use args::ParsedArgs;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        print!("{}", commands::HELP);
+        return;
+    }
+    let parsed = match ParsedArgs::parse(raw) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Empirical Bayes: choosing the prior location by evidence
+//! maximisation.
+//!
+//! The paper assumes the informative prior is given ("good guesses of
+//! parameters", §6). When no such guesses exist but a flat prior is too
+//! unstable (see the NoInfo impropriety discussed in `EXPERIMENTS.md`),
+//! a middle road is **type-II maximum likelihood**: pick the prior that
+//! maximises the marginal likelihood `P(D | prior)`, here approximated
+//! by the VB2 ELBO (tight to < 0.05 nat on these models).
+//!
+//! Only the prior *means* are optimised; the prior shapes (relative
+//! informativeness) are fixed by the caller. Optimising the spreads too
+//! is deliberately not offered: with a single realisation per parameter
+//! the evidence is maximised by collapsing the prior onto the MLE
+//! (`sd → 0`), which silently turns "empirical Bayes" into "point mass
+//! at the MLE" — exactly the overconfidence interval estimation is
+//! meant to avoid.
+
+use crate::error::VbError;
+use crate::vb2::{Vb2Options, Vb2Posterior};
+use nhpp_data::ObservedData;
+use nhpp_dist::Gamma;
+use nhpp_models::prior::NhppPrior;
+use nhpp_models::{LogPosterior, ModelSpec};
+use nhpp_numeric::optimize::nelder_mead;
+
+/// Result of an empirical-Bayes fit.
+#[derive(Debug, Clone)]
+pub struct EmpiricalBayes {
+    /// The evidence-maximising prior.
+    pub prior: NhppPrior,
+    /// The VB2 posterior under that prior.
+    pub posterior: Vb2Posterior,
+    /// The maximised ELBO (≈ log marginal likelihood).
+    pub elbo: f64,
+    /// Nelder–Mead iterations used.
+    pub iterations: usize,
+}
+
+/// Maximises the VB2 ELBO over the prior means of `ω` and `β`, keeping
+/// the given prior shapes fixed (`shape = (mean/sd)²`, so a shape of 10
+/// corresponds to a ±32% one-sigma prior).
+///
+/// # Errors
+///
+/// * [`VbError::InvalidOption`] for non-positive shapes.
+/// * Propagates VB2 fitting failures at the optimum.
+///
+/// # Example
+///
+/// ```no_run
+/// use nhpp_vb::empirical_bayes::fit_prior_means;
+/// use nhpp_vb::Vb2Options;
+/// use nhpp_models::ModelSpec;
+/// use nhpp_data::sys17;
+///
+/// # fn main() -> Result<(), nhpp_vb::VbError> {
+/// let eb = fit_prior_means(
+///     ModelSpec::goel_okumoto(),
+///     &sys17::failure_times().into(),
+///     (10.0, 10.0),
+///     Vb2Options::default(),
+/// )?;
+/// println!("evidence-optimal prior mean for omega: {:?}", eb.prior.omega.shape_rate());
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_prior_means(
+    spec: ModelSpec,
+    data: &ObservedData,
+    prior_shapes: (f64, f64),
+    options: Vb2Options,
+) -> Result<EmpiricalBayes, VbError> {
+    let (shape_w, shape_b) = prior_shapes;
+    if !(shape_w > 0.0 && shape_b > 0.0) {
+        return Err(VbError::InvalidOption {
+            message: "prior shapes must be positive",
+        });
+    }
+
+    let make_prior = |ln_mw: f64, ln_mb: f64| -> Result<NhppPrior, VbError> {
+        let mean_w = ln_mw.exp();
+        let mean_b = ln_mb.exp();
+        Ok(NhppPrior::informative(
+            Gamma::new(shape_w, shape_w / mean_w)?,
+            Gamma::new(shape_b, shape_b / mean_b)?,
+        ))
+    };
+
+    // Initialise at a likelihood-informed rough point.
+    let rough = LogPosterior::new(spec, NhppPrior::flat(), data).rough_start();
+    let x0 = [rough.0.ln(), rough.1.ln()];
+
+    // Nelder–Mead minimises, so negate the ELBO; failed fits score +inf.
+    let objective = |x: &[f64]| -> f64 {
+        let Ok(prior) = make_prior(x[0], x[1]) else {
+            return f64::INFINITY;
+        };
+        match Vb2Posterior::fit(spec, prior, data, options) {
+            Ok(post) => -post.elbo(),
+            Err(_) => f64::INFINITY,
+        }
+    };
+    let optimum = nelder_mead(objective, &x0, 0.3, 1e-10, 2_000)?;
+
+    let prior = make_prior(optimum.x[0], optimum.x[1])?;
+    let posterior = Vb2Posterior::fit(spec, prior, data, options)?;
+    let elbo = posterior.elbo();
+    Ok(EmpiricalBayes {
+        prior,
+        posterior,
+        elbo,
+        iterations: optimum.iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nhpp_data::sys17;
+    use nhpp_models::Posterior;
+
+    #[test]
+    fn improves_on_a_misplaced_prior() {
+        let spec = ModelSpec::goel_okumoto();
+        let data: ObservedData = sys17::failure_times().into();
+        // A deliberately misplaced prior (means 4× off).
+        let bad = NhppPrior::informative(
+            Gamma::new(10.0, 10.0 / 160.0).unwrap(),
+            Gamma::new(10.0, 10.0 / 4e-5).unwrap(),
+        );
+        let bad_fit = Vb2Posterior::fit(spec, bad, &data, Vb2Options::default()).unwrap();
+        let eb = fit_prior_means(spec, &data, (10.0, 10.0), Vb2Options::default()).unwrap();
+        assert!(
+            eb.elbo > bad_fit.elbo() + 1.0,
+            "EB elbo {} vs misplaced {}",
+            eb.elbo,
+            bad_fit.elbo()
+        );
+    }
+
+    #[test]
+    fn optimal_prior_sits_near_the_mle() {
+        let spec = ModelSpec::goel_okumoto();
+        let data: ObservedData = sys17::failure_times().into();
+        let eb = fit_prior_means(spec, &data, (10.0, 10.0), Vb2Options::default()).unwrap();
+        let (s_w, r_w) = eb.prior.omega.shape_rate();
+        let (s_b, r_b) = eb.prior.beta.shape_rate();
+        let mean_w = s_w / r_w;
+        let mean_b = s_b / r_b;
+        // MLE: omega ≈ 40.9, beta ≈ 1.14e-5.
+        assert!((mean_w - 40.9).abs() < 8.0, "prior mean_w = {mean_w}");
+        assert!((mean_b - 1.14e-5).abs() < 4e-6, "prior mean_b = {mean_b}");
+        // The posterior under the EB prior is coherent.
+        assert!(eb.posterior.mean_omega() > 38.0 && eb.posterior.mean_omega() < 50.0);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let data: ObservedData = sys17::failure_times().into();
+        let err = fit_prior_means(
+            ModelSpec::goel_okumoto(),
+            &data,
+            (0.0, 10.0),
+            Vb2Options::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, VbError::InvalidOption { .. }));
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type for the variational estimators.
+
+use nhpp_dist::DistError;
+use nhpp_models::ModelError;
+use nhpp_numeric::NumericError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising while fitting a variational posterior.
+#[derive(Debug)]
+pub enum VbError {
+    /// An inner fixed-point solve or the outer loop failed to converge.
+    NoConvergence {
+        /// Which loop failed.
+        context: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// The adaptive truncation grew past its hard cap without satisfying
+    /// the tail tolerance `Pᵥ(n_max) < ε`.
+    TruncationOverflow {
+        /// The cap that was reached.
+        cap: u64,
+        /// The tail mass still assigned to the cap.
+        tail_mass: f64,
+    },
+    /// An option value violated its precondition.
+    InvalidOption {
+        /// Explanation.
+        message: &'static str,
+    },
+    /// The variational weights degenerated (all `−∞` or NaN).
+    DegenerateWeights {
+        /// Explanation.
+        message: String,
+    },
+    /// An underlying model-layer failure.
+    Model(ModelError),
+    /// An underlying numerical failure.
+    Numeric(NumericError),
+    /// An underlying distribution failure.
+    Dist(DistError),
+}
+
+impl fmt::Display for VbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VbError::NoConvergence {
+                context,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{context} did not converge after {iterations} iterations"
+                )
+            }
+            VbError::TruncationOverflow { cap, tail_mass } => write!(
+                f,
+                "truncation cap n_max={cap} reached with tail mass {tail_mass} above tolerance"
+            ),
+            VbError::InvalidOption { message } => write!(f, "invalid option: {message}"),
+            VbError::DegenerateWeights { message } => {
+                write!(f, "degenerate variational weights: {message}")
+            }
+            VbError::Model(e) => write!(f, "model error: {e}"),
+            VbError::Numeric(e) => write!(f, "numeric error: {e}"),
+            VbError::Dist(e) => write!(f, "distribution error: {e}"),
+        }
+    }
+}
+
+impl Error for VbError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VbError::Model(e) => Some(e),
+            VbError::Numeric(e) => Some(e),
+            VbError::Dist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for VbError {
+    fn from(e: ModelError) -> Self {
+        VbError::Model(e)
+    }
+}
+
+impl From<NumericError> for VbError {
+    fn from(e: NumericError) -> Self {
+        VbError::Numeric(e)
+    }
+}
+
+impl From<DistError> for VbError {
+    fn from(e: DistError) -> Self {
+        VbError::Dist(e)
+    }
+}

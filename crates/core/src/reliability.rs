@@ -1,0 +1,211 @@
+//! Reliability functionals of Gamma-product-mixture posteriors.
+//!
+//! Both variational posteriors have the form
+//! `Σ_N w_N · Gamma(ω | A_N, r_ω) ⊗ Gamma(β | B_N, r_{β,N})`, for which
+//! the paper's reliability integrals (Eqs. (31)–(32)) reduce to
+//! one-dimensional quadrature over `β`:
+//!
+//! * point estimate — the Gamma moment-generating function gives
+//!   `E[e^{−ω·c(β)} | N, β] = (r_ω / (r_ω + c(β)))^{A_N}` exactly, so
+//!   `E[R] = Σ_N w_N ∫ q_N(β) · e^{−A_N ln(1 + c(β)/r_ω)} dβ`;
+//! * CDF — `P(R <= x | N, β) = P(ω >= −ln x / c(β)) = Q(A_N, r_ω·a)`,
+//!   the regularised upper incomplete gamma, integrated over `β` and
+//!   inverted by bisection for quantiles.
+
+use nhpp_dist::{Continuous, Gamma, GammaProductMixture};
+use nhpp_models::ModelSpec;
+use nhpp_numeric::quadrature::GaussLegendre;
+use nhpp_numeric::roots::bisect;
+
+/// Number of Gauss–Legendre nodes for the β integrals.
+const BETA_NODES: usize = 96;
+/// Components below this weight are skipped in reliability integrals.
+const WEIGHT_FLOOR: f64 = 1e-13;
+
+/// `c(β) = G(t+u; α₀, β) − G(t; α₀, β)`, the per-fault probability of
+/// detection inside the mission window.
+fn mission_mass(spec: ModelSpec, beta: f64, t: f64, u: f64) -> f64 {
+    Gamma::new(spec.alpha0(), beta)
+        .expect("mixture components have positive rates")
+        .ln_interval_mass(t, t + u)
+        .exp()
+}
+
+/// Integrates `f(β)` against a component's β-density.
+fn beta_expectation<F: FnMut(f64) -> f64>(rule: &GaussLegendre, beta: &Gamma, mut f: F) -> f64 {
+    let lo = beta.quantile(1e-10);
+    let hi = beta.quantile(1.0 - 1e-10);
+    rule.integrate(lo, hi, |b| beta.pdf(b) * f(b))
+}
+
+/// Posterior point estimate of software reliability, Eq. (31).
+pub fn reliability_point(mixture: &GammaProductMixture, spec: ModelSpec, t: f64, u: f64) -> f64 {
+    let rule = GaussLegendre::new(BETA_NODES);
+    let mut acc = 0.0;
+    for comp in mixture.components() {
+        if comp.weight < WEIGHT_FLOOR {
+            continue;
+        }
+        let a = comp.omega.shape();
+        let r = comp.omega.rate();
+        let inner = beta_expectation(&rule, &comp.beta, |b| {
+            (-a * (mission_mass(spec, b, t, u) / r).ln_1p()).exp()
+        });
+        acc += comp.weight * inner;
+    }
+    acc
+}
+
+/// Posterior CDF of software reliability, `P(R(t+u|t) <= x)`, Eq. (32).
+pub fn reliability_cdf(
+    mixture: &GammaProductMixture,
+    spec: ModelSpec,
+    t: f64,
+    u: f64,
+    x: f64,
+) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let rule = GaussLegendre::new(BETA_NODES);
+    let neg_ln_x = -x.ln();
+    let mut acc = 0.0;
+    for comp in mixture.components() {
+        if comp.weight < WEIGHT_FLOOR {
+            continue;
+        }
+        let inner = beta_expectation(&rule, &comp.beta, |b| {
+            let c = mission_mass(spec, b, t, u);
+            if c <= 0.0 {
+                // Zero chance of any failure ⇒ R = 1 > x.
+                0.0
+            } else {
+                comp.omega.sf(neg_ln_x / c)
+            }
+        });
+        acc += comp.weight * inner;
+    }
+    acc.clamp(0.0, 1.0)
+}
+
+/// Posterior quantile of software reliability (bisection on
+/// [`reliability_cdf`]).
+pub fn reliability_quantile(
+    mixture: &GammaProductMixture,
+    spec: ModelSpec,
+    t: f64,
+    u: f64,
+    p: f64,
+) -> f64 {
+    if !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    bisect(
+        |x| reliability_cdf(mixture, spec, t, u, x) - p,
+        0.0,
+        1.0,
+        1e-10,
+        200,
+    )
+    .unwrap_or(f64::NAN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nhpp_dist::MixtureComponent;
+
+    /// A single-component mixture concentrated tightly around
+    /// (ω₀, β₀) must reproduce the deterministic reliability.
+    #[test]
+    fn concentrated_mixture_matches_plugin() {
+        let omega0 = 40.0;
+        let beta0 = 1e-5;
+        let k = 1e6; // concentration
+        let mixture = GammaProductMixture::new(vec![MixtureComponent {
+            weight: 1.0,
+            omega: Gamma::new(k, k / omega0).unwrap(),
+            beta: Gamma::new(k, k / beta0).unwrap(),
+        }])
+        .unwrap();
+        let spec = ModelSpec::goel_okumoto();
+        let (t, u) = (2e5, 1e4);
+        let exact = {
+            let g = Gamma::new(1.0, beta0).unwrap();
+            (-omega0 * (g.cdf(t + u) - g.cdf(t))).exp()
+        };
+        let point = reliability_point(&mixture, spec, t, u);
+        assert!((point - exact).abs() < 1e-3, "point={point}, exact={exact}");
+        // Quantiles collapse onto the point value.
+        let med = reliability_quantile(&mixture, spec, t, u, 0.5);
+        assert!((med - exact).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_proper() {
+        let mixture = GammaProductMixture::new(vec![MixtureComponent {
+            weight: 1.0,
+            omega: Gamma::new(40.0, 1.0).unwrap(),
+            beta: Gamma::new(10.0, 1e6).unwrap(),
+        }])
+        .unwrap();
+        let spec = ModelSpec::goel_okumoto();
+        let (t, u) = (2e5, 1e4);
+        let mut prev = 0.0;
+        for i in 1..20 {
+            let x = i as f64 / 20.0;
+            let c = reliability_cdf(&mixture, spec, t, u, x);
+            assert!(c >= prev - 1e-12, "x={x}");
+            prev = c;
+        }
+        assert_eq!(reliability_cdf(&mixture, spec, t, u, 0.0), 0.0);
+        assert_eq!(reliability_cdf(&mixture, spec, t, u, 1.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let mixture = GammaProductMixture::new(vec![MixtureComponent {
+            weight: 1.0,
+            omega: Gamma::new(40.0, 1.0).unwrap(),
+            beta: Gamma::new(10.0, 1e6).unwrap(),
+        }])
+        .unwrap();
+        let spec = ModelSpec::goel_okumoto();
+        let (t, u) = (2e5, 5e4);
+        for &p in &[0.05, 0.5, 0.95] {
+            let q = reliability_quantile(&mixture, spec, t, u, p);
+            let back = reliability_cdf(&mixture, spec, t, u, q);
+            assert!((back - p).abs() < 1e-6, "p={p}, q={q}, back={back}");
+        }
+    }
+
+    #[test]
+    fn point_estimate_within_bounds() {
+        // E[R] must lie in (0, 1) and between extreme quantiles.
+        let mixture = GammaProductMixture::new(vec![
+            MixtureComponent {
+                weight: 0.5,
+                omega: Gamma::new(35.0, 1.0).unwrap(),
+                beta: Gamma::new(12.0, 1.1e6).unwrap(),
+            },
+            MixtureComponent {
+                weight: 0.5,
+                omega: Gamma::new(50.0, 1.0).unwrap(),
+                beta: Gamma::new(14.0, 1.2e6).unwrap(),
+            },
+        ])
+        .unwrap();
+        let spec = ModelSpec::goel_okumoto();
+        let (t, u) = (2e5, 2e4);
+        let r = reliability_point(&mixture, spec, t, u);
+        let lo = reliability_quantile(&mixture, spec, t, u, 0.005);
+        let hi = reliability_quantile(&mixture, spec, t, u, 0.995);
+        assert!(
+            0.0 < lo && lo < r && r < hi && hi < 1.0,
+            "({lo}, {r}, {hi})"
+        );
+    }
+}

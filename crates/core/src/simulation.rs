@@ -1,0 +1,191 @@
+//! Posterior simulation: drawing parameter values and future failure
+//! traces from a fitted variational posterior.
+//!
+//! Closed-form summaries cover the questions the paper asks; everything
+//! else (cost models over failure times, staffing what-ifs, compound
+//! metrics) is easiest answered by simulation from the posterior — draw
+//! `(ω, β)`, then draw the future failures of `(t_from, t_to]`
+//! conditionally on the observed history.
+
+use crate::error::VbError;
+use nhpp_dist::{Gamma, GammaProductMixture, Poisson, Sample, TruncatedGamma};
+use nhpp_models::ModelSpec;
+use rand::Rng;
+
+/// One simulated continuation of the observed testing process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FutureTrace {
+    /// The parameter draw that generated this continuation.
+    pub omega: f64,
+    /// The rate draw.
+    pub beta: f64,
+    /// Sorted failure times inside `(t_from, t_to]`.
+    pub times: Vec<f64>,
+}
+
+/// Simulates `replications` posterior continuations of the process over
+/// `(t_from, t_to]`.
+///
+/// Conditionally on `(ω, β)` and the history up to `t_from`, the count
+/// of future failures in the window is `Poisson(ω·[G(t_to) − G(t_from)])`
+/// and their positions are i.i.d. window-truncated draws of the failure
+/// law — no dependence on the realised past enters beyond `t_from`
+/// (independent-increments property of the NHPP).
+///
+/// # Errors
+///
+/// [`VbError::InvalidOption`] unless `0 <= t_from < t_to`.
+pub fn simulate_futures<R: Rng + ?Sized>(
+    mixture: &GammaProductMixture,
+    spec: ModelSpec,
+    t_from: f64,
+    t_to: f64,
+    replications: usize,
+    rng: &mut R,
+) -> Result<Vec<FutureTrace>, VbError> {
+    if !(t_from >= 0.0 && t_to > t_from) {
+        return Err(VbError::InvalidOption {
+            message: "window requires 0 <= t_from < t_to",
+        });
+    }
+    let mut traces = Vec::with_capacity(replications);
+    for _ in 0..replications {
+        let (omega, beta) = mixture.sample(rng);
+        let law = Gamma::new(spec.alpha0(), beta)?;
+        let window_mass = law.ln_interval_mass(t_from, t_to).exp();
+        let count = Poisson::new(omega * window_mass)?.sample(rng);
+        let mut times = if count > 0 && window_mass > 0.0 {
+            let window = TruncatedGamma::new(law, t_from, t_to)?;
+            window.sample_n(rng, count as usize)
+        } else {
+            Vec::new()
+        };
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        traces.push(FutureTrace { omega, beta, times });
+    }
+    Ok(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vb2::{Vb2Options, Vb2Posterior};
+    use nhpp_data::sys17;
+    use nhpp_models::prior::NhppPrior;
+    use nhpp_models::Posterior;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn posterior() -> Vb2Posterior {
+        Vb2Posterior::fit(
+            ModelSpec::goel_okumoto(),
+            NhppPrior::paper_info_times(),
+            &sys17::failure_times().into(),
+            Vb2Options::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empirical_survival_matches_reliability_point() {
+        let post = posterior();
+        let t = sys17::T_END;
+        let u = 10_000.0;
+        let mut rng = StdRng::seed_from_u64(5150);
+        let traces = simulate_futures(
+            post.mixture(),
+            ModelSpec::goel_okumoto(),
+            t,
+            t + u,
+            20_000,
+            &mut rng,
+        )
+        .unwrap();
+        let empty = traces.iter().filter(|tr| tr.times.is_empty()).count();
+        let empirical = empty as f64 / traces.len() as f64;
+        let analytic = post.reliability_point(t, u);
+        assert!(
+            (empirical - analytic).abs() < 0.01,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn empirical_counts_match_predictive_distribution() {
+        let post = posterior();
+        let t = sys17::T_END;
+        let u = 30_000.0;
+        let mut rng = StdRng::seed_from_u64(99);
+        let traces = simulate_futures(
+            post.mixture(),
+            ModelSpec::goel_okumoto(),
+            t,
+            t + u,
+            20_000,
+            &mut rng,
+        )
+        .unwrap();
+        let mean = traces.iter().map(|tr| tr.times.len() as f64).sum::<f64>() / traces.len() as f64;
+        let predictive = post.predictive_failures(t, u).unwrap();
+        assert!(
+            (mean - predictive.mean()).abs() < 0.05 * predictive.mean().max(1.0),
+            "empirical {mean} vs predictive {}",
+            predictive.mean()
+        );
+        // Empirical pmf of zero/one counts tracks the analytic one.
+        let p0 =
+            traces.iter().filter(|tr| tr.times.is_empty()).count() as f64 / traces.len() as f64;
+        assert!((p0 - predictive.pmf(0)).abs() < 0.02);
+    }
+
+    #[test]
+    fn times_stay_inside_the_window_and_sorted() {
+        let post = posterior();
+        let (a, b) = (1_000.0, 50_000.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let traces = simulate_futures(
+            post.mixture(),
+            ModelSpec::goel_okumoto(),
+            a,
+            b,
+            500,
+            &mut rng,
+        )
+        .unwrap();
+        for trace in traces {
+            assert!(trace.omega > 0.0 && trace.beta > 0.0);
+            for w in trace.times.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+            assert!(trace.times.iter().all(|&t| t > a && t <= b));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_windows() {
+        let post = posterior();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            simulate_futures(
+                post.mixture(),
+                ModelSpec::goel_okumoto(),
+                5.0,
+                5.0,
+                1,
+                &mut rng
+            ),
+            Err(VbError::InvalidOption { .. })
+        ));
+        assert!(matches!(
+            simulate_futures(
+                post.mixture(),
+                ModelSpec::goel_okumoto(),
+                -1.0,
+                5.0,
+                1,
+                &mut rng
+            ),
+            Err(VbError::InvalidOption { .. })
+        ));
+    }
+}

@@ -1,0 +1,927 @@
+//! VB2 — the structured variational Bayes method proposed by the paper.
+//!
+//! # Algorithm (paper §5)
+//!
+//! For each candidate total fault count `N` the optimal conditional
+//! variational posteriors are (Eq. (22)):
+//!
+//! ```text
+//! Pᵥ(ω | N) = Gamma(m_ω + N,     φ_ω + 1)
+//! Pᵥ(β | N) = Gamma(m_β + N·α₀,  φ_β + ζ_{T|N})
+//! ```
+//!
+//! where `ζ_{T|N} = E[Σ Tᵢ | N]` and `ξ_{β|N} = E[β | N]` solve the
+//! simultaneous equations (24)–(27). `ζ` decomposes into the observed
+//! contribution plus conditional means of gamma variables truncated to
+//! the unobserved regions — the censored tail `(t_e, ∞)` (and, for
+//! grouped data, the within-bin windows). Note the tail terms use the
+//! *survival* mass `S = 1 − G`; the paper's Eqs. (24)/(26)/(29)/(30)
+//! print `G` where `S` is required (re-deriving Eq. (28) from Eqs.
+//! (17)–(19) confirms the survival reading — see `DESIGN.md` §2), and
+//! Eq. (25) prints shape `m_β + N` where the general-`α₀` shape is
+//! `m_β + N·α₀`.
+//!
+//! The mixture weights are `Pᵥ(N) ∝ P̃ᵥ(N)` (Eq. (28)); in log form, for
+//! failure-time data with `A = m_ω + N`, `B = m_β + N·α₀`, `r = N − m`:
+//!
+//! ```text
+//! ln P̃ᵥ(N) = ln Γ(A) − A·ln(φ_ω + 1) + ln Γ(B) − B·ln(φ_β + ζ_N)
+//!           − r·α₀·ln ξ_N + ξ_N·(ζ_N − Σ tᵢ)
+//!           + r·ln S(t_e; α₀, ξ_N) − ln r!
+//! ```
+//!
+//! and for grouped data
+//!
+//! ```text
+//! ln P̃ᵥ(N) = ln Γ(A) − A·ln(φ_ω + 1) + ln Γ(B) − B·ln(φ_β + ζ_N)
+//!           − N·α₀·ln ξ_N + ξ_N·ζ_N + Σᵢ xᵢ·ln ΔG(s_{i−1}, s_i; α₀, ξ_N)
+//!           + r·ln S(s_k; α₀, ξ_N) − ln r!
+//! ```
+//!
+//! All digamma terms cancel exactly at the coordinate-ascent optimum.
+//! The truncation point `n_max` grows (Step 4) until
+//! `Pᵥ(n_max) < ε`.
+
+use crate::error::VbError;
+use crate::reliability;
+use nhpp_data::ObservedData;
+use nhpp_dist::{Continuous, Gamma, GammaMixture, GammaProductMixture, MixtureComponent};
+use nhpp_models::prior::NhppPrior;
+use nhpp_models::{ModelSpec, Posterior};
+use nhpp_numeric::fixed_point::{newton_fixed_point, successive_substitution};
+use nhpp_special::{ln_factorial, ln_gamma, ln_gamma_q, log_sum_exp};
+
+/// How the per-`N` fixed point `(ζ, ξ)` is solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// Closed form where available (Goel–Okumoto with failure-time
+    /// data), successive substitution otherwise.
+    #[default]
+    Auto,
+    /// Plain successive substitution (globally convergent; the variant
+    /// timed in the paper's Table 7).
+    SuccessiveSubstitution,
+    /// Newton iteration on the residual (the speedup conjectured in the
+    /// paper's §6 closing remarks; measured by the ablation bench).
+    Newton,
+}
+
+/// Truncation policy for the mixture over `N`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Truncation {
+    /// Grow `n_max` until `Pᵥ(n_max) < epsilon` (paper Steps 1–4).
+    Adaptive {
+        /// Tail tolerance `ε` (the paper quotes `ε = 5e−15`).
+        epsilon: f64,
+    },
+    /// Grow `n_max` until `Pᵥ(n_max) < epsilon`, but stop growing (without
+    /// error) once `cap` is reached. This is the right policy for flat
+    /// (NoInfo) priors, where the exact posterior over `N` has a harmonic,
+    /// non-summable tail — the posterior is improper in the limit and
+    /// *every* method in the paper implicitly truncates it (NINT by its
+    /// integration box, MCMC by its finite run). See `EXPERIMENTS.md`.
+    AdaptiveCapped {
+        /// Tail tolerance `ε`.
+        epsilon: f64,
+        /// Largest `n_max` the growth may reach.
+        cap: u64,
+    },
+    /// Evaluate exactly up to the given `n_max` (used by the Table 7
+    /// cost experiment).
+    Fixed {
+        /// Largest total fault count included in the mixture.
+        n_max: u64,
+    },
+}
+
+impl Default for Truncation {
+    fn default() -> Self {
+        Truncation::Adaptive { epsilon: 5e-15 }
+    }
+}
+
+/// Options for the VB2 fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vb2Options {
+    /// Inner fixed-point solver.
+    pub solver: SolverKind,
+    /// Truncation policy for `N`.
+    pub truncation: Truncation,
+    /// Relative tolerance of the inner fixed point.
+    pub inner_tol: f64,
+    /// Iteration budget of the inner fixed point.
+    pub inner_max_iter: usize,
+    /// Hard cap on the adaptive `n_max` growth.
+    pub hard_cap: u64,
+}
+
+impl Default for Vb2Options {
+    fn default() -> Self {
+        Vb2Options {
+            solver: SolverKind::Auto,
+            truncation: Truncation::default(),
+            inner_tol: 1e-12,
+            inner_max_iter: 200_000,
+            hard_cap: 2_000_000,
+        }
+    }
+}
+
+/// Summary statistics of the dataset needed by the VB2 recursions.
+#[derive(Debug, Clone)]
+enum DataSummary {
+    Times {
+        m: u64,
+        sum_obs: f64,
+        sum_ln_obs: f64,
+        t_end: f64,
+    },
+    Grouped {
+        bins: Vec<(f64, f64, u64)>,
+        m: u64,
+        t_end: f64,
+    },
+}
+
+impl DataSummary {
+    fn from(data: &ObservedData) -> Self {
+        match data {
+            ObservedData::Times(d) => DataSummary::Times {
+                m: d.len() as u64,
+                sum_obs: d.sum_times(),
+                sum_ln_obs: d.sum_ln_times(),
+                t_end: d.observation_end(),
+            },
+            ObservedData::Grouped(d) => DataSummary::Grouped {
+                bins: d.intervals().collect(),
+                m: d.total_count(),
+                t_end: d.observation_end(),
+            },
+        }
+    }
+
+    fn observed(&self) -> u64 {
+        match self {
+            DataSummary::Times { m, .. } | DataSummary::Grouped { m, .. } => *m,
+        }
+    }
+
+    fn t_end(&self) -> f64 {
+        match self {
+            DataSummary::Times { t_end, .. } | DataSummary::Grouped { t_end, .. } => *t_end,
+        }
+    }
+
+    /// `ζ(ξ)` — Eq. (24) (times) / Eq. (26) (grouped), survival form.
+    fn zeta(&self, alpha0: f64, xi: f64, n: u64) -> f64 {
+        let law = Gamma::new(alpha0, xi).expect("xi stays positive during iteration");
+        let r = (n - self.observed()) as f64;
+        match self {
+            DataSummary::Times { sum_obs, t_end, .. } => {
+                let tail = if r > 0.0 {
+                    r * law.interval_mean(*t_end, f64::INFINITY)
+                } else {
+                    0.0
+                };
+                sum_obs + tail
+            }
+            DataSummary::Grouped { bins, t_end, .. } => {
+                let mut acc = 0.0;
+                for &(lo, hi, count) in bins {
+                    if count > 0 {
+                        acc += count as f64 * law.interval_mean(lo, hi);
+                    }
+                }
+                if r > 0.0 {
+                    acc += r * law.interval_mean(*t_end, f64::INFINITY);
+                }
+                acc
+            }
+        }
+    }
+}
+
+/// The per-`N` solved state.
+#[derive(Debug, Clone, Copy)]
+struct Component {
+    n: u64,
+    zeta: f64,
+    xi: f64,
+    ln_weight: f64,
+    inner_iterations: usize,
+}
+
+/// The VB2 variational posterior: a finite Gamma-product mixture over the
+/// latent total fault count `N`.
+#[derive(Debug, Clone)]
+pub struct Vb2Posterior {
+    spec: ModelSpec,
+    mixture: GammaProductMixture,
+    /// `(N, Pᵥ(N))` pairs, ascending in `N`.
+    pv: Vec<(u64, f64)>,
+    elbo: f64,
+    n_max: u64,
+    inner_iterations: usize,
+}
+
+impl Vb2Posterior {
+    /// Runs the VB2 algorithm (paper §5.1 Steps 1–5).
+    ///
+    /// # Errors
+    ///
+    /// * [`VbError::InvalidOption`] for non-positive tolerances.
+    /// * [`VbError::TruncationOverflow`] if the adaptive growth hits
+    ///   `hard_cap` while `Pᵥ(n_max) >= ε`.
+    /// * [`VbError::NoConvergence`] if an inner fixed point stalls.
+    /// * [`VbError::DegenerateWeights`] if every weight collapses.
+    pub fn fit(
+        spec: ModelSpec,
+        prior: NhppPrior,
+        data: &ObservedData,
+        options: Vb2Options,
+    ) -> Result<Self, VbError> {
+        if !(options.inner_tol > 0.0) {
+            return Err(VbError::InvalidOption {
+                message: "inner_tol must be positive",
+            });
+        }
+        match options.truncation {
+            Truncation::Adaptive { epsilon } | Truncation::AdaptiveCapped { epsilon, .. } => {
+                if !(epsilon > 0.0) {
+                    return Err(VbError::InvalidOption {
+                        message: "epsilon must be positive",
+                    });
+                }
+            }
+            Truncation::Fixed { .. } => {}
+        }
+        let summary = DataSummary::from(data);
+        let m = summary.observed();
+        let alpha0 = spec.alpha0();
+        let (a_w, r_w) = prior.omega.shape_rate();
+        let (a_b, r_b) = prior.beta.shape_rate();
+
+        let mut components: Vec<Component> = Vec::new();
+        let mut n_hi = match options.truncation {
+            Truncation::Adaptive { .. } | Truncation::AdaptiveCapped { .. } => (2 * m).max(m + 50),
+            Truncation::Fixed { n_max } => {
+                if n_max < m {
+                    return Err(VbError::InvalidOption {
+                        message: "n_max must be at least m",
+                    });
+                }
+                n_max
+            }
+        };
+
+        loop {
+            let start = components.last().map(|c| c.n + 1).unwrap_or(m);
+            let mut warm_xi = components.last().map(|c| c.xi);
+            for n in start..=n_hi {
+                let comp = solve_component(
+                    &summary, spec, alpha0, a_w, r_w, a_b, r_b, n, warm_xi, &options,
+                )?;
+                warm_xi = Some(comp.xi);
+                components.push(comp);
+            }
+            let lse = log_sum_exp(&components.iter().map(|c| c.ln_weight).collect::<Vec<_>>());
+            if !lse.is_finite() {
+                return Err(VbError::DegenerateWeights {
+                    message: format!("log normaliser = {lse} over N in [{m}, {n_hi}]"),
+                });
+            }
+            match options.truncation {
+                Truncation::Fixed { .. } => break,
+                Truncation::Adaptive { epsilon } => {
+                    let tail = (components.last().expect("non-empty range").ln_weight - lse).exp();
+                    if tail < epsilon {
+                        break;
+                    }
+                    if n_hi >= options.hard_cap {
+                        return Err(VbError::TruncationOverflow {
+                            cap: options.hard_cap,
+                            tail_mass: tail,
+                        });
+                    }
+                    n_hi = (n_hi.saturating_mul(2)).min(options.hard_cap);
+                }
+                Truncation::AdaptiveCapped { epsilon, cap } => {
+                    let tail = (components.last().expect("non-empty range").ln_weight - lse).exp();
+                    if tail < epsilon || n_hi >= cap {
+                        break;
+                    }
+                    n_hi = (n_hi.saturating_mul(2)).min(cap);
+                }
+            }
+        }
+
+        let ln_weights: Vec<f64> = components.iter().map(|c| c.ln_weight).collect();
+        let lse = log_sum_exp(&ln_weights);
+        let elbo = lse + elbo_constant(&summary, alpha0, &prior);
+
+        let mut pv = Vec::with_capacity(components.len());
+        let mut parts = Vec::with_capacity(components.len());
+        let mut inner_total = 0;
+        for c in &components {
+            let w = (c.ln_weight - lse).exp();
+            pv.push((c.n, w));
+            inner_total += c.inner_iterations;
+            parts.push(MixtureComponent {
+                weight: w,
+                omega: Gamma::new(a_w + c.n as f64, r_w + 1.0)?,
+                beta: Gamma::new(a_b + c.n as f64 * alpha0, r_b + c.zeta)?,
+            });
+        }
+        let mixture = GammaProductMixture::new(parts)?;
+        Ok(Vb2Posterior {
+            spec,
+            mixture,
+            pv,
+            elbo,
+            n_max: n_hi,
+            inner_iterations: inner_total,
+        })
+    }
+
+    /// The variational posterior mixture `Σ_N Pᵥ(N)·Pᵥ(ω|N)⊗Pᵥ(β|N)`.
+    pub fn mixture(&self) -> &GammaProductMixture {
+        &self.mixture
+    }
+
+    /// The variational posterior over the total fault count,
+    /// `(N, Pᵥ(N))` ascending in `N`.
+    pub fn pv_n(&self) -> &[(u64, f64)] {
+        &self.pv
+    }
+
+    /// Posterior mean of the total fault count `E[N]`.
+    pub fn mean_n(&self) -> f64 {
+        self.pv.iter().map(|&(n, w)| n as f64 * w).sum()
+    }
+
+    /// The probability mass `Pᵥ(n_max)` at the truncation point — the
+    /// adequacy check of the paper's Step 4 and the quantity reported in
+    /// Table 7.
+    pub fn tail_mass(&self) -> f64 {
+        self.pv.last().map(|&(_, w)| w).unwrap_or(0.0)
+    }
+
+    /// The truncation point `n_max` actually used.
+    pub fn n_max(&self) -> u64 {
+        self.n_max
+    }
+
+    /// The evidence lower bound `F[Pᵥ] <= ln P(D)` at the optimum,
+    /// including all constants, so it is directly comparable with the
+    /// log-evidence computed by numerical integration.
+    pub fn elbo(&self) -> f64 {
+        self.elbo
+    }
+
+    /// Total inner fixed-point iterations across all `N` (the cost driver
+    /// examined in Table 7).
+    pub fn inner_iterations(&self) -> usize {
+        self.inner_iterations
+    }
+
+    /// Credible band of the mean value function `Λ(t)` over a time grid
+    /// (see [`crate::bands`]).
+    ///
+    /// # Errors
+    ///
+    /// [`VbError::InvalidOption`] for an invalid grid or level.
+    pub fn mean_value_band(
+        &self,
+        t_grid: &[f64],
+        level: f64,
+    ) -> Result<Vec<crate::bands::BandPoint>, VbError> {
+        crate::bands::mean_value_band(&self.mixture, self.spec, t_grid, level)
+    }
+
+    /// Posterior-predictive distribution of the number of failures in
+    /// the future window `(t, t+u]` (exact negative-binomial mixture; see
+    /// [`crate::prediction`]).
+    ///
+    /// # Errors
+    ///
+    /// [`VbError::InvalidOption`] for an empty window.
+    pub fn predictive_failures(
+        &self,
+        t: f64,
+        u: f64,
+    ) -> Result<nhpp_models::prediction::PredictiveCounts, VbError> {
+        crate::prediction::predictive_counts(&self.mixture, self.spec, t, u, 1e-10)
+    }
+
+    /// Marginal variational posterior of `ω` (a Gamma mixture).
+    pub fn marginal_omega(&self) -> GammaMixture {
+        self.mixture.marginal_omega()
+    }
+
+    /// Marginal variational posterior of `β` (a Gamma mixture).
+    pub fn marginal_beta(&self) -> GammaMixture {
+        self.mixture.marginal_beta()
+    }
+}
+
+/// Solves the `(ζ, ξ)` fixed point for one `N` and evaluates the weight.
+#[allow(clippy::too_many_arguments)]
+fn solve_component(
+    summary: &DataSummary,
+    spec: ModelSpec,
+    alpha0: f64,
+    a_w: f64,
+    r_w: f64,
+    a_b: f64,
+    r_b: f64,
+    n: u64,
+    warm_xi: Option<f64>,
+    options: &Vb2Options,
+) -> Result<Component, VbError> {
+    let b_shape = a_b + n as f64 * alpha0;
+    let r = n - summary.observed();
+
+    // Closed form: Goel–Okumoto with failure-time data (paper §5.2) —
+    // only taken under `Auto`, so explicitly requesting an iterative
+    // solver (e.g. for the Table 7 cost experiment) is honoured.
+    let closed_form = options.solver == SolverKind::Auto
+        && matches!(
+            (spec.is_goel_okumoto(), summary),
+            (true, DataSummary::Times { .. })
+        );
+
+    let (xi, iterations) = if closed_form {
+        let (sum_obs, t_end) = match summary {
+            DataSummary::Times { sum_obs, t_end, .. } => (*sum_obs, *t_end),
+            DataSummary::Grouped { .. } => unreachable!("guarded by closed_form"),
+        };
+        // ξ(φ_β + Σt + r·t_e) + r = m_β + N  ⇒  closed form.
+        (
+            (a_b + summary.observed() as f64) / (r_b + sum_obs + r as f64 * t_end),
+            0,
+        )
+    } else {
+        let map = |xi: f64| {
+            let z = summary.zeta(alpha0, xi, n);
+            b_shape / (r_b + z)
+        };
+        let x0 = warm_xi
+            .unwrap_or_else(|| b_shape / (r_b + summary.zeta(alpha0, alpha0 / summary.t_end(), n)));
+        let use_newton = options.solver == SolverKind::Newton;
+        let fp = if use_newton {
+            newton_fixed_point(map, x0, options.inner_tol, options.inner_max_iter)
+        } else {
+            successive_substitution(map, x0, options.inner_tol, options.inner_max_iter)
+        }
+        .map_err(VbError::from)?;
+        (fp.value, fp.iterations)
+    };
+
+    let zeta = summary.zeta(alpha0, xi, n);
+    let a_shape = a_w + n as f64;
+    let mut ln_w = ln_gamma(a_shape) - a_shape * (r_w + 1.0).ln() + ln_gamma(b_shape)
+        - b_shape * (r_b + zeta).ln()
+        - ln_factorial(r);
+    match summary {
+        DataSummary::Times { sum_obs, t_end, .. } => {
+            ln_w += xi * (zeta - sum_obs) - r as f64 * alpha0 * xi.ln()
+                + r as f64 * ln_gamma_q(alpha0, xi * t_end);
+        }
+        DataSummary::Grouped { bins, t_end, .. } => {
+            let law = Gamma::new(alpha0, xi)?;
+            ln_w +=
+                xi * zeta - n as f64 * alpha0 * xi.ln() + r as f64 * ln_gamma_q(alpha0, xi * t_end);
+            for &(lo, hi, count) in bins {
+                if count > 0 {
+                    ln_w += count as f64 * law.ln_interval_mass(lo, hi);
+                }
+            }
+        }
+    }
+    if ln_w.is_nan() {
+        return Err(VbError::DegenerateWeights {
+            message: format!("ln weight is NaN at N={n} (ζ={zeta}, ξ={xi})"),
+        });
+    }
+    Ok(Component {
+        n,
+        zeta,
+        xi,
+        ln_weight: ln_w,
+        inner_iterations: iterations,
+    })
+}
+
+/// The `N`-independent constants completing `F[Pᵥ] = ln Σ P̃ᵥ(N) + C₀` so
+/// the ELBO is an honest bound on the log evidence.
+fn elbo_constant(summary: &DataSummary, alpha0: f64, prior: &NhppPrior) -> f64 {
+    let prior_norm = |prior: &nhpp_models::prior::ParamPrior| {
+        let (a, r) = prior.shape_rate();
+        if prior.is_flat() {
+            0.0
+        } else {
+            a * r.ln() - ln_gamma(a)
+        }
+    };
+    let base = prior_norm(&prior.omega) + prior_norm(&prior.beta);
+    match summary {
+        DataSummary::Times { m, sum_ln_obs, .. } => {
+            base + (alpha0 - 1.0) * sum_ln_obs - *m as f64 * ln_gamma(alpha0)
+        }
+        DataSummary::Grouped { bins, .. } => {
+            base - bins.iter().map(|&(_, _, x)| ln_factorial(x)).sum::<f64>()
+        }
+    }
+}
+
+impl Posterior for Vb2Posterior {
+    fn method_name(&self) -> &'static str {
+        "VB2"
+    }
+
+    fn mean_omega(&self) -> f64 {
+        self.mixture.mean_omega()
+    }
+
+    fn mean_beta(&self) -> f64 {
+        self.mixture.mean_beta()
+    }
+
+    fn var_omega(&self) -> f64 {
+        self.mixture.var_omega()
+    }
+
+    fn var_beta(&self) -> f64 {
+        self.mixture.var_beta()
+    }
+
+    fn covariance(&self) -> f64 {
+        self.mixture.covariance()
+    }
+
+    fn central_moment_omega(&self, k: u32) -> f64 {
+        self.mixture.marginal_omega().central_moment(k)
+    }
+
+    fn quantile_omega(&self, p: f64) -> f64 {
+        self.mixture.marginal_omega().quantile(p)
+    }
+
+    fn quantile_beta(&self, p: f64) -> f64 {
+        self.mixture.marginal_beta().quantile(p)
+    }
+
+    fn ln_joint_density(&self, omega: f64, beta: f64) -> Option<f64> {
+        Some(self.mixture.ln_pdf(omega, beta))
+    }
+
+    fn reliability_point(&self, t: f64, u: f64) -> f64 {
+        reliability::reliability_point(&self.mixture, self.spec, t, u)
+    }
+
+    fn reliability_quantile(&self, t: f64, u: f64, p: f64) -> f64 {
+        reliability::reliability_quantile(&self.mixture, self.spec, t, u, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nhpp_data::sys17;
+
+    fn spec() -> ModelSpec {
+        ModelSpec::goel_okumoto()
+    }
+
+    fn fit_times_info() -> Vb2Posterior {
+        Vb2Posterior::fit(
+            spec(),
+            NhppPrior::paper_info_times(),
+            &sys17::failure_times().into(),
+            Vb2Options::default(),
+        )
+        .unwrap()
+    }
+
+    fn fit_grouped_info() -> Vb2Posterior {
+        Vb2Posterior::fit(
+            spec(),
+            NhppPrior::paper_info_grouped(),
+            &sys17::grouped().into(),
+            Vb2Options::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn weights_are_a_distribution() {
+        let post = fit_times_info();
+        let total: f64 = post.pv_n().iter().map(|&(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+        assert!(post.pv_n().iter().all(|&(_, w)| w >= 0.0));
+        // Starts at N = m = 38.
+        assert_eq!(post.pv_n()[0].0, 38);
+        // Tail satisfies the adaptive criterion.
+        assert!(post.tail_mass() < 5e-15);
+    }
+
+    #[test]
+    fn pv_n_is_unimodal_with_plausible_mode() {
+        let post = fit_times_info();
+        let pv = post.pv_n();
+        let mode_idx = pv
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+            .unwrap()
+            .0;
+        let mode_n = pv[mode_idx].0;
+        assert!((38..60).contains(&mode_n), "mode N = {mode_n}");
+        // Non-increasing after the mode (unimodality).
+        for w in pv[mode_idx..].windows(2) {
+            assert!(w[1].1 <= w[0].1 * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_substitution_for_go_times() {
+        let data: ObservedData = sys17::failure_times().into();
+        let prior = NhppPrior::paper_info_times();
+        let auto = Vb2Posterior::fit(spec(), prior, &data, Vb2Options::default()).unwrap();
+        let subst = Vb2Posterior::fit(
+            spec(),
+            prior,
+            &data,
+            Vb2Options {
+                solver: SolverKind::SuccessiveSubstitution,
+                ..Vb2Options::default()
+            },
+        )
+        .unwrap();
+        // The closed form is only taken on the Auto path; the explicit
+        // substitution solver must land on the same fixed point.
+        assert!((auto.mean_omega() - subst.mean_omega()).abs() < 1e-8 * auto.mean_omega());
+        assert!((auto.mean_beta() - subst.mean_beta()).abs() < 1e-8 * auto.mean_beta());
+        assert!((auto.elbo() - subst.elbo()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn newton_matches_substitution() {
+        let data: ObservedData = sys17::grouped().into();
+        let prior = NhppPrior::paper_info_grouped();
+        let subst = Vb2Posterior::fit(
+            spec(),
+            prior,
+            &data,
+            Vb2Options {
+                solver: SolverKind::SuccessiveSubstitution,
+                ..Vb2Options::default()
+            },
+        )
+        .unwrap();
+        let newton = Vb2Posterior::fit(
+            spec(),
+            prior,
+            &data,
+            Vb2Options {
+                solver: SolverKind::Newton,
+                ..Vb2Options::default()
+            },
+        )
+        .unwrap();
+        assert!((subst.mean_omega() - newton.mean_omega()).abs() < 1e-7 * subst.mean_omega());
+        assert!((subst.var_beta() - newton.var_beta()).abs() < 1e-6 * subst.var_beta());
+    }
+
+    #[test]
+    fn moments_match_paper_magnitudes() {
+        let post = fit_times_info();
+        // Paper Table 1 magnitudes (our surrogate data): E[ω] ≈ 40–46,
+        // E[β] ≈ 1e−5, negative covariance.
+        assert!(
+            post.mean_omega() > 39.0 && post.mean_omega() < 48.0,
+            "{}",
+            post.mean_omega()
+        );
+        assert!(
+            post.mean_beta() > 8e-6 && post.mean_beta() < 1.4e-5,
+            "{}",
+            post.mean_beta()
+        );
+        assert!(post.covariance() < 0.0);
+        assert!(post.var_omega() > 0.0 && post.var_beta() > 0.0);
+    }
+
+    #[test]
+    fn grouped_moments_match_scale() {
+        let post = fit_grouped_info();
+        assert!(
+            post.mean_omega() > 39.0 && post.mean_omega() < 55.0,
+            "{}",
+            post.mean_omega()
+        );
+        // β on the working-day axis.
+        assert!(
+            post.mean_beta() > 1.5e-2 && post.mean_beta() < 6e-2,
+            "{}",
+            post.mean_beta()
+        );
+        assert!(post.covariance() < 0.0);
+    }
+
+    #[test]
+    fn fixed_truncation_matches_table7_protocol() {
+        let data: ObservedData = sys17::failure_times().into();
+        let prior = NhppPrior::paper_info_times();
+        let t100 = Vb2Posterior::fit(
+            spec(),
+            prior,
+            &data,
+            Vb2Options {
+                truncation: Truncation::Fixed { n_max: 100 },
+                ..Vb2Options::default()
+            },
+        )
+        .unwrap();
+        let t500 = Vb2Posterior::fit(
+            spec(),
+            prior,
+            &data,
+            Vb2Options {
+                truncation: Truncation::Fixed { n_max: 500 },
+                ..Vb2Options::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(t100.n_max(), 100);
+        assert_eq!(t100.pv_n().len(), 63); // N from 38 to 100
+                                           // Tail mass decays sharply with n_max (Table 7's Pᵥ(n_max) column).
+        assert!(t100.tail_mass() > t500.tail_mass());
+        assert!(t500.tail_mass() < 1e-30);
+        // Moments are unaffected once the tail is negligible.
+        assert!((t100.mean_omega() - t500.mean_omega()).abs() < 1e-6 * t500.mean_omega());
+    }
+
+    #[test]
+    fn elbo_is_finite_and_stable() {
+        let a = fit_times_info();
+        let b = fit_times_info();
+        assert!(a.elbo().is_finite());
+        assert_eq!(a.elbo(), b.elbo());
+        // ELBO should be in a plausible log-evidence range for 38 points.
+        assert!(a.elbo() < 0.0 && a.elbo() > -1e4, "elbo={}", a.elbo());
+    }
+
+    #[test]
+    fn quantiles_and_intervals() {
+        let post = fit_times_info();
+        let (lo, hi) = post.credible_interval_omega(0.99);
+        assert!(lo < post.mean_omega() && post.mean_omega() < hi);
+        assert!(lo > 25.0 && hi < 75.0, "({lo}, {hi})");
+        let (blo, bhi) = post.credible_interval_beta(0.99);
+        assert!(blo > 1e-6 && bhi < 5e-5 && blo < bhi);
+    }
+
+    #[test]
+    fn reliability_estimates() {
+        let post = fit_times_info();
+        let t = sys17::T_END;
+        for u in [1_000.0, 10_000.0] {
+            let r = post.reliability_point(t, u);
+            let (lo, hi) = post.reliability_interval(t, u, 0.99);
+            assert!(
+                0.0 < lo && lo < r && r < hi && hi <= 1.0,
+                "u={u}: ({lo}, {r}, {hi})"
+            );
+        }
+        // Longer mission ⇒ lower reliability.
+        assert!(post.reliability_point(t, 10_000.0) < post.reliability_point(t, 1_000.0));
+    }
+
+    #[test]
+    fn mean_n_exceeds_observed_count() {
+        let post = fit_times_info();
+        assert!(post.mean_n() > 38.0);
+        assert!(post.mean_n() < 80.0);
+    }
+
+    #[test]
+    fn flat_prior_requires_capped_truncation() {
+        // The NoInfo posterior over N has a harmonic tail: strict
+        // adaptive truncation must overflow...
+        let err = Vb2Posterior::fit(
+            spec(),
+            NhppPrior::flat(),
+            &sys17::failure_times().into(),
+            Vb2Options {
+                hard_cap: 20_000,
+                ..Vb2Options::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, VbError::TruncationOverflow { .. }));
+        // ...while the capped policy reproduces the paper's NoInfo runs.
+        let post = Vb2Posterior::fit(
+            spec(),
+            NhppPrior::flat(),
+            &sys17::failure_times().into(),
+            Vb2Options {
+                truncation: Truncation::AdaptiveCapped {
+                    epsilon: 5e-15,
+                    cap: 2_000,
+                },
+                ..Vb2Options::default()
+            },
+        )
+        .unwrap();
+        // NoInfo: posterior centred near the MLE (ω̂ ≈ 41) but with the
+        // mean pushed up by the right skew.
+        assert!(
+            post.mean_omega() > 40.0 && post.mean_omega() < 60.0,
+            "{}",
+            post.mean_omega()
+        );
+    }
+
+    #[test]
+    fn delayed_s_shaped_fit_works() {
+        let post = Vb2Posterior::fit(
+            ModelSpec::delayed_s_shaped(),
+            NhppPrior::paper_info_times(),
+            &sys17::failure_times().into(),
+            Vb2Options::default(),
+        )
+        .unwrap();
+        assert!(post.mean_omega() > 38.0);
+        assert!(post.covariance() < 0.0);
+        let total: f64 = post.pv_n().iter().map(|&(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        let data: ObservedData = sys17::failure_times().into();
+        let prior = NhppPrior::paper_info_times();
+        assert!(matches!(
+            Vb2Posterior::fit(
+                spec(),
+                prior,
+                &data,
+                Vb2Options {
+                    inner_tol: 0.0,
+                    ..Vb2Options::default()
+                }
+            ),
+            Err(VbError::InvalidOption { .. })
+        ));
+        assert!(matches!(
+            Vb2Posterior::fit(
+                spec(),
+                prior,
+                &data,
+                Vb2Options {
+                    truncation: Truncation::Fixed { n_max: 10 },
+                    ..Vb2Options::default()
+                }
+            ),
+            Err(VbError::InvalidOption { .. })
+        ));
+        assert!(matches!(
+            Vb2Posterior::fit(
+                spec(),
+                prior,
+                &data,
+                Vb2Options {
+                    truncation: Truncation::Adaptive { epsilon: -1.0 },
+                    ..Vb2Options::default()
+                }
+            ),
+            Err(VbError::InvalidOption { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_dataset_with_prior() {
+        // Zero failures: the posterior over N starts at 0 and the prior
+        // dominates.
+        let data: ObservedData = nhpp_data::FailureTimeData::new(vec![], 1_000.0)
+            .unwrap()
+            .into();
+        let post = Vb2Posterior::fit(
+            spec(),
+            NhppPrior::paper_info_times(),
+            &data,
+            Vb2Options::default(),
+        )
+        .unwrap();
+        assert_eq!(post.pv_n()[0].0, 0);
+        let total: f64 = post.pv_n().iter().map(|&(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // With β·t_e ≈ 0.01 almost nothing is learned: mean ω stays near 50.
+        assert!(
+            post.mean_omega() > 40.0 && post.mean_omega() < 55.0,
+            "{}",
+            post.mean_omega()
+        );
+    }
+}

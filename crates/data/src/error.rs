@@ -1,0 +1,58 @@
+//! Error type for data validation and I/O.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising from data validation or parsing.
+#[derive(Debug)]
+pub enum DataError {
+    /// Failure times must be strictly positive, finite and non-decreasing,
+    /// and must not exceed the observation end.
+    InvalidTimes {
+        /// Explanation of the violated invariant.
+        message: String,
+    },
+    /// Interval boundaries must start at a positive first boundary and be
+    /// strictly increasing; counts must align with the intervals.
+    InvalidGrouping {
+        /// Explanation of the violated invariant.
+        message: String,
+    },
+    /// A CSV record could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidTimes { message } => write!(f, "invalid failure times: {message}"),
+            DataError::InvalidGrouping { message } => write!(f, "invalid grouping: {message}"),
+            DataError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for DataError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}

@@ -1,0 +1,173 @@
+//! CSV-style serialisation of failure datasets.
+//!
+//! Formats are deliberately minimal and human-editable:
+//!
+//! * **Failure times** — a `# t_end=<seconds>` header line followed by one
+//!   failure time per line;
+//! * **Grouped data** — one `boundary,count` record per interval.
+//!
+//! Lines starting with `#` (other than the `t_end` header) and blank lines
+//! are ignored, so exported files can be annotated freely.
+
+use crate::error::DataError;
+use crate::grouped::GroupedData;
+use crate::times::FailureTimeData;
+use std::io::{BufRead, Write};
+
+/// Writes failure-time data. A mutable reference may be passed as the
+/// writer.
+///
+/// # Errors
+///
+/// [`DataError::Io`] on write failure.
+pub fn write_failure_times<W: Write>(mut w: W, data: &FailureTimeData) -> Result<(), DataError> {
+    writeln!(w, "# t_end={}", data.observation_end())?;
+    for t in data.times() {
+        writeln!(w, "{t}")?;
+    }
+    Ok(())
+}
+
+/// Reads failure-time data written by [`write_failure_times`]. A mutable
+/// reference may be passed as the reader.
+///
+/// # Errors
+///
+/// [`DataError::Parse`] on malformed records, [`DataError::InvalidTimes`]
+/// if the parsed values violate the data invariants, [`DataError::Io`] on
+/// read failure.
+pub fn read_failure_times<R: BufRead>(r: R) -> Result<FailureTimeData, DataError> {
+    let mut t_end = None;
+    let mut times = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some(value) = rest.strip_prefix("t_end=") {
+                t_end = Some(value.trim().parse::<f64>().map_err(|e| DataError::Parse {
+                    line: idx + 1,
+                    message: format!("bad t_end value: {e}"),
+                })?);
+            }
+            continue;
+        }
+        times.push(line.parse::<f64>().map_err(|e| DataError::Parse {
+            line: idx + 1,
+            message: format!("bad failure time: {e}"),
+        })?);
+    }
+    let t_end = t_end.ok_or(DataError::Parse {
+        line: 0,
+        message: "missing '# t_end=' header".into(),
+    })?;
+    FailureTimeData::new(times, t_end)
+}
+
+/// Writes grouped data as `boundary,count` records.
+///
+/// # Errors
+///
+/// [`DataError::Io`] on write failure.
+pub fn write_grouped<W: Write>(mut w: W, data: &GroupedData) -> Result<(), DataError> {
+    writeln!(w, "# boundary,count")?;
+    for (_, hi, count) in data.intervals() {
+        writeln!(w, "{hi},{count}")?;
+    }
+    Ok(())
+}
+
+/// Reads grouped data written by [`write_grouped`].
+///
+/// # Errors
+///
+/// [`DataError::Parse`] on malformed records, [`DataError::InvalidGrouping`]
+/// on invariant violations, [`DataError::Io`] on read failure.
+pub fn read_grouped<R: BufRead>(r: R) -> Result<GroupedData, DataError> {
+    let mut boundaries = Vec::new();
+    let mut counts = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (b, c) = line.split_once(',').ok_or(DataError::Parse {
+            line: idx + 1,
+            message: "expected 'boundary,count'".into(),
+        })?;
+        boundaries.push(b.trim().parse::<f64>().map_err(|e| DataError::Parse {
+            line: idx + 1,
+            message: format!("bad boundary: {e}"),
+        })?);
+        counts.push(c.trim().parse::<u64>().map_err(|e| DataError::Parse {
+            line: idx + 1,
+            message: format!("bad count: {e}"),
+        })?);
+    }
+    GroupedData::new(boundaries, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sys17;
+
+    #[test]
+    fn failure_times_round_trip() {
+        let data = sys17::failure_times();
+        let mut buf = Vec::new();
+        write_failure_times(&mut buf, &data).unwrap();
+        let back = read_failure_times(&buf[..]).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn grouped_round_trip() {
+        let data = sys17::grouped();
+        let mut buf = Vec::new();
+        write_grouped(&mut buf, &data).unwrap();
+        let back = read_grouped(&buf[..]).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# t_end=10\n# a comment\n\n1.5\n2.5\n";
+        let data = read_failure_times(text.as_bytes()).unwrap();
+        assert_eq!(data.times(), &[1.5, 2.5]);
+        assert_eq!(data.observation_end(), 10.0);
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let err = read_failure_times("1.0\n2.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::Parse { .. }));
+    }
+
+    #[test]
+    fn malformed_records_are_errors() {
+        assert!(matches!(
+            read_failure_times("# t_end=10\nnot_a_number\n".as_bytes()).unwrap_err(),
+            DataError::Parse { line: 2, .. }
+        ));
+        assert!(matches!(
+            read_grouped("1.0\n".as_bytes()).unwrap_err(),
+            DataError::Parse { .. }
+        ));
+        assert!(matches!(
+            read_grouped("1.0,one\n".as_bytes()).unwrap_err(),
+            DataError::Parse { .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_parsed_data_rejected() {
+        // Times beyond t_end violate the dataset invariant.
+        let err = read_failure_times("# t_end=1\n5.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::InvalidTimes { .. }));
+    }
+}

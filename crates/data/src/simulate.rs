@@ -1,0 +1,169 @@
+//! Simulation of finite-failures NHPP traces.
+//!
+//! The finite-failures NHPP of the paper is generated exactly by its
+//! defining construction (§2): draw the fault count `N ~ Poisson(ω)`,
+//! then i.i.d. detection times from the failure law `G`; the counting
+//! process of the sorted times is NHPP with mean value `ω·G(t)`. No
+//! thinning approximation is involved.
+
+use crate::error::DataError;
+use crate::grouped::GroupedData;
+use crate::times::FailureTimeData;
+use nhpp_dist::{Gamma, Poisson, Sample};
+use rand::Rng;
+
+/// Exact simulator for a finite-failures NHPP with gamma failure law.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NhppSimulator {
+    omega: f64,
+    failure_law: Gamma,
+}
+
+impl NhppSimulator {
+    /// Creates a simulator with expected total fault count `omega` and the
+    /// given gamma failure-time law.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::InvalidTimes`] if `omega` is not positive and finite.
+    pub fn new(omega: f64, failure_law: Gamma) -> Result<Self, DataError> {
+        if !(omega > 0.0 && omega.is_finite()) {
+            return Err(DataError::InvalidTimes {
+                message: format!("omega {omega} must be positive and finite"),
+            });
+        }
+        Ok(NhppSimulator { omega, failure_law })
+    }
+
+    /// Convenience constructor for the Goel–Okumoto model (exponential
+    /// failure law with the given rate).
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::InvalidTimes`] on invalid `omega` or `beta`.
+    pub fn goel_okumoto(omega: f64, beta: f64) -> Result<Self, DataError> {
+        let law = Gamma::new(1.0, beta).map_err(|e| DataError::InvalidTimes {
+            message: format!("invalid rate: {e}"),
+        })?;
+        NhppSimulator::new(omega, law)
+    }
+
+    /// Expected total number of faults `ω`.
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+
+    /// The failure-time law `G`.
+    pub fn failure_law(&self) -> &Gamma {
+        &self.failure_law
+    }
+
+    /// Simulates the complete fault population: `N ~ Poisson(ω)` sorted
+    /// detection times (possibly empty).
+    pub fn simulate_complete<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let n = Poisson::new(self.omega).expect("validated").sample(rng);
+        let mut times = self.failure_law.sample_n(rng, n as usize);
+        times.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        times
+    }
+
+    /// Simulates a censored trace: the failures observed in `(0, t_end]`.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::InvalidTimes`] if `t_end` is not positive and finite.
+    pub fn simulate_censored<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        t_end: f64,
+    ) -> Result<FailureTimeData, DataError> {
+        let mut times = self.simulate_complete(rng);
+        times.retain(|&t| t <= t_end);
+        FailureTimeData::new(times, t_end)
+    }
+
+    /// Simulates grouped counts over the boundary sequence
+    /// `s₁ < … < s_k` (with `s₀ = 0`).
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::InvalidGrouping`] on an invalid boundary sequence.
+    pub fn simulate_grouped<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        boundaries: Vec<f64>,
+    ) -> Result<GroupedData, DataError> {
+        let times = self.simulate_complete(rng);
+        let mut counts = vec![0u64; boundaries.len()];
+        for t in times {
+            if let Some(idx) = boundaries.iter().position(|&s| t <= s) {
+                counts[idx] += 1;
+            }
+        }
+        GroupedData::new(boundaries, counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nhpp_dist::Continuous;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates() {
+        let law = Gamma::new(1.0, 1.0).unwrap();
+        assert!(NhppSimulator::new(0.0, law).is_err());
+        assert!(NhppSimulator::new(f64::INFINITY, law).is_err());
+        assert!(NhppSimulator::goel_okumoto(10.0, -1.0).is_err());
+        assert!(NhppSimulator::goel_okumoto(10.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn censored_counts_match_mean_value_function() {
+        // E[M(t)] = ω G(t); check by Monte Carlo.
+        let sim = NhppSimulator::goel_okumoto(20.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let t_end = 2.0;
+        let reps = 20_000;
+        let mut total = 0usize;
+        for _ in 0..reps {
+            total += sim.simulate_censored(&mut rng, t_end).unwrap().len();
+        }
+        let mean = total as f64 / reps as f64;
+        let expected = 20.0 * sim.failure_law().cdf(t_end);
+        assert!(
+            (mean - expected).abs() < 0.15,
+            "mean={mean}, expected={expected}"
+        );
+    }
+
+    #[test]
+    fn complete_trace_is_sorted() {
+        let sim = NhppSimulator::goel_okumoto(50.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = sim.simulate_complete(&mut rng);
+        assert!(t.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn grouped_simulation_totals_match_censored() {
+        let sim = NhppSimulator::goel_okumoto(30.0, 0.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let g = sim
+            .simulate_grouped(&mut rng, vec![1.0, 2.0, 5.0, 10.0])
+            .unwrap();
+        assert_eq!(g.len(), 4);
+        // All counted failures happened before s_k.
+        assert!(g.total_count() <= 60);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let sim = NhppSimulator::goel_okumoto(15.0, 0.3).unwrap();
+        let a = sim.simulate_complete(&mut StdRng::seed_from_u64(5));
+        let b = sim.simulate_complete(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,142 @@
+//! Deterministic synthetic surrogate for the DACS "System 17" dataset.
+//!
+//! The paper's experiments use the System 17 data collected during the
+//! system test of a military application (ref. \[4\] of the paper): 38
+//! failure wall-clock times, also available as counts over 64 working
+//! days. The original DACS download has been defunct for years and the
+//! raw values are not printed in the paper, so this module ships a
+//! *synthetic surrogate with the same shape*:
+//!
+//! * one fixed trace drawn from a Goel–Okumoto process with `ω = 42`
+//!   expected faults and per-second detection rate `β = 1.15e−5`
+//!   (seeded once; the values below are frozen constants, not regenerated
+//!   at runtime);
+//! * censored at `t_e = 230 400 s`, leaving exactly **38 observed
+//!   failures** — the paper's `D_T`;
+//! * grouped into **64 working days** of 3 600 s of testing each — the
+//!   paper's `D_G` (per-day β magnitude `≈ 2e−2`, matching the paper's
+//!   grouped-scale estimates).
+//!
+//! Every experiment in the paper is a relative comparison of posterior
+//! approximations *on the same data*, so a surrogate with matching sample
+//! size, model and parameter magnitudes preserves the phenomena under
+//! study (see `DESIGN.md` §3).
+
+use crate::grouped::GroupedData;
+use crate::times::FailureTimeData;
+
+/// Observation end of the failure-time data, in seconds.
+pub const T_END: f64 = 230_400.0;
+
+/// Number of working days in the grouped representation.
+pub const WORKING_DAYS: usize = 64;
+
+/// Seconds of testing per working day (`T_END / WORKING_DAYS`).
+pub const SECONDS_PER_DAY: f64 = 3_600.0;
+
+/// The 38 observed failure times (wall-clock seconds).
+pub const FAILURE_TIMES: [f64; 38] = [
+    1085.768835,
+    2072.950372,
+    3514.897560,
+    5627.306559,
+    9818.875125,
+    10463.097674,
+    16335.846379,
+    17494.948837,
+    20210.140900,
+    22040.911980,
+    27812.061749,
+    32945.237651,
+    35617.204643,
+    36652.147110,
+    39334.881104,
+    39741.141311,
+    43025.148072,
+    44988.164028,
+    48080.194628,
+    56636.473993,
+    62826.283185,
+    77297.961566,
+    77621.424084,
+    80671.546482,
+    85745.383250,
+    90337.364512,
+    96333.184987,
+    102487.734378,
+    103753.499176,
+    110925.176411,
+    114106.043378,
+    127403.267544,
+    136417.527181,
+    136986.413654,
+    175584.024059,
+    178633.970964,
+    187862.625481,
+    189881.391233,
+];
+
+/// Failure counts for each of the 64 working days.
+pub const DAILY_COUNTS: [u64; WORKING_DAYS] = [
+    3, 1, 2, 0, 2, 1, 1, 1, 0, 2, 2, 2, 1, 1, 0, 1, 0, 1, 0, 0, 0, 2, 1, 1, 0, 1, 1, 0, 2, 0, 1, 1,
+    0, 0, 0, 1, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+];
+
+/// The failure-time dataset `D_T`: 38 failure times censored at
+/// [`T_END`] seconds.
+pub fn failure_times() -> FailureTimeData {
+    FailureTimeData::new(FAILURE_TIMES.to_vec(), T_END).expect("constant dataset is valid")
+}
+
+/// The grouped dataset `D_G`: failures per working day, time measured in
+/// working days (`s_i = i`, `i = 1 … 64`).
+pub fn grouped() -> GroupedData {
+    GroupedData::from_unit_intervals(DAILY_COUNTS.to_vec()).expect("constant dataset is valid")
+}
+
+/// The grouped dataset on the seconds time axis (boundaries at multiples
+/// of [`SECONDS_PER_DAY`]), for consistency checks against `D_T`.
+pub fn grouped_seconds() -> GroupedData {
+    grouped()
+        .rescale_time(SECONDS_PER_DAY)
+        .expect("constant dataset is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_are_consistent() {
+        let dt = failure_times();
+        let dg = grouped();
+        assert_eq!(dt.len(), 38);
+        assert_eq!(dg.len(), WORKING_DAYS);
+        assert_eq!(dg.total_count(), 38);
+        assert_eq!(dt.observation_end(), T_END);
+        assert_eq!(dg.observation_end(), WORKING_DAYS as f64);
+    }
+
+    #[test]
+    fn grouping_matches_raw_times() {
+        // Regrouping the raw times over the day grid reproduces DAILY_COUNTS.
+        let regrouped = failure_times().group_equal_width(WORKING_DAYS).unwrap();
+        assert_eq!(regrouped.counts(), &DAILY_COUNTS[..]);
+    }
+
+    #[test]
+    fn seconds_axis_grouping() {
+        let gs = grouped_seconds();
+        assert_eq!(gs.observation_end(), T_END);
+        assert_eq!(gs.counts(), &DAILY_COUNTS[..]);
+    }
+
+    #[test]
+    fn times_strictly_increasing() {
+        let t = FAILURE_TIMES;
+        for w in t.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(t[37] <= T_END);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for distribution construction and evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising when constructing or evaluating a distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// A distribution parameter violated its constraint (e.g. a
+    /// non-positive shape).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Constraint that was violated.
+        constraint: &'static str,
+    },
+    /// A probability argument was outside `[0, 1]`.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// A truncation interval was empty or carried (numerically) zero mass.
+    EmptyTruncation {
+        /// Lower truncation bound.
+        lo: f64,
+        /// Upper truncation bound.
+        hi: f64,
+    },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => {
+                write!(
+                    f,
+                    "parameter {name}={value} violates constraint: {constraint}"
+                )
+            }
+            DistError::InvalidProbability { value } => {
+                write!(f, "probability {value} outside [0, 1]")
+            }
+            DistError::EmptyTruncation { lo, hi } => {
+                write!(
+                    f,
+                    "truncation interval ({lo}, {hi}] is empty or has zero mass"
+                )
+            }
+        }
+    }
+}
+
+impl Error for DistError {}

@@ -1,0 +1,142 @@
+//! Exponential distribution (the Goel–Okumoto failure-time law).
+
+use crate::error::DistError;
+use crate::traits::{Continuous, Sample};
+use rand::{Rng, RngExt};
+
+/// Exponential distribution with the given rate: `f(x) = rate·e^{−rate·x}`.
+///
+/// Equivalent to `Gamma(1, rate)` but with closed-form evaluation paths
+/// and an inverse-CDF sampler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an `Exponential(rate)` distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless `rate` is positive and finite.
+    pub fn new(rate: f64) -> Result<Self, DistError> {
+        if !(rate > 0.0 && rate.is_finite()) {
+            return Err(DistError::InvalidParameter {
+                name: "rate",
+                value: rate,
+                constraint: "must be positive and finite",
+            });
+        }
+        Ok(Exponential { rate })
+    }
+
+    /// Rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Continuous for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.rate.ln() - self.rate * x
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-self.rate * x).exp_m1()
+        }
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            (-self.rate * x).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        -(-p).ln_1p() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+}
+
+impl Sample<f64> for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF on (0, 1]; 1 − random() avoids ln(0).
+        let u: f64 = 1.0 - rng.random::<f64>();
+        -u.ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gamma::Gamma;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::new(2.0).is_ok());
+    }
+
+    #[test]
+    fn agrees_with_gamma_shape_one() {
+        let e = Exponential::new(1.3).unwrap();
+        let g = Gamma::new(1.0, 1.3).unwrap();
+        for &x in &[0.0, 0.1, 1.0, 4.0] {
+            assert!((e.cdf(x) - g.cdf(x)).abs() < 1e-14);
+            assert!((e.pdf(x) - g.pdf(x)).abs() < 1e-14);
+        }
+        for &p in &[0.05, 0.5, 0.99] {
+            assert!((e.quantile(p) - g.quantile(p)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn quantile_round_trip_and_domain() {
+        let e = Exponential::new(0.7).unwrap();
+        for &p in &[0.001, 0.5, 0.999] {
+            assert!((e.cdf(e.quantile(p)) - p).abs() < 1e-12);
+        }
+        assert!(e.quantile(-0.1).is_nan());
+        assert!(e.quantile(1.1).is_nan());
+        assert_eq!(e.quantile(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn sampling_mean() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let e = Exponential::new(4.0).unwrap();
+        let n = 100_000;
+        let mean = e.sample_n(&mut rng, n).iter().sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01);
+    }
+}

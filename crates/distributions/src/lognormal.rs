@@ -1,0 +1,188 @@
+//! Lognormal distribution — the marginal law of the log-space Laplace
+//! ("LAPL-LOG") posterior approximation.
+
+use crate::error::DistError;
+use crate::normal::standard_normal;
+use crate::traits::{Continuous, Sample};
+use nhpp_special::{norm_cdf, norm_ppf, norm_sf};
+use rand::Rng;
+
+/// Lognormal distribution: `ln X ~ N(mu, sigma²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal with the given log-space location and scale.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless `mu` is finite and
+    /// `sigma` is positive and finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistError> {
+        if !mu.is_finite() {
+            return Err(DistError::InvalidParameter {
+                name: "mu",
+                value: mu,
+                constraint: "must be finite",
+            });
+        }
+        if !(sigma > 0.0 && sigma.is_finite()) {
+            return Err(DistError::InvalidParameter {
+                name: "sigma",
+                value: sigma,
+                constraint: "must be positive and finite",
+            });
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+
+    /// Log-space location `mu`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Log-space scale `sigma`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Median `e^{mu}`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Mode `e^{mu − sigma²}`.
+    pub fn mode(&self) -> f64 {
+        (self.mu - self.sigma * self.sigma).exp()
+    }
+
+    /// Raw moment `E[X^r] = exp(r·mu + r²sigma²/2)` (any real order).
+    pub fn raw_moment(&self, r: f64) -> f64 {
+        (r * self.mu + 0.5 * r * r * self.sigma * self.sigma).exp()
+    }
+
+    /// Skewness `(e^{σ²} + 2)·√(e^{σ²} − 1)` — always positive.
+    pub fn skewness(&self) -> f64 {
+        let e = (self.sigma * self.sigma).exp();
+        (e + 2.0) * (e - 1.0).sqrt()
+    }
+}
+
+impl Continuous for LogNormal {
+    fn pdf(&self, x: f64) -> f64 {
+        self.ln_pdf(x).exp()
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return f64::NAN;
+        }
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        -0.5 * z * z - x.ln() - self.sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        norm_cdf((x.ln() - self.mu) / self.sigma)
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        norm_sf((x.ln() - self.mu) / self.sigma)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        (self.mu + self.sigma * norm_ppf(p)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        self.raw_moment(1.0)
+    }
+
+    fn variance(&self) -> f64 {
+        // Var = (e^{σ²} − 1)·e^{2μ + σ²} = (e^{σ²} − 1)·E[X]².
+        (self.sigma * self.sigma).exp_m1() * self.raw_moment(1.0).powi(2)
+    }
+}
+
+impl Sample<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates() {
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, 0.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(1.0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn moment_formulas() {
+        let ln = LogNormal::new(1.0, 0.5).unwrap();
+        // E[X] = exp(mu + sigma²/2).
+        assert!((ln.mean() - (1.0f64 + 0.125).exp()).abs() < 1e-12);
+        // Var = (e^{σ²} − 1)e^{2mu+σ²}.
+        let expected_var = ((0.25f64).exp() - 1.0) * (2.0 + 0.25f64).exp();
+        assert!((ln.variance() - expected_var).abs() < 1e-10);
+        assert!((ln.median() - 1.0f64.exp()).abs() < 1e-12);
+        assert!(ln.mode() < ln.median() && ln.median() < ln.mean());
+        assert!(ln.skewness() > 0.0);
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let ln = LogNormal::new(-2.0, 1.3).unwrap();
+        for &p in &[0.005, 0.1, 0.5, 0.9, 0.995] {
+            let x = ln.quantile(p);
+            assert!(x > 0.0);
+            assert!((ln.cdf(x) - p).abs() < 1e-11, "p={p}");
+        }
+        assert_eq!(ln.cdf(0.0), 0.0);
+        assert_eq!(ln.sf(-1.0), 1.0);
+        assert!((ln.quantile(0.5) - ln.median()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        let ln = LogNormal::new(0.5, 0.4).unwrap();
+        let n = 40_000;
+        let hi = 6.0;
+        let h = hi / n as f64;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let x0 = i as f64 * h + 1e-12;
+            acc += 0.5 * (ln.pdf(x0) + ln.pdf(x0 + h)) * h;
+        }
+        assert!((acc - ln.cdf(hi)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sampling_moments() {
+        let ln = LogNormal::new(0.2, 0.6).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 300_000;
+        let s = ln.sample_n(&mut rng, n);
+        let mean = s.iter().sum::<f64>() / n as f64;
+        assert!((mean - ln.mean()).abs() < 0.01 * ln.mean());
+        assert!(s.iter().all(|&x| x > 0.0));
+    }
+}

@@ -1,0 +1,518 @@
+//! Finite Gamma mixtures.
+//!
+//! The VB2 variational posterior of the DSN 2007 paper is exactly a finite
+//! mixture `Σ_N Pᵥ(N) · Gamma(ω | A_N, r_ω) ⊗ Gamma(β | B_N, r_{β,N})`:
+//! per component the two coordinates are independent, but the mixture
+//! couples them and produces the ω–β correlation that the fully factorised
+//! VB1 posterior cannot represent. [`GammaProductMixture`] implements that
+//! object; [`GammaMixture`] is its one-dimensional marginal.
+
+use crate::error::DistError;
+use crate::gamma::Gamma;
+use crate::traits::{Continuous, Sample};
+use nhpp_numeric::roots::brent;
+use nhpp_special::log_sum_exp;
+use rand::{Rng, RngExt};
+
+/// One component of a [`GammaProductMixture`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixtureComponent {
+    /// Mixture weight (non-negative; normalised on construction).
+    pub weight: f64,
+    /// Gamma distribution of the first coordinate (ω).
+    pub omega: Gamma,
+    /// Gamma distribution of the second coordinate (β).
+    pub beta: Gamma,
+}
+
+/// A weighted mixture of univariate Gamma distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GammaMixture {
+    weights: Vec<f64>,
+    components: Vec<Gamma>,
+}
+
+impl GammaMixture {
+    /// Builds a mixture from `(weight, component)` pairs. Weights must be
+    /// non-negative with a positive sum; they are normalised internally.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] on an empty list, negative weight
+    /// or zero total weight.
+    pub fn new(parts: Vec<(f64, Gamma)>) -> Result<Self, DistError> {
+        if parts.is_empty() {
+            return Err(DistError::InvalidParameter {
+                name: "components",
+                value: 0.0,
+                constraint: "mixture needs at least one component",
+            });
+        }
+        let total: f64 = parts.iter().map(|(w, _)| *w).sum();
+        if parts.iter().any(|(w, _)| !(*w >= 0.0)) || !(total > 0.0) || !total.is_finite() {
+            return Err(DistError::InvalidParameter {
+                name: "weights",
+                value: total,
+                constraint: "must be non-negative with a positive finite sum",
+            });
+        }
+        let (weights, components) = parts.into_iter().map(|(w, g)| (w / total, g)).unzip();
+        Ok(GammaMixture {
+            weights,
+            components,
+        })
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` if the mixture has no components (cannot occur for values
+    /// built through [`GammaMixture::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Normalised weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Component distributions.
+    pub fn components(&self) -> &[Gamma] {
+        &self.components
+    }
+
+    /// Raw moment `E[X^k]` for small integer `k` (closed form per
+    /// component: `E[X^k] = ∏_{i<k}(shape + i) / rate^k`).
+    pub fn raw_moment(&self, k: u32) -> f64 {
+        self.weights
+            .iter()
+            .zip(&self.components)
+            .map(|(w, g)| {
+                let mut m = 1.0;
+                for i in 0..k {
+                    m *= (g.shape() + i as f64) / g.rate();
+                }
+                w * m
+            })
+            .sum()
+    }
+
+    /// Central moment `E[(X − E[X])^k]` for `k <= 4`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 4` (higher orders are not implemented).
+    pub fn central_moment(&self, k: u32) -> f64 {
+        assert!(k <= 4, "central moments implemented up to order 4");
+        let m1 = self.raw_moment(1);
+        match k {
+            0 => 1.0,
+            1 => 0.0,
+            2 => self.raw_moment(2) - m1 * m1,
+            3 => self.raw_moment(3) - 3.0 * m1 * self.raw_moment(2) + 2.0 * m1.powi(3),
+            _ => {
+                self.raw_moment(4) - 4.0 * m1 * self.raw_moment(3)
+                    + 6.0 * m1 * m1 * self.raw_moment(2)
+                    - 3.0 * m1.powi(4)
+            }
+        }
+    }
+}
+
+impl Continuous for GammaMixture {
+    fn pdf(&self, x: f64) -> f64 {
+        self.ln_pdf(x).exp()
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        let terms: Vec<f64> = self
+            .weights
+            .iter()
+            .zip(&self.components)
+            .map(|(w, g)| w.ln() + g.ln_pdf(x))
+            .collect();
+        log_sum_exp(&terms)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        self.weights
+            .iter()
+            .zip(&self.components)
+            .map(|(w, g)| w * g.cdf(x))
+            .sum()
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        self.weights
+            .iter()
+            .zip(&self.components)
+            .map(|(w, g)| w * g.sf(x))
+            .sum()
+    }
+
+    /// Quantile by Brent's method on the mixture CDF, bracketed by the
+    /// extreme component quantiles.
+    fn quantile(&self, p: f64) -> f64 {
+        if !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        if p == 0.0 {
+            return 0.0;
+        }
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for g in &self.components {
+            let q = g.quantile(p);
+            lo = lo.min(q);
+            hi = hi.max(q);
+        }
+        if (hi - lo).abs() <= 1e-14 * hi.abs() {
+            return hi;
+        }
+        brent(|x| self.cdf(x) - p, lo, hi, 1e-12 * hi.max(1.0), 200).unwrap_or(0.5 * (lo + hi))
+    }
+
+    fn mean(&self) -> f64 {
+        self.raw_moment(1)
+    }
+
+    fn variance(&self) -> f64 {
+        self.central_moment(2)
+    }
+}
+
+impl Sample<f64> for GammaMixture {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        let mut acc = 0.0;
+        for (w, g) in self.weights.iter().zip(&self.components) {
+            acc += w;
+            if u <= acc {
+                return g.sample(rng);
+            }
+        }
+        self.components[self.components.len() - 1].sample(rng)
+    }
+}
+
+/// A mixture of *products* of two independent Gamma distributions — the
+/// exact form of the VB2 variational posterior over `(ω, β)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GammaProductMixture {
+    components: Vec<MixtureComponent>,
+}
+
+impl GammaProductMixture {
+    /// Builds the mixture; weights are normalised.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] on an empty component list,
+    /// negative weight or zero total weight.
+    pub fn new(mut components: Vec<MixtureComponent>) -> Result<Self, DistError> {
+        if components.is_empty() {
+            return Err(DistError::InvalidParameter {
+                name: "components",
+                value: 0.0,
+                constraint: "mixture needs at least one component",
+            });
+        }
+        let total: f64 = components.iter().map(|c| c.weight).sum();
+        if components.iter().any(|c| !(c.weight >= 0.0)) || !(total > 0.0) || !total.is_finite() {
+            return Err(DistError::InvalidParameter {
+                name: "weights",
+                value: total,
+                constraint: "must be non-negative with a positive finite sum",
+            });
+        }
+        for c in &mut components {
+            c.weight /= total;
+        }
+        Ok(GammaProductMixture { components })
+    }
+
+    /// Component list (weights normalised).
+    pub fn components(&self) -> &[MixtureComponent] {
+        &self.components
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` if there are no components (cannot occur after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Marginal distribution of the first coordinate (ω).
+    pub fn marginal_omega(&self) -> GammaMixture {
+        GammaMixture::new(
+            self.components
+                .iter()
+                .map(|c| (c.weight, c.omega))
+                .collect(),
+        )
+        .expect("weights already validated")
+    }
+
+    /// Marginal distribution of the second coordinate (β).
+    pub fn marginal_beta(&self) -> GammaMixture {
+        GammaMixture::new(self.components.iter().map(|c| (c.weight, c.beta)).collect())
+            .expect("weights already validated")
+    }
+
+    /// `E[ω]`.
+    pub fn mean_omega(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.weight * c.omega.mean())
+            .sum()
+    }
+
+    /// `E[β]`.
+    pub fn mean_beta(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.weight * c.beta.mean())
+            .sum()
+    }
+
+    /// `Var(ω)` (law of total variance across components).
+    pub fn var_omega(&self) -> f64 {
+        let m = self.mean_omega();
+        self.components
+            .iter()
+            .map(|c| c.weight * (c.omega.variance() + c.omega.mean().powi(2)))
+            .sum::<f64>()
+            - m * m
+    }
+
+    /// `Var(β)`.
+    pub fn var_beta(&self) -> f64 {
+        let m = self.mean_beta();
+        self.components
+            .iter()
+            .map(|c| c.weight * (c.beta.variance() + c.beta.mean().powi(2)))
+            .sum::<f64>()
+            - m * m
+    }
+
+    /// `Cov(ω, β)`. Within each component the coordinates are independent,
+    /// so the covariance is carried entirely by the mixing distribution:
+    /// `Σ w_N E[ω|N]E[β|N] − E[ω]E[β]`.
+    pub fn covariance(&self) -> f64 {
+        let cross: f64 = self
+            .components
+            .iter()
+            .map(|c| c.weight * c.omega.mean() * c.beta.mean())
+            .sum();
+        cross - self.mean_omega() * self.mean_beta()
+    }
+
+    /// Joint log-density `ln p(ω, β)`.
+    pub fn ln_pdf(&self, omega: f64, beta: f64) -> f64 {
+        let terms: Vec<f64> = self
+            .components
+            .iter()
+            .map(|c| c.weight.ln() + c.omega.ln_pdf(omega) + c.beta.ln_pdf(beta))
+            .collect();
+        log_sum_exp(&terms)
+    }
+}
+
+impl Sample<(f64, f64)> for GammaProductMixture {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (f64, f64) {
+        let u: f64 = rng.random();
+        let mut acc = 0.0;
+        for c in &self.components {
+            acc += c.weight;
+            if u <= acc {
+                return (c.omega.sample(rng), c.beta.sample(rng));
+            }
+        }
+        let c = &self.components[self.components.len() - 1];
+        (c.omega.sample(rng), c.beta.sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_component() -> GammaMixture {
+        GammaMixture::new(vec![
+            (0.3, Gamma::new(2.0, 1.0).unwrap()),
+            (0.7, Gamma::new(10.0, 2.0).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(GammaMixture::new(vec![]).is_err());
+        assert!(GammaMixture::new(vec![(-1.0, Gamma::new(1.0, 1.0).unwrap())]).is_err());
+        assert!(GammaMixture::new(vec![(0.0, Gamma::new(1.0, 1.0).unwrap())]).is_err());
+        assert!(GammaProductMixture::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn weights_are_normalised() {
+        let m = GammaMixture::new(vec![
+            (2.0, Gamma::new(1.0, 1.0).unwrap()),
+            (6.0, Gamma::new(2.0, 1.0).unwrap()),
+        ])
+        .unwrap();
+        assert!((m.weights()[0] - 0.25).abs() < 1e-14);
+        assert!((m.weights()[1] - 0.75).abs() < 1e-14);
+    }
+
+    #[test]
+    fn single_component_degenerates_to_gamma() {
+        let g = Gamma::new(3.0, 0.5).unwrap();
+        let m = GammaMixture::new(vec![(1.0, g)]).unwrap();
+        assert!((m.mean() - g.mean()).abs() < 1e-12);
+        assert!((m.variance() - g.variance()).abs() < 1e-10);
+        for &p in &[0.01, 0.5, 0.99] {
+            assert!((m.quantile(p) - g.quantile(p)).abs() < 1e-7 * g.quantile(p));
+        }
+    }
+
+    #[test]
+    fn mixture_mean_is_weighted_mean() {
+        let m = two_component();
+        let expected = 0.3 * 2.0 + 0.7 * 5.0;
+        assert!((m.mean() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_and_quantile_round_trip() {
+        let m = two_component();
+        for &p in &[0.005, 0.1, 0.5, 0.9, 0.995] {
+            let x = m.quantile(p);
+            assert!((m.cdf(x) - p).abs() < 1e-9, "p={p}, x={x}");
+        }
+        assert_eq!(m.quantile(0.0), 0.0);
+        assert_eq!(m.quantile(1.0), f64::INFINITY);
+        assert!(m.quantile(-0.1).is_nan());
+    }
+
+    #[test]
+    fn central_moments_match_monte_carlo() {
+        let m = two_component();
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 400_000;
+        let s = m.sample_n(&mut rng, n);
+        let mean = s.iter().sum::<f64>() / n as f64;
+        let var = s.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let m3 = s.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / n as f64;
+        assert!((mean - m.mean()).abs() < 0.02);
+        assert!((var - m.variance()).abs() < 0.05);
+        assert!(
+            (m3 - m.central_moment(3)).abs() < 0.3,
+            "mc={m3}, exact={}",
+            m.central_moment(3)
+        );
+    }
+
+    #[test]
+    fn product_mixture_covariance_from_mixing() {
+        // Two components whose ω and β means move together ⇒ positive cov.
+        let m = GammaProductMixture::new(vec![
+            MixtureComponent {
+                weight: 0.5,
+                omega: Gamma::new(10.0, 1.0).unwrap(),
+                beta: Gamma::new(10.0, 10.0).unwrap(),
+            },
+            MixtureComponent {
+                weight: 0.5,
+                omega: Gamma::new(20.0, 1.0).unwrap(),
+                beta: Gamma::new(20.0, 10.0).unwrap(),
+            },
+        ])
+        .unwrap();
+        // Cov = E[mω·mβ] − E[mω]E[mβ] = (10·1 + 20·2)/2 − 15·1.5 = 25 − 22.5.
+        assert!((m.covariance() - 2.5).abs() < 1e-10);
+        assert!((m.mean_omega() - 15.0).abs() < 1e-12);
+        assert!((m.mean_beta() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_mixture_single_component_has_zero_covariance() {
+        let m = GammaProductMixture::new(vec![MixtureComponent {
+            weight: 1.0,
+            omega: Gamma::new(5.0, 1.0).unwrap(),
+            beta: Gamma::new(2.0, 3.0).unwrap(),
+        }])
+        .unwrap();
+        assert_eq!(m.covariance(), 0.0);
+    }
+
+    #[test]
+    fn product_marginals_are_consistent() {
+        let m = GammaProductMixture::new(vec![
+            MixtureComponent {
+                weight: 1.0,
+                omega: Gamma::new(4.0, 2.0).unwrap(),
+                beta: Gamma::new(3.0, 5.0).unwrap(),
+            },
+            MixtureComponent {
+                weight: 3.0,
+                omega: Gamma::new(8.0, 2.0).unwrap(),
+                beta: Gamma::new(6.0, 5.0).unwrap(),
+            },
+        ])
+        .unwrap();
+        assert!((m.marginal_omega().mean() - m.mean_omega()).abs() < 1e-12);
+        assert!((m.marginal_beta().variance() - m.var_beta()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_sampling_matches_moments() {
+        let m = GammaProductMixture::new(vec![
+            MixtureComponent {
+                weight: 0.4,
+                omega: Gamma::new(10.0, 1.0).unwrap(),
+                beta: Gamma::new(5.0, 50.0).unwrap(),
+            },
+            MixtureComponent {
+                weight: 0.6,
+                omega: Gamma::new(30.0, 1.0).unwrap(),
+                beta: Gamma::new(15.0, 50.0).unwrap(),
+            },
+        ])
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 300_000;
+        let samples: Vec<(f64, f64)> = (0..n).map(|_| m.sample(&mut rng)).collect();
+        let mw = samples.iter().map(|s| s.0).sum::<f64>() / n as f64;
+        let mb = samples.iter().map(|s| s.1).sum::<f64>() / n as f64;
+        let cov = samples.iter().map(|s| (s.0 - mw) * (s.1 - mb)).sum::<f64>() / n as f64;
+        assert!((mw - m.mean_omega()).abs() < 0.1);
+        assert!((mb - m.mean_beta()).abs() < 0.01);
+        assert!(
+            (cov - m.covariance()).abs() < 0.05,
+            "mc={cov}, exact={}",
+            m.covariance()
+        );
+    }
+
+    #[test]
+    fn ln_pdf_is_log_of_weighted_density() {
+        let g1 = Gamma::new(2.0, 1.0).unwrap();
+        let g2 = Gamma::new(5.0, 1.0).unwrap();
+        let m = GammaMixture::new(vec![(0.5, g1), (0.5, g2)]).unwrap();
+        let x = 2.3;
+        let expected = (0.5 * g1.pdf(x) + 0.5 * g2.pdf(x)).ln();
+        assert!((m.ln_pdf(x) - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Normal distribution and the standard-normal sampler used by the other
+//! samplers in this crate.
+
+use crate::error::DistError;
+use crate::traits::{Continuous, Sample};
+use nhpp_special::{norm_cdf, norm_ln_pdf, norm_ppf, norm_sf};
+use rand::{Rng, RngExt};
+
+/// Draws a standard normal variate by the Marsaglia polar method.
+pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = 2.0 * rng.random::<f64>() - 1.0;
+        let v: f64 = 2.0 * rng.random::<f64>() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Normal distribution with the given mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Creates a `Normal(mean, sd)` distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless `sd > 0` and both arguments
+    /// are finite.
+    pub fn new(mean: f64, sd: f64) -> Result<Self, DistError> {
+        if !mean.is_finite() {
+            return Err(DistError::InvalidParameter {
+                name: "mean",
+                value: mean,
+                constraint: "must be finite",
+            });
+        }
+        if !(sd > 0.0 && sd.is_finite()) {
+            return Err(DistError::InvalidParameter {
+                name: "sd",
+                value: sd,
+                constraint: "must be positive and finite",
+            });
+        }
+        Ok(Normal { mean, sd })
+    }
+
+    /// Standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Normal { mean: 0.0, sd: 1.0 }
+    }
+
+    /// Standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+}
+
+impl Continuous for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        self.ln_pdf(x).exp()
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        norm_ln_pdf((x - self.mean) / self.sd) - self.sd.ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        norm_cdf((x - self.mean) / self.sd)
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        norm_sf((x - self.mean) / self.sd)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.mean + self.sd * norm_ppf(p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.sd * self.sd
+    }
+}
+
+impl Sample<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.sd * standard_normal(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(3.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn standard_matches_special_functions() {
+        let n = Normal::standard();
+        assert!((n.cdf(1.96) - 0.975_002_104_851_780_2).abs() < 1e-12);
+        assert!((n.quantile(0.975) - 1.959_963_984_540_054).abs() < 1e-12);
+        assert_eq!(n.mean(), 0.0);
+        assert_eq!(n.variance(), 1.0);
+    }
+
+    #[test]
+    fn location_scale() {
+        let n = Normal::new(10.0, 2.0).unwrap();
+        assert!((n.cdf(10.0) - 0.5).abs() < 1e-14);
+        assert!((n.quantile(0.5) - 10.0).abs() < 1e-12);
+        assert!((n.sf(14.0) - norm_sf(2.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn sampling_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = Normal::new(-2.0, 3.0).unwrap();
+        let k = 200_000;
+        let s = n.sample_n(&mut rng, k);
+        let mean = s.iter().sum::<f64>() / k as f64;
+        let var = s.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / k as f64;
+        assert!((mean + 2.0).abs() < 0.05);
+        assert!((var - 9.0).abs() < 0.2);
+    }
+}

@@ -1,0 +1,197 @@
+//! Poisson distribution with an exact sampler valid for all means.
+
+use crate::error::DistError;
+use crate::traits::{Discrete, Sample};
+use nhpp_special::{gamma_q, ln_factorial};
+use rand::{Rng, RngExt};
+
+/// Poisson distribution with the given mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    mean: f64,
+}
+
+impl Poisson {
+    /// Creates a `Poisson(mean)` distribution. A mean of zero is allowed
+    /// (the point mass at zero), matching its use as the residual-fault
+    /// distribution when the model is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless `mean >= 0` and finite.
+    pub fn new(mean: f64) -> Result<Self, DistError> {
+        if !(mean >= 0.0 && mean.is_finite()) {
+            return Err(DistError::InvalidParameter {
+                name: "mean",
+                value: mean,
+                constraint: "must be non-negative and finite",
+            });
+        }
+        Ok(Poisson { mean })
+    }
+}
+
+impl Discrete for Poisson {
+    fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    fn ln_pmf(&self, k: u64) -> f64 {
+        if self.mean == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        k as f64 * self.mean.ln() - self.mean - ln_factorial(k)
+    }
+
+    fn cdf(&self, k: u64) -> f64 {
+        if self.mean == 0.0 {
+            return 1.0;
+        }
+        // P(X <= k) = Q(k + 1, λ).
+        gamma_q(k as f64 + 1.0, self.mean)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.mean
+    }
+}
+
+impl Sample<u64> for Poisson {
+    /// Knuth multiplication for small means, Atkinson's logistic rejection
+    /// (algorithm "PA") for large ones — exact for every mean.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let lambda = self.mean;
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda < 30.0 {
+            // Knuth: multiply uniforms until the product drops below e^{−λ}.
+            let limit = (-lambda).exp();
+            let mut product: f64 = rng.random();
+            let mut count = 0u64;
+            while product > limit {
+                product *= rng.random::<f64>();
+                count += 1;
+            }
+            count
+        } else {
+            // Atkinson (1979), rejection from a logistic envelope.
+            let beta = std::f64::consts::PI / (3.0 * lambda).sqrt();
+            let alpha = beta * lambda;
+            let k = (0.767 - 3.36 / lambda).ln() - lambda - beta.ln();
+            loop {
+                let u: f64 = rng.random();
+                if u <= 0.0 || u >= 1.0 {
+                    continue;
+                }
+                let x = (alpha - ((1.0 - u) / u).ln()) / beta;
+                let n = (x + 0.5).floor();
+                if n < 0.0 {
+                    continue;
+                }
+                let v: f64 = rng.random();
+                let y = alpha - beta * x;
+                let t = 1.0 + y.exp();
+                let lhs = y + (v / (t * t)).ln();
+                let rhs = k + n * lambda.ln() - ln_factorial(n as u64);
+                if lhs <= rhs {
+                    return n as u64;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+        assert!(Poisson::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let p = Poisson::new(4.5).unwrap();
+        let total: f64 = (0..60).map(|k| p.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_matches_pmf_sum() {
+        let p = Poisson::new(7.2).unwrap();
+        let mut acc = 0.0;
+        for k in 0..25u64 {
+            acc += p.pmf(k);
+            assert!((p.cdf(k) - acc).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn zero_mean_is_point_mass() {
+        let p = Poisson::new(0.0).unwrap();
+        assert_eq!(p.pmf(0), 1.0);
+        assert_eq!(p.pmf(3), 0.0);
+        assert_eq!(p.cdf(0), 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn sampler_moments_small_and_large_mean() {
+        let mut rng = StdRng::seed_from_u64(12345);
+        for &lambda in &[0.3f64, 3.0, 29.0, 40.0, 400.0, 12_000.0] {
+            let p = Poisson::new(lambda).unwrap();
+            let n = 60_000;
+            let samples = p.sample_n(&mut rng, n);
+            let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+            let var = samples
+                .iter()
+                .map(|&x| (x as f64 - mean).powi(2))
+                .sum::<f64>()
+                / n as f64;
+            let se = (lambda / n as f64).sqrt();
+            assert!(
+                (mean - lambda).abs() < 6.0 * se.max(1e-3),
+                "λ={lambda}, mean={mean}"
+            );
+            assert!(
+                (var - lambda).abs() < 0.1 * lambda.max(1.0),
+                "λ={lambda}, var={var}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_distribution_chi_square_small_mean() {
+        // Coarse χ² goodness-of-fit on λ = 2.
+        let mut rng = StdRng::seed_from_u64(777);
+        let p = Poisson::new(2.0).unwrap();
+        let n = 100_000usize;
+        let mut counts = [0usize; 8];
+        for _ in 0..n {
+            let s = p.sample(&mut rng) as usize;
+            counts[s.min(7)] += 1;
+        }
+        let mut chi2 = 0.0;
+        for (k, &count) in counts.iter().enumerate() {
+            let expected = if k < 7 {
+                p.pmf(k as u64) * n as f64
+            } else {
+                (1.0 - p.cdf(6)) * n as f64
+            };
+            chi2 += (count as f64 - expected).powi(2) / expected;
+        }
+        // 7 degrees of freedom; 99.9% critical value ≈ 24.3.
+        assert!(chi2 < 24.3, "chi2={chi2}, counts={counts:?}");
+    }
+}

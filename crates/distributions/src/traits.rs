@@ -1,0 +1,65 @@
+//! Distribution traits.
+
+use rand::Rng;
+
+/// A univariate continuous distribution.
+///
+/// Implementations return [`f64::NAN`] from evaluation methods when the
+/// argument lies outside the support, mirroring the conventions of
+/// `nhpp-special`.
+pub trait Continuous {
+    /// Probability density at `x`.
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Natural log of the density at `x` (`−∞` where the density is zero).
+    fn ln_pdf(&self, x: f64) -> f64;
+
+    /// Cumulative distribution function `P(X <= x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Survival function `P(X > x)`, computed without cancellation where
+    /// possible.
+    fn sf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Quantile function: smallest `x` with `cdf(x) >= p`, for `p ∈ [0, 1]`.
+    /// Returns NaN for `p` outside `[0, 1]`.
+    fn quantile(&self, p: f64) -> f64;
+
+    /// Mean of the distribution.
+    fn mean(&self) -> f64;
+
+    /// Variance of the distribution.
+    fn variance(&self) -> f64;
+}
+
+/// A univariate discrete distribution supported on the non-negative
+/// integers.
+pub trait Discrete {
+    /// Probability mass at `k`.
+    fn pmf(&self, k: u64) -> f64;
+
+    /// Natural log of the mass at `k`.
+    fn ln_pmf(&self, k: u64) -> f64;
+
+    /// Cumulative distribution function `P(X <= k)`.
+    fn cdf(&self, k: u64) -> f64;
+
+    /// Mean of the distribution.
+    fn mean(&self) -> f64;
+
+    /// Variance of the distribution.
+    fn variance(&self) -> f64;
+}
+
+/// Ability to draw random samples of type `T`.
+pub trait Sample<T> {
+    /// Draws one sample using the supplied random number generator.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+
+    /// Draws `n` samples into a vector.
+    fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<T> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}

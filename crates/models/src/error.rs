@@ -1,0 +1,88 @@
+//! Error type for the model layer.
+
+use nhpp_dist::DistError;
+use nhpp_numeric::NumericError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising from model construction, evaluation or fitting.
+#[derive(Debug)]
+pub enum ModelError {
+    /// A model parameter violated its constraint.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Violated constraint.
+        constraint: &'static str,
+    },
+    /// A fitting routine failed to converge.
+    NoConvergence {
+        /// Which routine failed.
+        context: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The data contain no failures, so the requested estimate does not
+    /// exist (e.g. the MLE of `β` is degenerate).
+    DegenerateData {
+        /// Explanation.
+        message: &'static str,
+    },
+    /// An underlying numerical routine failed.
+    Numeric(NumericError),
+    /// An underlying distribution construction failed.
+    Dist(DistError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => {
+                write!(
+                    f,
+                    "parameter {name}={value} violates constraint: {constraint}"
+                )
+            }
+            ModelError::NoConvergence {
+                context,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{context} did not converge after {iterations} iterations"
+                )
+            }
+            ModelError::DegenerateData { message } => write!(f, "degenerate data: {message}"),
+            ModelError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            ModelError::Dist(e) => write!(f, "distribution failure: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Numeric(e) => Some(e),
+            ModelError::Dist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for ModelError {
+    fn from(e: NumericError) -> Self {
+        ModelError::Numeric(e)
+    }
+}
+
+impl From<DistError> for ModelError {
+    fn from(e: DistError) -> Self {
+        ModelError::Dist(e)
+    }
+}

@@ -1,0 +1,320 @@
+//! Point estimation by the EM algorithm (Okamura, Watanabe & Dohi 2003).
+//!
+//! The complete data of the finite-failures NHPP are the full fault count
+//! `N` and all `N` detection times. Both are partially observed:
+//! failure-time data censors the `N − m` tail times at `t_e`; grouped data
+//! additionally hides the within-bin positions. The E-step therefore only
+//! needs the conditional expectations `E[N | D]` and `E[ΣT | D]`, both
+//! available in closed form through the truncated-gamma mean, and the
+//! M-step is a conjugate-form update. The same iteration performs MAP
+//! estimation when a proper prior is supplied (the prior simply augments
+//! the complete-data sufficient statistics), which is how the Laplace
+//! method obtains its mode.
+
+use crate::error::ModelError;
+use crate::likelihood::{check_params, LogPosterior};
+use crate::model::GammaNhpp;
+use crate::prior::NhppPrior;
+use crate::spec::ModelSpec;
+use nhpp_data::ObservedData;
+use nhpp_dist::{Continuous, Gamma};
+
+/// Options controlling the EM iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitOptions {
+    /// Relative parameter-change tolerance declaring convergence.
+    pub tol: f64,
+    /// Iteration budget.
+    pub max_iter: usize,
+    /// Optional starting point `(ω, β)`; a data-driven heuristic is used
+    /// when absent.
+    pub init: Option<(f64, f64)>,
+}
+
+impl Default for FitOptions {
+    fn default() -> Self {
+        FitOptions {
+            tol: 1e-12,
+            max_iter: 100_000,
+            init: None,
+        }
+    }
+}
+
+/// Result of an EM fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitResult {
+    /// The fitted model.
+    pub model: GammaNhpp,
+    /// Log-likelihood at the estimate.
+    pub log_likelihood: f64,
+    /// Log-posterior at the estimate (equals the log-likelihood for flat
+    /// priors).
+    pub log_posterior: f64,
+    /// EM iterations consumed.
+    pub iterations: usize,
+}
+
+/// Maximum likelihood estimation via EM.
+///
+/// # Errors
+///
+/// * [`ModelError::DegenerateData`] when the dataset contains no failures
+///   (the MLE does not exist).
+/// * [`ModelError::NoConvergence`] if the iteration budget is exhausted.
+///
+/// # Example
+///
+/// ```
+/// use nhpp_models::{fit_mle, FitOptions, ModelSpec};
+/// use nhpp_data::sys17;
+///
+/// # fn main() -> Result<(), nhpp_models::ModelError> {
+/// let fit = fit_mle(
+///     ModelSpec::goel_okumoto(),
+///     &sys17::failure_times().into(),
+///     FitOptions::default(),
+/// )?;
+/// // ω̂ must exceed the observed failure count.
+/// assert!(fit.model.omega() > 38.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_mle(
+    spec: ModelSpec,
+    data: &ObservedData,
+    options: FitOptions,
+) -> Result<FitResult, ModelError> {
+    fit_map(spec, NhppPrior::flat(), data, options)
+}
+
+/// Maximum a posteriori estimation via EM with the given prior.
+///
+/// # Errors
+///
+/// Same contract as [`fit_mle`]; additionally fails with
+/// [`ModelError::DegenerateData`] if the prior-augmented shape counts are
+/// non-positive (possible for prior shapes below one and empty data).
+pub fn fit_map(
+    spec: ModelSpec,
+    prior: NhppPrior,
+    data: &ObservedData,
+    options: FitOptions,
+) -> Result<FitResult, ModelError> {
+    let lp = LogPosterior::new(spec, prior, data);
+    if data.total_count() == 0 && prior.omega.is_flat() {
+        return Err(ModelError::DegenerateData {
+            message: "no failures observed and no informative prior",
+        });
+    }
+    let a0 = spec.alpha0();
+    let (a_w, r_w) = prior.omega.shape_rate();
+    let (a_b, r_b) = prior.beta.shape_rate();
+    let (mut omega, mut beta) = options.init.unwrap_or_else(|| lp.rough_start());
+    check_params(omega, beta)?;
+
+    for iter in 0..options.max_iter {
+        // E-step: conditional expectations of N and ΣT.
+        let law = spec.failure_law(beta)?;
+        let (expected_n, expected_sum) = expected_sufficient_stats(data, &law, omega);
+
+        // M-step: conjugate-form updates.
+        let omega_new = (a_w - 1.0 + expected_n) / (r_w + 1.0);
+        let beta_new = (a_b - 1.0 + a0 * expected_n) / (r_b + expected_sum);
+        if !(omega_new > 0.0) || !(beta_new > 0.0) {
+            return Err(ModelError::DegenerateData {
+                message: "EM update left the parameter domain (prior shape below one with too little data)",
+            });
+        }
+        let delta = ((omega_new - omega) / omega.max(1e-300))
+            .abs()
+            .max(((beta_new - beta) / beta.max(1e-300)).abs());
+        omega = omega_new;
+        beta = beta_new;
+        if delta <= options.tol {
+            let model = GammaNhpp::new(spec, omega, beta)?;
+            return Ok(FitResult {
+                model,
+                log_likelihood: lp.log_likelihood(omega, beta),
+                log_posterior: lp.value(omega, beta),
+                iterations: iter + 1,
+            });
+        }
+    }
+    Err(ModelError::NoConvergence {
+        context: "EM fit",
+        iterations: options.max_iter,
+    })
+}
+
+/// E-step: `(E[N | D, ω, β], E[ΣT | D, ω, β])`.
+fn expected_sufficient_stats(data: &ObservedData, law: &Gamma, omega: f64) -> (f64, f64) {
+    match data {
+        ObservedData::Times(d) => {
+            let te = d.observation_end();
+            let tail = omega * law.sf(te);
+            let tail_mean = if tail > 0.0 {
+                law.interval_mean(te, f64::INFINITY)
+            } else {
+                0.0
+            };
+            (d.len() as f64 + tail, d.sum_times() + tail * tail_mean)
+        }
+        ObservedData::Grouped(d) => {
+            let sk = d.observation_end();
+            let tail = omega * law.sf(sk);
+            let tail_mean = if tail > 0.0 {
+                law.interval_mean(sk, f64::INFINITY)
+            } else {
+                0.0
+            };
+            let mut sum = tail * tail_mean;
+            for (lo, hi, count) in d.intervals() {
+                if count > 0 {
+                    sum += count as f64 * law.interval_mean(lo, hi);
+                }
+            }
+            (d.total_count() as f64 + tail, sum)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nhpp_data::{sys17, FailureTimeData};
+
+    #[test]
+    fn go_mle_satisfies_stationarity() {
+        // For GO/times the MLE solves ω = m/G(te) and the β score is zero.
+        let data: ObservedData = sys17::failure_times().into();
+        let fit = fit_mle(ModelSpec::goel_okumoto(), &data, FitOptions::default()).unwrap();
+        let (w, b) = (fit.model.omega(), fit.model.beta());
+        let lp = LogPosterior::new(ModelSpec::goel_okumoto(), NhppPrior::flat(), &data);
+        let g = lp.grad(w, b);
+        assert!(g[0].abs() < 1e-6, "score_omega={}", g[0]);
+        assert!(g[1].abs() < 1e-2 * (1.0 / b), "score_beta={}", g[1]);
+        // ω̂ = m / G(te).
+        let m = 38.0;
+        let gte = 1.0 - (-b * sys17::T_END).exp();
+        assert!((w - m / gte).abs() < 1e-6 * w);
+    }
+
+    #[test]
+    fn mle_is_a_local_maximum() {
+        let data: ObservedData = sys17::failure_times().into();
+        let fit = fit_mle(ModelSpec::goel_okumoto(), &data, FitOptions::default()).unwrap();
+        let (w, b) = (fit.model.omega(), fit.model.beta());
+        let base = fit.log_likelihood;
+        let lp = LogPosterior::new(ModelSpec::goel_okumoto(), NhppPrior::flat(), &data);
+        for (dw, db) in [(1e-3, 0.0), (-1e-3, 0.0), (0.0, 1e-8), (0.0, -1e-8)] {
+            assert!(lp.log_likelihood(w * (1.0 + dw), b * (1.0 + db)) <= base + 1e-9);
+        }
+    }
+
+    #[test]
+    fn grouped_mle_matches_times_mle_roughly() {
+        // The same underlying trace grouped on the seconds axis should
+        // give a nearby estimate.
+        let t_fit = fit_mle(
+            ModelSpec::goel_okumoto(),
+            &sys17::failure_times().into(),
+            FitOptions::default(),
+        )
+        .unwrap();
+        let g_fit = fit_mle(
+            ModelSpec::goel_okumoto(),
+            &sys17::grouped_seconds().into(),
+            FitOptions::default(),
+        )
+        .unwrap();
+        let rel_w = (t_fit.model.omega() - g_fit.model.omega()).abs() / t_fit.model.omega();
+        let rel_b = (t_fit.model.beta() - g_fit.model.beta()).abs() / t_fit.model.beta();
+        assert!(
+            rel_w < 0.05,
+            "omega: {} vs {}",
+            t_fit.model.omega(),
+            g_fit.model.omega()
+        );
+        assert!(
+            rel_b < 0.05,
+            "beta: {} vs {}",
+            t_fit.model.beta(),
+            g_fit.model.beta()
+        );
+    }
+
+    #[test]
+    fn map_with_informative_prior_shrinks_toward_prior_mean() {
+        let data: ObservedData = sys17::failure_times().into();
+        let mle = fit_mle(ModelSpec::goel_okumoto(), &data, FitOptions::default()).unwrap();
+        let map = fit_map(
+            ModelSpec::goel_okumoto(),
+            NhppPrior::paper_info_times(),
+            &data,
+            FitOptions::default(),
+        )
+        .unwrap();
+        // Prior mean of ω is 50, above the MLE ⇒ MAP should sit between.
+        assert!(map.model.omega() > mle.model.omega());
+        assert!(map.model.omega() < 50.0);
+        // MAP log-posterior beats the MLE point's log-posterior.
+        let lp = LogPosterior::new(
+            ModelSpec::goel_okumoto(),
+            NhppPrior::paper_info_times(),
+            &data,
+        );
+        assert!(map.log_posterior >= lp.value(mle.model.omega(), mle.model.beta()));
+    }
+
+    #[test]
+    fn delayed_s_shaped_fit_converges() {
+        let data: ObservedData = sys17::failure_times().into();
+        let fit = fit_mle(ModelSpec::delayed_s_shaped(), &data, FitOptions::default()).unwrap();
+        assert!(fit.model.omega() > 38.0);
+        assert!(fit.model.beta() > 0.0);
+        // Score near zero.
+        let lp = LogPosterior::new(ModelSpec::delayed_s_shaped(), NhppPrior::flat(), &data);
+        let g = lp.grad(fit.model.omega(), fit.model.beta());
+        assert!(g[0].abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_data_without_prior_is_degenerate() {
+        let empty: ObservedData = FailureTimeData::new(vec![], 100.0).unwrap().into();
+        let err = fit_mle(ModelSpec::goel_okumoto(), &empty, FitOptions::default()).unwrap_err();
+        assert!(matches!(err, ModelError::DegenerateData { .. }));
+    }
+
+    #[test]
+    fn empty_data_with_prior_returns_prior_mode_ish() {
+        let empty: ObservedData = FailureTimeData::new(vec![], 1.0).unwrap().into();
+        let fit = fit_map(
+            ModelSpec::goel_okumoto(),
+            NhppPrior::paper_info_times(),
+            &empty,
+            FitOptions::default(),
+        )
+        .unwrap();
+        // With virtually no likelihood information (βt_e ≈ 1e−5·1) the fit
+        // stays near the prior: ω ≈ prior-ish mode region.
+        assert!(fit.model.omega() > 20.0 && fit.model.omega() < 60.0);
+    }
+
+    #[test]
+    fn custom_init_converges_to_same_answer() {
+        let data: ObservedData = sys17::failure_times().into();
+        let a = fit_mle(ModelSpec::goel_okumoto(), &data, FitOptions::default()).unwrap();
+        let b = fit_mle(
+            ModelSpec::goel_okumoto(),
+            &data,
+            FitOptions {
+                init: Some((100.0, 1e-4)),
+                ..FitOptions::default()
+            },
+        )
+        .unwrap();
+        assert!((a.model.omega() - b.model.omega()).abs() < 1e-5 * a.model.omega());
+        assert!((a.model.beta() - b.model.beta()).abs() < 1e-5 * a.model.beta());
+    }
+}

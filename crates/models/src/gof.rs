@@ -1,0 +1,237 @@
+//! Goodness-of-fit testing for fitted NHPP models.
+//!
+//! Interval estimates are only as honest as the model behind them, so a
+//! fit should be validated before its posteriors are trusted. Two
+//! classical checks are provided:
+//!
+//! * **Kolmogorov–Smirnov on the time-rescaled process** (failure-time
+//!   data): under the fitted model, conditionally on the observed count
+//!   `m`, the rescaled values `Λ(tᵢ)/Λ(t_e)` are the order statistics of
+//!   `m` i.i.d. `U(0, 1)` draws; a KS test against uniformity therefore
+//!   tests the whole mean-value-function shape.
+//! * **χ² on grouped counts**: compare observed per-interval counts with
+//!   the fitted expectations `ω·ΔG`, pooling intervals until each
+//!   expected count reaches a minimum, with two degrees of freedom
+//!   charged for the fitted `(ω, β)`.
+
+use crate::error::ModelError;
+use crate::model::GammaNhpp;
+use nhpp_data::{FailureTimeData, GroupedData};
+use nhpp_special::gamma_q;
+
+/// Result of a goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GofResult {
+    /// The test statistic (KS distance or χ² value).
+    pub statistic: f64,
+    /// Approximate p-value (asymptotic distribution).
+    pub p_value: f64,
+    /// Degrees of freedom (χ²) or sample size (KS).
+    pub dof: usize,
+}
+
+/// Asymptotic Kolmogorov p-value
+/// `Q_KS(λ) = 2·Σ_{j>=1} (−1)^{j−1} e^{−2 j² λ²}` with the
+/// small-sample correction `λ = (√m + 0.12 + 0.11/√m)·D`.
+fn ks_p_value(d: f64, m: usize) -> f64 {
+    if m == 0 {
+        return f64::NAN;
+    }
+    let sqrt_m = (m as f64).sqrt();
+    let lambda = (sqrt_m + 0.12 + 0.11 / sqrt_m) * d;
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Kolmogorov–Smirnov test of a fitted model against failure-time data
+/// via the time-rescaling theorem.
+///
+/// Small p-values reject the model; the test conditions on the observed
+/// count, so it probes the *shape* of `Λ(t)`, not its level.
+///
+/// # Errors
+///
+/// [`ModelError::DegenerateData`] for an empty dataset.
+///
+/// # Example
+///
+/// ```
+/// use nhpp_models::gof::ks_test;
+/// use nhpp_models::{fit_mle, FitOptions, ModelSpec};
+/// use nhpp_data::sys17;
+///
+/// # fn main() -> Result<(), nhpp_models::ModelError> {
+/// let data = sys17::failure_times();
+/// let fit = fit_mle(ModelSpec::goel_okumoto(), &data.clone().into(), FitOptions::default())?;
+/// let gof = ks_test(&fit.model, &data)?;
+/// assert!(gof.p_value > 0.05); // the GO model fits its own surrogate
+/// # Ok(())
+/// # }
+/// ```
+pub fn ks_test(model: &GammaNhpp, data: &FailureTimeData) -> Result<GofResult, ModelError> {
+    let m = data.len();
+    if m == 0 {
+        return Err(ModelError::DegenerateData {
+            message: "KS test needs at least one failure",
+        });
+    }
+    let total = model.mean_value(data.observation_end());
+    let mut d = 0.0f64;
+    for (i, &t) in data.times().iter().enumerate() {
+        let u = model.mean_value(t) / total;
+        let below = i as f64 / m as f64;
+        let above = (i as f64 + 1.0) / m as f64;
+        d = d.max((u - below).abs()).max((above - u).abs());
+    }
+    Ok(GofResult {
+        statistic: d,
+        p_value: ks_p_value(d, m),
+        dof: m,
+    })
+}
+
+/// Minimum pooled expected count per χ² cell.
+const MIN_EXPECTED: f64 = 5.0;
+
+/// χ² goodness-of-fit test of a fitted model against grouped counts.
+///
+/// Adjacent intervals are pooled until every cell's expected count
+/// reaches 5; degrees of freedom are `cells − 1 − 2` (two fitted
+/// parameters).
+///
+/// # Errors
+///
+/// [`ModelError::DegenerateData`] if fewer than four pooled cells remain
+/// (no degrees of freedom to test with).
+pub fn chi_square_test(model: &GammaNhpp, data: &GroupedData) -> Result<GofResult, ModelError> {
+    // Pool adjacent intervals.
+    let mut cells: Vec<(f64, f64)> = Vec::new(); // (observed, expected)
+    let (mut obs_acc, mut exp_acc) = (0.0, 0.0);
+    for (lo, hi, count) in data.intervals() {
+        obs_acc += count as f64;
+        exp_acc += model.omega() * model.failure_law().ln_interval_mass(lo, hi).exp();
+        if exp_acc >= MIN_EXPECTED {
+            cells.push((obs_acc, exp_acc));
+            obs_acc = 0.0;
+            exp_acc = 0.0;
+        }
+    }
+    // Merge any remainder into the last cell.
+    if exp_acc > 0.0 || obs_acc > 0.0 {
+        if let Some(last) = cells.last_mut() {
+            last.0 += obs_acc;
+            last.1 += exp_acc;
+        } else {
+            cells.push((obs_acc, exp_acc));
+        }
+    }
+    if cells.len() < 4 {
+        return Err(ModelError::DegenerateData {
+            message: "too few pooled cells for a chi-square test",
+        });
+    }
+    let statistic: f64 = cells.iter().map(|&(o, e)| (o - e) * (o - e) / e).sum();
+    let dof = cells.len() - 3;
+    // p = Q(dof/2, x/2), the upper regularised incomplete gamma.
+    let p_value = gamma_q(dof as f64 / 2.0, statistic / 2.0);
+    Ok(GofResult {
+        statistic,
+        p_value,
+        dof,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::{fit_mle, FitOptions};
+    use crate::spec::ModelSpec;
+    use nhpp_data::{datasets, sys17};
+
+    fn fitted(spec: ModelSpec, data: &nhpp_data::ObservedData) -> GammaNhpp {
+        fit_mle(spec, data, FitOptions::default()).unwrap().model
+    }
+
+    #[test]
+    fn ks_accepts_the_generating_model() {
+        let data = sys17::failure_times();
+        let model = fitted(ModelSpec::goel_okumoto(), &data.clone().into());
+        let gof = ks_test(&model, &data).unwrap();
+        assert!(gof.p_value > 0.05, "p = {}", gof.p_value);
+        assert!(gof.statistic < 0.2);
+        assert_eq!(gof.dof, 38);
+    }
+
+    #[test]
+    fn ks_rejects_a_badly_wrong_model() {
+        // A model with a wildly wrong rate concentrates Λ(tᵢ)/Λ(t_e)
+        // near 1 and fails the uniformity test.
+        let data = sys17::failure_times();
+        let model = GammaNhpp::new(ModelSpec::goel_okumoto(), 40.0, 1e-3).unwrap();
+        let gof = ks_test(&model, &data).unwrap();
+        assert!(gof.p_value < 0.01, "p = {}", gof.p_value);
+    }
+
+    #[test]
+    fn ks_distinguishes_families_on_sshaped_data() {
+        // The S-shaped trace strains the GO fit more than the DSS fit.
+        let data = datasets::sshaped_times();
+        let observed: nhpp_data::ObservedData = data.clone().into();
+        let go = ks_test(&fitted(ModelSpec::goel_okumoto(), &observed), &data).unwrap();
+        let dss = ks_test(&fitted(ModelSpec::delayed_s_shaped(), &observed), &data).unwrap();
+        assert!(
+            dss.statistic <= go.statistic * 1.2,
+            "{} vs {}",
+            dss.statistic,
+            go.statistic
+        );
+    }
+
+    #[test]
+    fn chi_square_accepts_the_generating_model() {
+        let data = sys17::grouped();
+        let model = fitted(ModelSpec::goel_okumoto(), &data.clone().into());
+        let gof = chi_square_test(&model, &data).unwrap();
+        assert!(
+            gof.p_value > 0.05,
+            "p = {}, stat = {}",
+            gof.p_value,
+            gof.statistic
+        );
+        assert!(gof.dof >= 1);
+    }
+
+    #[test]
+    fn chi_square_rejects_a_badly_wrong_model() {
+        let data = sys17::grouped();
+        let model = GammaNhpp::new(ModelSpec::goel_okumoto(), 400.0, 0.2).unwrap();
+        let gof = chi_square_test(&model, &data).unwrap();
+        assert!(gof.p_value < 1e-6, "p = {}", gof.p_value);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        let empty = FailureTimeData::new(vec![], 10.0).unwrap();
+        let model = GammaNhpp::new(ModelSpec::goel_okumoto(), 10.0, 0.1).unwrap();
+        assert!(ks_test(&model, &empty).is_err());
+        // Tiny grouped dataset: everything pools into too few cells.
+        let tiny = GroupedData::from_unit_intervals(vec![1, 0, 1]).unwrap();
+        assert!(chi_square_test(&model, &tiny).is_err());
+    }
+
+    #[test]
+    fn ks_p_value_tail_behaviour() {
+        // Very small distances → p near 1; large → p near 0.
+        assert!(ks_p_value(0.01, 100) > 0.99);
+        assert!(ks_p_value(0.5, 100) < 1e-6);
+    }
+}

@@ -1,0 +1,56 @@
+//! Gamma-type NHPP software reliability models.
+//!
+//! This crate implements the model layer of the DSN 2007 paper
+//! ("Variational Bayesian Approach for Interval Estimation of NHPP-based
+//! Software Reliability Models"): the finite-failures NHPP with gamma
+//! failure law, its likelihood under failure-time and grouped data, prior
+//! specifications, EM-based point estimation (MLE and MAP), and the
+//! [`Posterior`] interface that all five posterior-approximation methods
+//! in the workspace implement.
+//!
+//! # The model
+//!
+//! The number of faults `N` is `Poisson(ω)`; fault-detection times are
+//! i.i.d. `Gamma(α₀, β)` with *fixed* shape `α₀`. The failure-counting
+//! process `M(t)` is then NHPP with mean value `Λ(t) = ω·G_Gam(t; α₀, β)`.
+//! `α₀ = 1` gives the Goel–Okumoto model, `α₀ = 2` the delayed S-shaped
+//! model.
+//!
+//! # Example
+//!
+//! ```
+//! use nhpp_models::{fit_mle, FitOptions, ModelSpec};
+//! use nhpp_data::sys17;
+//!
+//! # fn main() -> Result<(), nhpp_models::ModelError> {
+//! let data = sys17::failure_times();
+//! let fit = fit_mle(ModelSpec::goel_okumoto(), &data.clone().into(), FitOptions::default())?;
+//! assert!(fit.model.omega() > 38.0); // more faults than observed failures
+//! # Ok(())
+//! # }
+//! ```
+
+// `!(x > 0.0)`-style guards are used deliberately throughout: unlike
+// `x <= 0.0`, they also reject NaN, which is exactly the validation the
+// numerical code needs.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+pub mod confidence;
+mod error;
+mod fit;
+pub mod gof;
+mod likelihood;
+mod model;
+mod posterior;
+pub mod prediction;
+pub mod prior;
+pub mod selection;
+mod spec;
+
+pub use error::ModelError;
+pub use fit::{fit_map, fit_mle, FitOptions, FitResult};
+pub use likelihood::{
+    d2g_dbeta2, dg_dbeta, log_likelihood_grouped, log_likelihood_times, LogPosterior,
+};
+pub use model::GammaNhpp;
+pub use posterior::{Posterior, PosteriorSummary};
+pub use spec::ModelSpec;

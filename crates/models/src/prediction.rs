@@ -1,0 +1,200 @@
+//! Posterior-predictive distribution of future failure counts.
+//!
+//! Given a posterior over `(ω, β)`, the number of failures `K` in a
+//! future window `(t, t+u]` is Poisson with conditional mean
+//! `ω·[G(t+u) − G(t)]`; marginalising the posterior produces the
+//! predictive distribution test managers actually plan with ("how many
+//! more failures should we expect next week, with what spread?").
+//!
+//! This module provides the *container* for such a distribution —
+//! a validated, normalised pmf over `0..=k_max` with moments and
+//! quantiles. Each estimation method constructs it with its own
+//! marginalisation (exact negative-binomial mixtures for the variational
+//! posteriors, sample averaging for MCMC, grid sums for NINT).
+
+use crate::error::ModelError;
+
+/// A discrete predictive distribution over future failure counts,
+/// supported on `0..pmf.len()` with any mass beyond the truncation point
+/// accounted in [`PredictiveCounts::tail_mass`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictiveCounts {
+    pmf: Vec<f64>,
+    tail_mass: f64,
+}
+
+impl PredictiveCounts {
+    /// Builds the distribution from an unnormalised pmf prefix; the
+    /// deficit from 1 after normalisation against `total` is treated as
+    /// tail mass beyond the truncation.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidParameter`] if the pmf is empty, contains
+    /// negative or non-finite entries, or carries no mass.
+    pub fn from_pmf(pmf: Vec<f64>) -> Result<Self, ModelError> {
+        if pmf.is_empty() {
+            return Err(ModelError::InvalidParameter {
+                name: "pmf",
+                value: 0.0,
+                constraint: "must be non-empty",
+            });
+        }
+        if pmf.iter().any(|&p| !(p >= 0.0) || !p.is_finite()) {
+            return Err(ModelError::InvalidParameter {
+                name: "pmf",
+                value: f64::NAN,
+                constraint: "entries must be finite and non-negative",
+            });
+        }
+        let total: f64 = pmf.iter().sum();
+        if !(total > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "pmf",
+                value: total,
+                constraint: "must carry positive mass",
+            });
+        }
+        // A predictive prefix may legitimately sum to slightly less than
+        // one (truncated tail) but never meaningfully more.
+        let tail = (1.0 - total).max(0.0);
+        Ok(PredictiveCounts {
+            pmf,
+            tail_mass: tail,
+        })
+    }
+
+    /// `P(K = k)`; zero beyond the truncation point (see
+    /// [`PredictiveCounts::tail_mass`]).
+    pub fn pmf(&self, k: usize) -> f64 {
+        self.pmf.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// `P(K <= k)`.
+    pub fn cdf(&self, k: usize) -> f64 {
+        let upto = self.pmf.iter().take(k + 1).sum::<f64>();
+        upto.min(1.0)
+    }
+
+    /// Probability mass beyond the truncation point.
+    pub fn tail_mass(&self) -> f64 {
+        self.tail_mass
+    }
+
+    /// Largest count with explicit mass.
+    pub fn k_max(&self) -> usize {
+        self.pmf.len() - 1
+    }
+
+    /// Predictive mean (over the explicit support).
+    pub fn mean(&self) -> f64 {
+        self.pmf
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| k as f64 * p)
+            .sum()
+    }
+
+    /// Predictive variance (over the explicit support).
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.pmf
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| (k as f64 - m).powi(2) * p)
+            .sum()
+    }
+
+    /// Smallest `k` with `cdf(k) >= p`. Returns `k_max + 1` if the
+    /// requested probability falls into the truncated tail, and `None`
+    /// for `p` outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> Option<usize> {
+        if !(0.0..=1.0).contains(&p) {
+            return None;
+        }
+        let mut acc = 0.0;
+        for (k, &mass) in self.pmf.iter().enumerate() {
+            acc += mass;
+            if acc >= p {
+                return Some(k);
+            }
+        }
+        Some(self.pmf.len())
+    }
+
+    /// Two-sided equal-tail predictive interval.
+    pub fn interval(&self, level: f64) -> Option<(usize, usize)> {
+        let tail = (1.0 - level) / 2.0;
+        Some((self.quantile(tail)?, self.quantile(1.0 - tail)?))
+    }
+
+    /// `P(K = 0)` — by definition the software reliability over the
+    /// window, giving a consistency bridge to
+    /// [`Posterior::reliability_point`](crate::Posterior::reliability_point).
+    pub fn prob_zero(&self) -> f64 {
+        self.pmf[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poisson_prefix(lambda: f64, k_max: usize) -> Vec<f64> {
+        let mut pmf = Vec::with_capacity(k_max + 1);
+        let mut term = (-lambda).exp();
+        pmf.push(term);
+        for k in 1..=k_max {
+            term *= lambda / k as f64;
+            pmf.push(term);
+        }
+        pmf
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PredictiveCounts::from_pmf(vec![]).is_err());
+        assert!(PredictiveCounts::from_pmf(vec![0.5, -0.1]).is_err());
+        assert!(PredictiveCounts::from_pmf(vec![0.0, 0.0]).is_err());
+        assert!(PredictiveCounts::from_pmf(vec![f64::NAN]).is_err());
+        assert!(PredictiveCounts::from_pmf(vec![0.3, 0.7]).is_ok());
+    }
+
+    #[test]
+    fn poisson_predictive_moments() {
+        let lambda = 4.2;
+        let pc = PredictiveCounts::from_pmf(poisson_prefix(lambda, 60)).unwrap();
+        assert!((pc.mean() - lambda).abs() < 1e-8);
+        assert!((pc.variance() - lambda).abs() < 1e-6);
+        assert!(pc.tail_mass() < 1e-10);
+        assert!((pc.prob_zero() - (-lambda).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_and_interval() {
+        let pc = PredictiveCounts::from_pmf(poisson_prefix(3.0, 40)).unwrap();
+        assert_eq!(pc.quantile(0.0), Some(0));
+        let median = pc.quantile(0.5).unwrap();
+        assert!(median == 3 || median == 2, "median={median}");
+        let (lo, hi) = pc.interval(0.95).unwrap();
+        assert!(lo <= median && median <= hi);
+        assert!(pc.cdf(hi) >= 0.975 - 1e-12);
+        assert!(pc.quantile(1.5).is_none());
+    }
+
+    #[test]
+    fn truncated_tail_is_reported() {
+        // Keep only the first three Poisson(5) terms.
+        let pc = PredictiveCounts::from_pmf(poisson_prefix(5.0, 2)).unwrap();
+        assert!(pc.tail_mass() > 0.8);
+        assert_eq!(pc.quantile(0.99), Some(3)); // falls into the tail
+        assert_eq!(pc.pmf(10), 0.0);
+    }
+
+    #[test]
+    fn cdf_saturates_at_one() {
+        let pc = PredictiveCounts::from_pmf(poisson_prefix(1.0, 30)).unwrap();
+        assert!((pc.cdf(30) - 1.0).abs() < 1e-12);
+        assert_eq!(pc.k_max(), 30);
+    }
+}

@@ -1,0 +1,175 @@
+//! Model selection across gamma-type NHPP families.
+//!
+//! The paper fixes the Goel–Okumoto model for its experiments, but the
+//! gamma-type class it develops (§5.2) spans a family indexed by the
+//! fixed shape `α₀`. Choosing among candidates (GO vs. delayed S-shaped
+//! vs. other shapes) is the first practical question a user faces; this
+//! module scores candidates by maximised log-likelihood, AIC and BIC.
+//! (Bayesian evidence comparison via the VB2 ELBO lives in the `nhpp-vb`
+//! crate, which sits above this one.)
+
+use crate::error::ModelError;
+use crate::fit::{fit_mle, FitOptions, FitResult};
+use crate::spec::ModelSpec;
+use nhpp_data::ObservedData;
+
+/// Number of free parameters of the gamma-type NHPP (`ω` and `β`; `α₀`
+/// is part of the model specification, not fitted).
+const K_PARAMS: f64 = 2.0;
+
+/// MLE-based score of one candidate model.
+#[derive(Debug, Clone)]
+pub struct ModelScore {
+    /// Candidate label.
+    pub name: String,
+    /// The candidate specification.
+    pub spec: ModelSpec,
+    /// The fitted model and likelihood value.
+    pub fit: FitResult,
+    /// Akaike information criterion `2k − 2ℓ̂` (smaller is better).
+    pub aic: f64,
+    /// Bayesian information criterion `k·ln m − 2ℓ̂`, with `m` the number
+    /// of observed failures (smaller is better).
+    pub bic: f64,
+}
+
+/// Fits every candidate by maximum likelihood and returns the scores
+/// sorted by ascending AIC (best first).
+///
+/// # Errors
+///
+/// * [`ModelError::InvalidParameter`] for an empty candidate list.
+/// * Propagates the first MLE failure (degenerate data etc.).
+///
+/// # Example
+///
+/// ```
+/// use nhpp_models::selection::score_models;
+/// use nhpp_models::ModelSpec;
+/// use nhpp_data::sys17;
+///
+/// # fn main() -> Result<(), nhpp_models::ModelError> {
+/// let scores = score_models(
+///     &[("GO", ModelSpec::goel_okumoto()), ("DSS", ModelSpec::delayed_s_shaped())],
+///     &sys17::failure_times().into(),
+/// )?;
+/// // The surrogate trace was generated from a GO process.
+/// assert_eq!(scores[0].name, "GO");
+/// # Ok(())
+/// # }
+/// ```
+pub fn score_models(
+    candidates: &[(&str, ModelSpec)],
+    data: &ObservedData,
+) -> Result<Vec<ModelScore>, ModelError> {
+    if candidates.is_empty() {
+        return Err(ModelError::InvalidParameter {
+            name: "candidates",
+            value: 0.0,
+            constraint: "at least one candidate model is required",
+        });
+    }
+    let m = data.total_count() as f64;
+    let mut scores = Vec::with_capacity(candidates.len());
+    for &(name, spec) in candidates {
+        let fit = fit_mle(spec, data, FitOptions::default())?;
+        let ll = fit.log_likelihood;
+        scores.push(ModelScore {
+            name: name.to_string(),
+            spec,
+            aic: 2.0 * K_PARAMS - 2.0 * ll,
+            bic: K_PARAMS * m.max(1.0).ln() - 2.0 * ll,
+            fit,
+        });
+    }
+    scores.sort_by(|a, b| {
+        a.aic
+            .partial_cmp(&b.aic)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(scores)
+}
+
+/// Akaike weights for a scored candidate set: `w_i ∝ exp(−Δ_i/2)` with
+/// `Δ_i = AIC_i − AIC_min`. Positions correspond to the input order.
+pub fn akaike_weights(scores: &[ModelScore]) -> Vec<f64> {
+    if scores.is_empty() {
+        return Vec::new();
+    }
+    let min = scores.iter().map(|s| s.aic).fold(f64::INFINITY, f64::min);
+    let raw: Vec<f64> = scores
+        .iter()
+        .map(|s| (-(s.aic - min) / 2.0).exp())
+        .collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nhpp_data::simulate::NhppSimulator;
+    use nhpp_data::sys17;
+    use nhpp_dist::Gamma;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn candidates() -> Vec<(&'static str, ModelSpec)> {
+        vec![
+            ("GO", ModelSpec::goel_okumoto()),
+            ("DSS", ModelSpec::delayed_s_shaped()),
+            ("gamma-0.5", ModelSpec::gamma_type(0.5).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn go_wins_on_go_generated_data() {
+        let scores = score_models(&candidates(), &sys17::failure_times().into()).unwrap();
+        assert_eq!(scores[0].name, "GO");
+        // AIC ordering is consistent with the log-likelihood ordering for
+        // equal parameter counts.
+        for pair in scores.windows(2) {
+            assert!(pair[0].fit.log_likelihood >= pair[1].fit.log_likelihood);
+        }
+    }
+
+    #[test]
+    fn dss_wins_on_dss_generated_data() {
+        let law = Gamma::new(2.0, 4e-4).unwrap();
+        let sim = NhppSimulator::new(120.0, law).unwrap();
+        let mut rng = StdRng::seed_from_u64(314);
+        let data: ObservedData = sim.simulate_censored(&mut rng, 25_000.0).unwrap().into();
+        let scores = score_models(&candidates(), &data).unwrap();
+        assert_eq!(
+            scores[0].name,
+            "DSS",
+            "{:?}",
+            scores.iter().map(|s| (&s.name, s.aic)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn akaike_weights_are_a_distribution_favouring_the_best() {
+        let scores = score_models(&candidates(), &sys17::failure_times().into()).unwrap();
+        let weights = akaike_weights(&scores);
+        assert_eq!(weights.len(), scores.len());
+        assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(weights[0] >= weights[1] && weights[1] >= weights[2]);
+        assert!(akaike_weights(&[]).is_empty());
+    }
+
+    #[test]
+    fn empty_candidate_list_rejected() {
+        let err = score_models(&[], &sys17::failure_times().into()).unwrap_err();
+        assert!(matches!(err, ModelError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn bic_penalises_like_aic_for_equal_k() {
+        // With equal k the AIC and BIC orderings coincide.
+        let scores = score_models(&candidates(), &sys17::grouped().into()).unwrap();
+        for pair in scores.windows(2) {
+            assert!(pair[0].bic <= pair[1].bic + 1e-12);
+        }
+    }
+}

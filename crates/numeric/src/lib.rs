@@ -1,0 +1,39 @@
+//! Numerical routines for the `nhpp-vb` workspace.
+//!
+//! Everything a Bayesian NHPP estimator needs and nothing more:
+//!
+//! * [`roots`] — bisection, Brent's method and safeguarded Newton for the
+//!   one-dimensional root problems that appear in quantile inversion and
+//!   reliability-bound computation;
+//! * [`fixed_point`] — plain and Aitken-accelerated successive substitution
+//!   for the VB2 `(ζ, ξ)` system (Eqs. (24)–(27) of the paper);
+//! * [`quadrature`] — Gauss–Legendre rules, adaptive Simpson and
+//!   log-space tensor quadrature over rectangles (the NINT engine);
+//! * [`optimize`] — Nelder–Mead and a damped 2-D Newton for MAP/MLE fits;
+//! * [`linalg`] — 2×2 symmetric matrix helpers for Laplace approximation.
+//!
+//! # Example
+//!
+//! ```
+//! use nhpp_numeric::roots::brent;
+//!
+//! # fn main() -> Result<(), nhpp_numeric::NumericError> {
+//! let root = brent(|x| x * x - 2.0, 0.0, 2.0, 1e-13, 100)?;
+//! assert!((root - 2.0f64.sqrt()).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+// `!(x > 0.0)`-style guards are used deliberately throughout: unlike
+// `x <= 0.0`, they also reject NaN, which is exactly the validation the
+// numerical code needs.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+pub mod fixed_point;
+pub mod linalg;
+pub mod optimize;
+pub mod quadrature;
+pub mod roots;
+
+mod error;
+
+pub use error::NumericError;

@@ -1,0 +1,328 @@
+//! Quadrature: Gauss–Legendre rules, composite panels, adaptive Simpson
+//! and log-space integration.
+
+use crate::NumericError;
+use nhpp_special::log_sum_exp;
+
+/// A Gauss–Legendre quadrature rule on `[-1, 1]`.
+///
+/// Nodes are computed by Newton iteration on the Legendre polynomial with
+/// the classical Chebyshev initial guess; accurate to machine precision
+/// for any practical order. Rules are cheap to build (microseconds for
+/// `n ≲ 500`), but callers that integrate repeatedly should reuse one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussLegendre {
+    nodes: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl GaussLegendre {
+    /// Builds an `n`-point rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "Gauss-Legendre order must be positive");
+        let mut nodes = vec![0.0; n];
+        let mut weights = vec![0.0; n];
+        let m = n.div_ceil(2);
+        for i in 0..m {
+            // Chebyshev initial guess for the i-th positive root.
+            let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+            let mut pp = 0.0;
+            for _ in 0..100 {
+                // Evaluate P_n(x) and its derivative by recurrence.
+                let mut p0 = 1.0;
+                let mut p1 = 0.0;
+                for j in 0..n {
+                    let p2 = p1;
+                    p1 = p0;
+                    p0 = ((2.0 * j as f64 + 1.0) * x * p1 - j as f64 * p2) / (j as f64 + 1.0);
+                }
+                pp = n as f64 * (x * p0 - p1) / (x * x - 1.0);
+                let dx = p0 / pp;
+                x -= dx;
+                if dx.abs() < 1e-16 {
+                    break;
+                }
+            }
+            nodes[i] = -x;
+            nodes[n - 1 - i] = x;
+            let w = 2.0 / ((1.0 - x * x) * pp * pp);
+            weights[i] = w;
+            weights[n - 1 - i] = w;
+        }
+        GaussLegendre { nodes, weights }
+    }
+
+    /// Number of points in the rule.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the rule has no points (never true for rules built
+    /// with [`GaussLegendre::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Raw nodes on `[-1, 1]`.
+    pub fn nodes(&self) -> &[f64] {
+        &self.nodes
+    }
+
+    /// Raw weights on `[-1, 1]`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Nodes and weights affinely mapped to `[a, b]`.
+    pub fn scaled(&self, a: f64, b: f64) -> Vec<(f64, f64)> {
+        let c = 0.5 * (a + b);
+        let h = 0.5 * (b - a);
+        self.nodes
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| (c + h * x, h * w))
+            .collect()
+    }
+
+    /// Integrates `f` over `[a, b]`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nhpp_numeric::quadrature::GaussLegendre;
+    /// let gl = GaussLegendre::new(32);
+    /// let integral = gl.integrate(0.0, std::f64::consts::PI, f64::sin);
+    /// assert!((integral - 2.0).abs() < 1e-12);
+    /// ```
+    pub fn integrate<F: FnMut(f64) -> f64>(&self, a: f64, b: f64, mut f: F) -> f64 {
+        let c = 0.5 * (a + b);
+        let h = 0.5 * (b - a);
+        let mut acc = 0.0;
+        for (&x, &w) in self.nodes.iter().zip(&self.weights) {
+            acc += w * f(c + h * x);
+        }
+        acc * h
+    }
+
+    /// Integrates `f` over `[a, b]` split into `panels` equal panels
+    /// (composite rule) — more robust for sharply peaked integrands.
+    pub fn integrate_composite<F: FnMut(f64) -> f64>(
+        &self,
+        a: f64,
+        b: f64,
+        panels: usize,
+        mut f: F,
+    ) -> f64 {
+        let panels = panels.max(1);
+        let width = (b - a) / panels as f64;
+        let mut acc = 0.0;
+        for p in 0..panels {
+            let lo = a + p as f64 * width;
+            acc += self.integrate(lo, lo + width, &mut f);
+        }
+        acc
+    }
+
+    /// Computes `ln ∫ₐᵇ exp(ln_f(x)) dx` in log space, immune to underflow
+    /// of the integrand (the NINT building block).
+    ///
+    /// `ln_f` may return `−∞` for regions of zero mass.
+    pub fn log_integrate<F: FnMut(f64) -> f64>(&self, a: f64, b: f64, mut ln_f: F) -> f64 {
+        let c = 0.5 * (a + b);
+        let h = 0.5 * (b - a);
+        let terms: Vec<f64> = self
+            .nodes
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| ln_f(c + h * x) + (w * h).ln())
+            .collect();
+        log_sum_exp(&terms)
+    }
+}
+
+/// Adaptive Simpson quadrature over `[a, b]` with absolute tolerance `tol`.
+///
+/// # Errors
+///
+/// [`NumericError::NonFinite`] if the integrand returns a non-finite
+/// value, [`NumericError::InvalidArgument`] for a non-positive tolerance.
+pub fn adaptive_simpson<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+) -> Result<f64, NumericError> {
+    if !(tol > 0.0) {
+        return Err(NumericError::InvalidArgument {
+            message: "tolerance must be positive",
+        });
+    }
+    fn simpson(fa: f64, fm: f64, fb: f64, a: f64, b: f64) -> f64 {
+        (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+    }
+    #[allow(clippy::too_many_arguments)] // internal recursion carries its full state explicitly
+    fn recurse<F: FnMut(f64) -> f64>(
+        f: &mut F,
+        a: f64,
+        b: f64,
+        fa: f64,
+        fm: f64,
+        fb: f64,
+        whole: f64,
+        tol: f64,
+        depth: usize,
+    ) -> Result<f64, NumericError> {
+        let m = 0.5 * (a + b);
+        let lm = 0.5 * (a + m);
+        let rm = 0.5 * (m + b);
+        let flm = f(lm);
+        let frm = f(rm);
+        if !flm.is_finite() || !frm.is_finite() {
+            return Err(NumericError::NonFinite {
+                context: "adaptive_simpson integrand",
+            });
+        }
+        let left = simpson(fa, flm, fm, a, m);
+        let right = simpson(fm, frm, fb, m, b);
+        let delta = left + right - whole;
+        if depth == 0 || delta.abs() <= 15.0 * tol {
+            return Ok(left + right + delta / 15.0);
+        }
+        let l = recurse(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1)?;
+        let r = recurse(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1)?;
+        Ok(l + r)
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    if !fa.is_finite() || !fb.is_finite() || !fm.is_finite() {
+        return Err(NumericError::NonFinite {
+            context: "adaptive_simpson endpoints",
+        });
+    }
+    let whole = simpson(fa, fm, fb, a, b);
+    recurse(&mut f, a, b, fa, fm, fb, whole, tol, 48)
+}
+
+/// Integrates `f` over the semi-infinite interval `[a, ∞)` using the
+/// substitution `x = a + t/(1−t)`, `t ∈ [0, 1)`, with a Gauss–Legendre
+/// rule. Suitable for integrands with (sub-)exponential tails.
+pub fn integrate_semi_infinite<F: FnMut(f64) -> f64>(
+    rule: &GaussLegendre,
+    a: f64,
+    mut f: F,
+) -> f64 {
+    rule.integrate(0.0, 1.0, |t| {
+        let om = 1.0 - t;
+        let x = a + t / om;
+        f(x) / (om * om)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gl_nodes_are_symmetric_and_weights_sum_to_two() {
+        for &n in &[1usize, 2, 3, 5, 16, 33, 64, 201] {
+            let gl = GaussLegendre::new(n);
+            assert_eq!(gl.len(), n);
+            let wsum: f64 = gl.weights().iter().sum();
+            assert!((wsum - 2.0).abs() < 1e-12, "n={n}, wsum={wsum}");
+            for (i, &x) in gl.nodes().iter().enumerate() {
+                assert!((x + gl.nodes()[n - 1 - i]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn gl_exact_for_polynomials() {
+        // n-point GL is exact for degree 2n−1.
+        let gl = GaussLegendre::new(5);
+        // ∫₀¹ x⁹ dx = 0.1
+        let v = gl.integrate(0.0, 1.0, |x| x.powi(9));
+        assert!((v - 0.1).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gl_sin_integral() {
+        let gl = GaussLegendre::new(24);
+        let v = gl.integrate(0.0, std::f64::consts::PI, f64::sin);
+        assert!((v - 2.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn composite_matches_single_panel_for_smooth_f() {
+        let gl = GaussLegendre::new(16);
+        let single = gl.integrate(0.0, 4.0, |x| (-x).exp());
+        let multi = gl.integrate_composite(0.0, 4.0, 8, |x| (-x).exp());
+        let exact = 1.0 - (-4.0f64).exp();
+        assert!((single - exact).abs() < 1e-12);
+        assert!((multi - exact).abs() < 1e-13);
+    }
+
+    #[test]
+    fn log_integrate_handles_underflow() {
+        // ∫₀¹ e^{-2000} dx = e^{-2000}: underflows linearly.
+        let gl = GaussLegendre::new(8);
+        let ln_v = gl.log_integrate(0.0, 1.0, |_| -2000.0);
+        assert!((ln_v + 2000.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn log_integrate_gaussian_mass() {
+        // ∫ exp(−x²/2) dx over [−10, 10] = √(2π).
+        let gl = GaussLegendre::new(128);
+        let ln_v = gl.log_integrate(-10.0, 10.0, |x| -0.5 * x * x);
+        let expected = 0.5 * (2.0 * std::f64::consts::PI).ln();
+        assert!((ln_v - expected).abs() < 1e-10);
+    }
+
+    #[test]
+    fn adaptive_simpson_smooth() {
+        let v = adaptive_simpson(|x: f64| x.exp(), 0.0, 1.0, 1e-12).unwrap();
+        assert!((v - (std::f64::consts::E - 1.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn adaptive_simpson_peaked() {
+        // Narrow Gaussian mass inside a wide interval.
+        let s = 1e-3;
+        let v = adaptive_simpson(
+            |x: f64| (-0.5 * (x / s).powi(2)).exp() / (s * (2.0 * std::f64::consts::PI).sqrt()),
+            -1.0,
+            1.0,
+            1e-10,
+        )
+        .unwrap();
+        assert!((v - 1.0).abs() < 1e-6, "v={v}");
+    }
+
+    #[test]
+    fn adaptive_simpson_rejects_nan() {
+        let err = adaptive_simpson(|_| f64::NAN, 0.0, 1.0, 1e-10).unwrap_err();
+        assert!(matches!(err, NumericError::NonFinite { .. }));
+    }
+
+    #[test]
+    fn semi_infinite_exponential() {
+        let gl = GaussLegendre::new(64);
+        // ∫₂^∞ e^{−x} dx = e^{−2}
+        let v = integrate_semi_infinite(&gl, 2.0, |x| (-x).exp());
+        assert!((v - (-2.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn semi_infinite_gamma_mean() {
+        let gl = GaussLegendre::new(96);
+        // ∫₀^∞ x·x e^{−x} dx = Γ(3) = 2 (mean of Gamma(2,1) times normaliser).
+        let v = integrate_semi_infinite(&gl, 0.0, |x| x * x * (-x).exp());
+        assert!((v - 2.0).abs() < 1e-6, "v={v}");
+    }
+}

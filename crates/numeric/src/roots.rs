@@ -1,0 +1,395 @@
+//! One-dimensional root finding: bisection, Brent and safeguarded Newton.
+
+use crate::NumericError;
+
+/// Finds a root of `f` in `[a, b]` by plain bisection.
+///
+/// Robust but linearly convergent; use [`brent`] unless you specifically
+/// need the predictable bisection behaviour.
+///
+/// # Errors
+///
+/// * [`NumericError::NoBracket`] if `f(a)` and `f(b)` have the same sign.
+/// * [`NumericError::MaxIterations`] if `max_iter` halvings do not reach
+///   `tol` (the payload carries the midpoint reached).
+/// * [`NumericError::NonFinite`] if `f` returns NaN.
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, NumericError> {
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa.is_nan() || fb.is_nan() {
+        return Err(NumericError::NonFinite {
+            context: "bisect endpoint evaluation",
+        });
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericError::NoBracket { fa, fb });
+    }
+    for i in 0..max_iter {
+        let mid = 0.5 * (a + b);
+        if (b - a).abs() <= tol.max(f64::EPSILON * mid.abs()) {
+            return Ok(mid);
+        }
+        let fm = f(mid);
+        if fm.is_nan() {
+            return Err(NumericError::NonFinite {
+                context: "bisect midpoint evaluation",
+            });
+        }
+        if fm == 0.0 {
+            return Ok(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+        if i + 1 == max_iter {
+            return Err(NumericError::MaxIterations {
+                best: 0.5 * (a + b),
+                iterations: max_iter,
+            });
+        }
+    }
+    Err(NumericError::MaxIterations {
+        best: 0.5 * (a + b),
+        iterations: max_iter,
+    })
+}
+
+/// Finds a root of `f` in `[a, b]` using Brent's method (inverse quadratic
+/// interpolation with bisection safeguards). Superlinear convergence with
+/// bisection robustness; the workhorse for quantile inversion.
+///
+/// # Errors
+///
+/// Same contract as [`bisect`].
+///
+/// # Example
+///
+/// ```
+/// use nhpp_numeric::roots::brent;
+/// # fn main() -> Result<(), nhpp_numeric::NumericError> {
+/// let r = brent(|x| x.cos() - x, 0.0, 1.0, 1e-14, 100)?;
+/// assert!((r - 0.739_085_133_215_160_6).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a0: f64,
+    b0: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, NumericError> {
+    let mut a = a0;
+    let mut b = b0;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa.is_nan() || fb.is_nan() {
+        return Err(NumericError::NonFinite {
+            context: "brent endpoint evaluation",
+        });
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericError::NoBracket { fa, fb });
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut e = d;
+    for _ in 0..max_iter {
+        if fb.abs() > fc.abs() {
+            // Ensure b is the best iterate.
+            a = b;
+            b = c;
+            c = a;
+            fa = fb;
+            fb = fc;
+            fc = fa;
+        }
+        let tol1 = 2.0 * f64::EPSILON * b.abs() + 0.5 * tol;
+        let xm = 0.5 * (c - b);
+        if xm.abs() <= tol1 || fb == 0.0 {
+            return Ok(b);
+        }
+        if e.abs() >= tol1 && fa.abs() > fb.abs() {
+            // Attempt inverse quadratic interpolation / secant.
+            let s = fb / fa;
+            let (mut p, mut q) = if a == c {
+                (2.0 * xm * s, 1.0 - s)
+            } else {
+                let q = fa / fc;
+                let r = fb / fc;
+                (
+                    s * (2.0 * xm * q * (q - r) - (b - a) * (r - 1.0)),
+                    (q - 1.0) * (r - 1.0) * (s - 1.0),
+                )
+            };
+            if p > 0.0 {
+                q = -q;
+            }
+            p = p.abs();
+            let min1 = 3.0 * xm * q - (tol1 * q).abs();
+            let min2 = (e * q).abs();
+            if 2.0 * p < min1.min(min2) {
+                e = d;
+                d = p / q;
+            } else {
+                d = xm;
+                e = d;
+            }
+        } else {
+            d = xm;
+            e = d;
+        }
+        a = b;
+        fa = fb;
+        b += if d.abs() > tol1 { d } else { tol1.copysign(xm) };
+        fb = f(b);
+        if fb.is_nan() {
+            return Err(NumericError::NonFinite {
+                context: "brent iterate evaluation",
+            });
+        }
+        if (fb > 0.0) == (fc > 0.0) {
+            c = a;
+            fc = fa;
+            d = b - a;
+            e = d;
+        }
+    }
+    Err(NumericError::MaxIterations {
+        best: b,
+        iterations: max_iter,
+    })
+}
+
+/// Safeguarded Newton iteration: Newton steps clipped to a bracketing
+/// interval, falling back to bisection whenever a step leaves the bracket.
+///
+/// `fdf` must return the pair `(f(x), f'(x))`. The bracket `[a, b]` must
+/// contain a sign change of `f`.
+///
+/// # Errors
+///
+/// Same contract as [`bisect`].
+pub fn newton_bracketed<F: FnMut(f64) -> (f64, f64)>(
+    mut fdf: F,
+    a: f64,
+    b: f64,
+    x0: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, NumericError> {
+    let (fa, _) = fdf(a);
+    let (fb, _) = fdf(b);
+    if fa.is_nan() || fb.is_nan() {
+        return Err(NumericError::NonFinite {
+            context: "newton endpoint evaluation",
+        });
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericError::NoBracket { fa, fb });
+    }
+    let (mut lo, mut hi) = if fa < 0.0 { (a, b) } else { (b, a) };
+    let mut x = if (a..=b).contains(&x0) || (b..=a).contains(&x0) {
+        x0
+    } else {
+        0.5 * (a + b)
+    };
+    for _ in 0..max_iter {
+        let (fx, dfx) = fdf(x);
+        if fx.is_nan() || dfx.is_nan() {
+            return Err(NumericError::NonFinite {
+                context: "newton iterate evaluation",
+            });
+        }
+        if fx == 0.0 {
+            return Ok(x);
+        }
+        if fx < 0.0 {
+            lo = x;
+        } else {
+            hi = x;
+        }
+        let step = fx / dfx;
+        let mut x_new = x - step;
+        let (bl, bh) = if lo < hi { (lo, hi) } else { (hi, lo) };
+        if !(x_new.is_finite() && step.is_finite() && x_new > bl && x_new < bh) {
+            x_new = 0.5 * (lo + hi);
+        }
+        if (x_new - x).abs() <= tol.max(f64::EPSILON * x.abs()) {
+            return Ok(x_new);
+        }
+        x = x_new;
+    }
+    Err(NumericError::MaxIterations {
+        best: x,
+        iterations: max_iter,
+    })
+}
+
+/// Expands a bracket around `x0` for a function known to be increasing in
+/// the direction of its root: returns `(lo, hi)` with `f(lo) <= 0 <= f(hi)`.
+///
+/// Starting from `[x0/factor, x0*factor]`, geometrically widens whichever
+/// side fails the sign condition. Intended for strictly positive domains
+/// (quantiles of positive random variables).
+///
+/// # Errors
+///
+/// [`NumericError::MaxIterations`] if no bracket is found after
+/// `max_expand` doublings, [`NumericError::NonFinite`] on NaN, and
+/// [`NumericError::InvalidArgument`] if `x0 <= 0` or `factor <= 1`.
+pub fn expand_bracket<F: FnMut(f64) -> f64>(
+    mut f: F,
+    x0: f64,
+    factor: f64,
+    max_expand: usize,
+) -> Result<(f64, f64), NumericError> {
+    if !(x0 > 0.0) || !(factor > 1.0) {
+        return Err(NumericError::InvalidArgument {
+            message: "expand_bracket requires x0 > 0 and factor > 1",
+        });
+    }
+    let mut lo = x0 / factor;
+    let mut hi = x0 * factor;
+    let mut flo = f(lo);
+    let mut fhi = f(hi);
+    for _ in 0..max_expand {
+        if flo.is_nan() || fhi.is_nan() {
+            return Err(NumericError::NonFinite {
+                context: "expand_bracket evaluation",
+            });
+        }
+        if flo <= 0.0 && fhi >= 0.0 {
+            return Ok((lo, hi));
+        }
+        if flo > 0.0 {
+            lo /= factor;
+            flo = f(lo);
+        }
+        if fhi < 0.0 {
+            hi *= factor;
+            fhi = f(hi);
+        }
+    }
+    Err(NumericError::MaxIterations {
+        best: x0,
+        iterations: max_expand,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+        assert!((r - 2.0f64.sqrt()).abs() < 1e-11);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        let err = bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100).unwrap_err();
+        assert!(matches!(err, NumericError::NoBracket { .. }));
+    }
+
+    #[test]
+    fn bisect_exact_endpoint() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 10).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12, 10).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn brent_matches_known_roots() {
+        let r = brent(|x| x.cos() - x, 0.0, 1.0, 1e-15, 100).unwrap();
+        assert!((r - 0.739_085_133_215_160_6).abs() < 1e-12);
+        let r = brent(|x| x.exp() - 5.0, 0.0, 10.0, 1e-14, 100).unwrap();
+        assert!((r - 5.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_hard_flat_function() {
+        // x^9 is very flat near the root.
+        let r = brent(|x| x.powi(9), -1.0, 1.5, 1e-12, 200).unwrap();
+        assert!(r.abs() < 1e-2);
+    }
+
+    #[test]
+    fn brent_rejects_bad_bracket() {
+        let err = brent(|x| x * x + 0.5, -1.0, 1.0, 1e-12, 100).unwrap_err();
+        assert!(matches!(err, NumericError::NoBracket { .. }));
+    }
+
+    #[test]
+    fn newton_bracketed_quadratic() {
+        let r = newton_bracketed(|x| (x * x - 2.0, 2.0 * x), 0.0, 2.0, 1.0, 1e-14, 100).unwrap();
+        assert!((r - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn newton_bracketed_survives_bad_derivative() {
+        // Derivative vanishes at the initial point; must fall back to bisection.
+        let r = newton_bracketed(
+            |x| (x * x * x - 8.0, 3.0 * x * x),
+            -1.0,
+            5.0,
+            0.0,
+            1e-12,
+            200,
+        )
+        .unwrap();
+        assert!((r - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn expand_bracket_finds_interval() {
+        // Root at 1000, start far below.
+        let (lo, hi) = expand_bracket(|x| x - 1000.0, 1.0, 2.0, 64).unwrap();
+        assert!(lo <= 1000.0 && hi >= 1000.0);
+    }
+
+    #[test]
+    fn expand_bracket_validates_args() {
+        let err = expand_bracket(|x| x, -1.0, 2.0, 16).unwrap_err();
+        assert!(matches!(err, NumericError::InvalidArgument { .. }));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = NumericError::NoBracket { fa: 1.0, fb: 2.0 };
+        assert!(e.to_string().contains("bracket"));
+        let e = NumericError::MaxIterations {
+            best: 1.5,
+            iterations: 7,
+        };
+        assert!(e.to_string().contains('7'));
+    }
+}

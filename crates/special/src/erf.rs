@@ -1,0 +1,129 @@
+//! Error function family, built on the incomplete gamma functions.
+
+use crate::incgamma::{gamma_p, gamma_q};
+use crate::normal::norm_ppf;
+use std::f64::consts::SQRT_2;
+
+/// The error function `erf(x) = 2/√π ∫₀ˣ e^{−t²} dt`.
+///
+/// Defined for all real `x`; `erf(−x) = −erf(x)`.
+///
+/// # Example
+///
+/// ```
+/// assert!((nhpp_special::erf(1.0) - 0.842_700_792_949_714_9).abs() < 1e-13);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x >= 0.0 {
+        gamma_p(0.5, x * x)
+    } else {
+        -gamma_p(0.5, x * x)
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// Accurate in the far upper tail (no cancellation for large `x`).
+///
+/// # Example
+///
+/// ```
+/// assert!((nhpp_special::erfc(2.0) - 0.004_677_734_981_063_127).abs() < 1e-12);
+/// ```
+pub fn erfc(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x >= 0.0 {
+        gamma_q(0.5, x * x)
+    } else {
+        1.0 + gamma_p(0.5, x * x)
+    }
+}
+
+/// Inverse error function: returns `x` such that `erf(x) = y`,
+/// for `y ∈ (−1, 1)`. Returns `±∞` at the endpoints and [`f64::NAN`]
+/// outside `[−1, 1]`.
+pub fn erf_inv(y: f64) -> f64 {
+    if !(-1.0..=1.0).contains(&y) {
+        return f64::NAN;
+    }
+    if y == 1.0 {
+        return f64::INFINITY;
+    }
+    if y == -1.0 {
+        return f64::NEG_INFINITY;
+    }
+    // erf(x) = 2Φ(x√2) − 1  ⇒  x = Φ⁻¹((y+1)/2)/√2
+    norm_ppf((y + 1.0) / 2.0) / SQRT_2
+}
+
+/// Inverse complementary error function: returns `x` with `erfc(x) = y`,
+/// for `y ∈ (0, 2)`. Returns `±∞` at the endpoints and [`f64::NAN`]
+/// outside `[0, 2]`.
+pub fn erfc_inv(y: f64) -> f64 {
+    if !(0.0..=2.0).contains(&y) {
+        return f64::NAN;
+    }
+    if y == 0.0 {
+        return f64::INFINITY;
+    }
+    if y == 2.0 {
+        return f64::NEG_INFINITY;
+    }
+    erf_inv(1.0 - y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol * expected.abs().max(1.0),
+            "actual={actual}, expected={expected}"
+        );
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(erf(0.0), 0.0);
+        assert_close(erf(0.5), 0.520_499_877_813_046_5, 1e-13);
+        assert_close(erf(1.0), 0.842_700_792_949_714_9, 1e-13);
+        assert_close(erf(2.0), 0.995_322_265_018_952_9, 1e-13);
+        assert_close(erfc(2.0), 0.004_677_734_981_063_127, 1e-13);
+        assert_close(erfc(5.0), 1.537_459_794_428_035e-12, 1e-10);
+    }
+
+    #[test]
+    fn symmetry_and_complement() {
+        for &x in &[0.1, 0.7, 1.3, 2.9] {
+            assert_close(erf(-x), -erf(x), 1e-15);
+            assert_close(erf(x) + erfc(x), 1.0, 1e-14);
+            assert_close(erfc(-x), 2.0 - erfc(x), 1e-14);
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        for &y in &[-0.999, -0.5, -0.01, 0.0, 0.3, 0.95, 0.99999] {
+            assert_close(erf(erf_inv(y)), y, 1e-11);
+        }
+        for &y in &[1e-10, 1e-3, 0.5, 1.0, 1.7, 2.0 - 1e-9] {
+            assert_close(erfc(erfc_inv(y)), y, 1e-10);
+        }
+    }
+
+    #[test]
+    fn inverse_edges() {
+        assert_eq!(erf_inv(1.0), f64::INFINITY);
+        assert_eq!(erf_inv(-1.0), f64::NEG_INFINITY);
+        assert!(erf_inv(1.5).is_nan());
+        assert_eq!(erfc_inv(0.0), f64::INFINITY);
+        assert_eq!(erfc_inv(2.0), f64::NEG_INFINITY);
+        assert!(erfc_inv(-0.1).is_nan());
+    }
+}

@@ -1,0 +1,123 @@
+//! Numerically stable log-space accumulation helpers.
+
+/// Computes `ln Σᵢ exp(xᵢ)` with max-subtraction, avoiding overflow and
+/// underflow. An empty slice yields `−∞` (the log of an empty sum).
+///
+/// `−∞` entries are treated as zero contributions; any `+∞` entry makes the
+/// result `+∞`; any NaN propagates.
+///
+/// # Example
+///
+/// ```
+/// // ln(e^{-1000} + e^{-1000}) = −1000 + ln 2, despite both terms underflowing.
+/// let v = [-1000.0, -1000.0];
+/// let expected = -1000.0 + 2.0f64.ln();
+/// assert!((nhpp_special::log_sum_exp(&v) - expected).abs() < 1e-12);
+/// ```
+pub fn log_sum_exp(values: &[f64]) -> f64 {
+    let mut max = f64::NEG_INFINITY;
+    for &v in values {
+        if v.is_nan() {
+            return f64::NAN;
+        }
+        if v > max {
+            max = v;
+        }
+    }
+    if max == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    if max == f64::INFINITY {
+        return f64::INFINITY;
+    }
+    let sum: f64 = values.iter().map(|&v| (v - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// `ln(exp(a) + exp(b))` for two values, without building a slice.
+pub fn log_sum_exp_pair(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        return f64::NAN;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    if hi == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// `ln(exp(a) − exp(b))` for `a >= b`, stable when the two are close.
+///
+/// Returns `−∞` when `a == b` and [`f64::NAN`] when `a < b` (the
+/// difference would be negative and has no real logarithm).
+pub fn log_diff_exp(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() || a < b {
+        return f64::NAN;
+    }
+    if a == b {
+        return f64::NEG_INFINITY;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    // ln(e^a − e^b) = a + ln(1 − e^{b−a}) = a + ln(−expm1(b−a))
+    a + (-((b - a).exp_m1())).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_sums() {
+        let v = [0.0f64, 0.0];
+        assert!((log_sum_exp(&v) - 2.0f64.ln()).abs() < 1e-14);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+        assert_eq!(log_sum_exp(&[f64::INFINITY, 0.0]), f64::INFINITY);
+        assert!(log_sum_exp(&[f64::NAN, 0.0]).is_nan());
+    }
+
+    #[test]
+    fn extreme_magnitudes() {
+        let v = [-1e6, -1e6 + 1.0];
+        let expected = -1e6 + 1.0 + (1.0 + (-1.0f64).exp()).ln();
+        assert!((log_sum_exp(&v) - expected).abs() < 1e-9);
+        // A dominant term swamps the rest.
+        let v = [700.0, -700.0];
+        assert!((log_sum_exp(&v) - 700.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_matches_slice() {
+        for &(a, b) in &[
+            (0.0, 0.0),
+            (-3.0, 5.0),
+            (-1e5, -1e5 + 2.0),
+            (f64::NEG_INFINITY, -4.0),
+        ] {
+            let s = log_sum_exp(&[a, b]);
+            let p = log_sum_exp_pair(a, b);
+            if s.is_finite() {
+                assert!((s - p).abs() < 1e-12, "a={a}, b={b}");
+            } else {
+                assert_eq!(s, p);
+            }
+        }
+    }
+
+    #[test]
+    fn diff_exp() {
+        // ln(e^1 − e^0) = ln(e − 1)
+        let expected = (std::f64::consts::E - 1.0).ln();
+        assert!((log_diff_exp(1.0, 0.0) - expected).abs() < 1e-14);
+        assert_eq!(log_diff_exp(2.0, 2.0), f64::NEG_INFINITY);
+        assert!(log_diff_exp(0.0, 1.0).is_nan());
+        assert_eq!(log_diff_exp(3.0, f64::NEG_INFINITY), 3.0);
+        // Near-equal arguments stay accurate: ln(e^x(1 − e^{−h})) ≈ x + ln h.
+        let x = 10.0;
+        let h = 1e-9;
+        let got = log_diff_exp(x + h, x);
+        assert!((got - (x + h.ln_1p().ln())).abs() < 1e-5 || (got - (x + h.ln())).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,181 @@
+//! Standard normal density, CDF, survival function and quantile.
+
+use crate::erf::erfc;
+use std::f64::consts::{PI, SQRT_2};
+
+/// Standard normal probability density `φ(x)`.
+pub fn norm_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * PI).sqrt()
+}
+
+/// Log of the standard normal density, `ln φ(x)`.
+pub fn norm_ln_pdf(x: f64) -> f64 {
+    -0.5 * x * x - 0.5 * (2.0 * PI).ln()
+}
+
+/// Standard normal CDF `Φ(x)`, accurate in both tails.
+///
+/// # Example
+///
+/// ```
+/// assert!((nhpp_special::norm_cdf(0.0) - 0.5).abs() < 1e-15);
+/// assert!((nhpp_special::norm_cdf(1.96) - 0.975_002_104_851_780_2).abs() < 1e-12);
+/// ```
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / SQRT_2)
+}
+
+/// Standard normal survival function `1 − Φ(x)`, without cancellation for
+/// large `x`.
+pub fn norm_sf(x: f64) -> f64 {
+    0.5 * erfc(x / SQRT_2)
+}
+
+/// Standard normal quantile (inverse CDF, a.k.a. probit) `Φ⁻¹(p)` for
+/// `p ∈ [0, 1]`.
+///
+/// Uses Acklam's rational approximation followed by one Halley refinement
+/// step against [`norm_cdf`], giving near machine-precision results.
+/// Returns `±∞` at the endpoints and [`f64::NAN`] outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// let z = nhpp_special::norm_ppf(0.975);
+/// assert!((z - 1.959_963_984_540_054).abs() < 1e-12);
+/// ```
+pub fn norm_ppf(p: f64) -> f64 {
+    if !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley step: e = Φ(x) − p, u = e / φ(x), x ← x − u/(1 + xu/2).
+    let e = norm_cdf(x) - p;
+    let u = e * (2.0 * PI).sqrt() * (0.5 * x * x).exp();
+    x - u / (1.0 + 0.5 * x * u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol * expected.abs().max(1.0),
+            "actual={actual}, expected={expected}"
+        );
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        assert_close(norm_cdf(0.0), 0.5, 1e-15);
+        assert_close(norm_cdf(1.0), 0.841_344_746_068_542_9, 1e-13);
+        assert_close(norm_cdf(-1.0), 0.158_655_253_931_457_05, 1e-13);
+        assert_close(norm_cdf(3.0), 0.998_650_101_968_369_9, 1e-13);
+        // Deep tail survival value.
+        assert_close(norm_sf(6.0), 9.865_876_450_376_946e-10, 1e-9);
+    }
+
+    #[test]
+    fn ppf_known_values() {
+        assert_eq!(norm_ppf(0.5), 0.0);
+        assert_close(norm_ppf(0.975), 1.959_963_984_540_054, 1e-13);
+        assert_close(norm_ppf(0.995), 2.575_829_303_548_901, 1e-13);
+        assert_close(norm_ppf(0.01), -2.326_347_874_040_841, 1e-13);
+        assert_close(norm_ppf(1e-10), -6.361_340_902_404_056, 1e-10);
+    }
+
+    #[test]
+    fn ppf_round_trip() {
+        for &p in &[
+            1e-12,
+            1e-6,
+            0.001,
+            0.025,
+            0.3,
+            0.5,
+            0.7,
+            0.975,
+            0.999,
+            1.0 - 1e-9,
+        ] {
+            assert_close(norm_cdf(norm_ppf(p)), p, 1e-12);
+        }
+    }
+
+    #[test]
+    fn ppf_edges() {
+        assert_eq!(norm_ppf(0.0), f64::NEG_INFINITY);
+        assert_eq!(norm_ppf(1.0), f64::INFINITY);
+        assert!(norm_ppf(-0.5).is_nan());
+        assert!(norm_ppf(1.5).is_nan());
+    }
+
+    #[test]
+    fn pdf_matches_ln_pdf() {
+        for &x in &[-5.0, -1.0, 0.0, 0.5, 4.2] {
+            assert_close(norm_pdf(x).ln(), norm_ln_pdf(x), 1e-12);
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        for &x in &[0.3, 1.1, 2.7] {
+            assert_close(norm_cdf(-x), norm_sf(x), 1e-14);
+            assert_close(norm_ppf(norm_cdf(x)), x, 1e-10);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the special-function substrate.
+
+use nhpp_special::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// ln Γ satisfies the recurrence ln Γ(x+1) = ln Γ(x) + ln x.
+    #[test]
+    fn ln_gamma_recurrence(x in 1e-3f64..1e5) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = ln_gamma(x) + x.ln();
+        prop_assert!((lhs - rhs).abs() <= 1e-10 * lhs.abs().max(1.0));
+    }
+
+    /// Digamma is the derivative of ln Γ (finite-difference check).
+    #[test]
+    fn digamma_is_lngamma_derivative(x in 0.1f64..1e3) {
+        let h = 1e-5 * x.max(1.0);
+        let fd = (ln_gamma(x + h) - ln_gamma(x - h)) / (2.0 * h);
+        prop_assert!((digamma(x) - fd).abs() <= 1e-4 * fd.abs().max(1.0));
+    }
+
+    /// Trigamma is positive and decreasing on (0, ∞).
+    #[test]
+    fn trigamma_positive_decreasing(x in 0.05f64..1e3) {
+        let t1 = trigamma(x);
+        let t2 = trigamma(x * 1.5);
+        prop_assert!(t1 > 0.0 && t2 > 0.0 && t2 < t1);
+    }
+
+    /// P(a, x) + Q(a, x) = 1 over a broad parameter box.
+    #[test]
+    fn incgamma_complementarity(a in 1e-2f64..1e4, frac in 1e-3f64..5.0) {
+        let x = a * frac;
+        let s = gamma_p(a, x) + gamma_q(a, x);
+        prop_assert!((s - 1.0).abs() < 1e-11, "a={a}, x={x}, s={s}");
+    }
+
+    /// P is monotone nondecreasing in x.
+    #[test]
+    fn incgamma_monotone(a in 1e-2f64..1e3, x in 1e-6f64..1e4, dx in 1e-6f64..10.0) {
+        prop_assert!(gamma_p(a, x + dx) >= gamma_p(a, x) - 1e-14);
+    }
+
+    /// gamma_p_inv inverts gamma_p.
+    #[test]
+    fn incgamma_inverse_roundtrip(a in 1e-1f64..1e4, p in 1e-8f64..1.0f64) {
+        prop_assume!(p < 1.0 - 1e-12);
+        let x = gamma_p_inv(a, p);
+        prop_assert!(x.is_finite() && x >= 0.0);
+        let back = gamma_p(a, x);
+        prop_assert!((back - p).abs() < 1e-8, "a={a}, p={p}, x={x}, back={back}");
+    }
+
+    /// ln-space versions agree with linear versions when no underflow occurs.
+    #[test]
+    fn ln_incgamma_consistent(a in 1e-1f64..1e3, frac in 0.05f64..3.0) {
+        let x = a * frac;
+        let p = gamma_p(a, x);
+        let q = gamma_q(a, x);
+        if p > 1e-280 {
+            prop_assert!((ln_gamma_p(a, x) - p.ln()).abs() < 1e-8 * p.ln().abs().max(1.0));
+        }
+        if q > 1e-280 {
+            prop_assert!((ln_gamma_q(a, x) - q.ln()).abs() < 1e-8 * q.ln().abs().max(1.0));
+        }
+    }
+
+    /// erf/erfc symmetry and complementarity.
+    #[test]
+    fn erf_properties(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-13);
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+    }
+
+    /// Normal CDF/quantile round trip.
+    #[test]
+    fn norm_roundtrip(p in 1e-10f64..1.0f64) {
+        prop_assume!(p < 1.0 - 1e-12);
+        let z = norm_ppf(p);
+        prop_assert!((norm_cdf(z) - p).abs() < 1e-10);
+    }
+
+    /// log_sum_exp equals the naive sum when safe, and is permutation- and
+    /// shift-equivariant.
+    #[test]
+    fn log_sum_exp_properties(mut v in prop::collection::vec(-50.0f64..50.0, 1..20), shift in -1e4f64..1e4) {
+        let naive = v.iter().map(|x| x.exp()).sum::<f64>().ln();
+        let lse = log_sum_exp(&v);
+        prop_assert!((lse - naive).abs() < 1e-9 * naive.abs().max(1.0));
+
+        let shifted: Vec<f64> = v.iter().map(|x| x + shift).collect();
+        prop_assert!((log_sum_exp(&shifted) - (lse + shift)).abs() < 1e-8 * (lse + shift).abs().max(1.0));
+
+        v.reverse();
+        prop_assert!((log_sum_exp(&v) - lse).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,82 @@
+//! Prior-sensitivity sweep: how much does the prior drive the interval
+//! estimates on a 38-failure dataset?
+//!
+//! Small-sample Bayesian inference is exactly the regime the paper
+//! targets, so a user should understand how the informative prior and
+//! the data share influence. This sweep keeps the prior means at the
+//! paper's values and scales the prior *confidence* from vague (sd equal
+//! to the mean) to strong (sd at 10% of the mean), watching the
+//! posterior mean and 99% interval for ω respond; the flat-prior limit
+//! is included for reference.
+//!
+//! ```sh
+//! cargo run --release -p nhpp-examples --bin prior_sensitivity
+//! ```
+
+use nhpp_data::sys17;
+use nhpp_dist::Gamma;
+use nhpp_models::prior::NhppPrior;
+use nhpp_models::{fit_mle, FitOptions, ModelSpec, Posterior};
+use nhpp_vb::{Truncation, Vb2Options, Vb2Posterior};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data: nhpp_data::ObservedData = sys17::failure_times().into();
+    let spec = ModelSpec::goel_okumoto();
+    let mle = fit_mle(spec, &data, FitOptions::default())?;
+    println!(
+        "MLE reference: omega = {:.2}, beta = {:.3e}",
+        mle.model.omega(),
+        mle.model.beta()
+    );
+    println!("prior means fixed at omega = 50, beta = 1e-5 (paper's Info values)\n");
+    println!(
+        "{:>22} {:>10} {:>20} {:>10}",
+        "prior sd (omega)", "E[omega]", "99% CI for omega", "E[N]-m"
+    );
+
+    for rel_sd in [1.0, 0.5, 0.3162, 0.2, 0.1] {
+        let prior = NhppPrior::informative(
+            Gamma::from_mean_sd(50.0, 50.0 * rel_sd)?,
+            Gamma::from_mean_sd(1e-5, 1e-5 * rel_sd)?,
+        );
+        let posterior = Vb2Posterior::fit(spec, prior, &data, Vb2Options::default())?;
+        let (lo, hi) = posterior.credible_interval_omega(0.99);
+        println!(
+            "{:>20.1}  {:>10.2} {:>9.2} .. {:>7.2} {:>10.2}",
+            50.0 * rel_sd,
+            posterior.mean_omega(),
+            lo,
+            hi,
+            posterior.mean_n() - 38.0,
+        );
+    }
+
+    // Flat-prior limit (NoInfo): the exact posterior over N is improper,
+    // so the truncation must be capped (see EXPERIMENTS.md).
+    let posterior = Vb2Posterior::fit(
+        spec,
+        NhppPrior::flat(),
+        &data,
+        Vb2Options {
+            truncation: Truncation::AdaptiveCapped {
+                epsilon: 5e-15,
+                cap: 2_000,
+            },
+            ..Vb2Options::default()
+        },
+    )?;
+    let (lo, hi) = posterior.credible_interval_omega(0.99);
+    println!(
+        "{:>20}  {:>10.2} {:>9.2} .. {:>7.2} {:>10.2}",
+        "flat (NoInfo)",
+        posterior.mean_omega(),
+        lo,
+        hi,
+        posterior.mean_n() - 38.0,
+    );
+
+    println!("\nreading: a stronger prior (smaller sd) pulls E[omega] toward the");
+    println!("prior mean 50 and narrows the interval; the flat prior recovers a");
+    println!("likelihood-dominated, wider, right-skewed interval.");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: Bayesian interval estimation of a software reliability
+//! model in a dozen lines.
+//!
+//! Fits the paper's proposed variational method (VB2) to the bundled
+//! System 17 surrogate failure-time data under the informative prior,
+//! then prints the parameter estimates, 99% credible intervals and a
+//! reliability forecast.
+//!
+//! ```sh
+//! cargo run --release -p nhpp-examples --bin quickstart
+//! ```
+
+use nhpp_data::sys17;
+use nhpp_models::prior::NhppPrior;
+use nhpp_models::{ModelSpec, Posterior};
+use nhpp_vb::{Vb2Options, Vb2Posterior};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 38 failure times (wall-clock seconds) observed during system test.
+    let data = sys17::failure_times();
+    println!(
+        "dataset: {} failures over {:.0} s of testing",
+        data.len(),
+        data.observation_end()
+    );
+
+    // Goel-Okumoto model, informative Gamma priors (paper's "Info").
+    let posterior = Vb2Posterior::fit(
+        ModelSpec::goel_okumoto(),
+        NhppPrior::paper_info_times(),
+        &data.clone().into(),
+        Vb2Options::default(),
+    )?;
+
+    println!("\nposterior over model parameters:");
+    println!(
+        "  expected total faults  E[omega] = {:.2}  (99% CI {:.2} .. {:.2})",
+        posterior.mean_omega(),
+        posterior.credible_interval_omega(0.99).0,
+        posterior.credible_interval_omega(0.99).1,
+    );
+    println!(
+        "  detection rate         E[beta]  = {:.3e} (99% CI {:.3e} .. {:.3e})",
+        posterior.mean_beta(),
+        posterior.credible_interval_beta(0.99).0,
+        posterior.credible_interval_beta(0.99).1,
+    );
+    println!(
+        "  residual faults        E[N] - m = {:.2}",
+        posterior.mean_n() - data.len() as f64
+    );
+
+    // Will the software survive the next 10 000 seconds without failure?
+    let t = data.observation_end();
+    let u = 10_000.0;
+    let (lo, hi) = posterior.reliability_interval(t, u, 0.99);
+    println!(
+        "\nreliability over the next {u:.0} s: {:.4} (99% CI {lo:.4} .. {hi:.4})",
+        posterior.reliability_point(t, u)
+    );
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Release planning: the workload that motivates interval estimation in
+//! the first place.
+//!
+//! A test manager must decide whether the software is ready to ship. The
+//! criterion is not a point estimate but a *risk statement*: "with 95%
+//! posterior confidence, the reliability over a one-day mission exceeds
+//! 0.9". This example walks the full decision: fit the posterior,
+//! evaluate the criterion, and if it fails, search for the additional
+//! testing time after which it would pass (assuming the fault-detection
+//! trend continues).
+//!
+//! ```sh
+//! cargo run --release -p nhpp-examples --bin release_planning
+//! ```
+
+use nhpp_data::sys17;
+use nhpp_models::prior::NhppPrior;
+use nhpp_models::{ModelSpec, Posterior};
+use nhpp_vb::{Vb2Options, Vb2Posterior};
+
+/// Ship criterion: the 5%-quantile of R(t+u | t) must exceed this.
+const TARGET_RELIABILITY: f64 = 0.90;
+/// Mission length the criterion is evaluated over (one working day of
+/// execution, in wall-clock seconds of test operation).
+const MISSION: f64 = 3_600.0;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = sys17::failure_times();
+    let t_now = data.observation_end();
+    let posterior = Vb2Posterior::fit(
+        ModelSpec::goel_okumoto(),
+        NhppPrior::paper_info_times(),
+        &data.clone().into(),
+        Vb2Options::default(),
+    )?;
+
+    println!(
+        "observed: {} failures in {:.0} s of system test",
+        data.len(),
+        t_now
+    );
+    println!(
+        "posterior: E[total faults] = {:.1}, expected residual = {:.1}",
+        posterior.mean_omega(),
+        posterior.mean_n() - data.len() as f64
+    );
+
+    // The pessimistic (lower-quantile) reliability is the decision value.
+    let r_point = posterior.reliability_point(t_now, MISSION);
+    let r_pessimistic = posterior.reliability_quantile(t_now, MISSION, 0.05);
+    println!("\nship criterion: P5[R(next {MISSION:.0} s)] >= {TARGET_RELIABILITY}");
+    println!("  point estimate      : {r_point:.4}");
+    println!("  5% posterior quantile: {r_pessimistic:.4}");
+
+    if r_pessimistic >= TARGET_RELIABILITY {
+        println!("  -> SHIP: the reliability target is met with 95% confidence.");
+        return Ok(());
+    }
+    println!("  -> HOLD: target not met; estimating additional test time...");
+
+    // Search the additional testing time Δ after which the criterion
+    // would hold, i.e. the 5%-quantile of R(t_now+Δ+u | t_now+Δ) clears
+    // the target. (Conservative: evaluated under today's posterior.)
+    let mut delta = MISSION;
+    let mut steps = 0;
+    while steps < 64 {
+        let q = posterior.reliability_quantile(t_now + delta, MISSION, 0.05);
+        if q >= TARGET_RELIABILITY {
+            break;
+        }
+        delta *= 1.5;
+        steps += 1;
+    }
+    // Refine by bisection between delta/1.5 and delta.
+    let (mut lo, mut hi) = (delta / 1.5, delta);
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        let q = posterior.reliability_quantile(t_now + mid, MISSION, 0.05);
+        if q >= TARGET_RELIABILITY {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let needed = hi;
+    println!(
+        "  additional failure-free-equivalent test time needed: {:.0} s (~{:.1} working days)",
+        needed,
+        needed / sys17::SECONDS_PER_DAY
+    );
+    let expected_found = posterior.mean_omega()
+        * (nhpp_dist::Gamma::new(1.0, posterior.mean_beta())?
+            .ln_interval_mass(t_now, t_now + needed))
+        .exp();
+    println!("  expected faults surfaced during that extra testing: {expected_found:.2}");
+    Ok(())
+}

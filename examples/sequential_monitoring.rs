@@ -1,0 +1,57 @@
+//! Sequential monitoring: refit the posterior after every week of
+//! testing and watch the interval estimates tighten.
+//!
+//! This is the workload where VB2's speed matters operationally: a
+//! dashboard that refits after every data delivery cannot afford a
+//! 200 000-sweep MCMC per tile, but a millisecond variational fit is
+//! free. The example replays the System 17 surrogate week by week
+//! (8 working days at a time) and prints the evolving estimate of the
+//! total fault count, the residual faults, and next-day reliability.
+//!
+//! ```sh
+//! cargo run --release -p nhpp-examples --bin sequential_monitoring
+//! ```
+
+use nhpp_data::{datasets, sys17, ObservedData};
+use nhpp_models::prior::NhppPrior;
+use nhpp_models::{ModelSpec, Posterior};
+use nhpp_vb::{Vb2Options, Vb2Posterior};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = ModelSpec::goel_okumoto();
+    let prior = NhppPrior::paper_info_grouped();
+    println!(
+        "{:>5} {:>9} {:>9} {:>19} {:>10} {:>11} {:>9}",
+        "day", "failures", "E[omega]", "99% CI for omega", "residual", "R(next day)", "fit time"
+    );
+
+    let mut previous_width = f64::INFINITY;
+    for day in (8..=sys17::WORKING_DAYS).step_by(8) {
+        let data: ObservedData = datasets::sys17_early_phase(day)?.into();
+        let start = Instant::now();
+        let posterior = Vb2Posterior::fit(spec, prior, &data, Vb2Options::default())?;
+        let elapsed = start.elapsed();
+        let (lo, hi) = posterior.credible_interval_omega(0.99);
+        let reliability = posterior.reliability_point(day as f64, 1.0);
+        println!(
+            "{:>5} {:>9} {:>9.2} {:>8.2} .. {:>7.2} {:>10.2} {:>11.4} {:>7.1?}",
+            day,
+            data.total_count(),
+            posterior.mean_omega(),
+            lo,
+            hi,
+            posterior.mean_n() - data.total_count() as f64,
+            reliability,
+            elapsed,
+        );
+        // The interval generally tightens as evidence accumulates
+        // (monotonicity is not guaranteed per step, but the trend is).
+        previous_width = (hi - lo).min(previous_width);
+    }
+    println!(
+        "\nfinal interval width {:.2} — every refit above was a full posterior\n(mixture over N), not an incremental update.",
+        previous_width
+    );
+    Ok(())
+}

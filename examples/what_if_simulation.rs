@@ -1,0 +1,107 @@
+//! What-if analysis by posterior simulation: questions that have no
+//! closed form — "when will the *next* failure happen?", "what is the
+//! chance we get through the beta programme with at most two incidents?"
+//! — answered by replaying thousands of posterior continuations of the
+//! observed testing process.
+//!
+//! ```sh
+//! cargo run --release -p nhpp-examples --bin what_if_simulation [replications]
+//! ```
+
+use nhpp_data::sys17;
+use nhpp_models::prior::NhppPrior;
+use nhpp_models::ModelSpec;
+use nhpp_vb::simulation::simulate_futures;
+use nhpp_vb::{Vb2Options, Vb2Posterior};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let replications: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    let spec = ModelSpec::goel_okumoto();
+    let data = sys17::failure_times();
+    let t_now = data.observation_end();
+    let posterior = Vb2Posterior::fit(
+        spec,
+        NhppPrior::paper_info_times(),
+        &data.into(),
+        Vb2Options::default(),
+    )?;
+
+    // Simulate the next 200 000 seconds of testing.
+    let horizon = 200_000.0;
+    let mut rng = StdRng::seed_from_u64(20_26);
+    let traces = simulate_futures(
+        posterior.mixture(),
+        spec,
+        t_now,
+        t_now + horizon,
+        replications,
+        &mut rng,
+    )?;
+    println!("{replications} posterior continuations over the next {horizon:.0} s\n");
+
+    // Question 1: time to the next failure (finite only if one occurs).
+    let mut next_failure: Vec<f64> = traces
+        .iter()
+        .filter_map(|tr| tr.times.first().map(|t| t - t_now))
+        .collect();
+    next_failure.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let none = replications - next_failure.len();
+    println!("time to next failure:");
+    println!(
+        "  P(no failure within the horizon) = {:.3}",
+        none as f64 / replications as f64
+    );
+    for (label, p) in [("10%", 0.1), ("median", 0.5), ("90%", 0.9)] {
+        let idx = ((next_failure.len() as f64 - 1.0) * p) as usize;
+        println!(
+            "  {label:>6} (given one occurs): {:>9.0} s",
+            next_failure[idx]
+        );
+    }
+
+    // Question 2: incidents during a beta programme of 50 000 s.
+    let beta_window = 50_000.0;
+    let counts: Vec<usize> = traces
+        .iter()
+        .map(|tr| {
+            tr.times
+                .iter()
+                .filter(|&&t| t <= t_now + beta_window)
+                .count()
+        })
+        .collect();
+    let at_most =
+        |k: usize| counts.iter().filter(|&&c| c <= k).count() as f64 / replications as f64;
+    println!("\nincidents during a {beta_window:.0} s beta programme:");
+    for k in 0..=3 {
+        println!("  P(at most {k}) = {:.3}", at_most(k));
+    }
+    // Cross-check the k = 0 cell against the analytic predictive.
+    let predictive = posterior.predictive_failures(t_now, beta_window)?;
+    println!(
+        "  analytic check: P(0) = {:.3} (simulation {:.3})",
+        predictive.prob_zero(),
+        at_most(0)
+    );
+
+    // Question 3: will all remaining faults be found within the horizon?
+    let cleared = traces
+        .iter()
+        .filter(|tr| {
+            // A continuation clears if its (ω, β) draw implies fewer than
+            // 0.5 expected residual faults at the horizon end.
+            let law = nhpp_dist::Gamma::new(1.0, tr.beta).expect("positive draw");
+            tr.omega * nhpp_dist::Continuous::sf(&law, t_now + horizon) < 0.5
+        })
+        .count();
+    println!(
+        "\nP(expected residual < 0.5 fault at the horizon end) = {:.3}",
+        cleared as f64 / replications as f64
+    );
+    Ok(())
+}

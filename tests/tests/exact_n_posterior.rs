@@ -1,0 +1,133 @@
+//! Golden validation of VB2's `Pᵥ(N)`: for the Goel–Okumoto model with
+//! failure-time data and conjugate priors, the *exact* posterior over
+//! the total fault count has a closed form —
+//!
+//! ```text
+//! P(N | D) ∝ Γ(m_ω + N) / (φ_ω + 1)^{m_ω + N}
+//!          · (φ_β + Σtᵢ + (N − m)·t_e)^{−(m_β + m)} / (N − m)!
+//! ```
+//!
+//! (integrate `ω` and `β` out of the complete-data likelihood; the
+//! censored-tail times collapse to `e^{−β·t_e}` each). VB2's variational
+//! `Pᵥ(N)` is an approximation, so the two distributions must be close
+//! but need not coincide — this pins both the weight formula
+//! (Eq. (28) with the survival-function correction) and the fixed point.
+
+use nhpp_data::{sys17, ObservedData};
+use nhpp_models::prior::NhppPrior;
+use nhpp_models::ModelSpec;
+use nhpp_special::{ln_factorial, ln_gamma, log_sum_exp};
+use nhpp_vb::{Vb2Options, Vb2Posterior};
+
+/// Exact `P(N | D)` over `N ∈ [m, n_max]` for GO + times + gamma priors.
+fn exact_n_posterior(
+    prior: &NhppPrior,
+    sum_times: f64,
+    m: u64,
+    t_end: f64,
+    n_max: u64,
+) -> Vec<(u64, f64)> {
+    let (a_w, r_w) = prior.omega.shape_rate();
+    let (a_b, r_b) = prior.beta.shape_rate();
+    let ln_unnorm: Vec<f64> = (m..=n_max)
+        .map(|n| {
+            let r = (n - m) as f64;
+            ln_gamma(a_w + n as f64)
+                - (a_w + n as f64) * (r_w + 1.0).ln()
+                - (a_b + m as f64) * (r_b + sum_times + r * t_end).ln()
+                - ln_factorial(n - m)
+        })
+        .collect();
+    let lse = log_sum_exp(&ln_unnorm);
+    (m..=n_max)
+        .zip(ln_unnorm.iter().map(|&v| (v - lse).exp()))
+        .collect()
+}
+
+fn compare(prior: NhppPrior, tol_tv: f64) {
+    let data = sys17::failure_times();
+    let observed: ObservedData = data.clone().into();
+    let vb2 = Vb2Posterior::fit(
+        ModelSpec::goel_okumoto(),
+        prior,
+        &observed,
+        Vb2Options {
+            truncation: nhpp_vb::Truncation::Fixed { n_max: 200 },
+            ..Vb2Options::default()
+        },
+    )
+    .unwrap();
+    let exact = exact_n_posterior(
+        &prior,
+        data.sum_times(),
+        data.len() as u64,
+        sys17::T_END,
+        200,
+    );
+
+    // Total-variation distance between the two pmfs.
+    let tv: f64 = vb2
+        .pv_n()
+        .iter()
+        .zip(&exact)
+        .map(|(&(n1, w1), &(n2, w2))| {
+            assert_eq!(n1, n2);
+            (w1 - w2).abs()
+        })
+        .sum::<f64>()
+        / 2.0;
+    assert!(tv < tol_tv, "total variation {tv}");
+
+    // Means of N agree closely.
+    let exact_mean: f64 = exact.iter().map(|&(n, w)| n as f64 * w).sum();
+    assert!(
+        (vb2.mean_n() - exact_mean).abs() < 0.02 * exact_mean,
+        "E[N]: vb2 {} vs exact {exact_mean}",
+        vb2.mean_n()
+    );
+
+    // Modes coincide or are adjacent.
+    let mode = |pmf: &[(u64, f64)]| {
+        pmf.iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0
+    };
+    let m_vb2 = mode(vb2.pv_n());
+    let m_exact = mode(&exact);
+    assert!(m_vb2.abs_diff(m_exact) <= 1, "modes {m_vb2} vs {m_exact}");
+}
+
+#[test]
+fn vb2_n_posterior_matches_exact_info_prior() {
+    compare(NhppPrior::paper_info_times(), 0.03);
+}
+
+#[test]
+fn vb2_n_posterior_matches_exact_weak_prior() {
+    let prior = NhppPrior::informative(
+        nhpp_dist::Gamma::from_mean_sd(50.0, 40.0).unwrap(),
+        nhpp_dist::Gamma::from_mean_sd(1e-5, 8e-6).unwrap(),
+    );
+    compare(prior, 0.05);
+}
+
+#[test]
+fn exact_posterior_is_a_distribution_with_plausible_mode() {
+    let data = sys17::failure_times();
+    let exact = exact_n_posterior(
+        &NhppPrior::paper_info_times(),
+        data.sum_times(),
+        38,
+        sys17::T_END,
+        300,
+    );
+    let total: f64 = exact.iter().map(|&(_, w)| w).sum();
+    assert!((total - 1.0).abs() < 1e-12);
+    let mode = exact
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap()
+        .0;
+    assert!((38..60).contains(&mode), "mode {mode}");
+}

@@ -1,0 +1,85 @@
+//! Information-loss ladder: failure times → daily counts → weekly counts
+//! → a single total. Grouping discards exactly the within-interval
+//! position information, so posterior uncertainty must (weakly) grow at
+//! every rung — a global consistency check across the data layer, the
+//! likelihoods and VB2.
+
+use nhpp_data::{sys17, ObservedData};
+use nhpp_models::prior::NhppPrior;
+use nhpp_models::{ModelSpec, Posterior};
+use nhpp_vb::{Vb2Options, Vb2Posterior};
+
+fn fit(data: ObservedData) -> Vb2Posterior {
+    Vb2Posterior::fit(
+        ModelSpec::goel_okumoto(),
+        NhppPrior::paper_info_times(),
+        &data,
+        Vb2Options::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn coarser_data_never_sharpens_the_posterior() {
+    let times = sys17::failure_times();
+    let daily = sys17::grouped_seconds();
+    let weekly = daily.coarsen(8).unwrap();
+    let total_only = daily.coarsen(64).unwrap();
+    assert_eq!(total_only.len(), 1);
+
+    let p_times = fit(times.into());
+    let p_daily = fit(daily.into());
+    let p_weekly = fit(weekly.into());
+    let p_total = fit(total_only.into());
+
+    // β uncertainty grows monotonically along the ladder (within-interval
+    // positions carry most of the rate information).
+    let v = [
+        p_times.var_beta(),
+        p_daily.var_beta(),
+        p_weekly.var_beta(),
+        p_total.var_beta(),
+    ];
+    for pair in v.windows(2) {
+        assert!(
+            pair[1] >= pair[0] * 0.999,
+            "beta variance decreased along the ladder: {v:?}"
+        );
+    }
+    // The endpoints differ substantially: a single total count says very
+    // little about the rate beyond the (informative) prior, which caps
+    // how far the variance can grow.
+    assert!(v[3] > 1.5 * v[0], "{v:?}");
+
+    // ω uncertainty also grows from the richest to the poorest view.
+    assert!(
+        p_total.var_omega() > p_times.var_omega(),
+        "{} vs {}",
+        p_total.var_omega(),
+        p_times.var_omega()
+    );
+
+    // Every posterior stays centred in a compatible region (the data is
+    // the same trace throughout).
+    for posterior in [&p_times, &p_daily, &p_weekly, &p_total] {
+        assert!(
+            posterior.mean_omega() > 35.0 && posterior.mean_omega() < 60.0,
+            "{}",
+            posterior.mean_omega()
+        );
+    }
+}
+
+#[test]
+fn single_interval_posterior_leans_on_the_prior() {
+    // With only the total count observed, the β posterior is close to
+    // its prior (prior sd 3.16e-6 around mean 1e-5).
+    let total_only = sys17::grouped_seconds().coarsen(64).unwrap();
+    let posterior = fit(total_only.into());
+    let prior_sd = 3.16e-6;
+    let posterior_sd = posterior.var_beta().sqrt();
+    assert!(
+        posterior_sd > 0.5 * prior_sd,
+        "posterior sd {posterior_sd} vs prior sd {prior_sd}"
+    );
+}

@@ -1,0 +1,93 @@
+//! LAPL-LOG (log-space Laplace, an extension beyond the paper) must
+//! dominate the plain Laplace approximation on every failure mode the
+//! paper documents for LAPL, with NINT as the reference.
+
+use nhpp_bayes::laplace::LaplacePosterior;
+use nhpp_bayes::laplace_log::LaplaceLogPosterior;
+use nhpp_bayes::nint::{bounds_from_posterior, NintOptions, NintPosterior};
+use nhpp_data::{sys17, ObservedData};
+use nhpp_models::prior::NhppPrior;
+use nhpp_models::{ModelSpec, Posterior};
+use nhpp_vb::{Vb2Options, Vb2Posterior};
+
+fn rel(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs()
+}
+
+fn cases() -> Vec<(ObservedData, NhppPrior)> {
+    vec![
+        (sys17::failure_times().into(), NhppPrior::paper_info_times()),
+        (sys17::grouped().into(), NhppPrior::paper_info_grouped()),
+    ]
+}
+
+#[test]
+fn laplace_log_beats_plain_laplace() {
+    let spec = ModelSpec::goel_okumoto();
+    for (data, prior) in cases() {
+        let vb2 = Vb2Posterior::fit(spec, prior, &data, Vb2Options::default()).unwrap();
+        let nint = NintPosterior::fit(
+            spec,
+            prior,
+            &data,
+            bounds_from_posterior(&vb2),
+            NintOptions::default(),
+        )
+        .unwrap();
+        let lapl = LaplacePosterior::fit(spec, prior, &data).unwrap();
+        let ll = LaplaceLogPosterior::fit(spec, prior, &data).unwrap();
+
+        // Mean of ω: closer to NINT than plain LAPL.
+        assert!(
+            rel(ll.mean_omega(), nint.mean_omega()) < rel(lapl.mean_omega(), nint.mean_omega()),
+            "E[w]: LL {} LAPL {} NINT {}",
+            ll.mean_omega(),
+            lapl.mean_omega(),
+            nint.mean_omega()
+        );
+        // Upper 99.5% quantile: the skew-blind LAPL undershoots badly.
+        let q = 0.995;
+        assert!(
+            rel(ll.quantile_omega(q), nint.quantile_omega(q))
+                < rel(lapl.quantile_omega(q), nint.quantile_omega(q))
+        );
+        // Third central moment: LAPL is structurally zero, LAPL-LOG lands
+        // within 20% of the reference.
+        assert_eq!(lapl.central_moment_omega(3), 0.0);
+        assert!(rel(ll.central_moment_omega(3), nint.central_moment_omega(3)) < 0.2);
+        // Variance also improves.
+        assert!(rel(ll.var_omega(), nint.var_omega()) < rel(lapl.var_omega(), nint.var_omega()));
+    }
+}
+
+#[test]
+fn laplace_log_reliability_tracks_nint() {
+    let spec = ModelSpec::goel_okumoto();
+    let (data, prior) = (
+        ObservedData::from(sys17::failure_times()),
+        NhppPrior::paper_info_times(),
+    );
+    let vb2 = Vb2Posterior::fit(spec, prior, &data, Vb2Options::default()).unwrap();
+    let nint = NintPosterior::fit(
+        spec,
+        prior,
+        &data,
+        bounds_from_posterior(&vb2),
+        NintOptions::default(),
+    )
+    .unwrap();
+    let ll = LaplaceLogPosterior::fit(spec, prior, &data).unwrap();
+    let t = sys17::T_END;
+    for u in [1_000.0, 10_000.0] {
+        assert!(
+            (ll.reliability_point(t, u) - nint.reliability_point(t, u)).abs() < 0.02,
+            "u={u}"
+        );
+        let (n_lo, n_hi) = nint.reliability_interval(t, u, 0.99);
+        let (l_lo, l_hi) = ll.reliability_interval(t, u, 0.99);
+        assert!((l_lo - n_lo).abs() < 0.05, "u={u}: {l_lo} vs {n_lo}");
+        assert!((l_hi - n_hi).abs() < 0.05, "u={u}: {l_hi} vs {n_hi}");
+        // Unlike plain LAPL, the bounds respect [0, 1] by construction.
+        assert!(l_lo >= 0.0 && l_hi <= 1.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests on posterior invariants, driven by randomly
+//! generated datasets and priors.
+
+use nhpp_data::{FailureTimeData, GroupedData, ObservedData};
+use nhpp_models::prior::NhppPrior;
+use nhpp_models::{ModelSpec, Posterior};
+use nhpp_vb::{Vb1Options, Vb1Posterior, Vb2Options, Vb2Posterior};
+use proptest::prelude::*;
+
+/// Strategy: a small random failure-time dataset with healthy spread.
+fn times_strategy() -> impl Strategy<Value = ObservedData> {
+    (3usize..25, 0.2f64..0.9).prop_flat_map(|(m, frac)| {
+        proptest::collection::vec(0.01f64..1.0, m).prop_map(move |raw| {
+            // Map raw uniforms into increasing times over (0, frac·t_end].
+            let t_end = 1_000.0;
+            let mut times: Vec<f64> = raw.iter().map(|&u| u * frac * t_end).collect();
+            times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            ObservedData::Times(FailureTimeData::new(times, t_end).unwrap())
+        })
+    })
+}
+
+/// Strategy: a small random grouped dataset.
+fn grouped_strategy() -> impl Strategy<Value = ObservedData> {
+    proptest::collection::vec(0u64..4, 5..20).prop_filter_map(
+        "need at least five failures",
+        |counts| {
+            if counts.iter().sum::<u64>() < 5 {
+                None
+            } else {
+                Some(ObservedData::Grouped(
+                    GroupedData::from_unit_intervals(counts).unwrap(),
+                ))
+            }
+        },
+    )
+}
+
+/// Strategy: a proper, sane prior whose β scale matches the datasets.
+fn prior_strategy() -> impl Strategy<Value = NhppPrior> {
+    ((5.0f64..80.0, 1.1f64..4.0), (1e-3f64..1e-1, 1.5f64..4.0)).prop_map(|((wm, wk), (bm, bk))| {
+        NhppPrior::informative(
+            nhpp_dist::Gamma::from_mean_sd(wm, wm / wk).unwrap(),
+            nhpp_dist::Gamma::from_mean_sd(bm, bm / bk).unwrap(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// VB2 invariants on random failure-time data: proper weights, finite
+    /// moments, monotone quantiles, reliability in [0, 1] decreasing in
+    /// the mission length.
+    #[test]
+    fn vb2_invariants_times(data in times_strategy(), prior in prior_strategy()) {
+        let post = Vb2Posterior::fit(
+            ModelSpec::goel_okumoto(),
+            prior,
+            &data,
+            Vb2Options {
+                truncation: nhpp_vb::Truncation::AdaptiveCapped { epsilon: 5e-15, cap: 20_000 },
+                ..Vb2Options::default()
+            },
+        ).unwrap();
+
+        let total: f64 = post.pv_n().iter().map(|&(_, w)| w).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(post.mean_omega().is_finite() && post.mean_omega() > 0.0);
+        prop_assert!(post.var_omega() > 0.0 && post.var_beta() > 0.0);
+        prop_assert!(post.mean_n() + 1e-9 >= data.total_count() as f64);
+
+        // Quantiles are monotone and bracket the median.
+        let q1 = post.quantile_omega(0.1);
+        let q5 = post.quantile_omega(0.5);
+        let q9 = post.quantile_omega(0.9);
+        prop_assert!(q1 < q5 && q5 < q9);
+
+        // Reliability behaves like a survival curve in u.
+        let t = data.observation_end();
+        let r1 = post.reliability_point(t, t * 0.01);
+        let r2 = post.reliability_point(t, t * 0.1);
+        prop_assert!((0.0..=1.0).contains(&r1) && (0.0..=1.0).contains(&r2));
+        prop_assert!(r2 <= r1 + 1e-9);
+    }
+
+    /// VB1 invariants on random grouped data, plus the structural
+    /// relations to VB2: zero covariance and no larger variance.
+    #[test]
+    fn vb1_vs_vb2_structure_grouped(data in grouped_strategy(), prior in prior_strategy()) {
+        let spec = ModelSpec::goel_okumoto();
+        let vb1 = Vb1Posterior::fit(spec, prior, &data, Vb1Options::default()).unwrap();
+        let vb2 = Vb2Posterior::fit(
+            spec,
+            prior,
+            &data,
+            Vb2Options {
+                truncation: nhpp_vb::Truncation::AdaptiveCapped { epsilon: 5e-15, cap: 20_000 },
+                ..Vb2Options::default()
+            },
+        ).unwrap();
+
+        prop_assert_eq!(vb1.covariance(), 0.0);
+        // Means agree to first order between the two VB schemes.
+        prop_assert!((vb1.mean_omega() - vb2.mean_omega()).abs() < 0.25 * vb2.mean_omega());
+        // VB1 cannot have more ω-variance than the mixture (its single
+        // component lacks the between-component spread).
+        prop_assert!(vb1.var_omega() <= vb2.var_omega() * 1.05);
+    }
+
+    /// The ELBO is invariant to the inner solver choice.
+    #[test]
+    fn elbo_solver_invariance(data in grouped_strategy(), prior in prior_strategy()) {
+        let spec = ModelSpec::goel_okumoto();
+        let opts = |solver| Vb2Options {
+            solver,
+            truncation: nhpp_vb::Truncation::AdaptiveCapped { epsilon: 5e-15, cap: 20_000 },
+            ..Vb2Options::default()
+        };
+        let a = Vb2Posterior::fit(spec, prior, &data, opts(nhpp_vb::SolverKind::SuccessiveSubstitution)).unwrap();
+        let b = Vb2Posterior::fit(spec, prior, &data, opts(nhpp_vb::SolverKind::Newton)).unwrap();
+        prop_assert!((a.elbo() - b.elbo()).abs() < 1e-5 * a.elbo().abs().max(1.0));
+    }
+
+    /// Credible intervals nest: a 99% interval contains the 90% interval.
+    #[test]
+    fn interval_nesting(data in times_strategy(), prior in prior_strategy()) {
+        let post = Vb2Posterior::fit(
+            ModelSpec::goel_okumoto(),
+            prior,
+            &data,
+            Vb2Options {
+                truncation: nhpp_vb::Truncation::AdaptiveCapped { epsilon: 5e-15, cap: 20_000 },
+                ..Vb2Options::default()
+            },
+        ).unwrap();
+        let (lo99, hi99) = post.credible_interval_omega(0.99);
+        let (lo90, hi90) = post.credible_interval_omega(0.90);
+        prop_assert!(lo99 <= lo90 && hi90 <= hi99);
+        let (blo99, bhi99) = post.credible_interval_beta(0.99);
+        let (blo90, bhi90) = post.credible_interval_beta(0.90);
+        prop_assert!(blo99 <= blo90 && bhi90 <= bhi99);
+    }
+}

@@ -1,0 +1,157 @@
+//! Parameter-recovery and calibration tests on freshly simulated traces:
+//! the estimators must recover the generating parameters of data they did
+//! not see at development time.
+
+use nhpp_data::simulate::NhppSimulator;
+use nhpp_data::ObservedData;
+use nhpp_models::prior::NhppPrior;
+use nhpp_models::{fit_mle, FitOptions, ModelSpec, Posterior};
+use nhpp_vb::{Vb2Options, Vb2Posterior};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const OMEGA_TRUE: f64 = 60.0;
+const BETA_TRUE: f64 = 2e-4;
+/// Observation window covering ≈ 95% of the failure law's mass.
+const T_END: f64 = 15_000.0;
+
+fn simulate(seed: u64) -> ObservedData {
+    let sim = NhppSimulator::goel_okumoto(OMEGA_TRUE, BETA_TRUE).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    sim.simulate_censored(&mut rng, T_END).unwrap().into()
+}
+
+/// A weakly-informative prior centred at the truth with large spread.
+fn weak_prior() -> NhppPrior {
+    NhppPrior::informative(
+        nhpp_dist::Gamma::from_mean_sd(OMEGA_TRUE, OMEGA_TRUE).unwrap(),
+        nhpp_dist::Gamma::from_mean_sd(BETA_TRUE, BETA_TRUE).unwrap(),
+    )
+}
+
+#[test]
+fn mle_recovers_truth_on_average() {
+    // Average the MLE across replications; it should hug the truth.
+    let spec = ModelSpec::goel_okumoto();
+    let reps = 40;
+    let (mut sum_w, mut sum_b, mut ok) = (0.0, 0.0, 0);
+    for seed in 0..reps {
+        let data = simulate(seed);
+        if let Ok(fit) = fit_mle(spec, &data, FitOptions::default()) {
+            sum_w += fit.model.omega();
+            sum_b += fit.model.beta();
+            ok += 1;
+        }
+    }
+    assert!(ok >= reps - 2, "too many degenerate replications: {ok}");
+    let mean_w = sum_w / ok as f64;
+    let mean_b = sum_b / ok as f64;
+    assert!(
+        (mean_w - OMEGA_TRUE).abs() < 0.12 * OMEGA_TRUE,
+        "mean ω̂ = {mean_w}"
+    );
+    assert!(
+        (mean_b - BETA_TRUE).abs() < 0.12 * BETA_TRUE,
+        "mean β̂ = {mean_b}"
+    );
+}
+
+#[test]
+fn vb2_credible_intervals_are_roughly_calibrated() {
+    // 95% credible intervals should contain the generating values in the
+    // large majority of replications (Bayesian calibration is not exact
+    // frequentist coverage, but gross miscalibration would fail this).
+    let spec = ModelSpec::goel_okumoto();
+    let reps = 30;
+    let (mut cover_w, mut cover_b) = (0, 0);
+    for seed in 100..100 + reps {
+        let data = simulate(seed);
+        let post = Vb2Posterior::fit(spec, weak_prior(), &data, Vb2Options::default()).unwrap();
+        let (lo, hi) = post.credible_interval_omega(0.95);
+        if lo <= OMEGA_TRUE && OMEGA_TRUE <= hi {
+            cover_w += 1;
+        }
+        let (lo, hi) = post.credible_interval_beta(0.95);
+        if lo <= BETA_TRUE && BETA_TRUE <= hi {
+            cover_b += 1;
+        }
+    }
+    // Binomial(30, 0.95): fewer than 24 successes has probability < 1e-4.
+    assert!(cover_w >= 24, "ω coverage {cover_w}/{reps}");
+    assert!(cover_b >= 24, "β coverage {cover_b}/{reps}");
+}
+
+#[test]
+fn vb2_posterior_concentrates_with_more_data() {
+    // Scaling ω (more faults, same law) must shrink the relative width
+    // of the posterior on ω.
+    let spec = ModelSpec::goel_okumoto();
+    let mut widths = Vec::new();
+    for (omega, seed) in [(30.0, 7u64), (300.0, 8u64)] {
+        let sim = NhppSimulator::goel_okumoto(omega, BETA_TRUE).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: ObservedData = sim.simulate_censored(&mut rng, T_END).unwrap().into();
+        let prior = NhppPrior::informative(
+            nhpp_dist::Gamma::from_mean_sd(omega, omega).unwrap(),
+            nhpp_dist::Gamma::from_mean_sd(BETA_TRUE, BETA_TRUE).unwrap(),
+        );
+        let post = Vb2Posterior::fit(spec, prior, &data, Vb2Options::default()).unwrap();
+        let (lo, hi) = post.credible_interval_omega(0.95);
+        widths.push((hi - lo) / post.mean_omega());
+    }
+    assert!(
+        widths[1] < 0.55 * widths[0],
+        "relative widths did not shrink: {widths:?}"
+    );
+}
+
+#[test]
+fn reliability_prediction_tracks_simulated_future() {
+    // Predicted P(no failure in (t_e, t_e+u]) should match the empirical
+    // frequency over fresh continuations of the same process.
+    let spec = ModelSpec::goel_okumoto();
+    let data = simulate(4242);
+    let post = Vb2Posterior::fit(spec, weak_prior(), &data, Vb2Options::default()).unwrap();
+    let u = 500.0;
+    let predicted = post.reliability_point(T_END, u);
+
+    // Empirical: simulate many completions from the posterior-mean model.
+    let model_omega = post.mean_omega();
+    let model_beta = post.mean_beta();
+    let sim = NhppSimulator::goel_okumoto(model_omega, model_beta).unwrap();
+    let mut rng = StdRng::seed_from_u64(777);
+    let reps = 30_000;
+    let mut safe = 0;
+    for _ in 0..reps {
+        let trace = sim.simulate_complete(&mut rng);
+        if !trace.iter().any(|&t| t > T_END && t <= T_END + u) {
+            safe += 1;
+        }
+    }
+    let empirical = safe as f64 / reps as f64;
+    // The posterior-mean plug-in and the posterior-averaged reliability
+    // differ slightly; allow a band that still catches sign/scale bugs.
+    assert!(
+        (predicted - empirical).abs() < 0.03,
+        "predicted {predicted} vs empirical {empirical}"
+    );
+}
+
+#[test]
+fn delayed_s_shaped_recovery() {
+    // Simulate from the DSS model and recover with the matching spec.
+    let spec = ModelSpec::delayed_s_shaped();
+    let law = nhpp_dist::Gamma::new(2.0, 4e-4).unwrap();
+    let sim = NhppSimulator::new(70.0, law).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    let data: ObservedData = sim.simulate_censored(&mut rng, 20_000.0).unwrap().into();
+    let prior = NhppPrior::informative(
+        nhpp_dist::Gamma::from_mean_sd(70.0, 35.0).unwrap(),
+        nhpp_dist::Gamma::from_mean_sd(4e-4, 2e-4).unwrap(),
+    );
+    let post = Vb2Posterior::fit(spec, prior, &data, Vb2Options::default()).unwrap();
+    let (lo, hi) = post.credible_interval_omega(0.99);
+    assert!(lo <= 70.0 && 70.0 <= hi, "({lo}, {hi})");
+    let (lo, hi) = post.credible_interval_beta(0.99);
+    assert!(lo <= 4e-4 && 4e-4 <= hi, "({lo}, {hi})");
+}

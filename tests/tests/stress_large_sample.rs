@@ -1,0 +1,93 @@
+//! Large-sample stress tests: the substrate must stay accurate and fast
+//! when the fault counts (and hence the Gamma shapes inside VB2/NINT)
+//! reach the hundreds — the regime where naive incomplete-gamma
+//! implementations lose precision.
+
+use nhpp_bayes::nint::{bounds_from_posterior, NintOptions, NintPosterior};
+use nhpp_data::simulate::NhppSimulator;
+use nhpp_data::ObservedData;
+use nhpp_dist::Gamma;
+use nhpp_models::prior::NhppPrior;
+use nhpp_models::{fit_mle, FitOptions, ModelSpec, Posterior};
+use nhpp_vb::{Vb2Options, Vb2Posterior};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const OMEGA_TRUE: f64 = 600.0;
+const BETA_TRUE: f64 = 3e-4;
+const T_END: f64 = 10_000.0;
+
+fn big_trace() -> ObservedData {
+    let sim = NhppSimulator::goel_okumoto(OMEGA_TRUE, BETA_TRUE).unwrap();
+    let mut rng = StdRng::seed_from_u64(987);
+    sim.simulate_censored(&mut rng, T_END).unwrap().into()
+}
+
+#[test]
+fn vb2_matches_nint_with_hundreds_of_failures() {
+    let data = big_trace();
+    assert!(data.total_count() > 450, "{}", data.total_count());
+    let spec = ModelSpec::goel_okumoto();
+    let prior = NhppPrior::informative(
+        Gamma::from_mean_sd(OMEGA_TRUE, OMEGA_TRUE / 2.0).unwrap(),
+        Gamma::from_mean_sd(BETA_TRUE, BETA_TRUE / 2.0).unwrap(),
+    );
+    let vb2 = Vb2Posterior::fit(spec, prior, &data, Vb2Options::default()).unwrap();
+    let nint = NintPosterior::fit(
+        spec,
+        prior,
+        &data,
+        bounds_from_posterior(&vb2),
+        NintOptions::default(),
+    )
+    .unwrap();
+    // Sub-percent agreement persists at large shapes.
+    assert!((vb2.mean_omega() - nint.mean_omega()).abs() < 0.01 * nint.mean_omega());
+    assert!((vb2.var_omega() - nint.var_omega()).abs() < 0.05 * nint.var_omega());
+    assert!(vb2.elbo() <= nint.log_evidence() + 1e-6);
+    assert!(nint.log_evidence() - vb2.elbo() < 1.0);
+    // The generating value sits inside the 99.9% interval.
+    let (lo, hi) = vb2.credible_interval_omega(0.999);
+    assert!(lo <= OMEGA_TRUE && OMEGA_TRUE <= hi, "({lo}, {hi})");
+    // Large-sample posterior is nearly symmetric: skewness is small.
+    let skew = vb2.central_moment_omega(3) / vb2.var_omega().powf(1.5);
+    assert!(skew.abs() < 0.3, "skew={skew}");
+}
+
+#[test]
+fn mle_and_posterior_mean_converge_for_large_samples() {
+    // Bernstein–von Mises: with ~500 observations the posterior mean and
+    // the MLE should be close on the posterior-sd scale.
+    let data = big_trace();
+    let spec = ModelSpec::goel_okumoto();
+    let mle = fit_mle(spec, &data, FitOptions::default()).unwrap();
+    let prior = NhppPrior::informative(
+        Gamma::from_mean_sd(OMEGA_TRUE, OMEGA_TRUE).unwrap(),
+        Gamma::from_mean_sd(BETA_TRUE, BETA_TRUE).unwrap(),
+    );
+    let vb2 = Vb2Posterior::fit(spec, prior, &data, Vb2Options::default()).unwrap();
+    let sd = vb2.var_omega().sqrt();
+    assert!(
+        (vb2.mean_omega() - mle.model.omega()).abs() < 0.5 * sd,
+        "posterior mean {} vs MLE {} (sd {sd})",
+        vb2.mean_omega(),
+        mle.model.omega()
+    );
+}
+
+#[test]
+fn predictive_counts_remain_proper_at_scale() {
+    let data = big_trace();
+    let spec = ModelSpec::goel_okumoto();
+    let prior = NhppPrior::informative(
+        Gamma::from_mean_sd(OMEGA_TRUE, OMEGA_TRUE / 2.0).unwrap(),
+        Gamma::from_mean_sd(BETA_TRUE, BETA_TRUE / 2.0).unwrap(),
+    );
+    let vb2 = Vb2Posterior::fit(spec, prior, &data, Vb2Options::default()).unwrap();
+    let predictive = vb2.predictive_failures(T_END, 2_000.0).unwrap();
+    assert!(predictive.tail_mass() < 1e-9);
+    assert!(predictive.mean() > 1.0);
+    // Mean + several sds stays within the explicit support.
+    let hi = predictive.mean() + 8.0 * predictive.variance().sqrt();
+    assert!((predictive.k_max() as f64) >= hi);
+}
