@@ -1,0 +1,52 @@
+//! Supervised-pipeline overhead: `fit_supervised` against a direct
+//! `Vb2Posterior::fit` on the System 17 datasets.
+//!
+//! On the happy path the supervisor runs exactly one VB2 attempt with
+//! the caller's options verbatim — its cost over the direct call is a
+//! handful of allocations for the `FitReport` — so the two curves
+//! should sit within a few percent of each other (<5% is the budget
+//! the robustness design commits to).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nhpp_bench::Scenario;
+use nhpp_models::ModelSpec;
+use nhpp_vb::{fit_supervised, RobustOptions, Vb2Options, Vb2Posterior};
+use std::hint::black_box;
+
+fn bench_robust(c: &mut Criterion) {
+    let spec = ModelSpec::goel_okumoto();
+    for scenario in Scenario::info_only() {
+        let mut group = c.benchmark_group(format!("robust-overhead/{}", scenario.name));
+        group.sample_size(20);
+        group.bench_function("direct-vb2", |b| {
+            b.iter(|| {
+                black_box(
+                    Vb2Posterior::fit(
+                        spec,
+                        scenario.prior,
+                        &scenario.data,
+                        Vb2Options::default(),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        group.bench_function("supervised", |b| {
+            b.iter(|| {
+                black_box(
+                    fit_supervised(
+                        spec,
+                        scenario.prior,
+                        &scenario.data,
+                        RobustOptions::default(),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_robust);
+criterion_main!(benches);

@@ -61,7 +61,7 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Boolean switches recognised by any subcommand.
-const FLAGS: &[&str] = &["grouped", "quiet"];
+const FLAGS: &[&str] = &["grouped", "quiet", "strict", "fallback"];
 
 impl ParsedArgs {
     /// Parses `args` (excluding the program name).

@@ -1,5 +1,6 @@
 //! Error type for the variational estimators.
 
+use nhpp_bayes::BayesError;
 use nhpp_dist::DistError;
 use nhpp_models::ModelError;
 use nhpp_numeric::NumericError;
@@ -34,12 +35,21 @@ pub enum VbError {
         /// Explanation.
         message: String,
     },
+    /// Every stage of the supervised fitting cascade (VB2 retries,
+    /// VB1, Laplace) failed. The message lists each stage's error.
+    CascadeExhausted {
+        /// Per-stage failure summary.
+        message: String,
+    },
     /// An underlying model-layer failure.
     Model(ModelError),
     /// An underlying numerical failure.
     Numeric(NumericError),
     /// An underlying distribution failure.
     Dist(DistError),
+    /// An underlying conventional-estimator failure (the cascade's
+    /// Laplace stage).
+    Bayes(BayesError),
 }
 
 impl fmt::Display for VbError {
@@ -62,9 +72,13 @@ impl fmt::Display for VbError {
             VbError::DegenerateWeights { message } => {
                 write!(f, "degenerate variational weights: {message}")
             }
+            VbError::CascadeExhausted { message } => {
+                write!(f, "every fitting cascade stage failed: {message}")
+            }
             VbError::Model(e) => write!(f, "model error: {e}"),
             VbError::Numeric(e) => write!(f, "numeric error: {e}"),
             VbError::Dist(e) => write!(f, "distribution error: {e}"),
+            VbError::Bayes(e) => write!(f, "conventional estimator error: {e}"),
         }
     }
 }
@@ -75,6 +89,7 @@ impl Error for VbError {
             VbError::Model(e) => Some(e),
             VbError::Numeric(e) => Some(e),
             VbError::Dist(e) => Some(e),
+            VbError::Bayes(e) => Some(e),
             _ => None,
         }
     }
@@ -95,5 +110,11 @@ impl From<NumericError> for VbError {
 impl From<DistError> for VbError {
     fn from(e: DistError) -> Self {
         VbError::Dist(e)
+    }
+}
+
+impl From<BayesError> for VbError {
+    fn from(e: BayesError) -> Self {
+        VbError::Bayes(e)
     }
 }

@@ -1,0 +1,108 @@
+//! Deterministic fault injection for the supervised fitting pipeline.
+//!
+//! Reliability of the *estimator* itself is hard to test from the
+//! outside: the failure modes of interest (non-finite intermediate
+//! values, stalled fixed points, runaway truncation growth) arise from
+//! rare numerical circumstances. A [`FaultPlan`] forces each pathology
+//! deterministically at a chosen point of the retry ladder, through the
+//! **same code paths** a genuine failure would take — a `NaN` fault is
+//! injected into the `ζ(ξ)` evaluation and surfaces as whatever error
+//! the live solver raises for a non-finite map, not as a synthetic
+//! error constructed in the test.
+//!
+//! Fault plans are plumbed through [`crate::Vb2Options`] /
+//! [`crate::Vb1Options`] (production code leaves them `None`) and are
+//! scheduled per attempt by [`crate::robust::fit_supervised`].
+
+/// Which numerical pathology to force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Poison the `ζ(ξ)` evaluation with NaN, so the inner solve (or
+    /// the weight evaluation, on the closed-form path) sees a
+    /// non-finite value.
+    NanZeta,
+    /// Make the inner fixed-point map drift by a super-tolerance step
+    /// each iteration, so substitution and Newton exhaust their
+    /// budgets and bisection finds no sign change. For VB1 the same
+    /// fault perturbs the coordinate-ascent update so the sweep never
+    /// meets its tolerance.
+    StallInner,
+    /// Report the truncation tail mass as never below tolerance,
+    /// forcing adaptive growth to the hard cap
+    /// ([`crate::VbError::TruncationOverflow`]).
+    InflateTail,
+}
+
+/// A deterministic schedule of [`FaultKind`] injections across the
+/// retry/fallback cascade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The pathology to force.
+    pub kind: FaultKind,
+    /// VB2 attempts `0..until_attempt` are sabotaged; later attempts
+    /// run clean. `u32::MAX` sabotages every VB2 attempt.
+    pub until_attempt: u32,
+    /// Whether the VB1 fallback is sabotaged as well (the Laplace
+    /// fallback is never injected — it is the cascade's floor).
+    pub hit_vb1: bool,
+}
+
+impl FaultPlan {
+    /// Sabotage only the first VB2 attempt: a retry must recover.
+    pub fn first_attempt(kind: FaultKind) -> Self {
+        FaultPlan {
+            kind,
+            until_attempt: 1,
+            hit_vb1: false,
+        }
+    }
+
+    /// Sabotage every VB2 attempt: the cascade must degrade to VB1.
+    pub fn all_vb2(kind: FaultKind) -> Self {
+        FaultPlan {
+            kind,
+            until_attempt: u32::MAX,
+            hit_vb1: false,
+        }
+    }
+
+    /// Sabotage every VB2 attempt *and* the VB1 fallback: only the
+    /// Laplace floor remains.
+    pub fn everywhere(kind: FaultKind) -> Self {
+        FaultPlan {
+            kind,
+            until_attempt: u32::MAX,
+            hit_vb1: true,
+        }
+    }
+
+    /// The fault to arm for VB2 attempt number `attempt`, if any.
+    pub fn vb2_fault(&self, attempt: u32) -> Option<FaultKind> {
+        (attempt < self.until_attempt).then_some(self.kind)
+    }
+
+    /// The fault to arm for the VB1 fallback, if any.
+    pub fn vb1_fault(&self) -> Option<FaultKind> {
+        self.hit_vb1.then_some(self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_attempt_plan_disarms_on_retry() {
+        let plan = FaultPlan::first_attempt(FaultKind::NanZeta);
+        assert_eq!(plan.vb2_fault(0), Some(FaultKind::NanZeta));
+        assert_eq!(plan.vb2_fault(1), None);
+        assert_eq!(plan.vb1_fault(), None);
+    }
+
+    #[test]
+    fn everywhere_plan_reaches_vb1() {
+        let plan = FaultPlan::everywhere(FaultKind::StallInner);
+        assert_eq!(plan.vb2_fault(1_000_000), Some(FaultKind::StallInner));
+        assert_eq!(plan.vb1_fault(), Some(FaultKind::StallInner));
+    }
+}

@@ -56,14 +56,18 @@
 pub mod bands;
 pub mod empirical_bayes;
 mod error;
+pub mod fault;
 pub mod model_average;
 pub mod prediction;
 pub mod reliability;
+pub mod robust;
 pub mod simulation;
 mod vb1;
 mod vb2;
 
 pub use error::VbError;
+pub use fault::{FaultKind, FaultPlan};
 pub use model_average::AveragedPosterior;
+pub use robust::{fit_supervised, FitReport, RetryPolicy, RobustFit, RobustOptions, RobustPosterior};
 pub use vb1::{Vb1Options, Vb1Posterior};
 pub use vb2::{SolverKind, Truncation, Vb2Options, Vb2Posterior};

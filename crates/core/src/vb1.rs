@@ -18,12 +18,15 @@
 //! (Tables 1–5 of the paper).
 
 use crate::error::VbError;
+use crate::fault::FaultKind;
 use crate::reliability;
 use nhpp_data::ObservedData;
 use nhpp_dist::{Gamma, GammaProductMixture, MixtureComponent};
 use nhpp_models::prior::NhppPrior;
 use nhpp_models::{ModelSpec, Posterior};
+use nhpp_numeric::Budget;
 use nhpp_special::{digamma, ln_gamma_q};
+use std::time::Duration;
 
 /// Options for the VB1 fit.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +35,12 @@ pub struct Vb1Options {
     pub tol: f64,
     /// Iteration budget.
     pub max_iter: usize,
+    /// Wall-clock deadline for the fit, observed cooperatively once
+    /// per sweep (see [`Budget`]).
+    pub deadline: Option<Duration>,
+    /// Forced numerical pathology (deterministic fault injection for
+    /// the robustness tests; `None` in production).
+    pub fault: Option<FaultKind>,
 }
 
 impl Default for Vb1Options {
@@ -39,6 +48,8 @@ impl Default for Vb1Options {
         Vb1Options {
             tol: 1e-12,
             max_iter: 100_000,
+            deadline: None,
+            fault: None,
         }
     }
 }
@@ -85,7 +96,15 @@ impl Vb1Posterior {
         let mut xi = alpha0 * (m + 1.0) / t_end.max(f64::MIN_POSITIVE);
         let mut lambda;
 
+        // Pace the wall clock cooperatively; the iteration limit is
+        // already the loop bound below.
+        let mut clock = Budget::unlimited();
+        if let Some(timeout) = options.deadline {
+            clock = clock.with_deadline(timeout);
+        }
+
         for iter in 0..options.max_iter {
+            clock.charge(1).map_err(VbError::from)?;
             let a_omega = a_w + expected_n;
             let rate_omega = r_w + 1.0;
             // E[ln ω] under the current q(ω).
@@ -123,9 +142,27 @@ impl Vb1Posterior {
                 }
             };
 
+            let expected_sum = match options.fault {
+                // Poisoning E[ΣT] sends NaN through ξ into the next
+                // sweep's Gamma construction, which rejects it.
+                Some(FaultKind::NanZeta) => f64::NAN,
+                _ => expected_sum,
+            };
             let expected_n_new = m + lambda;
             let b_shape_new = a_b + alpha0 * expected_n_new;
-            let xi_new = b_shape_new / (r_b + expected_sum);
+            let mut xi_new = b_shape_new / (r_b + expected_sum);
+            if options.fault == Some(FaultKind::StallInner) {
+                // Alternating super-tolerance perturbation: a constant
+                // factor would merely shift the fixed point, so flip it
+                // each sweep — consecutive iterates then never agree to
+                // within the convergence tolerance.
+                let eps = 1e3 * options.tol;
+                xi_new *= if iter % 2 == 0 {
+                    1.0 + eps
+                } else {
+                    1.0 / (1.0 + eps)
+                };
+            }
 
             let delta = ((expected_n_new - expected_n) / expected_n.max(1.0))
                 .abs()

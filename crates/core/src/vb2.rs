@@ -43,13 +43,18 @@
 //! `Pᵥ(n_max) < ε`.
 
 use crate::error::VbError;
+use crate::fault::FaultKind;
 use crate::reliability;
 use nhpp_data::ObservedData;
 use nhpp_dist::{Continuous, Gamma, GammaMixture, GammaProductMixture, MixtureComponent};
 use nhpp_models::prior::NhppPrior;
 use nhpp_models::{ModelSpec, Posterior};
-use nhpp_numeric::fixed_point::{newton_fixed_point, successive_substitution};
+use nhpp_numeric::fixed_point::{
+    bisection_fixed_point, newton_fixed_point_budgeted, successive_substitution_budgeted,
+};
+use nhpp_numeric::Budget;
 use nhpp_special::{ln_factorial, ln_gamma, ln_gamma_q, log_sum_exp};
+use std::time::Duration;
 
 /// How the per-`N` fixed point `(ζ, ξ)` is solved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,6 +69,10 @@ pub enum SolverKind {
     /// Newton iteration on the residual (the speedup conjectured in the
     /// paper's §6 closing remarks; measured by the ablation bench).
     Newton,
+    /// Bisection on the residual `F(ξ) − ξ`: slow but essentially
+    /// unconditionally convergent — the retry ladder's last-resort
+    /// inner solver.
+    Bisection,
 }
 
 /// Truncation policy for the mixture over `N`.
@@ -109,10 +118,24 @@ pub struct Vb2Options {
     pub truncation: Truncation,
     /// Relative tolerance of the inner fixed point.
     pub inner_tol: f64,
-    /// Iteration budget of the inner fixed point.
+    /// Iteration budget of each inner fixed point.
     pub inner_max_iter: usize,
     /// Hard cap on the adaptive `n_max` growth.
     pub hard_cap: u64,
+    /// Total iteration budget shared by the whole fit — every inner
+    /// solver iteration and every solved component charges it. `None`
+    /// leaves only the per-component `inner_max_iter` bound.
+    pub total_budget: Option<u64>,
+    /// Wall-clock deadline for the whole fit, observed cooperatively
+    /// at iteration boundaries (see [`Budget`]).
+    pub deadline: Option<Duration>,
+    /// Multiplier applied to the inner solver's initial point. The
+    /// retry ladder jitters this to escape a pathological basin; leave
+    /// at `1.0` otherwise.
+    pub init_scale: f64,
+    /// Forced numerical pathology (deterministic fault injection for
+    /// the robustness tests; `None` in production).
+    pub fault: Option<FaultKind>,
 }
 
 impl Default for Vb2Options {
@@ -123,6 +146,10 @@ impl Default for Vb2Options {
             inner_tol: 1e-12,
             inner_max_iter: 200_000,
             hard_cap: 2_000_000,
+            total_budget: None,
+            deadline: None,
+            init_scale: 1.0,
+            fault: None,
         }
     }
 }
@@ -173,8 +200,16 @@ impl DataSummary {
     }
 
     /// `ζ(ξ)` — Eq. (24) (times) / Eq. (26) (grouped), survival form.
+    ///
+    /// A non-positive or non-finite `ξ` (an iterate that escaped the
+    /// domain) yields NaN rather than a panic: the budgeted solvers
+    /// convert a non-finite map value into a proper
+    /// [`nhpp_numeric::NumericError::NonFinite`], which the supervised
+    /// pipeline can classify and retry.
     fn zeta(&self, alpha0: f64, xi: f64, n: u64) -> f64 {
-        let law = Gamma::new(alpha0, xi).expect("xi stays positive during iteration");
+        let Ok(law) = Gamma::new(alpha0, xi) else {
+            return f64::NAN;
+        };
         let r = (n - self.observed()) as f64;
         match self {
             DataSummary::Times { sum_obs, t_end, .. } => {
@@ -245,6 +280,11 @@ impl Vb2Posterior {
                 message: "inner_tol must be positive",
             });
         }
+        if !(options.init_scale > 0.0) || !options.init_scale.is_finite() {
+            return Err(VbError::InvalidOption {
+                message: "init_scale must be positive and finite",
+            });
+        }
         match options.truncation {
             Truncation::Adaptive { epsilon } | Truncation::AdaptiveCapped { epsilon, .. } => {
                 if !(epsilon > 0.0) {
@@ -260,6 +300,18 @@ impl Vb2Posterior {
         let alpha0 = spec.alpha0();
         let (a_w, r_w) = prior.omega.shape_rate();
         let (a_b, r_b) = prior.beta.shape_rate();
+
+        // One cooperative budget governs the whole fit: every solved
+        // component and every inner solver iteration charges it, so
+        // iteration limits and deadlines bound total work rather than
+        // each inner loop independently.
+        let mut budget = match options.total_budget {
+            Some(limit) => Budget::iterations(limit),
+            None => Budget::unlimited(),
+        };
+        if let Some(timeout) = options.deadline {
+            budget = budget.with_deadline(timeout);
+        }
 
         let mut components: Vec<Component> = Vec::new();
         let mut n_hi = match options.truncation {
@@ -279,7 +331,17 @@ impl Vb2Posterior {
             let mut warm_xi = components.last().map(|c| c.xi);
             for n in start..=n_hi {
                 let comp = solve_component(
-                    &summary, spec, alpha0, a_w, r_w, a_b, r_b, n, warm_xi, &options,
+                    &summary,
+                    spec,
+                    alpha0,
+                    a_w,
+                    r_w,
+                    a_b,
+                    r_b,
+                    n,
+                    warm_xi,
+                    &options,
+                    &mut budget,
                 )?;
                 warm_xi = Some(comp.xi);
                 components.push(comp);
@@ -290,10 +352,15 @@ impl Vb2Posterior {
                     message: format!("log normaliser = {lse} over N in [{m}, {n_hi}]"),
                 });
             }
+            let mut tail = (components.last().expect("non-empty range").ln_weight - lse).exp();
+            if options.fault == Some(FaultKind::InflateTail) {
+                // Fault injection: pretend the tail never falls below
+                // tolerance, driving the genuine overflow/cap logic.
+                tail = tail.max(1.0);
+            }
             match options.truncation {
                 Truncation::Fixed { .. } => break,
                 Truncation::Adaptive { epsilon } => {
-                    let tail = (components.last().expect("non-empty range").ln_weight - lse).exp();
                     if tail < epsilon {
                         break;
                     }
@@ -306,7 +373,6 @@ impl Vb2Posterior {
                     n_hi = (n_hi.saturating_mul(2)).min(options.hard_cap);
                 }
                 Truncation::AdaptiveCapped { epsilon, cap } => {
-                    let tail = (components.last().expect("non-empty range").ln_weight - lse).exp();
                     if tail < epsilon || n_hi >= cap {
                         break;
                     }
@@ -437,14 +503,21 @@ fn solve_component(
     n: u64,
     warm_xi: Option<f64>,
     options: &Vb2Options,
+    budget: &mut Budget,
 ) -> Result<Component, VbError> {
+    // Each solved component costs at least one charge, so deadlines
+    // are observed even on the iteration-free closed-form path.
+    budget.charge(1).map_err(VbError::from)?;
     let b_shape = a_b + n as f64 * alpha0;
     let r = n - summary.observed();
 
     // Closed form: Goel–Okumoto with failure-time data (paper §5.2) —
     // only taken under `Auto`, so explicitly requesting an iterative
-    // solver (e.g. for the Table 7 cost experiment) is honoured.
+    // solver (e.g. for the Table 7 cost experiment) is honoured. A
+    // `StallInner` fault forces the iterative path, which is where the
+    // pathology it simulates lives.
     let closed_form = options.solver == SolverKind::Auto
+        && options.fault != Some(FaultKind::StallInner)
         && matches!(
             (spec.is_goel_okumoto(), summary),
             (true, DataSummary::Times { .. })
@@ -461,23 +534,45 @@ fn solve_component(
             0,
         )
     } else {
+        let fault = options.fault;
+        let stall_step = 1e3 * options.inner_tol;
         let map = |xi: f64| {
+            if fault == Some(FaultKind::NanZeta) {
+                return f64::NAN;
+            }
             let z = summary.zeta(alpha0, xi, n);
-            b_shape / (r_b + z)
+            let next = b_shape / (r_b + z);
+            if fault == Some(FaultKind::StallInner) {
+                // Drift by a super-tolerance step: substitution and
+                // Newton never converge, bisection sees no sign change.
+                return xi + stall_step * xi.abs().max(1.0);
+            }
+            next
         };
-        let x0 = warm_xi
-            .unwrap_or_else(|| b_shape / (r_b + summary.zeta(alpha0, alpha0 / summary.t_end(), n)));
-        let use_newton = options.solver == SolverKind::Newton;
-        let fp = if use_newton {
-            newton_fixed_point(map, x0, options.inner_tol, options.inner_max_iter)
-        } else {
-            successive_substitution(map, x0, options.inner_tol, options.inner_max_iter)
-        }
-        .map_err(VbError::from)?;
+        let x0 = options.init_scale
+            * warm_xi.unwrap_or_else(|| {
+                b_shape / (r_b + summary.zeta(alpha0, alpha0 / summary.t_end(), n))
+            });
+        let mut inner = budget.sub_budget(options.inner_max_iter as u64);
+        let fp = match options.solver {
+            SolverKind::Newton => {
+                newton_fixed_point_budgeted(map, x0, options.inner_tol, &mut inner)
+            }
+            SolverKind::Bisection => bisection_fixed_point(map, x0, options.inner_tol, &mut inner),
+            SolverKind::Auto | SolverKind::SuccessiveSubstitution => {
+                successive_substitution_budgeted(map, x0, options.inner_tol, &mut inner)
+            }
+        };
+        budget.absorb(&inner).map_err(VbError::from)?;
+        let fp = fp.map_err(VbError::from)?;
         (fp.value, fp.iterations)
     };
 
-    let zeta = summary.zeta(alpha0, xi, n);
+    let zeta = if options.fault == Some(FaultKind::NanZeta) {
+        f64::NAN
+    } else {
+        summary.zeta(alpha0, xi, n)
+    };
     let a_shape = a_w + n as f64;
     let mut ln_w = ln_gamma(a_shape) - a_shape * (r_w + 1.0).ln() + ln_gamma(b_shape)
         - b_shape * (r_b + zeta).ln()

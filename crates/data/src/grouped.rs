@@ -5,7 +5,6 @@ use crate::error::DataError;
 /// Failure counts per observation interval: `counts[i]` failures occurred
 /// in `(s_{i−1}, s_i]`, where `s₀ = 0` implicitly and `boundaries[i] = s_{i+1}`.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GroupedData {
     boundaries: Vec<f64>,
     counts: Vec<u64>,

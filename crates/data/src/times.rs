@@ -10,7 +10,6 @@ use crate::grouped::GroupedData;
 /// times must be positive, finite and sorted; the constructor enforces
 /// these invariants so every downstream likelihood can rely on them.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FailureTimeData {
     times: Vec<f64>,
     t_end: f64,

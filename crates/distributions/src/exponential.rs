@@ -2,7 +2,7 @@
 
 use crate::error::DistError;
 use crate::traits::{Continuous, Sample};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Exponential distribution with the given rate: `f(x) = rate·e^{−rate·x}`.
 ///

@@ -7,7 +7,7 @@ use crate::traits::{Continuous, Sample};
 use nhpp_special::{
     gamma_p, gamma_p_inv, gamma_q, gamma_q_inv, ln_gamma, ln_gamma_p, ln_gamma_q, log_diff_exp,
 };
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Gamma distribution with density
 /// `f(x) = rate^shape · x^{shape−1} · e^{−rate·x} / Γ(shape)` on `x > 0`.

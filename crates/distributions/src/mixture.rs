@@ -12,7 +12,7 @@ use crate::gamma::Gamma;
 use crate::traits::{Continuous, Sample};
 use nhpp_numeric::roots::brent;
 use nhpp_special::log_sum_exp;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// One component of a [`GammaProductMixture`].
 #[derive(Debug, Clone, Copy, PartialEq)]

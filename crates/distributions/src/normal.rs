@@ -4,7 +4,7 @@
 use crate::error::DistError;
 use crate::traits::{Continuous, Sample};
 use nhpp_special::{norm_cdf, norm_ln_pdf, norm_ppf, norm_sf};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Draws a standard normal variate by the Marsaglia polar method.
 pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {

@@ -3,7 +3,7 @@
 use crate::error::DistError;
 use crate::traits::{Discrete, Sample};
 use nhpp_special::{gamma_q, ln_factorial};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Poisson distribution with the given mean.
 #[derive(Debug, Clone, Copy, PartialEq)]

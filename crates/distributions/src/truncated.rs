@@ -4,7 +4,7 @@
 use crate::error::DistError;
 use crate::gamma::Gamma;
 use crate::traits::{Continuous, Sample};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A [`Gamma`] distribution conditioned on the interval `(lo, hi]`
 /// (`hi = ∞` allowed).

@@ -1,0 +1,204 @@
+//! Cooperative iteration/deadline budgets.
+//!
+//! A [`Budget`] is threaded by value-reference through nested solver
+//! loops (the VB2 truncation growth, its per-`N` fixed points, the VB1
+//! coordinate ascent) so one limit governs the *whole* fit rather than
+//! each inner loop independently. Loops call [`Budget::charge`] once
+//! per iteration; exhaustion surfaces as
+//! [`NumericError::BudgetExhausted`], a clean error the supervised
+//! fitting pipeline can classify and retry — never a panic and never
+//! an unbounded spin.
+//!
+//! Deadlines are wall-clock and *cooperative*: they are checked at
+//! charge time, so a budget cannot interrupt a long single iteration,
+//! but every iteration boundary observes it. Checking `Instant::now()`
+//! on every charge would dominate the (sub-microsecond) fixed-point
+//! iterations, so the clock is consulted every
+//! [`Budget::DEADLINE_CHECK_STRIDE`] charges.
+
+use crate::NumericError;
+use std::time::{Duration, Instant};
+
+/// A shared, cooperative bound on solver work: a maximum number of
+/// iterations, an optional wall-clock deadline, or both.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    limit: u64,
+    used: u64,
+    deadline: Option<Instant>,
+    charges_since_clock: u32,
+}
+
+impl Budget {
+    /// How many charges may elapse between deadline checks.
+    pub const DEADLINE_CHECK_STRIDE: u32 = 64;
+
+    /// A budget of `limit` iterations with no deadline.
+    pub fn iterations(limit: u64) -> Self {
+        Budget {
+            limit,
+            used: 0,
+            deadline: None,
+            charges_since_clock: 0,
+        }
+    }
+
+    /// An effectively unlimited budget (iteration-count bookkeeping
+    /// still happens, so diagnostics remain meaningful).
+    pub fn unlimited() -> Self {
+        Budget::iterations(u64::MAX)
+    }
+
+    /// Adds a wall-clock deadline `timeout` from now.
+    #[must_use]
+    pub fn with_deadline(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Iterations charged so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Iterations remaining before exhaustion.
+    pub fn remaining(&self) -> u64 {
+        self.limit.saturating_sub(self.used)
+    }
+
+    /// Whether the iteration limit or deadline has been reached.
+    /// (Deadline expiry is only as fresh as the last strided check.)
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Charges `n` iterations against the budget.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::BudgetExhausted`] once the iteration limit is
+    /// exceeded or the deadline has passed. The budget stays usable
+    /// for reporting (`used()`), but every further `charge` fails.
+    pub fn charge(&mut self, n: u64) -> Result<(), NumericError> {
+        self.used = self.used.saturating_add(n);
+        if self.used > self.limit {
+            return Err(NumericError::BudgetExhausted {
+                used: self.used,
+                reason: "iteration limit reached",
+            });
+        }
+        if let Some(deadline) = self.deadline {
+            self.charges_since_clock += 1;
+            if self.charges_since_clock >= Self::DEADLINE_CHECK_STRIDE {
+                self.charges_since_clock = 0;
+                if Instant::now() >= deadline {
+                    // Make every subsequent charge fail fast too.
+                    self.limit = self.used.saturating_sub(1).max(1);
+                    return Err(NumericError::BudgetExhausted {
+                        used: self.used,
+                        reason: "deadline passed",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A sub-budget capped at `limit` iterations that, when merged
+    /// back via [`Budget::absorb`], charges its parent. Lets an inner
+    /// loop run under `min(inner cap, whatever remains globally)`.
+    pub fn sub_budget(&self, limit: u64) -> Budget {
+        Budget {
+            limit: limit.min(self.remaining()),
+            used: 0,
+            deadline: self.deadline,
+            charges_since_clock: self.charges_since_clock,
+        }
+    }
+
+    /// Folds a finished sub-budget's consumption into this budget.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::BudgetExhausted`] if the child's consumption
+    /// pushes this budget over its own limit.
+    pub fn absorb(&mut self, child: &Budget) -> Result<(), NumericError> {
+        // The child already paced the shared deadline; only the
+        // iteration count needs to be folded in.
+        let deadline = self.deadline.take();
+        let result = self.charge(child.used());
+        self.deadline = deadline;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_until_the_limit() {
+        let mut b = Budget::iterations(3);
+        assert!(b.charge(1).is_ok());
+        assert!(b.charge(2).is_ok());
+        assert!(b.is_exhausted());
+        let err = b.charge(1).unwrap_err();
+        assert!(matches!(err, NumericError::BudgetExhausted { used: 4, .. }));
+    }
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let mut b = Budget::unlimited();
+        for _ in 0..10_000 {
+            b.charge(1_000).unwrap();
+        }
+        assert_eq!(b.used(), 10_000_000);
+        assert!(!b.is_exhausted());
+    }
+
+    #[test]
+    fn deadline_in_the_past_fails_within_one_stride() {
+        let mut b = Budget::unlimited().with_deadline(Duration::ZERO);
+        let mut failed = false;
+        for _ in 0..=Budget::DEADLINE_CHECK_STRIDE {
+            if b.charge(1).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "expired deadline was never observed");
+        // And it keeps failing afterwards.
+        assert!(b.charge(1).is_err());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let mut b = Budget::iterations(1_000).with_deadline(Duration::from_secs(3600));
+        for _ in 0..1_000 {
+            b.charge(1).unwrap();
+        }
+        assert!(b.charge(1).is_err());
+    }
+
+    #[test]
+    fn sub_budget_is_capped_by_parent_remainder() {
+        let mut parent = Budget::iterations(10);
+        parent.charge(7).unwrap();
+        let child = parent.sub_budget(100);
+        assert_eq!(child.remaining(), 3);
+    }
+
+    #[test]
+    fn absorb_folds_child_consumption_into_parent() {
+        let mut parent = Budget::iterations(10);
+        let mut child = parent.sub_budget(6);
+        child.charge(5).unwrap();
+        parent.absorb(&child).unwrap();
+        assert_eq!(parent.used(), 5);
+        let mut child2 = parent.sub_budget(100);
+        assert_eq!(child2.remaining(), 5);
+        child2.charge(5).unwrap();
+        parent.absorb(&child2).unwrap();
+        assert!(parent.is_exhausted());
+    }
+}

@@ -33,6 +33,14 @@ pub enum NumericError {
         /// Human-readable description of the violated precondition.
         message: &'static str,
     },
+    /// A cooperative [`crate::budget::Budget`] ran out of iterations
+    /// or wall-clock time.
+    BudgetExhausted {
+        /// Iterations charged when the budget tripped.
+        used: u64,
+        /// Which limit tripped (iteration count or deadline).
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for NumericError {
@@ -51,6 +59,9 @@ impl fmt::Display for NumericError {
                 write!(f, "non-finite value encountered in {context}")
             }
             NumericError::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
+            NumericError::BudgetExhausted { used, reason } => {
+                write!(f, "solve budget exhausted after {used} iterations ({reason})")
+            }
         }
     }
 }

@@ -6,6 +6,7 @@
 //! successive substitution (global convergence, per Attias 1999) and
 //! suggests accelerating with Newton. Both are provided here.
 
+use crate::budget::Budget;
 use crate::NumericError;
 
 /// Outcome of a fixed-point solve.
@@ -157,6 +158,164 @@ pub fn newton_fixed_point<F: FnMut(f64) -> f64>(
     })
 }
 
+/// Budget-aware successive substitution: like
+/// [`successive_substitution`], but the iteration allowance comes from
+/// a shared cooperative [`Budget`] (iterations and/or deadline) so an
+/// outer supervisor can bound the *total* work of many nested solves.
+///
+/// # Errors
+///
+/// * [`NumericError::NonFinite`] if `F` produces NaN/∞.
+/// * [`NumericError::BudgetExhausted`] when the budget trips.
+pub fn successive_substitution_budgeted<F: FnMut(f64) -> f64>(
+    mut f: F,
+    x0: f64,
+    tol: f64,
+    budget: &mut Budget,
+) -> Result<FixedPoint, NumericError> {
+    let mut x = x0;
+    let mut iterations = 0;
+    loop {
+        budget.charge(1)?;
+        iterations += 1;
+        let next = f(x);
+        if !next.is_finite() {
+            return Err(NumericError::NonFinite {
+                context: "successive substitution update",
+            });
+        }
+        if (next - x).abs() <= tol * x.abs().max(1.0) {
+            return Ok(FixedPoint {
+                value: next,
+                iterations,
+            });
+        }
+        x = next;
+    }
+}
+
+/// Budget-aware Newton iteration on the residual `F(x) − x`; see
+/// [`newton_fixed_point`] for the method and [`Budget`] for the
+/// cooperative limit semantics.
+///
+/// # Errors
+///
+/// * [`NumericError::NonFinite`] if `F` produces NaN/∞.
+/// * [`NumericError::BudgetExhausted`] when the budget trips.
+pub fn newton_fixed_point_budgeted<F: FnMut(f64) -> f64>(
+    mut f: F,
+    x0: f64,
+    tol: f64,
+    budget: &mut Budget,
+) -> Result<FixedPoint, NumericError> {
+    let mut x = x0;
+    let mut iterations = 0;
+    loop {
+        budget.charge(1)?;
+        iterations += 1;
+        let fx = f(x);
+        if !fx.is_finite() {
+            return Err(NumericError::NonFinite {
+                context: "newton fixed-point update",
+            });
+        }
+        let resid = fx - x;
+        if resid.abs() <= tol * x.abs().max(1.0) {
+            return Ok(FixedPoint {
+                value: fx,
+                iterations,
+            });
+        }
+        let h = 1e-6 * x.abs().max(1e-12);
+        let fp = (f(x + h) - f(x - h)) / (2.0 * h);
+        let deriv = fp - 1.0;
+        let newton = x - resid / deriv;
+        x = if deriv.abs() > 1e-12 && newton.is_finite() && newton > 0.0 {
+            newton
+        } else {
+            fx
+        };
+    }
+}
+
+/// Bisection on the residual `F(x) − x` over `(0, ∞)`: the slow but
+/// essentially unconditionally convergent last-resort inner solver of
+/// the supervised fitting pipeline. A sign-changing bracket is grown
+/// geometrically around `x0` (bounded away from zero), then halved to
+/// tolerance. Unlike substitution or Newton it cannot be thrown by a
+/// non-contractive or badly scaled map — only by a residual with no
+/// sign change in `(0, ∞)` or an exhausted budget.
+///
+/// # Errors
+///
+/// * [`NumericError::NonFinite`] if `F` produces NaN/∞.
+/// * [`NumericError::NoBracket`] if no sign change is found.
+/// * [`NumericError::BudgetExhausted`] when the budget trips.
+pub fn bisection_fixed_point<F: FnMut(f64) -> f64>(
+    mut f: F,
+    x0: f64,
+    tol: f64,
+    budget: &mut Budget,
+) -> Result<FixedPoint, NumericError> {
+    let mut resid = |x: f64| f(x) - x;
+    let centre = if x0.is_finite() && x0 > 0.0 { x0 } else { 1.0 };
+    let floor = centre * 2f64.powi(-80);
+    let mut lo = centre * 0.5;
+    let mut hi = centre * 2.0;
+    budget.charge(2)?;
+    let mut iterations = 2;
+    let mut flo = resid(lo);
+    let mut fhi = resid(hi);
+    if !flo.is_finite() || !fhi.is_finite() {
+        return Err(NumericError::NonFinite {
+            context: "bisection fixed-point bracket",
+        });
+    }
+    // Grow the bracket geometrically in both directions; 80 doublings
+    // cover 48 orders of magnitude around the initial point.
+    let mut expansions = 0;
+    while flo.signum() == fhi.signum() {
+        expansions += 1;
+        if expansions > 80 {
+            return Err(NumericError::NoBracket { fa: flo, fb: fhi });
+        }
+        budget.charge(2)?;
+        iterations += 2;
+        lo = (lo * 0.5).max(floor);
+        hi *= 2.0;
+        flo = resid(lo);
+        fhi = resid(hi);
+        if !flo.is_finite() || !fhi.is_finite() {
+            return Err(NumericError::NonFinite {
+                context: "bisection fixed-point bracket",
+            });
+        }
+    }
+    loop {
+        budget.charge(1)?;
+        iterations += 1;
+        let mid = 0.5 * (lo + hi);
+        if (hi - lo).abs() <= tol * mid.abs().max(1.0) {
+            return Ok(FixedPoint {
+                value: mid,
+                iterations,
+            });
+        }
+        let fmid = resid(mid);
+        if !fmid.is_finite() {
+            return Err(NumericError::NonFinite {
+                context: "bisection fixed-point step",
+            });
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +361,49 @@ mod tests {
         let fp = successive_substitution(|x| x, 3.0, 1e-12, 10).unwrap();
         assert_eq!(fp.value, 3.0);
         assert_eq!(fp.iterations, 1);
+    }
+
+    #[test]
+    fn budgeted_variants_converge_to_dottie() {
+        let mut budget = Budget::iterations(10_000);
+        let sub = successive_substitution_budgeted(|x| x.cos(), 1.0, 1e-13, &mut budget).unwrap();
+        assert!((sub.value - DOTTIE).abs() < 1e-11);
+        let newton = newton_fixed_point_budgeted(|x| x.cos(), 1.0, 1e-13, &mut budget).unwrap();
+        assert!((newton.value - DOTTIE).abs() < 1e-10);
+        let bis = bisection_fixed_point(|x| x.cos(), 1.0, 1e-12, &mut budget).unwrap();
+        assert!((bis.value - DOTTIE).abs() < 1e-9);
+        // All three solves drew from the same shared budget.
+        assert_eq!(
+            budget.used() as usize,
+            sub.iterations + newton.iterations + bis.iterations
+        );
+    }
+
+    #[test]
+    fn budgeted_substitution_reports_exhaustion() {
+        let mut budget = Budget::iterations(50);
+        let err = successive_substitution_budgeted(|x| 2.0 * x, 1.0, 1e-12, &mut budget).unwrap_err();
+        assert!(matches!(err, NumericError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn bisection_reports_missing_bracket() {
+        // x + 1 has no fixed point: the residual is identically 1.
+        let mut budget = Budget::unlimited();
+        let err = bisection_fixed_point(|x| x + 1.0, 1.0, 1e-12, &mut budget).unwrap_err();
+        assert!(matches!(err, NumericError::NoBracket { .. }));
+    }
+
+    #[test]
+    fn bisection_survives_a_non_contractive_map() {
+        // x ← 4/x oscillates under substitution but has fixed point 2.
+        let mut budget = Budget::iterations(10_000);
+        let err =
+            successive_substitution_budgeted(|x| 4.0 / x, 1.0, 1e-12, &mut budget).unwrap_err();
+        assert!(matches!(err, NumericError::BudgetExhausted { .. }));
+        let mut budget = Budget::iterations(10_000);
+        let fp = bisection_fixed_point(|x| 4.0 / x, 1.0, 1e-12, &mut budget).unwrap();
+        assert!((fp.value - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! * [`quadrature`] — Gauss–Legendre rules, adaptive Simpson and
 //!   log-space tensor quadrature over rectangles (the NINT engine);
 //! * [`optimize`] — Nelder–Mead and a damped 2-D Newton for MAP/MLE fits;
-//! * [`linalg`] — 2×2 symmetric matrix helpers for Laplace approximation.
+//! * [`linalg`] — 2×2 symmetric matrix helpers for Laplace approximation;
+//! * [`budget`] — cooperative iteration/deadline budgets threaded through
+//!   the solver loops so a supervisor can bound total work per fit.
 //!
 //! # Example
 //!
@@ -28,6 +30,7 @@
 // `x <= 0.0`, they also reject NaN, which is exactly the validation the
 // numerical code needs.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
+pub mod budget;
 pub mod fixed_point;
 pub mod linalg;
 pub mod optimize;
@@ -36,4 +39,5 @@ pub mod roots;
 
 mod error;
 
+pub use budget::Budget;
 pub use error::NumericError;

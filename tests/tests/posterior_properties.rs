@@ -101,8 +101,13 @@ proptest! {
         ).unwrap();
 
         prop_assert_eq!(vb1.covariance(), 0.0);
-        // Means agree to first order between the two VB schemes.
-        prop_assert!((vb1.mean_omega() - vb2.mean_omega()).abs() < 0.25 * vb2.mean_omega());
+        // Means agree to first order between the two VB schemes. The
+        // bound is loose because VB1's documented underestimation grows
+        // on sparse datasets under diffuse priors (paper Tables 1–5).
+        prop_assert!(
+            (vb1.mean_omega() - vb2.mean_omega()).abs() < 0.35 * vb2.mean_omega(),
+            "vb1={} vb2={}", vb1.mean_omega(), vb2.mean_omega()
+        );
         // VB1 cannot have more ω-variance than the mixture (its single
         // component lacks the between-component spread).
         prop_assert!(vb1.var_omega() <= vb2.var_omega() * 1.05);

@@ -1,0 +1,223 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of the criterion API its benches use:
+//! [`Criterion`], benchmark groups with `sample_size`, `bench_function`
+//! and `bench_with_input`, [`BenchmarkId`], the [`criterion_group!`]/
+//! [`criterion_main!`] macros and [`Bencher::iter`].
+//!
+//! Instead of criterion's statistical machinery, each benchmark is
+//! timed with a short warm-up followed by `sample_size` timed batches;
+//! the median per-iteration time is printed. That is deliberately
+//! simple but entirely sufficient for the relative comparisons the
+//! workspace benches make (method A vs method B on the same machine in
+//! the same run).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter display.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter display alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the workload.
+pub struct Bencher<'a> {
+    samples: usize,
+    result: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, recording per-iteration wall-clock durations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-batch iteration calibration: aim for batches
+        // of at least ~1ms so timer resolution is irrelevant.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let once = warm_start.elapsed();
+        let per_batch = if once >= Duration::from_millis(1) {
+            1
+        } else {
+            (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u32
+        };
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            self.result.push(start.elapsed() / per_batch);
+        }
+    }
+}
+
+fn run_benchmark(name: &str, samples: usize, f: impl FnOnce(&mut Bencher<'_>)) {
+    let mut durations = Vec::with_capacity(samples);
+    f(&mut Bencher {
+        samples,
+        result: &mut durations,
+    });
+    durations.sort();
+    let median = durations
+        .get(durations.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    println!("bench {name:<56} median {median:>12.3?} ({} samples)", durations.len());
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(
+            &format!("{}/{}", self.name, id.label),
+            self.samples,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(
+            &format!("{}/{}", self.name, id.label),
+            self.samples,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (a no-op; provided for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level bench context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored, so
+    /// `cargo bench -- <filter>` invocations do not error).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, 20, |b| f(b));
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_benches_run_and_record() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| b.iter(|| calls = calls.wrapping_add(1)));
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(2);
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(7u64), &7u64, |b, &x| {
+            b.iter(|| seen = x)
+        });
+        assert_eq!(seen, 7);
+    }
+}

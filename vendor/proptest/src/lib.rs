@@ -1,0 +1,466 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of the proptest API its property tests
+//! use: the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`, [`ProptestConfig`], the [`Strategy`] trait with the
+//! `prop_map`/`prop_filter_map`/`prop_flat_map` combinators, range and
+//! tuple strategies, [`collection::vec`] and [`bool::ANY`].
+//!
+//! Unlike real proptest there is no shrinking and no persistence of
+//! failing cases; inputs are drawn from a fixed-seed deterministic
+//! generator so failures reproduce exactly across runs.
+
+// `prop_assert!(a < b)` on floats expands to `!(a < b)`, which is the
+// NaN-rejecting guard the numerical crates in this workspace use
+// deliberately; silence the style lint inside this crate's own tests.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+/// Test-runner plumbing: the RNG cases are drawn from and the error
+/// type threaded out of test bodies by the assertion macros.
+pub mod test_runner {
+    /// Deterministic SplitMix64 generator driving input generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator with a fixed seed, so every `cargo test` run
+        /// exercises the identical case sequence.
+        pub fn deterministic() -> Self {
+            TestRng {
+                state: 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[0, bound)` (`bound > 0`).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            // Multiply-shift bounded sampling; bias is negligible for
+            // the small bounds used in tests.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected (`prop_assume!` failed or a
+        /// `prop_filter_map` returned `None`); it does not count
+        /// against the configured number of cases.
+        Reject(&'static str),
+        /// A `prop_assert!` failed with the given message.
+        Fail(String),
+    }
+}
+
+/// The subset of proptest's configuration the tests use.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The strategy abstraction: a recipe for generating values.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of test inputs. `generate` returns `None` when the
+    /// drawn value is filtered out (the case is rejected, not failed).
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value, or `None` to reject the case.
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        /// Transforms generated values.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Transforms generated values, rejecting those mapped to
+        /// `None`. The label is kept for diagnostics parity with real
+        /// proptest but otherwise unused.
+        fn prop_filter_map<T, F: Fn(Self::Value) -> Option<T>>(
+            self,
+            _label: &'static str,
+            f: F,
+        ) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FilterMap { inner: self, f }
+        }
+
+        /// Generates an intermediate value, then draws from the
+        /// strategy it induces.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<T> {
+            self.inner.generate(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> Option<T>> Strategy for FilterMap<S, F> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<T> {
+            self.inner.generate(rng).and_then(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S2::Value> {
+            let mid = self.inner.generate(rng)?;
+            (self.f)(mid).generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),*) => {
+            $(
+                impl Strategy for std::ops::Range<$ty> {
+                    type Value = $ty;
+
+                    fn generate(&self, rng: &mut TestRng) -> Option<$ty> {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end - self.start) as u64;
+                        Some(self.start + rng.below(span) as $ty)
+                    }
+                }
+            )*
+        };
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+            assert!(self.start < self.end, "empty range strategy");
+            Some(self.start + (self.end - self.start) * rng.unit_f64())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+);)*) => {
+            $(
+                #[allow(non_snake_case)]
+                impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                    type Value = ($($name::Value,)+);
+
+                    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                        let ($($name,)+) = self;
+                        Some(($($name.generate(rng)?,)+))
+                    }
+                }
+            )*
+        };
+    }
+
+    tuple_strategy! {
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Anything usable as a vector-length specification.
+    pub trait IntoSizeRange {
+        /// Lower (inclusive) and upper (exclusive) length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let span = (self.max - self.min).max(1) as u64;
+            let len = self.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector strategy with the given element strategy and length
+    /// range (`usize` or `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        assert!(min < max, "empty vec-size range");
+        VecStrategy { element, min, max }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The strategy drawing `true`/`false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<bool> {
+            Some(rng.next_u64() & 1 == 1)
+        }
+    }
+}
+
+/// The glob-import surface tests pull in with
+/// `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { .. }`
+/// item becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (@run ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic();
+                let mut accepted: u64 = 0;
+                let mut attempts: u64 = 0;
+                let max_attempts = config.cases as u64 * 50 + 1_000;
+                while accepted < config.cases as u64 {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "property '{}': too many rejected cases ({} attempts for {} cases)",
+                        stringify!($name), attempts, config.cases
+                    );
+                    $(
+                        let $pat = match $crate::strategy::Strategy::generate(&($strat), &mut rng) {
+                            Some(value) => value,
+                            None => continue,
+                        };
+                    )*
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                            panic!("property '{}' failed: {}", stringify!($name), message);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the
+/// property (with an optional formatted message) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Rejects the current case (without failing) when the assumption does
+/// not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 1.5f64..2.5, k in 3u64..9, n in 2usize..5) {
+            prop_assert!((1.5..2.5).contains(&x));
+            prop_assert!((3..9).contains(&k));
+            prop_assert!((2..5).contains(&n));
+        }
+
+        #[test]
+        fn tuples_and_vecs(v in prop::collection::vec(0.0f64..1.0, 1..6), (a, b) in (0.0f64..1.0, 5u64..7)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+            prop_assert!((0.0..1.0).contains(&a));
+            prop_assert_eq!(b / 7, 0);
+        }
+
+        #[test]
+        fn combinators_compose(n in (1usize..4).prop_flat_map(|n| prop::collection::vec(0u64..10, n)),
+                               even in (0u64..100).prop_filter_map("even", |k| (k % 2 == 0).then_some(k)),
+                               doubled in (1u64..50).prop_map(|k| 2 * k)) {
+            prop_assert!(!n.is_empty());
+            prop_assert_eq!(even % 2, 0);
+            prop_assert!(doubled % 2 == 0 && doubled >= 2);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(p in 0.0f64..1.0) {
+            prop_assume!(p < 0.9);
+            prop_assert!(p < 0.9);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut r1 = crate::test_runner::TestRng::deterministic();
+        let mut r2 = crate::test_runner::TestRng::deterministic();
+        let s = 0.0f64..1.0;
+        for _ in 0..32 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+}
