@@ -83,8 +83,21 @@ pub struct McmcPosterior {
 
 fn sorted(v: &[f64]) -> Vec<f64> {
     let mut s = v.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    // IEEE total order: NaN sorts to the ends instead of aborting the
+    // process, keeping the no-panic policy even for degenerate chains.
+    s.sort_by(f64::total_cmp);
     s
+}
+
+/// Rejects chains that produced non-finite draws, so the sorted sample
+/// arrays backing the quantile lookups are meaningful.
+fn validate_finite(name: &'static str, samples: &[f64]) -> Result<(), BayesError> {
+    match samples.iter().position(|x| !x.is_finite()) {
+        None => Ok(()),
+        Some(index) => Err(BayesError::IllPosed {
+            message: format!("chain produced a non-finite {name} sample at index {index}"),
+        }),
+    }
 }
 
 /// Linear-interpolation empirical quantile (type-7).
@@ -212,6 +225,8 @@ impl McmcPosterior {
         }
         omega_samples.truncate(options.n_samples);
         beta_samples.truncate(options.n_samples);
+        validate_finite("omega", &omega_samples)?;
+        validate_finite("beta", &beta_samples)?;
         Ok(McmcPosterior {
             spec,
             sorted_omega: sorted(&omega_samples),
@@ -297,6 +312,8 @@ impl McmcPosterior {
         }
         omega_samples.truncate(options.n_samples);
         beta_samples.truncate(options.n_samples);
+        validate_finite("omega", &omega_samples)?;
+        validate_finite("beta", &beta_samples)?;
         Ok(McmcPosterior {
             spec,
             sorted_omega: sorted(&omega_samples),
@@ -675,6 +692,46 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, BayesError::InvalidOption { .. }));
+    }
+
+    #[test]
+    fn sorted_tolerates_nan_without_panicking() {
+        // Regression: `partial_cmp(..).expect("samples are finite")`
+        // used to abort the process on one NaN draw.
+        let s = sorted(&[2.0, f64::NAN, -1.0, f64::INFINITY, 0.5]);
+        assert_eq!(&s[..4], &[-1.0, 0.5, 2.0, f64::INFINITY]);
+        assert!(s[4].is_nan());
+        let all_nan = sorted(&[f64::NAN, f64::NAN]);
+        assert!(all_nan.iter().all(|x| x.is_nan()));
+    }
+
+    #[test]
+    fn non_finite_samples_surface_as_an_error() {
+        assert!(validate_finite("omega", &[1.0, 2.0, 3.0]).is_ok());
+        let err = validate_finite("omega", &[1.0, f64::NAN, 3.0]).unwrap_err();
+        assert!(matches!(err, BayesError::IllPosed { .. }), "{err}");
+        let err = validate_finite("beta", &[f64::INFINITY]).unwrap_err();
+        assert!(err.to_string().contains("beta"), "{err}");
+    }
+
+    #[test]
+    fn quantiles_on_a_degenerate_posterior_do_not_panic() {
+        // Even if a posterior were built from a chain with stray NaN
+        // samples, quantile lookups must stay panic-free.
+        let samples = vec![1.0, f64::NAN, 3.0];
+        let post = McmcPosterior {
+            spec: spec(),
+            sorted_omega: sorted(&samples),
+            sorted_beta: sorted(&samples),
+            omega: samples.clone(),
+            beta: samples,
+            variate_count: 0,
+            acceptance_rate: None,
+        };
+        // Finite quantiles come from the finite prefix of the total
+        // order; the top quantile honestly reports the NaN.
+        assert_eq!(post.quantile_omega(0.0), 1.0);
+        assert!(post.quantile_beta(1.0).is_nan());
     }
 
     #[test]

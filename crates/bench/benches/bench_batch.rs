@@ -1,0 +1,100 @@
+//! Batch-fitting throughput: a portfolio of simulated projects fitted
+//! through [`Vb2Posterior::fit_many`] and [`fit_many_supervised`] at
+//! increasing pool widths.
+//!
+//! This is the fleet-monitoring workload the batch APIs exist for: many
+//! small independent fits, one per project, where the parallelism lives
+//! *across* tasks (each task solves serially on one worker). Results are
+//! bitwise-identical across thread counts, so the comparison is pure
+//! cost; expect near-linear scaling up to the physical core count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nhpp_data::simulate::NhppSimulator;
+use nhpp_data::ObservedData;
+use nhpp_models::prior::NhppPrior;
+use nhpp_models::ModelSpec;
+use nhpp_vb::{
+    fit_many_supervised, RobustOptions, RobustTask, SolverKind, Vb2Options, Vb2Posterior, Vb2Task,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Simulates one censored failure trace per seed: a portfolio of small
+/// projects with a spread of fault counts and detection rates.
+fn portfolio(n_projects: u64) -> Vec<ObservedData> {
+    let spec = ModelSpec::goel_okumoto();
+    (0..n_projects)
+        .map(|i| {
+            let omega = 30.0 + 5.0 * (i % 5) as f64;
+            let beta = 8e-6 * (1.0 + 0.2 * (i % 3) as f64);
+            let law = spec.failure_law(beta).expect("valid beta");
+            let sim = NhppSimulator::new(omega, law).expect("valid omega");
+            let mut rng = StdRng::seed_from_u64(1000 + i);
+            sim.simulate_censored(&mut rng, 2e5)
+                .expect("simulation")
+                .into()
+        })
+        .collect()
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let spec = ModelSpec::goel_okumoto();
+    let prior = NhppPrior::paper_info_times();
+    let datasets = portfolio(16);
+    let options = Vb2Options {
+        solver: SolverKind::SuccessiveSubstitution,
+        ..Vb2Options::default()
+    };
+    let tasks: Vec<Vb2Task<'_>> = datasets
+        .iter()
+        .map(|data| Vb2Task {
+            spec,
+            prior,
+            data,
+            options,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("batch/vb2-fit-many");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let fits = Vb2Posterior::fit_many(black_box(&tasks), t);
+                assert!(fits.iter().all(Result::is_ok));
+                black_box(fits)
+            })
+        });
+    }
+    group.finish();
+
+    let robust_tasks: Vec<RobustTask<'_>> = datasets
+        .iter()
+        .map(|data| RobustTask {
+            spec,
+            prior,
+            data,
+            options: RobustOptions {
+                base: options,
+                ..RobustOptions::default()
+            },
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("batch/supervised-fit-many");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let fits = fit_many_supervised(black_box(&robust_tasks), t);
+                assert!(fits.iter().all(Result::is_ok));
+                black_box(fits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -5,6 +5,13 @@
 //! The paper observes super-linear growth in `n_max` for its Mathematica
 //! implementation and conjectures Newton would restore linearity; the
 //! Newton variant itself is timed in `bench_ablation`.
+//!
+//! The `vb2-parallel` group times the same sweep under the work pool
+//! (`Vb2Options::threads`) on the flat-prior scenario with a large fixed
+//! truncation — the component-dominated regime where chunked parallelism
+//! pays off. Expect near-linear scaling up to the physical core count
+//! (≥ 2× at 4 threads on a 4-core machine); output is bitwise-identical
+//! across thread counts, so the comparison is pure cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nhpp_bench::Scenario;
@@ -35,5 +42,32 @@ fn bench_vb2(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_vb2);
+fn bench_vb2_parallel(c: &mut Criterion) {
+    let spec = ModelSpec::goel_okumoto();
+    let scenario = Scenario::dt_noinfo();
+    let mut group = c.benchmark_group(format!("vb2-parallel/{}", scenario.name));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let options = Vb2Options {
+            solver: SolverKind::SuccessiveSubstitution,
+            truncation: Truncation::Fixed { n_max: 2000 },
+            threads,
+            ..Vb2Options::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        Vb2Posterior::fit(spec, scenario.prior, &scenario.data, options).unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vb2, bench_vb2_parallel);
 criterion_main!(benches);

@@ -83,6 +83,8 @@ COMMON OPTIONS:
                      [default vb2]
   --prior P          flat | wmean,wsd,bmean,bsd       [default flat]
   --level L          credible/confidence level        [default 0.95]
+  --threads N        worker threads for the VB2 component sweep
+                     (1 = serial, 0 = auto-detect)    [default 1]
 
 ROBUSTNESS (VB2 fits run under a supervised retry/fallback pipeline):
   --max-attempts N   VB2 retry-ladder length          [default 4]
@@ -169,17 +171,19 @@ fn parse_prior(args: &ParsedArgs) -> Result<NhppPrior, CliError> {
 
 /// VB2 options matching the prior kind (capped truncation for flat
 /// priors, whose exact posterior over N is improper).
-fn vb2_options(prior: &NhppPrior, data: &ObservedData) -> Vb2Options {
-    if prior.omega.is_flat() || prior.beta.is_flat() {
-        Vb2Options {
-            truncation: Truncation::AdaptiveCapped {
-                epsilon: 5e-15,
-                cap: (5 * data.total_count() as u64).max(100),
-            },
-            ..Vb2Options::default()
+fn vb2_options(prior: &NhppPrior, data: &ObservedData, threads: usize) -> Vb2Options {
+    let truncation = if prior.omega.is_flat() || prior.beta.is_flat() {
+        Truncation::AdaptiveCapped {
+            epsilon: 5e-15,
+            cap: (5 * data.total_count() as u64).max(100),
         }
     } else {
-        Vb2Options::default()
+        Truncation::default()
+    };
+    Vb2Options {
+        truncation,
+        threads,
+        ..Vb2Options::default()
     }
 }
 
@@ -198,8 +202,9 @@ fn robust_options(
     if max_attempts == 0 {
         return Err(CliError::Run("--max-attempts must be at least 1".into()));
     }
+    let threads = args.get_u64("threads", 1)? as usize;
     Ok(RobustOptions {
-        base: vb2_options(prior, data),
+        base: vb2_options(prior, data, threads),
         retry: RetryPolicy {
             max_attempts,
             ..RetryPolicy::default()
@@ -270,7 +275,7 @@ fn fit_method(
             None,
         )),
         "nint" => {
-            let vb2 = Vb2Posterior::fit(spec, prior, data, vb2_options(&prior, data))
+            let vb2 = Vb2Posterior::fit(spec, prior, data, robust.base)
                 .map_err(run_err("VB2 pre-fit for NINT bounds"))?;
             Ok((
                 Box::new(
@@ -895,6 +900,24 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("pipeline: provenance=vb2"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn threads_flag_does_not_change_the_output() {
+        let path = temp_times_csv();
+        let base: Vec<String> = ["fit", "--data", path.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let fit = |threads: &str| {
+            let mut words = base.clone();
+            words.extend(["--threads".to_string(), threads.to_string()]);
+            run(&ParsedArgs::parse(words).unwrap()).unwrap()
+        };
+        let serial = fit("1");
+        assert_eq!(serial, fit("2"), "parallel fit must match serial output");
+        assert_eq!(serial, fit("0"), "auto thread count must match serial");
         std::fs::remove_file(path).ok();
     }
 

@@ -68,6 +68,9 @@ mod vb2;
 pub use error::VbError;
 pub use fault::{FaultKind, FaultPlan};
 pub use model_average::AveragedPosterior;
-pub use robust::{fit_supervised, FitReport, RetryPolicy, RobustFit, RobustOptions, RobustPosterior};
+pub use robust::{
+    fit_many_supervised, fit_supervised, FitReport, RetryPolicy, RobustFit, RobustOptions,
+    RobustPosterior, RobustTask,
+};
 pub use vb1::{Vb1Options, Vb1Posterior};
-pub use vb2::{SolverKind, Truncation, Vb2Options, Vb2Posterior};
+pub use vb2::{SolverKind, Truncation, Vb2Options, Vb2Posterior, Vb2Task};

@@ -356,6 +356,38 @@ pub fn fit_supervised(
     }
 }
 
+/// One unit of a [`fit_many_supervised`] batch: a complete supervised
+/// fitting problem.
+#[derive(Debug, Clone, Copy)]
+pub struct RobustTask<'a> {
+    /// Model family to fit.
+    pub spec: ModelSpec,
+    /// Prior for this task.
+    pub prior: NhppPrior,
+    /// Observed dataset.
+    pub data: &'a ObservedData,
+    /// Pipeline options. The base `threads` field is overridden to `1`:
+    /// the batch layer owns the pool.
+    pub options: RobustOptions,
+}
+
+/// Supervised batch fitting for portfolio and sequential-monitoring
+/// workloads: fans the tasks across a `threads`-wide work pool (`0` =
+/// available parallelism). Every task runs the full retry/fallback
+/// pipeline of [`fit_supervised`] independently, so results come back
+/// in task order, each carrying its own [`FitReport`] provenance, and
+/// one pathological dataset cannot poison the rest of the batch.
+pub fn fit_many_supervised(
+    tasks: &[RobustTask<'_>],
+    threads: usize,
+) -> Vec<Result<RobustFit, VbError>> {
+    nhpp_numeric::parallel::map_items(threads, tasks, |_, task| {
+        let mut options = task.options;
+        options.base.threads = 1;
+        fit_supervised(task.spec, task.prior, task.data, options)
+    })
+}
+
 impl RobustPosterior {
     /// Posterior-predictive failure counts over `(t, t+u]`, whatever
     /// stage produced the posterior (the Laplace stage uses its

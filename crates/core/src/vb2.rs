@@ -52,9 +52,24 @@ use nhpp_models::{ModelSpec, Posterior};
 use nhpp_numeric::fixed_point::{
     bisection_fixed_point, newton_fixed_point_budgeted, successive_substitution_budgeted,
 };
-use nhpp_numeric::Budget;
-use nhpp_special::{ln_factorial, ln_gamma, ln_gamma_q, log_sum_exp};
+use nhpp_numeric::{parallel, Budget, SharedBudget};
+use nhpp_special::{ln_factorial, ln_gamma, ln_gamma_q_given, log_sum_exp};
 use std::time::Duration;
+
+/// Width of the component chunks handed to the work pool. The chunk
+/// partition is a pure function of the solved `N`-range — never of the
+/// thread count — which is what makes parallel fits bitwise-identical
+/// to serial ones. 64 components amortise both the chunk-head seed
+/// solve and the pool's per-chunk synchronisation.
+const COMPONENT_CHUNK: usize = 64;
+
+/// Iteration allowance of a chunk-head seed solve.
+const SEED_MAX_ITER: u64 = 16;
+
+/// Coarse relative tolerance of a chunk-head seed solve: the seed only
+/// needs to land in the fixed point's basin, the component solve
+/// finishes the job at `inner_tol`.
+const SEED_TOL: f64 = 1e-3;
 
 /// How the per-`N` fixed point `(ζ, ξ)` is solved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -133,6 +148,11 @@ pub struct Vb2Options {
     /// retry ladder jitters this to escape a pathological basin; leave
     /// at `1.0` otherwise.
     pub init_scale: f64,
+    /// Worker threads for the component sweep: `1` (the default) is
+    /// the spawn-free serial path, `0` asks for the machine's available
+    /// parallelism, anything else is the pool width. Results are
+    /// bitwise-identical across thread counts (see `DESIGN.md` §9).
+    pub threads: usize,
     /// Forced numerical pathology (deterministic fault injection for
     /// the robustness tests; `None` in production).
     pub fault: Option<FaultKind>,
@@ -149,6 +169,7 @@ impl Default for Vb2Options {
             total_budget: None,
             deadline: None,
             init_scale: 1.0,
+            threads: 1,
             fault: None,
         }
     }
@@ -210,7 +231,13 @@ impl DataSummary {
         let Ok(law) = Gamma::new(alpha0, xi) else {
             return f64::NAN;
         };
-        let r = (n - self.observed()) as f64;
+        // `n < m` has no unobserved-region count; the unchecked
+        // subtraction used to wrap to ~1.8e19 and silently produce an
+        // astronomically wrong ζ.
+        let Some(r) = n.checked_sub(self.observed()) else {
+            return f64::NAN;
+        };
+        let r = r as f64;
         match self {
             DataSummary::Times { sum_obs, t_end, .. } => {
                 let tail = if r > 0.0 {
@@ -244,6 +271,22 @@ struct Component {
     xi: f64,
     ln_weight: f64,
     inner_iterations: usize,
+}
+
+/// One unit of a [`Vb2Posterior::fit_many`] batch: a complete
+/// (model, prior, dataset, options) fitting problem.
+#[derive(Debug, Clone, Copy)]
+pub struct Vb2Task<'a> {
+    /// Model family to fit.
+    pub spec: ModelSpec,
+    /// Prior for this task.
+    pub prior: NhppPrior,
+    /// Observed dataset.
+    pub data: &'a ObservedData,
+    /// Fit options. The per-fit `threads` field is overridden to `1`:
+    /// the batch layer owns the pool, and each task solves serially on
+    /// one worker.
+    pub options: Vb2Options,
 }
 
 /// The VB2 variational posterior: a finite Gamma-product mixture over the
@@ -304,7 +347,8 @@ impl Vb2Posterior {
         // One cooperative budget governs the whole fit: every solved
         // component and every inner solver iteration charges it, so
         // iteration limits and deadlines bound total work rather than
-        // each inner loop independently.
+        // each inner loop independently. The shared view lets pool
+        // workers settle their consumption against the same limit.
         let mut budget = match options.total_budget {
             Some(limit) => Budget::iterations(limit),
             None => Budget::unlimited(),
@@ -312,6 +356,19 @@ impl Vb2Posterior {
         if let Some(timeout) = options.deadline {
             budget = budget.with_deadline(timeout);
         }
+        let shared = SharedBudget::from_budget(&budget);
+        let ctx = FitContext {
+            summary: &summary,
+            spec,
+            alpha0,
+            a_w,
+            r_w,
+            a_b,
+            r_b,
+            ln_gamma_alpha0: ln_gamma(alpha0),
+            ln_gamma_alpha0p1: ln_gamma(alpha0 + 1.0),
+            options,
+        };
 
         let mut components: Vec<Component> = Vec::new();
         let mut n_hi = match options.truncation {
@@ -327,24 +384,23 @@ impl Vb2Posterior {
         };
 
         loop {
+            // The candidate range is partitioned into fixed-width
+            // chunks and fanned across the work pool; each chunk
+            // re-seeds its own warm-start chain, so the partition (and
+            // hence every solved value) is independent of the thread
+            // count. Chunk results are folded back in range order and
+            // the lowest-indexed error wins, exactly as in a serial
+            // sweep.
             let start = components.last().map(|c| c.n + 1).unwrap_or(m);
-            let mut warm_xi = components.last().map(|c| c.xi);
-            for n in start..=n_hi {
-                let comp = solve_component(
-                    &summary,
-                    spec,
-                    alpha0,
-                    a_w,
-                    r_w,
-                    a_b,
-                    r_b,
-                    n,
-                    warm_xi,
-                    &options,
-                    &mut budget,
-                )?;
-                warm_xi = Some(comp.xi);
-                components.push(comp);
+            let ns: Vec<u64> = (start..=n_hi).collect();
+            let chunks = parallel::run_chunks(
+                options.threads,
+                COMPONENT_CHUNK,
+                &ns,
+                |_, chunk| solve_chunk(&ctx, chunk, &shared),
+            );
+            for chunk in chunks {
+                components.extend(chunk?);
             }
             let lse = log_sum_exp(&components.iter().map(|c| c.ln_weight).collect::<Vec<_>>());
             if !lse.is_finite() {
@@ -406,6 +462,31 @@ impl Vb2Posterior {
             elbo,
             n_max: n_hi,
             inner_iterations: inner_total,
+        })
+    }
+
+    /// Fits every task of a batch, fanning the tasks across a
+    /// `threads`-wide work pool (`0` = the machine's available
+    /// parallelism, `1` = serial). Results come back in task order and
+    /// each task succeeds or fails independently — one degenerate
+    /// dataset does not poison the portfolio. Task-level parallelism
+    /// supersedes component-level parallelism here: each task runs with
+    /// `threads = 1` internally, which keeps every individual result
+    /// bitwise identical to a standalone serial [`Vb2Posterior::fit`].
+    pub fn fit_many(
+        tasks: &[Vb2Task<'_>],
+        threads: usize,
+    ) -> Vec<Result<Vb2Posterior, VbError>> {
+        parallel::map_items(threads, tasks, |_, task| {
+            Vb2Posterior::fit(
+                task.spec,
+                task.prior,
+                task.data,
+                Vb2Options {
+                    threads: 1,
+                    ..task.options
+                },
+            )
         })
     }
 
@@ -490,43 +571,128 @@ impl Vb2Posterior {
     }
 }
 
-/// Solves the `(ζ, ξ)` fixed point for one `N` and evaluates the weight.
-#[allow(clippy::too_many_arguments)]
-fn solve_component(
-    summary: &DataSummary,
+/// Everything constant across the components of one fit, bundled so it
+/// can cross the work-pool boundary as one shared reference. It also
+/// carries the fit-level memoized special-function values: `ln Γ(α₀)`
+/// and `ln Γ(α₀ + 1)` are evaluated once here and reused by every
+/// component's tail and weight evaluation, instead of once per
+/// regularised-incomplete-gamma call.
+struct FitContext<'a> {
+    summary: &'a DataSummary,
     spec: ModelSpec,
     alpha0: f64,
     a_w: f64,
     r_w: f64,
     a_b: f64,
     r_b: f64,
+    ln_gamma_alpha0: f64,
+    ln_gamma_alpha0p1: f64,
+    options: Vb2Options,
+}
+
+/// Whether the fit takes the iteration-free closed form: Goel–Okumoto
+/// with failure-time data (paper §5.2) — only under `Auto`, so
+/// explicitly requesting an iterative solver (e.g. for the Table 7
+/// cost experiment) is honoured. A `StallInner` fault forces the
+/// iterative path, which is where the pathology it simulates lives.
+fn uses_closed_form(ctx: &FitContext) -> bool {
+    ctx.options.solver == SolverKind::Auto
+        && ctx.options.fault != Some(FaultKind::StallInner)
+        && matches!(
+            (ctx.spec.is_goel_okumoto(), ctx.summary),
+            (true, DataSummary::Times { .. })
+        )
+}
+
+/// A cheap, coarse pre-solve of the chunk head's `ξ` so the chunk's
+/// warm-start chain begins near its fixed point instead of cold. The
+/// seed depends only on the component index — never on other chunks or
+/// the thread count — which is what keeps chunked sweeps deterministic.
+/// It is best-effort: any failure just falls back to the cold start
+/// inside [`solve_component`]. Seed iterations still settle against
+/// the shared budget; a genuine exhaustion then surfaces through the
+/// first real component solve.
+fn chunk_head_seed(ctx: &FitContext, n: u64, shared: &SharedBudget) -> Option<f64> {
+    if uses_closed_form(ctx) {
+        // Warm starts are unused on the closed-form path.
+        return None;
+    }
+    if ctx.options.fault == Some(FaultKind::NanZeta) {
+        // Every map evaluation would be NaN; don't spend seed budget.
+        return None;
+    }
+    let summary = ctx.summary;
+    let alpha0 = ctx.alpha0;
+    let b_shape = ctx.a_b + n as f64 * alpha0;
+    let map = |xi: f64| b_shape / (ctx.r_b + summary.zeta(alpha0, xi, n));
+    let x0 = b_shape / (ctx.r_b + summary.zeta(alpha0, alpha0 / summary.t_end(), n));
+    if !x0.is_finite() || !(x0 > 0.0) {
+        return None;
+    }
+    let mut local = shared.local(SEED_MAX_ITER);
+    let seed = newton_fixed_point_budgeted(map, x0, SEED_TOL, &mut local)
+        .ok()
+        .map(|fp| fp.value)
+        .filter(|xi| xi.is_finite() && *xi > 0.0);
+    let _ = shared.absorb(&local);
+    seed
+}
+
+/// Solves one contiguous chunk of candidate `N`s: the head is seeded
+/// by [`chunk_head_seed`], the rest warm-start sequentially from their
+/// predecessor, exactly as the old serial sweep did within a chunk.
+fn solve_chunk(
+    ctx: &FitContext,
+    ns: &[u64],
+    shared: &SharedBudget,
+) -> Result<Vec<Component>, VbError> {
+    let mut out = Vec::with_capacity(ns.len());
+    let mut warm_xi = ns.first().and_then(|&n| chunk_head_seed(ctx, n, shared));
+    for &n in ns {
+        let mut local = shared.local(u64::MAX);
+        let result = solve_component(ctx, n, warm_xi, &mut local);
+        // Settle the consumption either way, but let a solve error take
+        // precedence over a budget trip caused by that same solve.
+        let settled = shared.absorb(&local);
+        let comp = result?;
+        settled.map_err(VbError::from)?;
+        warm_xi = Some(comp.xi);
+        out.push(comp);
+    }
+    Ok(out)
+}
+
+/// Solves the `(ζ, ξ)` fixed point for one `N` and evaluates the weight.
+fn solve_component(
+    ctx: &FitContext,
     n: u64,
     warm_xi: Option<f64>,
-    options: &Vb2Options,
     budget: &mut Budget,
 ) -> Result<Component, VbError> {
     // Each solved component costs at least one charge, so deadlines
     // are observed even on the iteration-free closed-form path.
     budget.charge(1).map_err(VbError::from)?;
+    let FitContext {
+        summary,
+        alpha0,
+        a_w,
+        r_w,
+        a_b,
+        r_b,
+        ref options,
+        ..
+    } = *ctx;
     let b_shape = a_b + n as f64 * alpha0;
-    let r = n - summary.observed();
+    let Some(r) = n.checked_sub(summary.observed()) else {
+        return Err(VbError::InvalidOption {
+            message: "candidate N must be at least the observed count m",
+        });
+    };
 
-    // Closed form: Goel–Okumoto with failure-time data (paper §5.2) —
-    // only taken under `Auto`, so explicitly requesting an iterative
-    // solver (e.g. for the Table 7 cost experiment) is honoured. A
-    // `StallInner` fault forces the iterative path, which is where the
-    // pathology it simulates lives.
-    let closed_form = options.solver == SolverKind::Auto
-        && options.fault != Some(FaultKind::StallInner)
-        && matches!(
-            (spec.is_goel_okumoto(), summary),
-            (true, DataSummary::Times { .. })
-        );
-
-    let (xi, iterations) = if closed_form {
+    let (xi, iterations) = if uses_closed_form(ctx) {
         let (sum_obs, t_end) = match summary {
             DataSummary::Times { sum_obs, t_end, .. } => (*sum_obs, *t_end),
-            DataSummary::Grouped { .. } => unreachable!("guarded by closed_form"),
+            DataSummary::Grouped { .. } => unreachable!("guarded by uses_closed_form"),
         };
         // ξ(φ_β + Σt + r·t_e) + r = m_β + N  ⇒  closed form.
         (
@@ -568,31 +734,16 @@ fn solve_component(
         (fp.value, fp.iterations)
     };
 
-    let zeta = if options.fault == Some(FaultKind::NanZeta) {
-        f64::NAN
+    let (zeta, ln_data) = if options.fault == Some(FaultKind::NanZeta) {
+        (f64::NAN, f64::NAN)
     } else {
-        summary.zeta(alpha0, xi, n)
+        data_terms(ctx, xi, n, r)?
     };
     let a_shape = a_w + n as f64;
-    let mut ln_w = ln_gamma(a_shape) - a_shape * (r_w + 1.0).ln() + ln_gamma(b_shape)
+    let ln_w = ln_gamma(a_shape) - a_shape * (r_w + 1.0).ln() + ln_gamma(b_shape)
         - b_shape * (r_b + zeta).ln()
-        - ln_factorial(r);
-    match summary {
-        DataSummary::Times { sum_obs, t_end, .. } => {
-            ln_w += xi * (zeta - sum_obs) - r as f64 * alpha0 * xi.ln()
-                + r as f64 * ln_gamma_q(alpha0, xi * t_end);
-        }
-        DataSummary::Grouped { bins, t_end, .. } => {
-            let law = Gamma::new(alpha0, xi)?;
-            ln_w +=
-                xi * zeta - n as f64 * alpha0 * xi.ln() + r as f64 * ln_gamma_q(alpha0, xi * t_end);
-            for &(lo, hi, count) in bins {
-                if count > 0 {
-                    ln_w += count as f64 * law.ln_interval_mass(lo, hi);
-                }
-            }
-        }
-    }
+        - ln_factorial(r)
+        + ln_data;
     if ln_w.is_nan() {
         return Err(VbError::DegenerateWeights {
             message: format!("ln weight is NaN at N={n} (ζ={zeta}, ξ={xi})"),
@@ -605,6 +756,72 @@ fn solve_component(
         ln_weight: ln_w,
         inner_iterations: iterations,
     })
+}
+
+/// The data-dependent parts of a solved component, evaluated in one
+/// pass: `ζ(ξ)` (Eq. (24)/(26), survival form) together with the
+/// weight's data factor — `ξ·(ζ − Σt) − r·α₀·ln ξ + r·ln S(t_e)` for
+/// failure times, `ξ·ζ − N·α₀·ln ξ + Σ xᵢ·ln ΔG + r·ln S(t_e)` for
+/// grouped data.
+///
+/// The pre-memoization code computed `ζ` through `Gamma::interval_mean`
+/// and then re-evaluated `ln S(t_e)` (and every bin's log mass) inside
+/// the weight. Here each regularised-incomplete-gamma value is computed
+/// exactly once and shared between the two, with `ln Γ(α₀)` /
+/// `ln Γ(α₀+1)` supplied from the fit context. The ζ arithmetic mirrors
+/// `Gamma::interval_mean` operation for operation, so the stored `ζ` is
+/// bitwise what `DataSummary::zeta` returns for the same `ξ`.
+fn data_terms(ctx: &FitContext, xi: f64, n: u64, r: u64) -> Result<(f64, f64), VbError> {
+    if !xi.is_finite() || !(xi > 0.0) {
+        // Matches the old path, where `Gamma::new(α₀, ξ)` failing made
+        // ζ — and hence the weight — NaN, surfacing upstream as
+        // `DegenerateWeights`.
+        return Ok((f64::NAN, f64::NAN));
+    }
+    let alpha0 = ctx.alpha0;
+    let rf = r as f64;
+    let x_end = xi * ctx.summary.t_end();
+    let ln_tail = ln_gamma_q_given(alpha0, x_end, ctx.ln_gamma_alpha0);
+    // `E[T | T > t_end] = (α₀/ξ)·exp(ln S_{α₀+1} − ln S_{α₀})`, NaN on
+    // zero tail mass, exactly as `interval_mean` reports it.
+    let tail_mean = || {
+        if ln_tail == f64::NEG_INFINITY || ln_tail.is_nan() {
+            return f64::NAN;
+        }
+        let ln_tail1 = ln_gamma_q_given(alpha0 + 1.0, x_end, ctx.ln_gamma_alpha0p1);
+        (alpha0 / xi) * (ln_tail1 - ln_tail).exp()
+    };
+    match ctx.summary {
+        DataSummary::Times { sum_obs, .. } => {
+            let tail = if rf > 0.0 { rf * tail_mean() } else { 0.0 };
+            let zeta = sum_obs + tail;
+            let ln_data = xi * (zeta - sum_obs) - rf * alpha0 * xi.ln() + rf * ln_tail;
+            Ok((zeta, ln_data))
+        }
+        DataSummary::Grouped { bins, .. } => {
+            let law = Gamma::new(alpha0, xi)?;
+            let law1 = Gamma::new(alpha0 + 1.0, xi)?;
+            let mut zeta = 0.0;
+            let mut ln_bins = 0.0;
+            for &(lo, hi, count) in bins {
+                if count > 0 {
+                    let ln_mass = law.ln_interval_mass(lo, hi);
+                    let mean = if ln_mass == f64::NEG_INFINITY || ln_mass.is_nan() {
+                        f64::NAN
+                    } else {
+                        (alpha0 / xi) * (law1.ln_interval_mass(lo, hi) - ln_mass).exp()
+                    };
+                    zeta += count as f64 * mean;
+                    ln_bins += count as f64 * ln_mass;
+                }
+            }
+            if rf > 0.0 {
+                zeta += rf * tail_mean();
+            }
+            let ln_data = xi * zeta - n as f64 * alpha0 * xi.ln() + rf * ln_tail + ln_bins;
+            Ok((zeta, ln_data))
+        }
+    }
 }
 
 /// The `N`-independent constants completing `F[Pᵥ] = ln Σ P̃ᵥ(N) + C₀` so
@@ -993,6 +1210,144 @@ mod tests {
             ),
             Err(VbError::InvalidOption { .. })
         ));
+    }
+
+    #[test]
+    fn zeta_below_observed_count_is_nan_not_garbage() {
+        // Regression: `(n - m) as f64` wrapped to ~1.8e19 for n < m,
+        // silently producing an astronomically wrong ζ.
+        let summary = DataSummary::from(&sys17::failure_times().into());
+        let m = summary.observed();
+        assert_eq!(m, 38);
+        assert!(summary.zeta(1.0, 1e-5, m - 1).is_nan());
+        assert!(summary.zeta(1.0, 1e-5, 0).is_nan());
+        // At and above m the value is finite and well-behaved.
+        assert!(summary.zeta(1.0, 1e-5, m).is_finite());
+        assert!(summary.zeta(1.0, 1e-5, m + 10) > summary.zeta(1.0, 1e-5, m));
+        // Grouped data takes the same guard.
+        let grouped = DataSummary::from(&sys17::grouped().into());
+        assert!(grouped.zeta(1.0, 1e-2, grouped.observed() - 1).is_nan());
+    }
+
+    fn bits(post: &Vb2Posterior) -> Vec<u64> {
+        let mut v: Vec<u64> = post
+            .pv_n()
+            .iter()
+            .flat_map(|&(n, w)| [n, w.to_bits()])
+            .collect();
+        v.extend(
+            [
+                post.elbo(),
+                post.mean_omega(),
+                post.mean_beta(),
+                post.var_omega(),
+                post.var_beta(),
+                post.covariance(),
+            ]
+            .map(f64::to_bits),
+        );
+        v
+    }
+
+    #[test]
+    fn parallel_fit_is_bitwise_identical_to_serial() {
+        let data: ObservedData = sys17::failure_times().into();
+        let prior = NhppPrior::paper_info_times();
+        // Iterative solver + a multi-chunk flat-prior range, so the
+        // warm-start chains genuinely matter.
+        let options = Vb2Options {
+            solver: SolverKind::SuccessiveSubstitution,
+            truncation: Truncation::AdaptiveCapped {
+                epsilon: 5e-15,
+                cap: 400,
+            },
+            ..Vb2Options::default()
+        };
+        let serial = Vb2Posterior::fit(spec(), prior, &data, options).unwrap();
+        for threads in [2usize, 8] {
+            let parallel = Vb2Posterior::fit(
+                spec(),
+                prior,
+                &data,
+                Vb2Options { threads, ..options },
+            )
+            .unwrap();
+            assert_eq!(bits(&parallel), bits(&serial), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_grouped_fit_is_bitwise_identical_to_serial() {
+        let data: ObservedData = sys17::grouped().into();
+        let prior = NhppPrior::paper_info_grouped();
+        let serial = Vb2Posterior::fit(spec(), prior, &data, Vb2Options::default()).unwrap();
+        let parallel = Vb2Posterior::fit(
+            spec(),
+            prior,
+            &data,
+            Vb2Options {
+                threads: 0, // auto
+                ..Vb2Options::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(bits(&parallel), bits(&serial));
+    }
+
+    #[test]
+    fn fit_many_matches_individual_fits() {
+        let times: ObservedData = sys17::failure_times().into();
+        let grouped: ObservedData = sys17::grouped().into();
+        let tasks = [
+            Vb2Task {
+                spec: spec(),
+                prior: NhppPrior::paper_info_times(),
+                data: &times,
+                options: Vb2Options::default(),
+            },
+            Vb2Task {
+                spec: spec(),
+                prior: NhppPrior::paper_info_grouped(),
+                data: &grouped,
+                options: Vb2Options::default(),
+            },
+            Vb2Task {
+                spec: ModelSpec::delayed_s_shaped(),
+                prior: NhppPrior::paper_info_times(),
+                data: &times,
+                options: Vb2Options::default(),
+            },
+        ];
+        let batch = Vb2Posterior::fit_many(&tasks, 4);
+        assert_eq!(batch.len(), tasks.len());
+        for (task, result) in tasks.iter().zip(&batch) {
+            let one =
+                Vb2Posterior::fit(task.spec, task.prior, task.data, task.options).unwrap();
+            let posterior = result.as_ref().unwrap();
+            assert_eq!(bits(posterior), bits(&one));
+        }
+    }
+
+    #[test]
+    fn fit_many_isolates_per_task_failures() {
+        let data: ObservedData = sys17::failure_times().into();
+        let good = Vb2Task {
+            spec: spec(),
+            prior: NhppPrior::paper_info_times(),
+            data: &data,
+            options: Vb2Options::default(),
+        };
+        let bad = Vb2Task {
+            options: Vb2Options {
+                inner_tol: 0.0,
+                ..Vb2Options::default()
+            },
+            ..good
+        };
+        let results = Vb2Posterior::fit_many(&[good, bad, good], 2);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(VbError::InvalidOption { .. })));
+        assert!(results[2].is_ok());
     }
 
     #[test]

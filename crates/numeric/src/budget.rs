@@ -17,6 +17,7 @@
 //! [`Budget::DEADLINE_CHECK_STRIDE`] charges.
 
 use crate::NumericError;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// A shared, cooperative bound on solver work: a maximum number of
@@ -132,6 +133,106 @@ impl Budget {
     }
 }
 
+/// A thread-safe view of a [`Budget`], shared by every worker of a
+/// work pool so that one global limit governs a whole parallel fit.
+///
+/// Unlike [`Budget`] — which is charged once per *inner iteration* and
+/// therefore strides its deadline checks — a `SharedBudget` is charged
+/// once per *settled unit of work* (a finished component solve, a
+/// merged sub-budget), which is coarse enough that every charge can
+/// afford an unconditional `Instant::now()`. That also closes a
+/// staleness hole: a detached local budget resets its stride counter,
+/// so cheap closed-form work might never observe an expired deadline;
+/// settling through the shared budget always does.
+#[derive(Debug)]
+pub struct SharedBudget {
+    limit: u64,
+    used: AtomicU64,
+    deadline: Option<Instant>,
+}
+
+impl SharedBudget {
+    /// Shares the limit, consumption so far, and deadline of `budget`.
+    pub fn from_budget(budget: &Budget) -> Self {
+        SharedBudget {
+            limit: budget.limit,
+            used: AtomicU64::new(budget.used),
+            deadline: budget.deadline,
+        }
+    }
+
+    /// Iterations charged so far, by all workers together.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Iterations remaining before exhaustion.
+    pub fn remaining(&self) -> u64 {
+        self.limit.saturating_sub(self.used())
+    }
+
+    /// Charges `n` iterations against the shared budget and checks the
+    /// deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::BudgetExhausted`] once the global limit is
+    /// exceeded or the deadline has passed.
+    pub fn charge(&self, n: u64) -> Result<(), NumericError> {
+        let used = self.used.fetch_add(n, Ordering::Relaxed).saturating_add(n);
+        if used > self.limit {
+            return Err(NumericError::BudgetExhausted {
+                used,
+                reason: "iteration limit reached",
+            });
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(NumericError::BudgetExhausted {
+                    used,
+                    reason: "deadline passed",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// A detached single-thread [`Budget`] capped at
+    /// `min(cap, remaining)` iterations, sharing the deadline. Nothing
+    /// is reserved: settle its consumption back with
+    /// [`SharedBudget::absorb`] once the unit of work finishes.
+    pub fn local(&self, cap: u64) -> Budget {
+        Budget {
+            limit: cap.min(self.remaining()),
+            used: 0,
+            deadline: self.deadline,
+            charges_since_clock: 0,
+        }
+    }
+
+    /// Folds a finished local budget's consumption into the shared
+    /// total.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::BudgetExhausted`] if the settled work exceeds
+    /// the global limit or the deadline has passed meanwhile.
+    pub fn absorb(&self, child: &Budget) -> Result<(), NumericError> {
+        self.charge(child.used())
+    }
+
+    /// Collapses the shared view back into a plain [`Budget`] carrying
+    /// the accumulated consumption.
+    pub fn into_budget(self) -> Budget {
+        Budget {
+            limit: self.limit,
+            used: self.used.into_inner(),
+            deadline: self.deadline,
+            charges_since_clock: 0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +301,55 @@ mod tests {
         child2.charge(5).unwrap();
         parent.absorb(&child2).unwrap();
         assert!(parent.is_exhausted());
+    }
+
+    #[test]
+    fn shared_budget_enforces_the_global_limit_across_locals() {
+        let shared = SharedBudget::from_budget(&Budget::iterations(10));
+        let mut a = shared.local(100);
+        assert_eq!(a.remaining(), 10);
+        a.charge(6).unwrap();
+        shared.absorb(&a).unwrap();
+        let mut b = shared.local(100);
+        assert_eq!(b.remaining(), 4);
+        b.charge(4).unwrap();
+        shared.absorb(&b).unwrap();
+        assert_eq!(shared.remaining(), 0);
+        assert!(shared.charge(1).is_err());
+    }
+
+    #[test]
+    fn shared_budget_checks_the_deadline_on_every_charge() {
+        let base = Budget::unlimited().with_deadline(Duration::ZERO);
+        let shared = SharedBudget::from_budget(&base);
+        // No stride: the very first settled charge observes expiry.
+        assert!(shared.charge(1).is_err());
+    }
+
+    #[test]
+    fn shared_budget_inherits_prior_consumption_and_collapses_back() {
+        let mut base = Budget::iterations(10);
+        base.charge(3).unwrap();
+        let shared = SharedBudget::from_budget(&base);
+        shared.charge(2).unwrap();
+        let folded = shared.into_budget();
+        assert_eq!(folded.used(), 5);
+        assert_eq!(folded.remaining(), 5);
+    }
+
+    #[test]
+    fn shared_budget_is_usable_across_scoped_threads() {
+        let shared = SharedBudget::from_budget(&Budget::iterations(1_000));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..250 {
+                        shared.charge(1).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.used(), 1_000);
+        assert!(shared.charge(1).is_err());
     }
 }

@@ -12,7 +12,10 @@
 //! * [`optimize`] — Nelder–Mead and a damped 2-D Newton for MAP/MLE fits;
 //! * [`linalg`] — 2×2 symmetric matrix helpers for Laplace approximation;
 //! * [`budget`] — cooperative iteration/deadline budgets threaded through
-//!   the solver loops so a supervisor can bound total work per fit.
+//!   the solver loops so a supervisor can bound total work per fit;
+//! * [`parallel`] — a dependency-free scoped-thread work pool with a
+//!   deterministic chunk partition, for embarrassingly parallel solver
+//!   fan-out (VB2 mixture components, batch fitting).
 //!
 //! # Example
 //!
@@ -34,10 +37,11 @@ pub mod budget;
 pub mod fixed_point;
 pub mod linalg;
 pub mod optimize;
+pub mod parallel;
 pub mod quadrature;
 pub mod roots;
 
 mod error;
 
-pub use budget::Budget;
+pub use budget::{Budget, SharedBudget};
 pub use error::NumericError;

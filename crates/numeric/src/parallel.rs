@@ -1,0 +1,194 @@
+//! A minimal scoped-thread work pool for embarrassingly parallel,
+//! *deterministic* workloads.
+//!
+//! The workspace builds offline with no external dependencies, so this
+//! is built on `std::thread::scope` alone. The design goal is not a
+//! general task system but the two fan-out shapes the estimators need:
+//!
+//! * [`run_chunks`] — split a slice into fixed-width consecutive chunks
+//!   and apply a worker function to each (the VB2 component sweep);
+//! * [`map_items`] — the chunk-width-1 special case (batch fitting,
+//!   where every item is a whole fit).
+//!
+//! # Determinism
+//!
+//! The chunk partition depends only on the input length and the chunk
+//! width — never on the thread count or on scheduling. Workers pull
+//! chunk *indices* from an atomic cursor and write results into
+//! per-chunk slots, which the caller reads back in chunk order. So as
+//! long as the worker function is itself a pure function of
+//! `(chunk_index, chunk)`, the returned vector is bitwise identical
+//! for every thread count, including the spawn-free `threads = 1`
+//! path. Callers that carry state *within* a chunk (e.g. warm-started
+//! solves) keep determinism for free, because a chunk is never split
+//! across workers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The worker count meant by `threads = 0`: the machine's available
+/// parallelism, or 1 if it cannot be determined.
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves a requested thread count: `0` means [`auto_threads`], and
+/// the result is capped by the number of work units so no worker is
+/// spawned just to find the queue empty.
+fn resolve_threads(threads: usize, units: usize) -> usize {
+    let threads = if threads == 0 { auto_threads() } else { threads };
+    threads.min(units).max(1)
+}
+
+/// Splits `items` into consecutive chunks of width `chunk_size` and
+/// applies `work(chunk_index, chunk)` to each, returning the per-chunk
+/// results in chunk order.
+///
+/// With `threads <= 1` (or a single chunk) everything runs inline on
+/// the calling thread — no spawn, no synchronisation. Otherwise a
+/// scoped pool of at most `threads` workers drains the chunk queue.
+/// `threads = 0` asks for [`auto_threads`]. Either way the result is
+/// the same, element for element (see the module docs on determinism).
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`. A panic inside `work` propagates to
+/// the caller after all workers have been joined.
+pub fn run_chunks<T, R, F>(threads: usize, chunk_size: usize, items: &[T], work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let n_chunks = items.len().div_ceil(chunk_size);
+    let threads = resolve_threads(threads, n_chunks);
+    if threads <= 1 {
+        return items
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(index, chunk)| work(index, chunk))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= n_chunks {
+                    break;
+                }
+                let lo = index * chunk_size;
+                let hi = (lo + chunk_size).min(items.len());
+                let result = work(index, &items[lo..hi]);
+                *slots[index].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every chunk index below the cursor bound was executed")
+        })
+        .collect()
+}
+
+/// Applies `work(index, item)` to each item independently and returns
+/// the results in item order — [`run_chunks`] with chunk width 1, the
+/// shape used by the batch-fit APIs.
+pub fn map_items<T, R, F>(threads: usize, items: &[T], work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_chunks(threads, 1, items, |index, chunk| work(index, &chunk[0]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_threads_is_positive() {
+        assert!(auto_threads() >= 1);
+    }
+
+    #[test]
+    fn chunk_partition_is_independent_of_thread_count() {
+        let items: Vec<u64> = (0..1_000).collect();
+        let record = |index: usize, chunk: &[u64]| (index, chunk.first().copied(), chunk.len());
+        let serial = run_chunks(1, 64, &items, record);
+        for threads in [0, 2, 3, 8] {
+            assert_eq!(run_chunks(threads, 64, &items, record), serial);
+        }
+        // 1000 items in chunks of 64: 15 full chunks and a ragged tail.
+        assert_eq!(serial.len(), 16);
+        assert_eq!(serial[15], (15, Some(960), 40));
+    }
+
+    #[test]
+    fn results_come_back_in_chunk_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let sums = run_chunks(4, 16, &items, |_, chunk| chunk.iter().sum::<u64>());
+        let expected: Vec<u64> = items.chunks(16).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn within_chunk_state_is_deterministic_across_thread_counts() {
+        // A warm-started accumulation: each element depends on its
+        // predecessor *within* the chunk only.
+        let items: Vec<f64> = (1..=300).map(|i| i as f64).collect();
+        let warm = |_: usize, chunk: &[f64]| {
+            let mut carry = 0.0f64;
+            let mut out = Vec::with_capacity(chunk.len());
+            for &x in chunk {
+                carry = (carry + x).sqrt();
+                out.push(carry);
+            }
+            out
+        };
+        let serial: Vec<f64> = run_chunks(1, 32, &items, warm).into_iter().flatten().collect();
+        for threads in [2, 8] {
+            let parallel: Vec<f64> = run_chunks(threads, 32, &items, warm)
+                .into_iter()
+                .flatten()
+                .collect();
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&parallel), bits(&serial), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_items_preserves_item_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let doubled = map_items(8, &items, |index, &item| {
+            assert_eq!(index, item);
+            item * 2
+        });
+        assert_eq!(doubled, (0..37).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let none: Vec<u8> = Vec::new();
+        assert!(run_chunks(4, 8, &none, |_, c| c.len()).is_empty());
+        assert!(map_items::<u8, usize, _>(4, &none, |_, _| 0).is_empty());
+    }
+
+    #[test]
+    fn single_chunk_runs_inline() {
+        // threads capped by unit count: one chunk → inline path even
+        // with a large requested pool.
+        let items = [1u64, 2, 3];
+        let out = run_chunks(64, 8, &items, |index, chunk| (index, chunk.to_vec()));
+        assert_eq!(out, vec![(0, vec![1, 2, 3])]);
+    }
+}

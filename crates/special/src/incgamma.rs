@@ -18,8 +18,9 @@ const EPS: f64 = 1e-15;
 const FPMIN: f64 = f64::MIN_POSITIVE / EPS;
 
 /// `ln` of the power-series representation of `P(a, x)`, accurate for
-/// `x < a + 1`. Returns `ln P(a, x)`.
-fn ln_gamma_p_series(a: f64, x: f64) -> f64 {
+/// `x < a + 1`. Returns `ln P(a, x)`. `gln` is the caller's `ln Γ(a)`,
+/// threaded so hot loops with a fixed shape pay for it once.
+fn ln_gamma_p_series(a: f64, x: f64, gln: f64) -> f64 {
     // P(a, x) = e^{-x} x^a / Γ(a) · Σ_{n≥0} x^n Γ(a) / Γ(a + 1 + n)
     let mut ap = a;
     let mut del = 1.0 / a;
@@ -32,12 +33,13 @@ fn ln_gamma_p_series(a: f64, x: f64) -> f64 {
             break;
         }
     }
-    -x + a * x.ln() - ln_gamma(a) + sum.ln()
+    -x + a * x.ln() - gln + sum.ln()
 }
 
 /// `ln` of the continued-fraction representation of `Q(a, x)`, accurate for
-/// `x >= a + 1`. Returns `ln Q(a, x)`. Uses the modified Lentz algorithm.
-fn ln_gamma_q_cf(a: f64, x: f64) -> f64 {
+/// `x >= a + 1`. Returns `ln Q(a, x)`. Uses the modified Lentz algorithm;
+/// `gln` is the caller's `ln Γ(a)`.
+fn ln_gamma_q_cf(a: f64, x: f64, gln: f64) -> f64 {
     let mut b = x + 1.0 - a;
     let mut c = 1.0 / FPMIN;
     let mut d = 1.0 / b;
@@ -60,7 +62,7 @@ fn ln_gamma_q_cf(a: f64, x: f64) -> f64 {
             break;
         }
     }
-    -x + a * x.ln() - ln_gamma(a) + h.ln()
+    -x + a * x.ln() - gln + h.ln()
 }
 
 /// Regularised lower incomplete gamma function `P(a, x) = γ(a, x)/Γ(a)`.
@@ -86,9 +88,9 @@ pub fn gamma_p(a: f64, x: f64) -> f64 {
         return 1.0;
     }
     if x < a + 1.0 {
-        ln_gamma_p_series(a, x).exp()
+        ln_gamma_p_series(a, x, ln_gamma(a)).exp()
     } else {
-        -(ln_gamma_q_cf(a, x).exp_m1())
+        -(ln_gamma_q_cf(a, x, ln_gamma(a)).exp_m1())
     }
 }
 
@@ -115,9 +117,9 @@ pub fn gamma_q(a: f64, x: f64) -> f64 {
         return 0.0;
     }
     if x < a + 1.0 {
-        -(ln_gamma_p_series(a, x).exp_m1())
+        -(ln_gamma_p_series(a, x, ln_gamma(a)).exp_m1())
     } else {
-        ln_gamma_q_cf(a, x).exp()
+        ln_gamma_q_cf(a, x, ln_gamma(a)).exp()
     }
 }
 
@@ -128,6 +130,17 @@ pub fn ln_gamma_p(a: f64, x: f64) -> f64 {
     if !(a > 0.0) || !(x >= 0.0) {
         return f64::NAN;
     }
+    ln_gamma_p_given(a, x, ln_gamma(a))
+}
+
+/// [`ln_gamma_p`] with `ln Γ(a)` supplied by the caller — identical
+/// value, but lets a hot loop with a fixed shape (e.g. the VB2 weight
+/// sweep, where `a = α₀` for every component) hoist the `ln Γ`
+/// evaluation out of the loop.
+pub fn ln_gamma_p_given(a: f64, x: f64, ln_gamma_a: f64) -> f64 {
+    if !(a > 0.0) || !(x >= 0.0) {
+        return f64::NAN;
+    }
     if x == 0.0 {
         return f64::NEG_INFINITY;
     }
@@ -135,9 +148,9 @@ pub fn ln_gamma_p(a: f64, x: f64) -> f64 {
         return 0.0;
     }
     if x < a + 1.0 {
-        ln_gamma_p_series(a, x)
+        ln_gamma_p_series(a, x, ln_gamma_a)
     } else {
-        let q = ln_gamma_q_cf(a, x).exp();
+        let q = ln_gamma_q_cf(a, x, ln_gamma_a).exp();
         (-q).ln_1p()
     }
 }
@@ -151,6 +164,15 @@ pub fn ln_gamma_q(a: f64, x: f64) -> f64 {
     if !(a > 0.0) || !(x >= 0.0) {
         return f64::NAN;
     }
+    ln_gamma_q_given(a, x, ln_gamma(a))
+}
+
+/// [`ln_gamma_q`] with `ln Γ(a)` supplied by the caller (see
+/// [`ln_gamma_p_given`]).
+pub fn ln_gamma_q_given(a: f64, x: f64, ln_gamma_a: f64) -> f64 {
+    if !(a > 0.0) || !(x >= 0.0) {
+        return f64::NAN;
+    }
     if x == 0.0 {
         return 0.0;
     }
@@ -158,10 +180,10 @@ pub fn ln_gamma_q(a: f64, x: f64) -> f64 {
         return f64::NEG_INFINITY;
     }
     if x < a + 1.0 {
-        let p = ln_gamma_p_series(a, x).exp();
+        let p = ln_gamma_p_series(a, x, ln_gamma_a).exp();
         (-p).ln_1p()
     } else {
-        ln_gamma_q_cf(a, x)
+        ln_gamma_q_cf(a, x, ln_gamma_a)
     }
 }
 
@@ -278,6 +300,27 @@ mod tests {
             (actual - expected).abs() <= tol * expected.abs().max(1.0),
             "actual={actual}, expected={expected}"
         );
+    }
+
+    #[test]
+    fn given_variants_are_bitwise_identical_to_plain() {
+        for &a in &[0.3, 1.0, 2.5, 10.0, 123.4] {
+            let gln = ln_gamma(a);
+            for &x in &[0.0, 1e-6, 0.5, a, a + 1.0, 3.0 * a, 800.0, f64::INFINITY] {
+                assert_eq!(
+                    ln_gamma_p(a, x).to_bits(),
+                    ln_gamma_p_given(a, x, gln).to_bits(),
+                    "a={a}, x={x}"
+                );
+                assert_eq!(
+                    ln_gamma_q(a, x).to_bits(),
+                    ln_gamma_q_given(a, x, gln).to_bits(),
+                    "a={a}, x={x}"
+                );
+            }
+        }
+        assert!(ln_gamma_p_given(-1.0, 1.0, 0.0).is_nan());
+        assert!(ln_gamma_q_given(1.0, -1.0, 0.0).is_nan());
     }
 
     #[test]

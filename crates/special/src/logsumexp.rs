@@ -43,6 +43,11 @@ pub fn log_sum_exp_pair(a: f64, b: f64) -> f64 {
     if hi == f64::NEG_INFINITY {
         return f64::NEG_INFINITY;
     }
+    if hi == f64::INFINITY {
+        // `lo − hi` would be `∞ − ∞ = NaN` when both are `+∞`; the sum
+        // is `+∞` either way, matching `log_sum_exp`.
+        return f64::INFINITY;
+    }
     hi + (lo - hi).exp().ln_1p()
 }
 
@@ -95,15 +100,34 @@ mod tests {
             (-3.0, 5.0),
             (-1e5, -1e5 + 2.0),
             (f64::NEG_INFINITY, -4.0),
+            (f64::NEG_INFINITY, f64::NEG_INFINITY),
+            (f64::INFINITY, 0.0),
+            (f64::INFINITY, f64::NEG_INFINITY),
+            (f64::INFINITY, f64::INFINITY),
+            (f64::NAN, 0.0),
+            (0.0, f64::NAN),
+            (f64::NAN, f64::INFINITY),
         ] {
             let s = log_sum_exp(&[a, b]);
             let p = log_sum_exp_pair(a, b);
             if s.is_finite() {
                 assert!((s - p).abs() < 1e-12, "a={a}, b={b}");
+            } else if s.is_nan() {
+                assert!(p.is_nan(), "a={a}, b={b}: slice gave NaN, pair gave {p}");
             } else {
-                assert_eq!(s, p);
+                assert_eq!(s, p, "a={a}, b={b}");
             }
         }
+    }
+
+    #[test]
+    fn pair_of_infinities_is_infinite() {
+        // Regression: `hi + (lo − hi).exp().ln_1p()` used to evaluate
+        // `∞ − ∞` and return NaN for two `+∞` arguments.
+        assert_eq!(
+            log_sum_exp_pair(f64::INFINITY, f64::INFINITY),
+            f64::INFINITY
+        );
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Parallel-vs-serial bitwise identity of the VB2 work pool.
+//!
+//! The design guarantee (DESIGN.md §9) is that `Vb2Options::threads`
+//! changes only wall-clock cost, never a single bit of the posterior:
+//! the component sweep is partitioned into fixed-width chunks whose
+//! boundaries depend only on the candidate range, each chunk head is
+//! re-seeded by the same deterministic coarse Newton solve regardless
+//! of which worker picks it up, and results are folded in chunk order.
+//! These tests pin that guarantee on randomly simulated datasets.
+//!
+//! CI runs the whole suite under `NHPP_TEST_THREADS=1` and `=4`; when
+//! the variable is set, its value joins the compared thread counts so
+//! the matrix actually exercises distinct pool widths.
+
+use nhpp_data::simulate::NhppSimulator;
+use nhpp_data::ObservedData;
+use nhpp_models::prior::NhppPrior;
+use nhpp_models::{ModelSpec, Posterior};
+use nhpp_vb::{
+    fit_many_supervised, RobustOptions, RobustPosterior, RobustTask, SolverKind, Truncation,
+    Vb2Options, Vb2Posterior, Vb2Task,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Thread counts whose fits must agree bitwise: serial, a small pool, an
+/// oversubscribed pool, plus whatever the CI matrix pins via
+/// `NHPP_TEST_THREADS`.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1usize, 2, 8];
+    if let Some(n) = std::env::var("NHPP_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if !counts.contains(&n) {
+            counts.push(n);
+        }
+    }
+    counts
+}
+
+/// Every float the posterior exposes, as raw bits — exact comparison,
+/// no tolerances.
+fn fingerprint(post: &Vb2Posterior) -> Vec<u64> {
+    let mut bits = vec![
+        post.elbo().to_bits(),
+        post.mean_omega().to_bits(),
+        post.var_omega().to_bits(),
+        post.mean_beta().to_bits(),
+        post.var_beta().to_bits(),
+        post.covariance().to_bits(),
+    ];
+    for &(n, w) in post.pv_n() {
+        bits.push(n);
+        bits.push(w.to_bits());
+    }
+    bits
+}
+
+/// A random censored failure trace simulated from known parameters.
+fn simulated_times(seed: u64, omega: f64, beta: f64) -> ObservedData {
+    let spec = ModelSpec::goel_okumoto();
+    let law = spec.failure_law(beta).expect("valid beta");
+    let sim = NhppSimulator::new(omega, law).expect("valid omega");
+    let mut rng = StdRng::seed_from_u64(seed);
+    sim.simulate_censored(&mut rng, 2e5).expect("simulation").into()
+}
+
+/// A random grouped trace over unit-width bins.
+fn simulated_grouped(seed: u64, omega: f64, beta: f64, bins: usize) -> ObservedData {
+    let spec = ModelSpec::goel_okumoto();
+    let law = spec.failure_law(beta).expect("valid beta");
+    let sim = NhppSimulator::new(omega, law).expect("valid omega");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let width = 2e5 / bins as f64;
+    let boundaries = (1..=bins).map(|i| i as f64 * width).collect();
+    sim.simulate_grouped(&mut rng, boundaries)
+        .expect("simulation")
+        .into()
+}
+
+fn solver_options(solver: SolverKind, threads: usize) -> Vb2Options {
+    Vb2Options {
+        solver,
+        truncation: Truncation::AdaptiveCapped {
+            epsilon: 5e-15,
+            cap: 20_000,
+        },
+        threads,
+        ..Vb2Options::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Failure-time fits are bitwise identical across thread counts for
+    /// both the closed-form (Auto) and iterative inner solvers.
+    #[test]
+    fn parallel_times_fit_is_bitwise_deterministic(
+        seed in 0u64..1000,
+        omega in 20.0f64..60.0,
+        beta in 5e-6f64..2e-5,
+    ) {
+        let data = simulated_times(seed, omega, beta);
+        prop_assume!(data.total_count() >= 3);
+        let spec = ModelSpec::goel_okumoto();
+        let prior = NhppPrior::paper_info_times();
+        for solver in [SolverKind::Auto, SolverKind::SuccessiveSubstitution] {
+            let serial = Vb2Posterior::fit(spec, prior, &data, solver_options(solver, 1)).unwrap();
+            let reference = fingerprint(&serial);
+            for threads in thread_counts() {
+                let fit =
+                    Vb2Posterior::fit(spec, prior, &data, solver_options(solver, threads)).unwrap();
+                prop_assert!(
+                    fingerprint(&fit) == reference,
+                    "solver {:?} diverged at threads={}",
+                    solver,
+                    threads
+                );
+            }
+        }
+    }
+
+    /// Grouped-data fits (the always-iterative path) are bitwise
+    /// identical across thread counts.
+    #[test]
+    fn parallel_grouped_fit_is_bitwise_deterministic(
+        seed in 0u64..1000,
+        omega in 20.0f64..60.0,
+        beta in 5e-6f64..2e-5,
+        bins in 5usize..15,
+    ) {
+        let data = simulated_grouped(seed, omega, beta, bins);
+        prop_assume!(data.total_count() >= 3);
+        let spec = ModelSpec::goel_okumoto();
+        let prior = NhppPrior::paper_info_grouped();
+        let serial = Vb2Posterior::fit(
+            spec, prior, &data, solver_options(SolverKind::Auto, 1),
+        ).unwrap();
+        let reference = fingerprint(&serial);
+        for threads in thread_counts() {
+            let fit = Vb2Posterior::fit(
+                spec, prior, &data, solver_options(SolverKind::Auto, threads),
+            ).unwrap();
+            prop_assert!(fingerprint(&fit) == reference, "diverged at threads={}", threads);
+        }
+    }
+
+    /// The batch APIs preserve per-task results exactly: `fit_many` and
+    /// `fit_many_supervised` at any pool width match fitting each task
+    /// alone, bit for bit.
+    #[test]
+    fn batch_fits_match_individual_fits_bitwise(
+        seeds in proptest::collection::vec(0u64..1000, 3..6),
+    ) {
+        let spec = ModelSpec::goel_okumoto();
+        let prior = NhppPrior::paper_info_times();
+        let datasets: Vec<ObservedData> = seeds
+            .iter()
+            .map(|&s| simulated_times(s, 40.0, 1e-5))
+            .collect();
+        prop_assume!(datasets.iter().all(|d| d.total_count() >= 3));
+        let options = solver_options(SolverKind::Auto, 1);
+        let reference: Vec<Vec<u64>> = datasets
+            .iter()
+            .map(|data| fingerprint(&Vb2Posterior::fit(spec, prior, data, options).unwrap()))
+            .collect();
+
+        for threads in thread_counts() {
+            let tasks: Vec<Vb2Task<'_>> = datasets
+                .iter()
+                .map(|data| Vb2Task { spec, prior, data, options })
+                .collect();
+            let fits = Vb2Posterior::fit_many(&tasks, threads);
+            let got: Vec<Vec<u64>> =
+                fits.iter().map(|f| fingerprint(f.as_ref().unwrap())).collect();
+            prop_assert!(got == reference, "fit_many diverged at threads={}", threads);
+
+            let robust_tasks: Vec<RobustTask<'_>> = datasets
+                .iter()
+                .map(|data| RobustTask {
+                    spec,
+                    prior,
+                    data,
+                    options: RobustOptions { base: options, ..RobustOptions::default() },
+                })
+                .collect();
+            let fits = fit_many_supervised(&robust_tasks, threads);
+            let got: Vec<Vec<u64>> = fits
+                .iter()
+                .map(|f| match &f.as_ref().unwrap().posterior {
+                    RobustPosterior::Vb2(p) => fingerprint(p),
+                    other => panic!("cascade degraded to {:?} on a known-good fit", other),
+                })
+                .collect();
+            prop_assert!(
+                got == reference,
+                "fit_many_supervised diverged at threads={}",
+                threads
+            );
+        }
+    }
+}
