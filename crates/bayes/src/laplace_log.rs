@@ -110,7 +110,7 @@ impl LaplaceLogPosterior {
     /// Gauss–Legendre over the log-space ellipse (conditional
     /// factorisation `y | x` of the bivariate normal).
     fn expect<F: FnMut(f64, f64) -> f64>(&self, mut f: F) -> f64 {
-        let rule = GaussLegendre::new(GRID);
+        let rule = GaussLegendre::shared(GRID);
         let (mx, my) = self.mu;
         let sx = self.sigma.a11.sqrt();
         let sy = self.sigma.a22.sqrt();

@@ -20,6 +20,22 @@ use nhpp_models::{LogPosterior, ModelSpec, Posterior};
 use nhpp_numeric::quadrature::GaussLegendre;
 use nhpp_numeric::roots::bisect;
 use nhpp_special::log_sum_exp;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Reusable buffers for the predictive and reliability paths, so a
+    /// sweep of windows (prediction bands evaluate hundreds) stays
+    /// allocation-free after warm-up.
+    static SCRATCH: RefCell<NintScratch> = RefCell::new(NintScratch::default());
+}
+
+#[derive(Debug, Default)]
+struct NintScratch {
+    cs: Vec<f64>,
+    lambdas: Vec<f64>,
+    weights: Vec<f64>,
+    values: Vec<f64>,
+}
 
 /// Integration rectangle: `((ω_lo, ω_hi), (β_lo, β_hi))`.
 pub type Bounds = ((f64, f64), (f64, f64));
@@ -70,6 +86,11 @@ pub struct NintPosterior {
     beta_nodes: Vec<f64>,
     /// Normalised cell probabilities, row-major `[i_omega][j_beta]`.
     prob: Vec<f64>,
+    /// Marginal node masses along ω, precomputed at fit time so the
+    /// quantile paths never re-reduce the grid.
+    marg_omega: Vec<f64>,
+    /// Marginal node masses along β.
+    marg_beta: Vec<f64>,
     /// Log of the normalising constant `∫∫ P(D|ω,β)P(ω,β) dω dβ` — the
     /// log marginal likelihood over the box.
     ln_norm: f64,
@@ -102,32 +123,52 @@ impl NintPosterior {
             });
         }
         let lp = LogPosterior::new(spec, prior, data);
-        let gl_w = GaussLegendre::new(options.n_omega);
-        let gl_b = GaussLegendre::new(options.n_beta);
+        let gl_w = GaussLegendre::shared(options.n_omega);
+        let gl_b = GaussLegendre::shared(options.n_beta);
         let nodes_w = gl_w.scaled(w_lo, w_hi);
         let nodes_b = gl_b.scaled(b_lo, b_hi);
+        let omega_nodes: Vec<f64> = nodes_w.iter().map(|&(x, _)| x).collect();
+        let beta_nodes: Vec<f64> = nodes_b.iter().map(|&(x, _)| x).collect();
 
-        let mut ln_terms = Vec::with_capacity(nodes_w.len() * nodes_b.len());
-        for &(w, ww) in &nodes_w {
-            for &(b, wb) in &nodes_b {
-                ln_terms.push(lp.value(w, b) + (ww * wb).ln());
+        // One separable grid pass for the surface, then the per-axis
+        // log quadrature weights added per cell.
+        let mut cells = vec![0.0; omega_nodes.len() * beta_nodes.len()];
+        lp.value_grid(&omega_nodes, &beta_nodes, &mut cells);
+        let ln_wb: Vec<f64> = nodes_b.iter().map(|&(_, wb)| wb.ln()).collect();
+        for (row, &(_, ww)) in cells.chunks_mut(beta_nodes.len()).zip(&nodes_w) {
+            let ln_ww = ww.ln();
+            for (cell, &lb) in row.iter_mut().zip(&ln_wb) {
+                *cell += ln_ww + lb;
             }
         }
-        let ln_norm = log_sum_exp(&ln_terms);
+        let ln_norm = log_sum_exp(&cells);
         if !ln_norm.is_finite() {
             return Err(BayesError::IllPosed {
                 message: format!("posterior mass over box {bounds:?} is zero or non-finite"),
             });
         }
-        let prob: Vec<f64> = ln_terms.iter().map(|&t| (t - ln_norm).exp()).collect();
+        let mut prob = cells;
+        for v in &mut prob {
+            *v = (*v - ln_norm).exp();
+        }
+        let mut marg_omega = vec![0.0; omega_nodes.len()];
+        let mut marg_beta = vec![0.0; beta_nodes.len()];
+        for (row, mo) in prob.chunks(beta_nodes.len()).zip(marg_omega.iter_mut()) {
+            for (&p, mb) in row.iter().zip(marg_beta.iter_mut()) {
+                *mo += p;
+                *mb += p;
+            }
+        }
         Ok(NintPosterior {
             spec,
             prior,
             data: data.clone(),
             bounds,
-            omega_nodes: nodes_w.iter().map(|&(x, _)| x).collect(),
-            beta_nodes: nodes_b.iter().map(|&(x, _)| x).collect(),
+            omega_nodes,
+            beta_nodes,
             prob,
+            marg_omega,
+            marg_beta,
             ln_norm,
         })
     }
@@ -158,54 +199,45 @@ impl NintPosterior {
         acc
     }
 
-    /// Marginal node masses along one axis.
-    fn marginal(&self, along_omega: bool) -> Vec<f64> {
-        let nb = self.n_beta();
-        if along_omega {
-            (0..self.omega_nodes.len())
-                .map(|i| self.prob[i * nb..(i + 1) * nb].iter().sum())
-                .collect()
-        } else {
-            (0..nb)
-                .map(|j| {
-                    (0..self.omega_nodes.len())
-                        .map(|i| self.prob[i * nb + j])
-                        .sum()
-                })
-                .collect()
-        }
-    }
-
     /// Quantile of a discretised marginal: node masses are treated as
-    /// centred at their nodes and the CDF is interpolated linearly.
+    /// centred at their nodes and the piecewise-linear CDF through
+    /// `(lo, 0) → (node_i, C_i − m_i/2) → (hi, 1)` is inverted by
+    /// walking the knots in place — no CDF arrays are materialised.
+    ///
+    /// Zero-mass leading (or trailing) cells leave the CDF flat; the
+    /// walk skips flat knots, so the quantile interpolates across the
+    /// first segment that actually gains mass instead of being dragged
+    /// toward the box edge.
     fn marginal_quantile(nodes: &[f64], masses: &[f64], lo: f64, hi: f64, p: f64) -> f64 {
         if !(0.0..=1.0).contains(&p) {
             return f64::NAN;
         }
-        // Piecewise-linear CDF through (node_i, C_i − m_i/2) plus endpoints.
-        let mut xs = Vec::with_capacity(nodes.len() + 2);
-        let mut cs = Vec::with_capacity(nodes.len() + 2);
-        xs.push(lo);
-        cs.push(0.0);
+        if p == 0.0 {
+            return lo;
+        }
+        if p == 1.0 {
+            return hi;
+        }
+        let mut x0 = lo;
+        let mut c0 = 0.0;
         let mut cum = 0.0;
         for (&x, &m) in nodes.iter().zip(masses) {
             cum += m;
-            xs.push(x);
-            cs.push((cum - m / 2.0).clamp(0.0, 1.0));
+            let c1 = (cum - m / 2.0).clamp(0.0, 1.0);
+            if c1 >= p {
+                // Reached only with c0 < p <= c1, so the segment has
+                // strictly positive rise and the division is safe.
+                return x0 + (x - x0) * (p - c0) / (c1 - c0);
+            }
+            // `cum − m/2` is nondecreasing, so the knots never step
+            // back; a flat (zero-mass) cell advances the knot without
+            // raising the CDF, which is exactly what keeps a leading
+            // run of empty cells from dragging the quantile toward
+            // the box edge.
+            x0 = x;
+            c0 = c1;
         }
-        xs.push(hi);
-        cs.push(1.0);
-        // Binary search the bracketing segment.
-        let mut k = 1;
-        while k < cs.len() - 1 && cs[k] < p {
-            k += 1;
-        }
-        let (c0, c1) = (cs[k - 1], cs[k]);
-        let (x0, x1) = (xs[k - 1], xs[k]);
-        if c1 <= c0 {
-            return x1;
-        }
-        x0 + (x1 - x0) * (p - c0) / (c1 - c0)
+        x0 + (hi - x0) * (p - c0) / (1.0 - c0)
     }
 
     /// `P(ω > a)` within the ω-row conditional on β-node `j`, with linear
@@ -266,47 +298,56 @@ impl NintPosterior {
                 message: "window requires t >= 0 and u > 0",
             });
         }
-        let a0 = self.spec.alpha0();
-        let cs: Vec<f64> = self
-            .beta_nodes
-            .iter()
-            .map(|&b| {
-                nhpp_dist::Gamma::new(a0, b)
-                    .expect("positive grid nodes")
-                    .ln_interval_mass(t, t + u)
-                    .exp()
-            })
-            .collect();
-        let nb = self.n_beta();
-        // Per-cell Poisson means and weights.
-        let mut lambdas = Vec::with_capacity(self.prob.len());
-        let mut weights = Vec::with_capacity(self.prob.len());
-        for (i, &w) in self.omega_nodes.iter().enumerate() {
-            for (j, &c) in cs.iter().enumerate() {
-                let p = self.prob[i * nb + j];
-                if p > 0.0 {
-                    weights.push(p);
-                    lambdas.push(w * c);
+        let pmf = SCRATCH.with(|scratch| {
+            let s = &mut *scratch.borrow_mut();
+            self.fill_interval_masses(t, u, &mut s.cs);
+            let nb = self.n_beta();
+            // Per-cell Poisson means and weights.
+            s.lambdas.clear();
+            s.weights.clear();
+            for (i, &w) in self.omega_nodes.iter().enumerate() {
+                for (j, &c) in s.cs.iter().enumerate() {
+                    let p = self.prob[i * nb + j];
+                    if p > 0.0 {
+                        s.weights.push(p);
+                        s.lambdas.push(w * c);
+                    }
                 }
             }
-        }
-        let mut values: Vec<f64> = lambdas.iter().map(|&l| (-l).exp()).collect();
-        let mut pmf = Vec::new();
-        let mut cumulative = 0.0;
-        for k in 0..100_000usize {
-            let mass: f64 = values.iter().zip(&weights).map(|(v, w)| v * w).sum();
-            pmf.push(mass);
-            cumulative += mass;
-            if cumulative >= 1.0 - 1e-10 {
-                break;
+            s.values.clear();
+            s.values.extend(s.lambdas.iter().map(|&l| (-l).exp()));
+            let mut pmf = Vec::new();
+            let mut cumulative = 0.0;
+            for k in 0..100_000usize {
+                let mass: f64 = s.values.iter().zip(&s.weights).map(|(v, w)| v * w).sum();
+                pmf.push(mass);
+                cumulative += mass;
+                if cumulative >= 1.0 - 1e-10 {
+                    break;
+                }
+                for (v, &l) in s.values.iter_mut().zip(&s.lambdas) {
+                    *v *= l / (k as f64 + 1.0);
+                }
             }
-            for (v, &l) in values.iter_mut().zip(&lambdas) {
-                *v *= l / (k as f64 + 1.0);
-            }
-        }
+            pmf
+        });
         nhpp_models::prediction::PredictiveCounts::from_pmf(pmf).map_err(|e| BayesError::IllPosed {
             message: e.to_string(),
         })
+    }
+
+    /// Fills `cs` with the failure-law interval mass `ΔG(t, t+u; β)`
+    /// at every β node — the common precomputation of the predictive
+    /// and reliability paths.
+    fn fill_interval_masses(&self, t: f64, u: f64, cs: &mut Vec<f64>) {
+        let a0 = self.spec.alpha0();
+        cs.clear();
+        cs.extend(self.beta_nodes.iter().map(|&b| {
+            nhpp_dist::Gamma::new(a0, b)
+                .expect("positive grid nodes")
+                .ln_interval_mass(t, t + u)
+                .exp()
+        }));
     }
 
     /// Posterior CDF of the reliability, `P(R(t+u|t) <= x)` (Eq. (32)).
@@ -317,18 +358,19 @@ impl NintPosterior {
         if x >= 1.0 {
             return 1.0;
         }
-        let a0 = self.spec.alpha0();
         let neg_ln_x = -x.ln();
-        let mut acc = 0.0;
-        for (j, &b) in self.beta_nodes.iter().enumerate() {
-            let law = nhpp_dist::Gamma::new(a0, b).expect("positive grid nodes");
-            let c = law.ln_interval_mass(t, t + u).exp();
-            if c <= 0.0 {
-                continue; // R = 1 surely > x for this β.
+        SCRATCH.with(|scratch| {
+            let s = &mut *scratch.borrow_mut();
+            self.fill_interval_masses(t, u, &mut s.cs);
+            let mut acc = 0.0;
+            for (j, &c) in s.cs.iter().enumerate() {
+                if c <= 0.0 {
+                    continue; // R = 1 surely > x for this β.
+                }
+                acc += self.omega_tail_given_beta(j, neg_ln_x / c);
             }
-            acc += self.omega_tail_given_beta(j, neg_ln_x / c);
-        }
-        acc
+            acc
+        })
     }
 }
 
@@ -368,15 +410,13 @@ impl Posterior for NintPosterior {
     }
 
     fn quantile_omega(&self, p: f64) -> f64 {
-        let masses = self.marginal(true);
         let ((lo, hi), _) = self.bounds;
-        Self::marginal_quantile(&self.omega_nodes, &masses, lo, hi, p)
+        Self::marginal_quantile(&self.omega_nodes, &self.marg_omega, lo, hi, p)
     }
 
     fn quantile_beta(&self, p: f64) -> f64 {
-        let masses = self.marginal(false);
         let (_, (lo, hi)) = self.bounds;
-        Self::marginal_quantile(&self.beta_nodes, &masses, lo, hi, p)
+        Self::marginal_quantile(&self.beta_nodes, &self.marg_beta, lo, hi, p)
     }
 
     fn ln_joint_density(&self, omega: f64, beta: f64) -> Option<f64> {
@@ -385,26 +425,19 @@ impl Posterior for NintPosterior {
     }
 
     fn reliability_point(&self, t: f64, u: f64) -> f64 {
-        let a0 = self.spec.alpha0();
-        // Precompute c(β) once per β node.
-        let cs: Vec<f64> = self
-            .beta_nodes
-            .iter()
-            .map(|&b| {
-                nhpp_dist::Gamma::new(a0, b)
-                    .expect("positive grid nodes")
-                    .ln_interval_mass(t, t + u)
-                    .exp()
-            })
-            .collect();
-        let nb = self.n_beta();
-        let mut acc = 0.0;
-        for (i, &w) in self.omega_nodes.iter().enumerate() {
-            for (j, &c) in cs.iter().enumerate() {
-                acc += self.prob[i * nb + j] * (-w * c).exp();
+        SCRATCH.with(|scratch| {
+            let s = &mut *scratch.borrow_mut();
+            // Precompute c(β) once per β node.
+            self.fill_interval_masses(t, u, &mut s.cs);
+            let nb = self.n_beta();
+            let mut acc = 0.0;
+            for (i, &w) in self.omega_nodes.iter().enumerate() {
+                for (j, &c) in s.cs.iter().enumerate() {
+                    acc += self.prob[i * nb + j] * (-w * c).exp();
+                }
             }
-        }
-        acc
+            acc
+        })
     }
 
     fn reliability_quantile(&self, t: f64, u: f64, p: f64) -> f64 {
@@ -554,6 +587,36 @@ mod tests {
             ),
             Err(BayesError::InvalidOption { .. })
         ));
+    }
+
+    #[test]
+    fn marginal_quantile_handles_zero_mass_leading_cells() {
+        // All mass sits on the last two nodes; the leading cells are
+        // exactly empty, as happens when the integration box is much
+        // wider than the posterior.
+        let nodes = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let masses = [0.0, 0.0, 0.0, 0.5, 0.5];
+        let (lo, hi) = (0.0, 6.0);
+        // Endpoints are exact.
+        assert_eq!(NintPosterior::marginal_quantile(&nodes, &masses, lo, hi, 0.0), lo);
+        assert_eq!(NintPosterior::marginal_quantile(&nodes, &masses, lo, hi, 1.0), hi);
+        // A small p must not be dragged into the empty leading region:
+        // the CDF is flat up to node 3, so every quantile lies at or
+        // beyond it.
+        let q01 = NintPosterior::marginal_quantile(&nodes, &masses, lo, hi, 0.01);
+        assert!((3.0..4.0).contains(&q01), "q01={q01}");
+        // The median of a symmetric two-node mass is between the nodes.
+        let q50 = NintPosterior::marginal_quantile(&nodes, &masses, lo, hi, 0.5);
+        assert!((4.0..=5.0).contains(&q50), "q50={q50}");
+        // Quantiles are monotone in p.
+        let mut prev = f64::NEG_INFINITY;
+        for k in 0..=20 {
+            let q = NintPosterior::marginal_quantile(&nodes, &masses, lo, hi, k as f64 / 20.0);
+            assert!(q >= prev, "p={}: {q} < {prev}", k as f64 / 20.0);
+            prev = q;
+        }
+        assert!(NintPosterior::marginal_quantile(&nodes, &masses, lo, hi, -0.1).is_nan());
+        assert!(NintPosterior::marginal_quantile(&nodes, &masses, lo, hi, 1.1).is_nan());
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! NINT grid-evaluation cost on both informative scenarios.
+//!
+//! The `nint-fit` group times `NintPosterior::fit` end to end on the
+//! default 200×200 Gauss–Legendre grid, with the integration rectangle
+//! derived from a VB2 pre-fit exactly as `bench_report` does — the
+//! separable `LogPosterior::value_grid` pass is the hot path. The
+//! pre-fit and bounds derivation happen outside the timed closure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nhpp_bayes::nint::{bounds_from_posterior, NintOptions, NintPosterior};
+use nhpp_bench::Scenario;
+use nhpp_models::ModelSpec;
+use nhpp_vb::Vb2Posterior;
+use std::hint::black_box;
+
+fn bench_nint(c: &mut Criterion) {
+    let spec = ModelSpec::goel_okumoto();
+    let mut group = c.benchmark_group("nint-fit");
+    group.sample_size(20);
+    for scenario in Scenario::info_only() {
+        let reference = Vb2Posterior::fit(
+            spec,
+            scenario.prior,
+            &scenario.data,
+            scenario.vb2_options(),
+        )
+        .unwrap();
+        let bounds = bounds_from_posterior(&reference);
+        group.bench_function(scenario.name, |b| {
+            b.iter(|| {
+                black_box(
+                    NintPosterior::fit(
+                        spec,
+                        scenario.prior,
+                        &scenario.data,
+                        bounds,
+                        NintOptions::default(),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nint);
+criterion_main!(benches);

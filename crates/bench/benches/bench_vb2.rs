@@ -69,5 +69,28 @@ fn bench_vb2_parallel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_vb2, bench_vb2_parallel);
+/// The single-thread component sweep in isolation — the recurrence
+/// kernels' home turf and the headline metric of the perf-regression
+/// pipeline (`bench_report` times the same configuration as
+/// `vb2-sweep`).
+fn bench_vb2_sweep(c: &mut Criterion) {
+    let spec = ModelSpec::goel_okumoto();
+    let scenario = Scenario::dt_info();
+    let options = Vb2Options {
+        solver: SolverKind::SuccessiveSubstitution,
+        truncation: Truncation::Fixed { n_max: 1000 },
+        threads: 1,
+        ..Vb2Options::default()
+    };
+    let mut group = c.benchmark_group("vb2-sweep");
+    group.sample_size(20);
+    group.bench_function(scenario.name, |b| {
+        b.iter(|| {
+            black_box(Vb2Posterior::fit(spec, scenario.prior, &scenario.data, options).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vb2, bench_vb2_parallel, bench_vb2_sweep);
 criterion_main!(benches);

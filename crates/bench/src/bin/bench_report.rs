@@ -1,0 +1,315 @@
+//! Headless performance-report runner and regression gate.
+//!
+//! `bench_report run` times the same workloads as the Criterion
+//! `vb2-sweep` / `nint-fit` / `vb2-parallel` groups with plain
+//! `Instant` medians (no harness, CI-friendly) and writes a
+//! `BENCH_*.json` report; `bench_report compare` gates a new report
+//! against a previous one.
+//!
+//! ```text
+//! bench_report run --out BENCH_3.json [--label BENCH_3]
+//!                  [--baseline OLD.json] [--samples N] [--quick]
+//! bench_report compare OLD.json NEW.json [--max-regression 0.10] [--smoke]
+//! ```
+//!
+//! In `compare`, a metric that regressed more than `--max-regression`
+//! exits non-zero unless `--smoke` is given (CI smoke mode: warn but
+//! pass). A file that fails to parse is a hard error in both modes.
+
+use nhpp_bayes::nint::{bounds_from_posterior, NintOptions, NintPosterior};
+use nhpp_bench::perf::{compare, Metric, Report};
+use nhpp_bench::Scenario;
+use nhpp_models::ModelSpec;
+use nhpp_vb::{SolverKind, Truncation, Vb2Options, Vb2Posterior, Vb2Task};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("compare") => run_compare(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: bench_report run --out FILE [--label L] [--baseline FILE] \
+                 [--samples N] [--quick]\n       bench_report compare OLD NEW \
+                 [--max-regression F] [--smoke]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Times `work` `samples` times after one warm-up call and returns the
+/// median wall time in milliseconds.
+fn median_ms<R>(samples: usize, mut work: impl FnMut() -> R) -> f64 {
+    black_box(work());
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(work());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let out_path = flag_value(args, "--out").unwrap_or("BENCH_3.json");
+    let label = flag_value(args, "--label")
+        .map(str::to_string)
+        .unwrap_or_else(|| {
+            std::path::Path::new(out_path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "BENCH".to_string())
+        });
+    let quick = args.iter().any(|a| a == "--quick");
+    let samples: usize = flag_value(args, "--samples")
+        .map(|s| s.parse().expect("--samples must be an integer"))
+        .unwrap_or(if quick { 3 } else { 5 });
+    let baseline = match flag_value(args, "--baseline") {
+        Some(path) => match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+            Ok(text) => match Report::from_json(&text) {
+                Ok(report) => Some(report),
+                Err(e) => {
+                    eprintln!("bench_report: malformed baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("bench_report: cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let mut metrics = BTreeMap::new();
+    let spec = ModelSpec::goel_okumoto();
+    let dt = Scenario::dt_info();
+    let dg = Scenario::dg_info();
+    let dt_flat = Scenario::dt_noinfo();
+
+    // vb2-sweep: the single-thread component sweep with the paper's
+    // successive-substitution solver at a fixed truncation — mirrors the
+    // Criterion `vb2-sweep` group and isolates per-component cost.
+    let sweep_n_max = if quick { 500 } else { 1000 };
+    let sweep_opts = Vb2Options {
+        solver: SolverKind::SuccessiveSubstitution,
+        truncation: Truncation::Fixed { n_max: sweep_n_max },
+        threads: 1,
+        ..Vb2Options::default()
+    };
+    record(&mut metrics, "vb2-sweep", samples, || {
+        Vb2Posterior::fit(spec, dt.prior, &dt.data, sweep_opts).unwrap()
+    });
+    // Grouped data drives the interval-mass path (incomplete-gamma
+    // differences per bin) instead of the closed-form tail.
+    let sweep_grouped_opts = Vb2Options {
+        solver: SolverKind::SuccessiveSubstitution,
+        truncation: Truncation::Fixed {
+            n_max: if quick { 200 } else { 400 },
+        },
+        threads: 1,
+        ..Vb2Options::default()
+    };
+    record(&mut metrics, "vb2-sweep-grouped", samples, || {
+        Vb2Posterior::fit(spec, dg.prior, &dg.data, sweep_grouped_opts).unwrap()
+    });
+
+    // vb2-fit: the default production configuration (adaptive
+    // truncation, Auto solver), what `nhpp fit` runs.
+    record(&mut metrics, "vb2-fit", samples, || {
+        Vb2Posterior::fit(spec, dt.prior, &dt.data, dt.vb2_options()).unwrap()
+    });
+
+    // vb2-fit-many: the batch API over all four paper scenarios,
+    // repeated to give the pool real queue depth.
+    let scenarios = Scenario::all();
+    let tasks: Vec<Vb2Task<'_>> = scenarios
+        .iter()
+        .cycle()
+        .take(if quick { 4 } else { 8 })
+        .map(|s| Vb2Task {
+            spec,
+            prior: s.prior,
+            data: &s.data,
+            options: s.vb2_options(),
+        })
+        .collect();
+    record(&mut metrics, "vb2-fit-many", samples, || {
+        for r in Vb2Posterior::fit_many(&tasks, 4) {
+            r.unwrap();
+        }
+    });
+
+    // vb2-parallel-t{1,4}: thread-count scaling on the flat-prior sweep,
+    // large fixed truncation (the component-dominated regime).
+    let par_n_max = if quick { 800 } else { 2000 };
+    for threads in [1usize, 4] {
+        let options = Vb2Options {
+            solver: SolverKind::SuccessiveSubstitution,
+            truncation: Truncation::Fixed { n_max: par_n_max },
+            threads,
+            ..Vb2Options::default()
+        };
+        record(
+            &mut metrics,
+            &format!("vb2-parallel-t{threads}"),
+            samples,
+            || Vb2Posterior::fit(spec, dt_flat.prior, &dt_flat.data, options).unwrap(),
+        );
+    }
+
+    // nint-fit: the numerical-integration reference on its default
+    // 200×200 grid, integration box from a VB2 pre-fit (as in §6).
+    let vb2_dt = Vb2Posterior::fit(spec, dt.prior, &dt.data, dt.vb2_options()).unwrap();
+    let bounds_dt = bounds_from_posterior(&vb2_dt);
+    record(&mut metrics, "nint-fit", samples, || {
+        NintPosterior::fit(spec, dt.prior, &dt.data, bounds_dt, NintOptions::default()).unwrap()
+    });
+    let vb2_dg = Vb2Posterior::fit(spec, dg.prior, &dg.data, dg.vb2_options()).unwrap();
+    let bounds_dg = bounds_from_posterior(&vb2_dg);
+    record(&mut metrics, "nint-fit-grouped", samples, || {
+        NintPosterior::fit(spec, dg.prior, &dg.data, bounds_dg, NintOptions::default()).unwrap()
+    });
+
+    // Derived throughput, printed for humans; the gated metrics above
+    // are all time-valued so the comparison rule stays uniform.
+    if let Some(m) = metrics.get("vb2-sweep") {
+        let comps = sweep_n_max as f64;
+        println!(
+            "derived: vb2-sweep throughput ≈ {:.0} components/s",
+            comps / (m.median_ms / 1e3)
+        );
+    }
+
+    if let Some(base) = &baseline {
+        for (name, metric) in metrics.iter_mut() {
+            if let Some(old) = base.metrics.get(name) {
+                metric.baseline_median_ms = Some(old.median_ms);
+                if metric.median_ms > 0.0 {
+                    metric.speedup = Some(old.median_ms / metric.median_ms);
+                }
+            }
+        }
+    }
+
+    let report = Report { label, metrics };
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("bench_report: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}:");
+    for (name, m) in &report.metrics {
+        match m.speedup {
+            Some(s) => println!(
+                "  {name:<20} {:>10.3} ms  ({:.2}x vs baseline {:.3} ms)",
+                m.median_ms,
+                s,
+                m.baseline_median_ms.unwrap_or(f64::NAN)
+            ),
+            None => println!("  {name:<20} {:>10.3} ms", m.median_ms),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn record<R>(
+    metrics: &mut BTreeMap<String, Metric>,
+    name: &str,
+    samples: usize,
+    work: impl FnMut() -> R,
+) {
+    let median = median_ms(samples, work);
+    eprintln!("timed {name:<20} {median:>10.3} ms ({samples} samples)");
+    metrics.insert(
+        name.to_string(),
+        Metric {
+            median_ms: median,
+            samples,
+            baseline_median_ms: None,
+            speedup: None,
+        },
+    );
+}
+
+fn run_compare(args: &[String]) -> ExitCode {
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let (Some(old_path), Some(new_path)) = (positional.first(), positional.get(1)) else {
+        eprintln!("bench_report compare: need OLD and NEW report paths");
+        return ExitCode::from(2);
+    };
+    let max_regression: f64 = flag_value(args, "--max-regression")
+        .map(|s| s.parse().expect("--max-regression must be a number"))
+        .unwrap_or(0.10);
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    let mut reports = Vec::new();
+    for path in [old_path, new_path] {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_report: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match Report::from_json(&text) {
+            Ok(r) => reports.push(r),
+            Err(e) => {
+                // Malformed input is always a hard failure, smoke mode
+                // or not: an unreadable report must not pass the gate.
+                eprintln!("bench_report: malformed report {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (old, new) = (&reports[0], &reports[1]);
+    let deltas = compare(old, new, max_regression);
+    if deltas.is_empty() {
+        eprintln!("bench_report: no shared metrics between {old_path} and {new_path}");
+        return ExitCode::FAILURE;
+    }
+    let mut regressed = false;
+    for d in &deltas {
+        let verdict = if d.regressed { "REGRESSED" } else { "ok" };
+        println!(
+            "  {:<20} {:>10.3} ms -> {:>10.3} ms  {:+7.1}%  {verdict}",
+            d.name,
+            d.old_ms,
+            d.new_ms,
+            d.change * 100.0
+        );
+        regressed |= d.regressed;
+    }
+    if regressed {
+        if smoke {
+            println!(
+                "bench_report: regression beyond {:.0}% (smoke mode: warning only)",
+                max_regression * 100.0
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "bench_report: FAIL — at least one metric regressed more than {:.0}%",
+                max_regression * 100.0
+            );
+            ExitCode::FAILURE
+        }
+    } else {
+        println!("bench_report: no metric regressed more than {:.0}%", max_regression * 100.0);
+        ExitCode::SUCCESS
+    }
+}

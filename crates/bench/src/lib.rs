@@ -11,6 +11,7 @@
 // numerical code needs.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 pub mod coverage;
+pub mod perf;
 pub mod reports;
 
 use nhpp_bayes::laplace::LaplacePosterior;

@@ -1,0 +1,528 @@
+//! Machine-readable performance reports (`BENCH_*.json`) and the
+//! regression gate that compares two of them.
+//!
+//! The repo keeps one `BENCH_<pr>.json` per performance-relevant PR at
+//! the repository root; `bench_report run` regenerates the current one
+//! and `bench_report compare` fails (or warns, in smoke mode) when a
+//! named metric regresses more than the allowed fraction against the
+//! previous report. All metrics are wall times in milliseconds — lower
+//! is better — so the comparison rule is uniform.
+//!
+//! No serde in the tree (offline build), so this module carries a
+//! minimal JSON writer and a strict recursive-descent parser for the
+//! report schema. Malformed input is a hard error — a corrupt report
+//! must never pass a regression gate by being unreadable.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag emitted in every report; `compare` rejects files that do
+/// not carry it.
+pub const SCHEMA: &str = "nhpp-bench-report/v1";
+
+/// One timed metric: the median of `samples` wall-clock runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Median wall time in milliseconds.
+    pub median_ms: f64,
+    /// Number of timed samples the median is taken over.
+    pub samples: usize,
+    /// Median of the same metric in the baseline report, when one was
+    /// supplied to `bench_report run --baseline`.
+    pub baseline_median_ms: Option<f64>,
+    /// `baseline_median_ms / median_ms` (>1 = faster than baseline).
+    pub speedup: Option<f64>,
+}
+
+/// A full performance report: label + named metrics (sorted by name so
+/// the emitted JSON is deterministic).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// Report label, conventionally `BENCH_<pr>`.
+    pub label: String,
+    /// Metric name → measurement.
+    pub metrics: BTreeMap<String, Metric>,
+}
+
+impl Report {
+    /// Serialises the report to the canonical JSON layout.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json_string(SCHEMA));
+        let _ = writeln!(out, "  \"label\": {},", json_string(&self.label));
+        out.push_str("  \"metrics\": {\n");
+        let last = self.metrics.len().saturating_sub(1);
+        for (i, (name, m)) in self.metrics.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {}: {{ \"median_ms\": {}, \"samples\": {}",
+                json_string(name),
+                json_number(m.median_ms),
+                m.samples
+            );
+            if let Some(b) = m.baseline_median_ms {
+                let _ = write!(out, ", \"baseline_median_ms\": {}", json_number(b));
+            }
+            if let Some(s) = m.speedup {
+                let _ = write!(out, ", \"speedup\": {}", json_number(s));
+            }
+            out.push_str(" }");
+            out.push_str(if i == last { "\n" } else { ",\n" });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a report emitted by [`Report::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or schema violation.
+    /// Unknown keys are tolerated (forward compatibility); a missing or
+    /// mismatched `schema` tag, or a metric without `median_ms`, is not.
+    pub fn from_json(text: &str) -> Result<Report, String> {
+        let value = Parser::new(text).parse_document()?;
+        let top = value.as_object().ok_or("top-level value must be an object")?;
+        let schema = top
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("missing \"schema\" tag")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema {schema:?}, expected {SCHEMA:?}"));
+        }
+        let label = top
+            .get("label")
+            .and_then(Value::as_str)
+            .ok_or("missing \"label\"")?
+            .to_string();
+        let metrics_obj = top
+            .get("metrics")
+            .and_then(Value::as_object)
+            .ok_or("missing \"metrics\" object")?;
+        let mut metrics = BTreeMap::new();
+        for (name, entry) in metrics_obj {
+            let obj = entry
+                .as_object()
+                .ok_or_else(|| format!("metric {name:?} must be an object"))?;
+            let median_ms = obj
+                .get("median_ms")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("metric {name:?} missing numeric \"median_ms\""))?;
+            if !median_ms.is_finite() || median_ms < 0.0 {
+                return Err(format!("metric {name:?} has invalid median_ms {median_ms}"));
+            }
+            let samples = obj
+                .get("samples")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("metric {name:?} missing \"samples\""))?
+                as usize;
+            metrics.insert(
+                name.clone(),
+                Metric {
+                    median_ms,
+                    samples,
+                    baseline_median_ms: obj.get("baseline_median_ms").and_then(Value::as_f64),
+                    speedup: obj.get("speedup").and_then(Value::as_f64),
+                },
+            );
+        }
+        Ok(Report { label, metrics })
+    }
+}
+
+/// One regression-gate verdict for a metric present in both reports.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// Metric name.
+    pub name: String,
+    /// Old (baseline) median in milliseconds.
+    pub old_ms: f64,
+    /// New median in milliseconds.
+    pub new_ms: f64,
+    /// `new/old − 1`; positive means slower.
+    pub change: f64,
+    /// True when `change` exceeds the allowed regression fraction.
+    pub regressed: bool,
+}
+
+/// Compares `new` against `old`, flagging any shared metric whose median
+/// grew by more than `max_regression` (e.g. `0.10` = +10%). Metrics
+/// present in only one report are skipped — adding a benchmark must not
+/// fail the gate.
+pub fn compare(old: &Report, new: &Report, max_regression: f64) -> Vec<Delta> {
+    let mut deltas = Vec::new();
+    for (name, m_new) in &new.metrics {
+        let Some(m_old) = old.metrics.get(name) else {
+            continue;
+        };
+        if m_old.median_ms <= 0.0 {
+            continue;
+        }
+        let change = m_new.median_ms / m_old.median_ms - 1.0;
+        deltas.push(Delta {
+            name: name.clone(),
+            old_ms: m_old.median_ms,
+            new_ms: m_new.median_ms,
+            change,
+            regressed: change > max_regression,
+        });
+    }
+    deltas
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(x: f64) -> String {
+    // Shortest round-trippable decimal; JSON has no Infinity/NaN, and no
+    // metric should ever produce one — fail loudly at write time.
+    assert!(x.is_finite(), "non-finite value {x} in bench report");
+    let mut s = format!("{x}");
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        s.push_str(".0");
+    }
+    s
+}
+
+/// A parsed JSON value — only the shapes the report schema needs. The
+/// bool/array payloads are parsed for syntax completeness even though
+/// the schema never reads them back.
+#[derive(Debug, Clone)]
+#[allow(dead_code)]
+enum Value {
+    Object(BTreeMap<String, Value>),
+    String(String),
+    Number(f64),
+    Bool(bool),
+    Null,
+    Array(Vec<Value>),
+}
+
+impl Value {
+    fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+/// Strict recursive-descent JSON parser over the byte stream. Rejects
+/// trailing garbage, unterminated literals, and bad escapes with a
+/// byte-offset diagnostic.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Value, String> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", self.pos));
+        }
+        Ok(value)
+    }
+
+    fn err(&self, message: &str) -> String {
+        format!("{message} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: Value) -> Result<Value, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {lit:?}")))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // The schema never emits surrogate pairs;
+                            // reject rather than mis-decode.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.err("non-scalar \\u escape"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode multi-byte UTF-8 starting at b.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = start + width;
+                    let s = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|raw| std::str::from_utf8(raw).ok())
+                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut metrics = BTreeMap::new();
+        metrics.insert(
+            "vb2-sweep".to_string(),
+            Metric {
+                median_ms: 12.5,
+                samples: 5,
+                baseline_median_ms: Some(25.0),
+                speedup: Some(2.0),
+            },
+        );
+        metrics.insert(
+            "nint-fit".to_string(),
+            Metric {
+                median_ms: 80.0,
+                samples: 5,
+                baseline_median_ms: None,
+                speedup: None,
+            },
+        );
+        Report {
+            label: "BENCH_TEST".to_string(),
+            metrics,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let report = sample();
+        let text = report.to_json();
+        let back = Report::from_json(&text).expect("round trip");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(Report::from_json("").is_err());
+        assert!(Report::from_json("{").is_err());
+        assert!(Report::from_json("{}").is_err());
+        assert!(Report::from_json("{\"schema\": \"other/v9\"}").is_err());
+        let text = sample().to_json();
+        let truncated = &text[..text.len() - 4];
+        assert!(Report::from_json(truncated).is_err());
+        let garbage = format!("{text}x");
+        assert!(Report::from_json(&garbage).is_err());
+    }
+
+    #[test]
+    fn metric_without_median_is_malformed() {
+        let text = format!(
+            "{{\"schema\": {SCHEMA:?}, \"label\": \"x\", \"metrics\": {{\"a\": {{\"samples\": 3}}}}}}"
+        );
+        assert!(Report::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn compare_flags_only_large_regressions() {
+        let old = sample();
+        let mut new = sample();
+        new.metrics.get_mut("vb2-sweep").unwrap().median_ms = 13.0; // +4%
+        new.metrics.get_mut("nint-fit").unwrap().median_ms = 100.0; // +25%
+        new.metrics.insert(
+            "fresh-metric".to_string(),
+            Metric {
+                median_ms: 1.0,
+                samples: 5,
+                baseline_median_ms: None,
+                speedup: None,
+            },
+        );
+        let deltas = compare(&old, &new, 0.10);
+        // The metric present only in `new` is skipped entirely.
+        assert_eq!(deltas.len(), 2);
+        let nint = deltas.iter().find(|d| d.name == "nint-fit").unwrap();
+        assert!(nint.regressed && (nint.change - 0.25).abs() < 1e-12);
+        let sweep = deltas.iter().find(|d| d.name == "vb2-sweep").unwrap();
+        assert!(!sweep.regressed);
+    }
+}

@@ -39,7 +39,7 @@ fn beta_expectation<F: FnMut(f64) -> f64>(rule: &GaussLegendre, beta: &Gamma, mu
 
 /// Posterior mean of the mean value function, `E[ω·G(t; β)]`.
 pub fn mean_value_mean(mixture: &GammaProductMixture, spec: ModelSpec, t: f64) -> f64 {
-    let rule = GaussLegendre::new(BETA_NODES);
+    let rule = GaussLegendre::shared(BETA_NODES);
     let a0 = spec.alpha0();
     mixture
         .components()
@@ -59,7 +59,7 @@ pub fn mean_value_cdf(mixture: &GammaProductMixture, spec: ModelSpec, t: f64, x:
     if x <= 0.0 {
         return 0.0;
     }
-    let rule = GaussLegendre::new(BETA_NODES);
+    let rule = GaussLegendre::shared(BETA_NODES);
     let a0 = spec.alpha0();
     mixture
         .components()

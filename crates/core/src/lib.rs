@@ -55,6 +55,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 pub mod bands;
 pub mod empirical_bayes;
+mod endpoint;
 mod error;
 pub mod fault;
 pub mod model_average;
@@ -73,4 +74,4 @@ pub use robust::{
     RobustPosterior, RobustTask,
 };
 pub use vb1::{Vb1Options, Vb1Posterior};
-pub use vb2::{SolverKind, Truncation, Vb2Options, Vb2Posterior, Vb2Task};
+pub use vb2::{SolverKind, Truncation, Vb2Options, Vb2Posterior, Vb2Scratch, Vb2Task};

@@ -52,7 +52,7 @@ pub fn predictive_counts(
             message: "tail_tol must lie in (0, 1)",
         });
     }
-    let rule = GaussLegendre::new(BETA_NODES);
+    let rule = GaussLegendre::shared(BETA_NODES);
 
     // Flatten (component × β-node) into negative-binomial cells.
     struct Cell {

@@ -40,7 +40,7 @@ fn beta_expectation<F: FnMut(f64) -> f64>(rule: &GaussLegendre, beta: &Gamma, mu
 
 /// Posterior point estimate of software reliability, Eq. (31).
 pub fn reliability_point(mixture: &GammaProductMixture, spec: ModelSpec, t: f64, u: f64) -> f64 {
-    let rule = GaussLegendre::new(BETA_NODES);
+    let rule = GaussLegendre::shared(BETA_NODES);
     let mut acc = 0.0;
     for comp in mixture.components() {
         if comp.weight < WEIGHT_FLOOR {
@@ -70,7 +70,7 @@ pub fn reliability_cdf(
     if x >= 1.0 {
         return 1.0;
     }
-    let rule = GaussLegendre::new(BETA_NODES);
+    let rule = GaussLegendre::shared(BETA_NODES);
     let neg_ln_x = -x.ln();
     let mut acc = 0.0;
     for comp in mixture.components() {

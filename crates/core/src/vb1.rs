@@ -25,7 +25,8 @@ use nhpp_dist::{Gamma, GammaProductMixture, MixtureComponent};
 use nhpp_models::prior::NhppPrior;
 use nhpp_models::{ModelSpec, Posterior};
 use nhpp_numeric::Budget;
-use nhpp_special::{digamma, ln_gamma_q};
+use crate::endpoint::{ln_mass_between, mean_from_masses, Endpoint};
+use nhpp_special::{digamma, ln_gamma};
 use std::time::Duration;
 
 /// Options for the VB1 fit.
@@ -90,6 +91,10 @@ impl Vb1Posterior {
         let (a_b, r_b) = prior.beta.shape_rate();
         let t_end = data.observation_end();
         let m = data.total_count() as f64;
+        // Hoisted out of the sweep: every incomplete-gamma quantity in
+        // the loop shares these two log-gamma values.
+        let gln = ln_gamma(alpha0);
+        let gln1 = ln_gamma(alpha0 + 1.0);
 
         // Initial guesses: no residual faults, β matched to the data span.
         let mut expected_n = m.max(1.0);
@@ -116,16 +121,20 @@ impl Vb1Posterior {
             let rate_beta = b_shape / xi;
             let e_ln_beta = digamma(b_shape) - rate_beta.ln();
 
+            // Validates ξ — a poisoned sweep pushes NaN through here,
+            // which must surface as an error rather than run the loop
+            // to its iteration limit.
+            Gamma::new(alpha0, xi)?;
+
             // Residual-count factor: r ~ Poisson(λ),
             // λ = exp(E[ln ω] + α₀ E[ln β] − α₀ ln ξ + ln Q(α₀, ξ t_end)).
-            lambda = (e_ln_omega + alpha0 * e_ln_beta - alpha0 * xi.ln()
-                + ln_gamma_q(alpha0, xi * t_end))
-            .exp();
+            // One tail evaluation serves both λ and the censored mean.
+            let (ln_q_tail, ln_q1_tail) = Endpoint::eval_tail(alpha0, xi, t_end, gln, gln1);
+            lambda = (e_ln_omega + alpha0 * e_ln_beta - alpha0 * xi.ln() + ln_q_tail).exp();
 
             // E-step style expectations under the factorised posterior.
-            let law = Gamma::new(alpha0, xi)?;
             let tail_mean = if lambda > 0.0 {
-                law.interval_mean(t_end, f64::INFINITY)
+                mean_from_masses(alpha0, xi, ln_q_tail, ln_q1_tail)
             } else {
                 0.0
             };
@@ -133,9 +142,20 @@ impl Vb1Posterior {
                 ObservedData::Times(d) => d.sum_times() + lambda * tail_mean,
                 ObservedData::Grouped(d) => {
                     let mut acc = lambda * tail_mean;
+                    let mut prev: Option<Endpoint> = None;
                     for (lo, hi, count) in d.intervals() {
                         if count > 0 {
-                            acc += count as f64 * law.interval_mean(lo, hi);
+                            let e_lo = match prev {
+                                Some(e) if e.t == lo => e,
+                                _ => Endpoint::eval(alpha0, xi, lo, gln, gln1),
+                            };
+                            let e_hi = Endpoint::eval(alpha0, xi, hi, gln, gln1);
+                            let ln_mass =
+                                ln_mass_between(e_lo.ln_p, e_lo.ln_q, e_hi.ln_p, e_hi.ln_q);
+                            let ln_mass1 =
+                                ln_mass_between(e_lo.ln_p1, e_lo.ln_q1, e_hi.ln_p1, e_hi.ln_q1);
+                            acc += count as f64 * mean_from_masses(alpha0, xi, ln_mass, ln_mass1);
+                            prev = Some(e_hi);
                         }
                     }
                     acc

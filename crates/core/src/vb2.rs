@@ -53,7 +53,9 @@ use nhpp_numeric::fixed_point::{
     bisection_fixed_point, newton_fixed_point_budgeted, successive_substitution_budgeted,
 };
 use nhpp_numeric::{parallel, Budget, SharedBudget};
-use nhpp_special::{ln_factorial, ln_gamma, ln_gamma_q_given, log_sum_exp};
+use crate::endpoint::{ln_mass_between, mean_from_masses, Endpoint};
+use nhpp_special::{ln_factorial, ln_gamma, LnGammaLadder, StreamingLogSumExp};
+use std::cell::RefCell;
 use std::time::Duration;
 
 /// Width of the component chunks handed to the work pool. The chunk
@@ -226,39 +228,91 @@ impl DataSummary {
     /// domain) yields NaN rather than a panic: the budgeted solvers
     /// convert a non-finite map value into a proper
     /// [`nhpp_numeric::NumericError::NonFinite`], which the supervised
-    /// pipeline can classify and retry.
+    /// pipeline can classify and retry. This is the standalone entry
+    /// point (kept for the domain-guard tests); the fits go through
+    /// [`zeta_and_data`] with the fit-level memoized `ln Γ` values —
+    /// the value is the same because `ln_gamma` is deterministic.
+    #[cfg(test)]
     fn zeta(&self, alpha0: f64, xi: f64, n: u64) -> f64 {
-        let Ok(law) = Gamma::new(alpha0, xi) else {
-            return f64::NAN;
-        };
-        // `n < m` has no unobserved-region count; the unchecked
-        // subtraction used to wrap to ~1.8e19 and silently produce an
-        // astronomically wrong ζ.
-        let Some(r) = n.checked_sub(self.observed()) else {
-            return f64::NAN;
-        };
-        let r = r as f64;
-        match self {
-            DataSummary::Times { sum_obs, t_end, .. } => {
-                let tail = if r > 0.0 {
-                    r * law.interval_mean(*t_end, f64::INFINITY)
-                } else {
-                    0.0
+        zeta_and_data(
+            self,
+            alpha0,
+            xi,
+            n,
+            ln_gamma(alpha0),
+            ln_gamma(alpha0 + 1.0),
+        )
+        .0
+    }
+}
+
+/// The data-dependent parts of a component in one pass: `ζ(ξ)`
+/// (Eq. (24)/(26), survival form) together with the weight's data
+/// factor — `ξ·(ζ − Σt) − r·α₀·ln ξ + r·ln S(t_e)` for failure times,
+/// `ξ·ζ − N·α₀·ln ξ + Σ xᵢ·ln ΔG + r·ln S(t_e)` for grouped data.
+///
+/// This is the single shared evaluation behind both the inner solver
+/// map and the stored component state, so the `ζ` the weight sees is
+/// bitwise the `ζ` the fixed point converged on. Every regularised
+/// incomplete-gamma quantity is derived from one base evaluation per
+/// endpoint plus recurrence steps (see [`Endpoint`]); for grouped data,
+/// contiguous bins share their common endpoint, so `k` bins cost `k+1`
+/// endpoint evaluations rather than `4k` independent tail calls.
+///
+/// Invalid `ξ` (an iterate that escaped the domain) or `n` below the
+/// observed count yields `(NaN, NaN)`, which the solvers and the weight
+/// check convert into proper errors.
+fn zeta_and_data(
+    summary: &DataSummary,
+    alpha0: f64,
+    xi: f64,
+    n: u64,
+    gln: f64,
+    gln1: f64,
+) -> (f64, f64) {
+    if !xi.is_finite() || !(xi > 0.0) || !(alpha0 > 0.0) || !alpha0.is_finite() {
+        return (f64::NAN, f64::NAN);
+    }
+    let Some(r) = n.checked_sub(summary.observed()) else {
+        return (f64::NAN, f64::NAN);
+    };
+    let rf = r as f64;
+    // Censored-tail state at t_end, shared by ζ and the weight; only
+    // needed when unobserved faults remain, and only on the Q side.
+    let (tail_mean_term, tail_ln_term) = if rf > 0.0 {
+        let (ln_q, ln_q1) = Endpoint::eval_tail(alpha0, xi, summary.t_end(), gln, gln1);
+        (rf * mean_from_masses(alpha0, xi, ln_q, ln_q1), rf * ln_q)
+    } else {
+        (0.0, 0.0)
+    };
+    match summary {
+        DataSummary::Times { sum_obs, .. } => {
+            let zeta = sum_obs + tail_mean_term;
+            let ln_data = xi * (zeta - sum_obs) - rf * alpha0 * xi.ln() + tail_ln_term;
+            (zeta, ln_data)
+        }
+        DataSummary::Grouped { bins, .. } => {
+            let mut zeta = 0.0;
+            let mut ln_bins = 0.0;
+            let mut prev: Option<Endpoint> = None;
+            for &(lo, hi, count) in bins {
+                if count == 0 {
+                    continue;
+                }
+                let e_lo = match prev {
+                    Some(e) if e.t == lo => e,
+                    _ => Endpoint::eval(alpha0, xi, lo, gln, gln1),
                 };
-                sum_obs + tail
+                let e_hi = Endpoint::eval(alpha0, xi, hi, gln, gln1);
+                let ln_mass = ln_mass_between(e_lo.ln_p, e_lo.ln_q, e_hi.ln_p, e_hi.ln_q);
+                let ln_mass1 = ln_mass_between(e_lo.ln_p1, e_lo.ln_q1, e_hi.ln_p1, e_hi.ln_q1);
+                zeta += count as f64 * mean_from_masses(alpha0, xi, ln_mass, ln_mass1);
+                ln_bins += count as f64 * ln_mass;
+                prev = Some(e_hi);
             }
-            DataSummary::Grouped { bins, t_end, .. } => {
-                let mut acc = 0.0;
-                for &(lo, hi, count) in bins {
-                    if count > 0 {
-                        acc += count as f64 * law.interval_mean(lo, hi);
-                    }
-                }
-                if r > 0.0 {
-                    acc += r * law.interval_mean(*t_end, f64::INFINITY);
-                }
-                acc
-            }
+            zeta += tail_mean_term;
+            let ln_data = xi * zeta - n as f64 * alpha0 * xi.ln() + tail_ln_term + ln_bins;
+            (zeta, ln_data)
         }
     }
 }
@@ -271,6 +325,40 @@ struct Component {
     xi: f64,
     ln_weight: f64,
     inner_iterations: usize,
+}
+
+impl Component {
+    /// Pre-fill value for scratch slots the sweep is about to solve;
+    /// never observable after a successful round.
+    const PLACEHOLDER: Component = Component {
+        n: 0,
+        zeta: f64::NAN,
+        xi: f64::NAN,
+        ln_weight: f64::NAN,
+        inner_iterations: 0,
+    };
+}
+
+/// Reusable working memory for [`Vb2Posterior::fit_with_scratch`].
+///
+/// A VB2 fit's transient allocations are the candidate-`N` range and
+/// the per-component solved state; holding them here lets repeated
+/// fits (batch portfolios, the retry ladder, benchmark loops) run the
+/// whole sweep without touching the allocator once the buffers have
+/// grown to the working size. A scratch is plain state — reusing one
+/// across different datasets or options is fine, and dropping it is
+/// always safe.
+#[derive(Debug, Default)]
+pub struct Vb2Scratch {
+    ns: Vec<u64>,
+    components: Vec<Component>,
+}
+
+impl Vb2Scratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// One unit of a [`Vb2Posterior::fit_many`] batch: a complete
@@ -317,6 +405,28 @@ impl Vb2Posterior {
         prior: NhppPrior,
         data: &ObservedData,
         options: Vb2Options,
+    ) -> Result<Self, VbError> {
+        Self::fit_with_scratch(spec, prior, data, options, &mut Vb2Scratch::new())
+    }
+
+    /// [`Vb2Posterior::fit`] reusing caller-owned working memory.
+    ///
+    /// The hot sweep writes into the scratch's buffers instead of
+    /// allocating per round, so a caller fitting in a loop (batch
+    /// portfolios, benchmark harnesses, the supervised retry ladder)
+    /// amortises all transient allocation to the first fit. Results
+    /// are identical to [`Vb2Posterior::fit`] regardless of the
+    /// scratch's history.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vb2Posterior::fit`].
+    pub fn fit_with_scratch(
+        spec: ModelSpec,
+        prior: NhppPrior,
+        data: &ObservedData,
+        options: Vb2Options,
+        scratch: &mut Vb2Scratch,
     ) -> Result<Self, VbError> {
         if !(options.inner_tol > 0.0) {
             return Err(VbError::InvalidOption {
@@ -367,10 +477,24 @@ impl Vb2Posterior {
             r_b,
             ln_gamma_alpha0: ln_gamma(alpha0),
             ln_gamma_alpha0p1: ln_gamma(alpha0 + 1.0),
+            // The weight ladders walk ln Γ(m_β + N·α₀) by unit steps,
+            // which needs an integral stride; every model family in the
+            // workspace has α₀ ∈ {1, 2}, and anything exotic falls back
+            // to direct evaluation.
+            b_stride: if alpha0.fract() == 0.0 && (1.0..=8.0).contains(&alpha0) {
+                Some(alpha0 as u32)
+            } else {
+                None
+            },
             options,
         };
 
-        let mut components: Vec<Component> = Vec::new();
+        scratch.components.clear();
+        // Compensated running accumulator for the mixture
+        // log-normaliser: each component's log weight is pushed exactly
+        // once, in `N` order, so the normaliser needs no per-round
+        // recollection and is independent of the thread count.
+        let mut acc = StreamingLogSumExp::new();
         let mut n_hi = match options.truncation {
             Truncation::Adaptive { .. } | Truncation::AdaptiveCapped { .. } => (2 * m).max(m + 50),
             Truncation::Fixed { n_max } => {
@@ -391,24 +515,36 @@ impl Vb2Posterior {
             // count. Chunk results are folded back in range order and
             // the lowest-indexed error wins, exactly as in a serial
             // sweep.
-            let start = components.last().map(|c| c.n + 1).unwrap_or(m);
-            let ns: Vec<u64> = (start..=n_hi).collect();
-            let chunks = parallel::run_chunks(
+            let start = scratch.components.last().map(|c| c.n + 1).unwrap_or(m);
+            scratch.ns.clear();
+            scratch.ns.extend(start..=n_hi);
+            let base = scratch.components.len();
+            scratch
+                .components
+                .resize(base + scratch.ns.len(), Component::PLACEHOLDER);
+            parallel::run_chunks_with_out(
                 options.threads,
                 COMPONENT_CHUNK,
-                &ns,
-                |_, chunk| solve_chunk(&ctx, chunk, &shared),
-            );
-            for chunk in chunks {
-                components.extend(chunk?);
+                &scratch.ns,
+                &mut scratch.components[base..],
+                |_, chunk, out| solve_chunk(&ctx, chunk, out, &shared),
+            )?;
+            for c in &scratch.components[base..] {
+                acc.push(c.ln_weight);
             }
-            let lse = log_sum_exp(&components.iter().map(|c| c.ln_weight).collect::<Vec<_>>());
+            let lse = acc.value();
             if !lse.is_finite() {
                 return Err(VbError::DegenerateWeights {
                     message: format!("log normaliser = {lse} over N in [{m}, {n_hi}]"),
                 });
             }
-            let mut tail = (components.last().expect("non-empty range").ln_weight - lse).exp();
+            let mut tail = (scratch
+                .components
+                .last()
+                .expect("non-empty range")
+                .ln_weight
+                - lse)
+                .exp();
             if options.fault == Some(FaultKind::InflateTail) {
                 // Fault injection: pretend the tail never falls below
                 // tolerance, driving the genuine overflow/cap logic.
@@ -437,14 +573,14 @@ impl Vb2Posterior {
             }
         }
 
-        let ln_weights: Vec<f64> = components.iter().map(|c| c.ln_weight).collect();
-        let lse = log_sum_exp(&ln_weights);
+        let components = &scratch.components;
+        let lse = acc.value();
         let elbo = lse + elbo_constant(&summary, alpha0, &prior);
 
         let mut pv = Vec::with_capacity(components.len());
         let mut parts = Vec::with_capacity(components.len());
         let mut inner_total = 0;
-        for c in &components {
+        for c in components {
             let w = (c.ln_weight - lse).exp();
             pv.push((c.n, w));
             inner_total += c.inner_iterations;
@@ -478,15 +614,25 @@ impl Vb2Posterior {
         threads: usize,
     ) -> Vec<Result<Vb2Posterior, VbError>> {
         parallel::map_items(threads, tasks, |_, task| {
-            Vb2Posterior::fit(
-                task.spec,
-                task.prior,
-                task.data,
-                Vb2Options {
-                    threads: 1,
-                    ..task.options
-                },
-            )
+            // One scratch per worker thread, reused across all the
+            // tasks that worker drains — the batch path allocates per
+            // portfolio, not per fit. (Scratch state never leaks
+            // between fits; see `Vb2Scratch`.)
+            thread_local! {
+                static SCRATCH: RefCell<Vb2Scratch> = RefCell::new(Vb2Scratch::new());
+            }
+            SCRATCH.with(|scratch| {
+                Vb2Posterior::fit_with_scratch(
+                    task.spec,
+                    task.prior,
+                    task.data,
+                    Vb2Options {
+                        threads: 1,
+                        ..task.options
+                    },
+                    &mut scratch.borrow_mut(),
+                )
+            })
         })
     }
 
@@ -587,7 +733,28 @@ struct FitContext<'a> {
     r_b: f64,
     ln_gamma_alpha0: f64,
     ln_gamma_alpha0p1: f64,
+    /// Unit-step stride of the `ln Γ(m_β + N·α₀)` weight ladder —
+    /// `α₀` as an integer when it is one (always, for the workspace's
+    /// model families); `None` disables the ladder in favour of direct
+    /// evaluation.
+    b_stride: Option<u32>,
     options: Vb2Options,
+}
+
+impl FitContext<'_> {
+    /// `ζ(ξ)` through the shared one-pass evaluation, with the
+    /// fit-level memoized `ln Γ(α₀)` / `ln Γ(α₀ + 1)`.
+    fn zeta(&self, xi: f64, n: u64) -> f64 {
+        zeta_and_data(
+            self.summary,
+            self.alpha0,
+            xi,
+            n,
+            self.ln_gamma_alpha0,
+            self.ln_gamma_alpha0p1,
+        )
+        .0
+    }
 }
 
 /// Whether the fit takes the iteration-free closed form: Goel–Okumoto
@@ -621,11 +788,10 @@ fn chunk_head_seed(ctx: &FitContext, n: u64, shared: &SharedBudget) -> Option<f6
         // Every map evaluation would be NaN; don't spend seed budget.
         return None;
     }
-    let summary = ctx.summary;
     let alpha0 = ctx.alpha0;
     let b_shape = ctx.a_b + n as f64 * alpha0;
-    let map = |xi: f64| b_shape / (ctx.r_b + summary.zeta(alpha0, xi, n));
-    let x0 = b_shape / (ctx.r_b + summary.zeta(alpha0, alpha0 / summary.t_end(), n));
+    let map = |xi: f64| b_shape / (ctx.r_b + ctx.zeta(xi, n));
+    let x0 = b_shape / (ctx.r_b + ctx.zeta(alpha0 / ctx.summary.t_end(), n));
     if !x0.is_finite() || !(x0 > 0.0) {
         return None;
     }
@@ -638,35 +804,63 @@ fn chunk_head_seed(ctx: &FitContext, n: u64, shared: &SharedBudget) -> Option<f6
     seed
 }
 
-/// Solves one contiguous chunk of candidate `N`s: the head is seeded
-/// by [`chunk_head_seed`], the rest warm-start sequentially from their
-/// predecessor, exactly as the old serial sweep did within a chunk.
+/// Solves one contiguous chunk of candidate `N`s into its disjoint
+/// output window: the head is seeded by [`chunk_head_seed`], the rest
+/// warm-start sequentially from their predecessor, exactly as the old
+/// serial sweep did within a chunk.
+///
+/// The weight's `ln Γ(m_ω + N)` and `ln Γ(m_β + N·α₀)` terms walk
+/// [`LnGammaLadder`]s anchored at the chunk head — all recurrence
+/// state is chunk-local, so the solved values stay a pure function of
+/// `(chunk_index, chunk)` and parallel fits remain bitwise identical
+/// across thread counts.
 fn solve_chunk(
     ctx: &FitContext,
     ns: &[u64],
+    out: &mut [Component],
     shared: &SharedBudget,
-) -> Result<Vec<Component>, VbError> {
-    let mut out = Vec::with_capacity(ns.len());
-    let mut warm_xi = ns.first().and_then(|&n| chunk_head_seed(ctx, n, shared));
-    for &n in ns {
+) -> Result<(), VbError> {
+    let Some(&n0) = ns.first() else {
+        return Ok(());
+    };
+    let mut warm_xi = chunk_head_seed(ctx, n0, shared);
+    let mut ladder_a = LnGammaLadder::new(ctx.a_w + n0 as f64);
+    let mut ladder_b = ctx
+        .b_stride
+        .map(|_| LnGammaLadder::new(ctx.a_b + n0 as f64 * ctx.alpha0));
+    for (&n, slot) in ns.iter().zip(out.iter_mut()) {
+        let ln_gamma_a = ladder_a.value();
+        let ln_gamma_b = match &ladder_b {
+            Some(ladder) => ladder.value(),
+            None => ln_gamma(ctx.a_b + n as f64 * ctx.alpha0),
+        };
         let mut local = shared.local(u64::MAX);
-        let result = solve_component(ctx, n, warm_xi, &mut local);
+        let result = solve_component(ctx, n, warm_xi, ln_gamma_a, ln_gamma_b, &mut local);
         // Settle the consumption either way, but let a solve error take
         // precedence over a budget trip caused by that same solve.
         let settled = shared.absorb(&local);
         let comp = result?;
         settled.map_err(VbError::from)?;
         warm_xi = Some(comp.xi);
-        out.push(comp);
+        *slot = comp;
+        ladder_a.advance();
+        if let (Some(ladder), Some(stride)) = (&mut ladder_b, ctx.b_stride) {
+            ladder.advance_by(stride);
+        }
     }
-    Ok(out)
+    Ok(())
 }
 
-/// Solves the `(ζ, ξ)` fixed point for one `N` and evaluates the weight.
+/// Solves the `(ζ, ξ)` fixed point for one `N` and evaluates the
+/// weight. `ln_gamma_a_shape` / `ln_gamma_b_shape` are
+/// `ln Γ(m_ω + N)` / `ln Γ(m_β + N·α₀)` supplied by the caller's
+/// chunk-local ladders (see [`solve_chunk`]).
 fn solve_component(
     ctx: &FitContext,
     n: u64,
     warm_xi: Option<f64>,
+    ln_gamma_a_shape: f64,
+    ln_gamma_b_shape: f64,
     budget: &mut Budget,
 ) -> Result<Component, VbError> {
     // Each solved component costs at least one charge, so deadlines
@@ -706,7 +900,7 @@ fn solve_component(
             if fault == Some(FaultKind::NanZeta) {
                 return f64::NAN;
             }
-            let z = summary.zeta(alpha0, xi, n);
+            let z = ctx.zeta(xi, n);
             let next = b_shape / (r_b + z);
             if fault == Some(FaultKind::StallInner) {
                 // Drift by a super-tolerance step: substitution and
@@ -716,9 +910,8 @@ fn solve_component(
             next
         };
         let x0 = options.init_scale
-            * warm_xi.unwrap_or_else(|| {
-                b_shape / (r_b + summary.zeta(alpha0, alpha0 / summary.t_end(), n))
-            });
+            * warm_xi
+                .unwrap_or_else(|| b_shape / (r_b + ctx.zeta(alpha0 / summary.t_end(), n)));
         let mut inner = budget.sub_budget(options.inner_max_iter as u64);
         let fp = match options.solver {
             SolverKind::Newton => {
@@ -737,10 +930,19 @@ fn solve_component(
     let (zeta, ln_data) = if options.fault == Some(FaultKind::NanZeta) {
         (f64::NAN, f64::NAN)
     } else {
-        data_terms(ctx, xi, n, r)?
+        // The same one-pass evaluation the solver map went through, so
+        // the stored ζ is bitwise the ζ the fixed point converged on.
+        zeta_and_data(
+            summary,
+            alpha0,
+            xi,
+            n,
+            ctx.ln_gamma_alpha0,
+            ctx.ln_gamma_alpha0p1,
+        )
     };
     let a_shape = a_w + n as f64;
-    let ln_w = ln_gamma(a_shape) - a_shape * (r_w + 1.0).ln() + ln_gamma(b_shape)
+    let ln_w = ln_gamma_a_shape - a_shape * (r_w + 1.0).ln() + ln_gamma_b_shape
         - b_shape * (r_b + zeta).ln()
         - ln_factorial(r)
         + ln_data;
@@ -756,72 +958,6 @@ fn solve_component(
         ln_weight: ln_w,
         inner_iterations: iterations,
     })
-}
-
-/// The data-dependent parts of a solved component, evaluated in one
-/// pass: `ζ(ξ)` (Eq. (24)/(26), survival form) together with the
-/// weight's data factor — `ξ·(ζ − Σt) − r·α₀·ln ξ + r·ln S(t_e)` for
-/// failure times, `ξ·ζ − N·α₀·ln ξ + Σ xᵢ·ln ΔG + r·ln S(t_e)` for
-/// grouped data.
-///
-/// The pre-memoization code computed `ζ` through `Gamma::interval_mean`
-/// and then re-evaluated `ln S(t_e)` (and every bin's log mass) inside
-/// the weight. Here each regularised-incomplete-gamma value is computed
-/// exactly once and shared between the two, with `ln Γ(α₀)` /
-/// `ln Γ(α₀+1)` supplied from the fit context. The ζ arithmetic mirrors
-/// `Gamma::interval_mean` operation for operation, so the stored `ζ` is
-/// bitwise what `DataSummary::zeta` returns for the same `ξ`.
-fn data_terms(ctx: &FitContext, xi: f64, n: u64, r: u64) -> Result<(f64, f64), VbError> {
-    if !xi.is_finite() || !(xi > 0.0) {
-        // Matches the old path, where `Gamma::new(α₀, ξ)` failing made
-        // ζ — and hence the weight — NaN, surfacing upstream as
-        // `DegenerateWeights`.
-        return Ok((f64::NAN, f64::NAN));
-    }
-    let alpha0 = ctx.alpha0;
-    let rf = r as f64;
-    let x_end = xi * ctx.summary.t_end();
-    let ln_tail = ln_gamma_q_given(alpha0, x_end, ctx.ln_gamma_alpha0);
-    // `E[T | T > t_end] = (α₀/ξ)·exp(ln S_{α₀+1} − ln S_{α₀})`, NaN on
-    // zero tail mass, exactly as `interval_mean` reports it.
-    let tail_mean = || {
-        if ln_tail == f64::NEG_INFINITY || ln_tail.is_nan() {
-            return f64::NAN;
-        }
-        let ln_tail1 = ln_gamma_q_given(alpha0 + 1.0, x_end, ctx.ln_gamma_alpha0p1);
-        (alpha0 / xi) * (ln_tail1 - ln_tail).exp()
-    };
-    match ctx.summary {
-        DataSummary::Times { sum_obs, .. } => {
-            let tail = if rf > 0.0 { rf * tail_mean() } else { 0.0 };
-            let zeta = sum_obs + tail;
-            let ln_data = xi * (zeta - sum_obs) - rf * alpha0 * xi.ln() + rf * ln_tail;
-            Ok((zeta, ln_data))
-        }
-        DataSummary::Grouped { bins, .. } => {
-            let law = Gamma::new(alpha0, xi)?;
-            let law1 = Gamma::new(alpha0 + 1.0, xi)?;
-            let mut zeta = 0.0;
-            let mut ln_bins = 0.0;
-            for &(lo, hi, count) in bins {
-                if count > 0 {
-                    let ln_mass = law.ln_interval_mass(lo, hi);
-                    let mean = if ln_mass == f64::NEG_INFINITY || ln_mass.is_nan() {
-                        f64::NAN
-                    } else {
-                        (alpha0 / xi) * (law1.ln_interval_mass(lo, hi) - ln_mass).exp()
-                    };
-                    zeta += count as f64 * mean;
-                    ln_bins += count as f64 * ln_mass;
-                }
-            }
-            if rf > 0.0 {
-                zeta += rf * tail_mean();
-            }
-            let ln_data = xi * zeta - n as f64 * alpha0 * xi.ln() + rf * ln_tail + ln_bins;
-            Ok((zeta, ln_data))
-        }
-    }
 }
 
 /// The `N`-independent constants completing `F[Pᵥ] = ln Σ P̃ᵥ(N) + C₀` so

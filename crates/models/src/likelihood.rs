@@ -126,6 +126,82 @@ impl<'a> LogPosterior<'a> {
         self.log_likelihood(omega, beta) + lp
     }
 
+    /// Evaluates [`Self::value`] over the tensor grid `(ωᵢ, βⱼ)` into
+    /// `out`, row-major (`out[i·|β| + j] = value(ωᵢ, βⱼ)`).
+    ///
+    /// The surface is separable — `value = A(ω) + B(β) − ω·G(t_e; β)`
+    /// with `A(ω) = m·ln ω + ln P(ω)` and everything else a function of
+    /// `β` alone (the priors are independent) — so the expensive per-β
+    /// work (the gamma CDF, the grouped bin masses) runs once per β
+    /// node instead of once per cell, leaving one fused multiply-add
+    /// per cell. This is the NINT grid evaluation's hot path; it agrees
+    /// with per-cell [`Self::value`] up to floating-point regrouping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != omegas.len() * betas.len()`.
+    pub fn value_grid(&self, omegas: &[f64], betas: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            omegas.len() * betas.len(),
+            "output must hold one cell per (omega, beta) pair"
+        );
+        let a0 = self.spec.alpha0();
+        let count = match self.data {
+            ObservedData::Times(d) => d.len() as f64,
+            ObservedData::Grouped(d) => d.total_count() as f64,
+        };
+        let t_end = match self.data {
+            ObservedData::Times(d) => d.observation_end(),
+            ObservedData::Grouped(d) => d.observation_end(),
+        };
+        let a_of_omega: Vec<f64> = omegas
+            .iter()
+            .map(|&w| {
+                if w > 0.0 {
+                    count * w.ln() + self.prior.omega.ln_density(w)
+                } else {
+                    f64::NEG_INFINITY
+                }
+            })
+            .collect();
+        // `(B(β), G(t_e; β))` per β node.
+        let b_of_beta: Vec<(f64, f64)> = betas
+            .iter()
+            .map(|&b| {
+                if !(b > 0.0) {
+                    return (f64::NEG_INFINITY, 0.0);
+                }
+                let law = Gamma::new(a0, b).expect("positive shape and rate");
+                let mut s = self.prior.beta.ln_density(b);
+                match self.data {
+                    ObservedData::Times(d) => {
+                        s += count * (a0 * b.ln() - ln_gamma(a0))
+                            + (a0 - 1.0) * d.sum_ln_times()
+                            - b * d.sum_times();
+                    }
+                    ObservedData::Grouped(d) => {
+                        for (lo, hi, c) in d.intervals() {
+                            if c > 0 {
+                                s += c as f64 * law.ln_interval_mass(lo, hi) - ln_factorial(c);
+                            }
+                        }
+                    }
+                }
+                (s, law.cdf(t_end))
+            })
+            .collect();
+        for ((row, &w), &a) in out
+            .chunks_mut(betas.len())
+            .zip(omegas)
+            .zip(&a_of_omega)
+        {
+            for (cell, &(b_term, g)) in row.iter_mut().zip(&b_of_beta) {
+                *cell = w.mul_add(-g, a + b_term);
+            }
+        }
+    }
+
     /// Analytic gradient `[∂/∂ω, ∂/∂β]` of the log-posterior.
     pub fn grad(&self, omega: f64, beta: f64) -> [f64; 2] {
         let a0 = self.spec.alpha0();
@@ -405,6 +481,57 @@ mod tests {
         let lp = LogPosterior::new(ModelSpec::goel_okumoto(), NhppPrior::flat(), &data);
         let (omega, beta): (f64, f64) = (40.0, 1.1e-5);
         assert_eq!(lp.value(omega, beta), lp.log_likelihood(omega, beta));
+    }
+
+    #[test]
+    fn value_grid_matches_per_cell_value() {
+        let omegas = [20.0, 40.0, 80.0];
+        let cases: Vec<(ObservedData, NhppPrior, [f64; 4])> = vec![
+            (
+                sys17::failure_times().into(),
+                NhppPrior::paper_info_times(),
+                [5e-6, 1e-5, 2e-5, 5e-5],
+            ),
+            (
+                sys17::grouped().into(),
+                NhppPrior::paper_info_grouped(),
+                [1e-2, 2.5e-2, 5e-2, 1e-1],
+            ),
+            (
+                sys17::failure_times().into(),
+                NhppPrior::flat(),
+                [5e-6, 1e-5, 2e-5, 5e-5],
+            ),
+        ];
+        for (data, prior, betas) in &cases {
+            for spec in [ModelSpec::goel_okumoto(), ModelSpec::delayed_s_shaped()] {
+                let lp = LogPosterior::new(spec, *prior, data);
+                let mut grid = vec![0.0; omegas.len() * betas.len()];
+                lp.value_grid(&omegas, betas, &mut grid);
+                for (i, &w) in omegas.iter().enumerate() {
+                    for (j, &b) in betas.iter().enumerate() {
+                        let direct = lp.value(w, b);
+                        let cell = grid[i * betas.len() + j];
+                        assert!(
+                            (cell - direct).abs() <= 1e-10 * direct.abs().max(1.0),
+                            "({w}, {b}): grid={cell}, direct={direct}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn value_grid_handles_out_of_domain_nodes() {
+        let data: ObservedData = sys17::failure_times().into();
+        let lp = times_posterior(&data);
+        let mut grid = vec![0.0; 4];
+        lp.value_grid(&[-1.0, 40.0], &[1e-5, -2.0], &mut grid);
+        assert_eq!(grid[0], f64::NEG_INFINITY);
+        assert_eq!(grid[1], f64::NEG_INFINITY);
+        assert!(grid[2].is_finite());
+        assert_eq!(grid[3], f64::NEG_INFINITY);
     }
 
     #[test]

@@ -99,6 +99,91 @@ where
         .collect()
 }
 
+/// [`run_chunks`] writing into a caller-provided output slice instead
+/// of allocating per-chunk result vectors — the allocation-free shape
+/// used by the VB2 component sweep's scratch arena.
+///
+/// `out` must have the same length as `items`; `work(index, chunk,
+/// out_chunk)` receives the matching disjoint output window and fills
+/// it. A `work` call returning `Err` does not stop other chunks, but
+/// the error from the *lowest-indexed* failing chunk is returned, so
+/// the reported error is deterministic across thread counts (the
+/// serial path short-circuits at the first error, which is the same
+/// lowest-indexed one).
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0` or `items.len() != out.len()`. A panic
+/// inside `work` propagates after all workers have been joined.
+pub fn run_chunks_with_out<T, S, E, F>(
+    threads: usize,
+    chunk_size: usize,
+    items: &[T],
+    out: &mut [S],
+    work: F,
+) -> Result<(), E>
+where
+    T: Sync,
+    S: Send,
+    E: Send,
+    F: Fn(usize, &[T], &mut [S]) -> Result<(), E> + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    assert_eq!(
+        items.len(),
+        out.len(),
+        "output slice must be aligned with the input items"
+    );
+    let n_chunks = items.len().div_ceil(chunk_size);
+    let threads = resolve_threads(threads, n_chunks);
+    if threads <= 1 {
+        for (index, (chunk, out_chunk)) in items
+            .chunks(chunk_size)
+            .zip(out.chunks_mut(chunk_size))
+            .enumerate()
+        {
+            work(index, chunk, out_chunk)?;
+        }
+        return Ok(());
+    }
+
+    let cursor = AtomicUsize::new(0);
+    // Each worker takes exclusive ownership of its chunk's disjoint
+    // output window through the slot mutex; every slot is taken at
+    // most once because chunk indices come from the atomic cursor.
+    let out_slots: Vec<Mutex<Option<&mut [S]>>> = out
+        .chunks_mut(chunk_size)
+        .map(|chunk| Mutex::new(Some(chunk)))
+        .collect();
+    let err_slots: Vec<Mutex<Option<E>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= n_chunks {
+                    break;
+                }
+                let out_chunk = out_slots[index]
+                    .lock()
+                    .expect("output slot poisoned")
+                    .take()
+                    .expect("each chunk index is claimed exactly once");
+                let lo = index * chunk_size;
+                let hi = (lo + chunk_size).min(items.len());
+                if let Err(e) = work(index, &items[lo..hi], out_chunk) {
+                    *err_slots[index].lock().expect("error slot poisoned") = Some(e);
+                }
+            });
+        }
+    });
+    for slot in err_slots {
+        if let Some(e) = slot.into_inner().expect("error slot poisoned") {
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
 /// Applies `work(index, item)` to each item independently and returns
 /// the results in item order — [`run_chunks`] with chunk width 1, the
 /// shape used by the batch-fit APIs.
@@ -163,6 +248,46 @@ mod tests {
                 .collect();
             let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
             assert_eq!(bits(&parallel), bits(&serial), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn with_out_matches_serial_for_every_thread_count() {
+        let items: Vec<f64> = (1..=300).map(|i| i as f64).collect();
+        let warm = |_: usize, chunk: &[f64], out: &mut [f64]| -> Result<(), ()> {
+            let mut carry = 0.0f64;
+            for (x, slot) in chunk.iter().zip(out.iter_mut()) {
+                carry = (carry + x).sqrt();
+                *slot = carry;
+            }
+            Ok(())
+        };
+        let mut serial = vec![0.0; items.len()];
+        run_chunks_with_out(1, 32, &items, &mut serial, warm).unwrap();
+        for threads in [2, 8] {
+            let mut parallel = vec![0.0; items.len()];
+            run_chunks_with_out(threads, 32, &items, &mut parallel, warm).unwrap();
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&parallel), bits(&serial), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn with_out_reports_lowest_indexed_error() {
+        let items: Vec<usize> = (0..100).collect();
+        let fail_on = |bad: &'static [usize]| {
+            move |index: usize, _: &[usize], _: &mut [u8]| {
+                if bad.contains(&index) {
+                    Err(index)
+                } else {
+                    Ok(())
+                }
+            }
+        };
+        for threads in [1, 4] {
+            let mut out = vec![0u8; items.len()];
+            let err = run_chunks_with_out(threads, 8, &items, &mut out, fail_on(&[9, 3, 6]));
+            assert_eq!(err, Err(3), "threads = {threads}");
         }
     }
 

@@ -3,6 +3,8 @@
 
 use crate::NumericError;
 use nhpp_special::log_sum_exp;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A Gauss–Legendre quadrature rule on `[-1, 1]`.
 ///
@@ -54,6 +56,28 @@ impl GaussLegendre {
             weights[n - 1 - i] = w;
         }
         GaussLegendre { nodes, weights }
+    }
+
+    /// The process-wide shared `n`-point rule, built once per order and
+    /// cached behind a lazy map.
+    ///
+    /// Node/weight construction costs microseconds, but NINT fits, the
+    /// reliability bands and the predictive paths all rebuild the same
+    /// handful of orders per fit; the cache makes repeat fits
+    /// allocation-free on this axis. The returned [`Arc`] is cheap to
+    /// clone and the rule itself is immutable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, like [`GaussLegendre::new`].
+    pub fn shared(n: usize) -> Arc<GaussLegendre> {
+        static CACHE: OnceLock<Mutex<HashMap<usize, Arc<GaussLegendre>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().expect("quadrature rule cache poisoned");
+        Arc::clone(
+            map.entry(n)
+                .or_insert_with(|| Arc::new(GaussLegendre::new(n))),
+        )
     }
 
     /// Number of points in the rule.
@@ -308,6 +332,15 @@ mod tests {
     fn adaptive_simpson_rejects_nan() {
         let err = adaptive_simpson(|_| f64::NAN, 0.0, 1.0, 1e-10).unwrap_err();
         assert!(matches!(err, NumericError::NonFinite { .. }));
+    }
+
+    #[test]
+    fn shared_rules_are_cached_and_correct() {
+        let a = GaussLegendre::shared(48);
+        let b = GaussLegendre::shared(48);
+        assert!(Arc::ptr_eq(&a, &b), "same order must hit the cache");
+        assert_eq!(*a, GaussLegendre::new(48));
+        assert!(!Arc::ptr_eq(&a, &GaussLegendre::shared(32)));
     }
 
     #[test]

@@ -132,11 +132,12 @@ pub fn trigamma(x: f64) -> f64 {
                                 - inv2 * (1.0 / 30.0 - inv2 * (1.0 / 42.0 - inv2 / 30.0)))))
 }
 
-/// Size of the cached `ln n!` table; covers the counts that appear in
-/// software reliability datasets without recomputation.
-const LN_FACT_CACHE: usize = 256;
+/// Size of the cached `ln n!` table; covers `n ≤ 1024`, the latent fault
+/// counts the VB2 sweep and Poisson pmf paths actually visit, without
+/// recomputation.
+const LN_FACT_CACHE: usize = 1025;
 
-/// `ln n!`, exact for `n < 256` via a lazily built table and via
+/// `ln n!`, exact for `n ≤ 1024` via a lazily built table and via
 /// [`ln_gamma`] above that.
 ///
 /// # Example
@@ -150,10 +151,16 @@ pub fn ln_factorial(n: u64) -> f64 {
     static TABLE: OnceLock<Vec<f64>> = OnceLock::new();
     let table = TABLE.get_or_init(|| {
         let mut t = Vec::with_capacity(LN_FACT_CACHE);
-        let mut acc = 0.0f64;
+        // Kahan-compensated running sum: the table now spans 1024
+        // cumulative terms, so naive accumulation would drift a few
+        // hundred ulps by the top of the table.
+        let (mut acc, mut comp) = (0.0f64, 0.0f64);
         t.push(0.0);
         for k in 1..LN_FACT_CACHE as u64 {
-            acc += (k as f64).ln();
+            let y = (k as f64).ln() - comp;
+            let s = acc + y;
+            comp = (s - acc) - y;
+            acc = s;
             t.push(acc);
         }
         t
@@ -272,6 +279,9 @@ mod tests {
         assert_eq!(ln_factorial(1), 0.0);
         assert_close(ln_factorial(10), 3_628_800.0f64.ln(), 1e-13);
         assert_close(ln_factorial(300), ln_gamma(301.0), 1e-13);
+        // Top of the extended table and first fallback value.
+        assert_close(ln_factorial(1024), ln_gamma(1025.0), 1e-13);
+        assert_close(ln_factorial(1025), ln_gamma(1026.0), 1e-13);
         assert_close(ln_binomial(10, 3), 120.0f64.ln(), 1e-13);
         assert_eq!(ln_binomial(3, 10), f64::NEG_INFINITY);
     }

@@ -187,6 +187,35 @@ pub fn ln_gamma_q_given(a: f64, x: f64, ln_gamma_a: f64) -> f64 {
     }
 }
 
+/// Both `ln P(a, x)` and `ln Q(a, x)` from a single series/continued-
+/// fraction pass, with `ln Γ(a)` supplied by the caller.
+///
+/// Each element is bitwise identical to what [`ln_gamma_p_given`] and
+/// [`ln_gamma_q_given`] return for the same arguments — the pair variant
+/// exists so hot loops that need both tails (e.g. the grouped-data
+/// interval-mass evaluation in the VB2 sweep) pay for one evaluation of
+/// the underlying series or continued fraction instead of two.
+pub fn ln_gamma_pq_given(a: f64, x: f64, ln_gamma_a: f64) -> (f64, f64) {
+    if !(a > 0.0) || !(x >= 0.0) {
+        return (f64::NAN, f64::NAN);
+    }
+    if x == 0.0 {
+        return (f64::NEG_INFINITY, 0.0);
+    }
+    if x == f64::INFINITY {
+        return (0.0, f64::NEG_INFINITY);
+    }
+    if x < a + 1.0 {
+        let ln_p = ln_gamma_p_series(a, x, ln_gamma_a);
+        let p = ln_p.exp();
+        (ln_p, (-p).ln_1p())
+    } else {
+        let ln_q = ln_gamma_q_cf(a, x, ln_gamma_a);
+        let q = ln_q.exp();
+        ((-q).ln_1p(), ln_q)
+    }
+}
+
 /// Inverse of [`gamma_p`] in its second argument: returns `x` such that
 /// `P(a, x) = p`.
 ///
@@ -317,10 +346,15 @@ mod tests {
                     ln_gamma_q_given(a, x, gln).to_bits(),
                     "a={a}, x={x}"
                 );
+                let (ln_p, ln_q) = ln_gamma_pq_given(a, x, gln);
+                assert_eq!(ln_p.to_bits(), ln_gamma_p(a, x).to_bits(), "a={a}, x={x}");
+                assert_eq!(ln_q.to_bits(), ln_gamma_q(a, x).to_bits(), "a={a}, x={x}");
             }
         }
         assert!(ln_gamma_p_given(-1.0, 1.0, 0.0).is_nan());
         assert!(ln_gamma_q_given(1.0, -1.0, 0.0).is_nan());
+        let (ln_p, ln_q) = ln_gamma_pq_given(0.0, 1.0, 0.0);
+        assert!(ln_p.is_nan() && ln_q.is_nan());
     }
 
     #[test]

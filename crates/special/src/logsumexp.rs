@@ -51,6 +51,104 @@ pub fn log_sum_exp_pair(a: f64, b: f64) -> f64 {
     hi + (lo - hi).exp().ln_1p()
 }
 
+/// Incremental `ln Σ exp(xᵢ)` over a stream of values, matching
+/// [`log_sum_exp`] semantics without materialising the slice.
+///
+/// Maintains a running maximum and a Kahan-compensated sum of rescaled
+/// exponentials, so pushing the values one at a time (the VB2 adaptive
+/// sweep grows its component list round by round) loses no more accuracy
+/// than the batch evaluation. `−∞` entries contribute nothing, any `+∞`
+/// makes the total `+∞`, and any NaN makes it NaN — exactly as the batch
+/// function behaves.
+///
+/// # Example
+///
+/// ```
+/// let mut acc = nhpp_special::StreamingLogSumExp::new();
+/// for &v in &[-1000.0, -1000.0] {
+///     acc.push(v);
+/// }
+/// let expected = -1000.0 + 2.0f64.ln();
+/// assert!((acc.value() - expected).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingLogSumExp {
+    max: f64,
+    /// Σ exp(xᵢ − max) over finite entries, Kahan-compensated.
+    sum: f64,
+    comp: f64,
+    saw_nan: bool,
+    saw_pos_inf: bool,
+}
+
+impl StreamingLogSumExp {
+    /// An empty accumulator; [`value`](Self::value) is `−∞`, the log of
+    /// an empty sum.
+    pub fn new() -> Self {
+        StreamingLogSumExp {
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            comp: 0.0,
+            saw_nan: false,
+            saw_pos_inf: false,
+        }
+    }
+
+    /// Adds `exp(v)` to the accumulated sum.
+    pub fn push(&mut self, v: f64) {
+        if v.is_nan() {
+            self.saw_nan = true;
+            return;
+        }
+        if v == f64::INFINITY {
+            self.saw_pos_inf = true;
+            return;
+        }
+        if v == f64::NEG_INFINITY {
+            return;
+        }
+        if v > self.max {
+            // Rescale the accumulated sum (and its compensation) to the
+            // new maximum before adding the unit term.
+            let scale = (self.max - v).exp();
+            self.sum *= scale;
+            self.comp *= scale;
+            self.max = v;
+            self.add(1.0);
+        } else {
+            self.add((v - self.max).exp());
+        }
+    }
+
+    /// Kahan-compensated `sum += term`.
+    fn add(&mut self, term: f64) {
+        let y = term - self.comp;
+        let t = self.sum + y;
+        self.comp = (t - self.sum) - y;
+        self.sum = t;
+    }
+
+    /// The current `ln Σ exp(xᵢ)`.
+    pub fn value(&self) -> f64 {
+        if self.saw_nan {
+            return f64::NAN;
+        }
+        if self.saw_pos_inf {
+            return f64::INFINITY;
+        }
+        if self.max == f64::NEG_INFINITY {
+            return f64::NEG_INFINITY;
+        }
+        self.max + self.sum.ln()
+    }
+}
+
+impl Default for StreamingLogSumExp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// `ln(exp(a) − exp(b))` for `a >= b`, stable when the two are close.
 ///
 /// Returns `−∞` when `a == b` and [`f64::NAN`] when `a < b` (the
@@ -128,6 +226,50 @@ mod tests {
             log_sum_exp_pair(f64::INFINITY, f64::INFINITY),
             f64::INFINITY
         );
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let cases: &[&[f64]] = &[
+            &[],
+            &[0.0, 0.0],
+            &[-1000.0, -1000.0],
+            &[-1e6, -1e6 + 1.0],
+            &[700.0, -700.0, 3.0],
+            &[f64::NEG_INFINITY],
+            &[f64::NEG_INFINITY, -4.0],
+            &[f64::INFINITY, 0.0],
+            &[f64::NAN, 0.0],
+            &[f64::NAN, f64::INFINITY],
+            &[1.0, 2.0, 3.0, 4.0, 5.0],
+        ];
+        for &case in cases {
+            let batch = log_sum_exp(case);
+            let mut acc = StreamingLogSumExp::new();
+            for &v in case {
+                acc.push(v);
+            }
+            let streamed = acc.value();
+            if batch.is_nan() {
+                assert!(streamed.is_nan(), "{case:?}");
+            } else if batch.is_finite() {
+                assert!((batch - streamed).abs() < 1e-12, "{case:?}");
+            } else {
+                assert_eq!(batch, streamed, "{case:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_order_independent_to_high_accuracy() {
+        let forward: Vec<f64> = (0..200).map(|k| -(k as f64) * 3.7).collect();
+        let mut rev = forward.clone();
+        rev.reverse();
+        let mut a = StreamingLogSumExp::new();
+        let mut b = StreamingLogSumExp::new();
+        forward.iter().for_each(|&v| a.push(v));
+        rev.iter().for_each(|&v| b.push(v));
+        assert!((a.value() - b.value()).abs() < 1e-13);
     }
 
     #[test]

@@ -98,3 +98,94 @@ proptest! {
         prop_assert!((log_sum_exp(&v) - lse).abs() < 1e-12);
     }
 }
+
+// Properties of the recurrence kernels used by the VB2 component sweep
+// (see `nhpp_special::recurrence`). The 1e-12 mixed relative/absolute
+// bound is the agreement the sweep relies on: the forward-recurrence
+// increment `a·ln x − x − ln Γ(a+1)` cancels terms of magnitude
+// ~`a·ln a`, so a few hundred ulps of absolute error are inherent at
+// large shapes.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The ln Γ ladder tracks direct evaluations across many steps and
+    /// re-anchor periods, over the full shape range the sweep visits.
+    #[test]
+    fn ladder_agrees_with_direct_ln_gamma(x0 in 0.5f64..5000.0, steps in 1usize..200) {
+        let mut ladder = LnGammaLadder::new(x0);
+        for _ in 0..steps {
+            ladder.advance();
+        }
+        let direct = ln_gamma(ladder.x());
+        prop_assert!(
+            (ladder.value() - direct).abs() <= 1e-12 * direct.abs().max(1.0),
+            "x0={x0}, steps={steps}: ladder={}, direct={direct}", ladder.value()
+        );
+    }
+
+    /// One Q-step from a direct base agrees with the direct value at
+    /// the incremented shape.
+    #[test]
+    fn q_step_agrees_with_direct(a in 0.5f64..5000.0, frac in 1e-3f64..5.0) {
+        let x = a * frac;
+        let gln1 = ln_gamma(a + 1.0);
+        let stepped = ln_gamma_q_step(a, x, x.ln(), ln_gamma_q(a, x), gln1);
+        let direct = ln_gamma_q(a + 1.0, x);
+        // 1e-12 relative is the sweep's agreement bound; the second
+        // term is the inherent rounding of the cancelled increment
+        // terms (`a·ln x`, `x`, `ln Γ(a+1)`), which dominates only at
+        // shapes in the thousands.
+        let tol = 1e-12 * direct.abs().max(1.0)
+            + 32.0 * f64::EPSILON * (a * x.ln().abs() + x + gln1.abs());
+        prop_assert!(
+            (stepped - direct).abs() <= tol,
+            "a={a}, x={x}: stepped={stepped}, direct={direct}"
+        );
+    }
+
+    /// One P-step (including its cancellation-guard fallback) agrees
+    /// with the direct value at the incremented shape.
+    #[test]
+    fn p_step_agrees_with_direct(a in 0.5f64..5000.0, frac in 1e-3f64..5.0) {
+        let x = a * frac;
+        let gln1 = ln_gamma(a + 1.0);
+        let stepped = ln_gamma_p_step(a, x, x.ln(), ln_gamma_p(a, x), gln1);
+        let direct = ln_gamma_p(a + 1.0, x);
+        let tol = 1e-12 * direct.abs().max(1.0)
+            + 32.0 * f64::EPSILON * (a * x.ln().abs() + x + gln1.abs());
+        prop_assert!(
+            (stepped - direct).abs() <= tol,
+            "a={a}, x={x}: stepped={stepped}, direct={direct}"
+        );
+    }
+
+    /// The paired evaluation is bitwise the two individual ones.
+    #[test]
+    fn pq_given_pair_is_bitwise_consistent(a in 0.5f64..5000.0, frac in 1e-3f64..5.0) {
+        let x = a * frac;
+        let gln = ln_gamma(a);
+        let (ln_p, ln_q) = ln_gamma_pq_given(a, x, gln);
+        prop_assert_eq!(ln_p.to_bits(), ln_gamma_p_given(a, x, gln).to_bits());
+        prop_assert_eq!(ln_q.to_bits(), ln_gamma_q_given(a, x, gln).to_bits());
+    }
+
+    /// The streaming accumulator matches the batch log_sum_exp to high
+    /// accuracy in any order.
+    #[test]
+    fn streaming_log_sum_exp_matches_batch(v in prop::collection::vec(-700.0f64..700.0, 0..40)) {
+        let batch = log_sum_exp(&v);
+        let mut acc = StreamingLogSumExp::new();
+        for &x in &v {
+            acc.push(x);
+        }
+        let streamed = acc.value();
+        if v.is_empty() {
+            prop_assert_eq!(streamed, f64::NEG_INFINITY);
+        } else {
+            prop_assert!(
+                (streamed - batch).abs() <= 1e-12 * batch.abs().max(1.0),
+                "streamed={streamed}, batch={batch}"
+            );
+        }
+    }
+}
