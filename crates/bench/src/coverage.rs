@@ -8,6 +8,11 @@
 //! near 95%; VB1's too-narrow intervals and Wald/LAPL's symmetric ones
 //! under-cover — the quantitative version of the paper's Tables 2–5
 //! message.
+//!
+//! Every simulated campaign is accounted for: a method that fails to
+//! fit a campaign records the failure *reason* (e.g. PROFILE's missing
+//! finite upper bound, the frequentist face of the NoInfo impropriety)
+//! instead of silently dropping the campaign from its denominator.
 
 use nhpp_bayes::laplace::LaplacePosterior;
 use nhpp_bayes::laplace_log::LaplaceLogPosterior;
@@ -16,10 +21,11 @@ use nhpp_data::ObservedData;
 use nhpp_dist::Gamma;
 use nhpp_models::confidence::{profile_interval, Param};
 use nhpp_models::prior::NhppPrior;
-use nhpp_models::{ModelSpec, Posterior};
+use nhpp_models::{ModelError, ModelSpec, Posterior};
 use nhpp_vb::{Vb1Options, Vb1Posterior, Vb2Options, Vb2Posterior};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Parameters of the simulation study.
@@ -55,33 +61,76 @@ impl Default for CoverageStudy {
     }
 }
 
-/// Coverage counts for one method.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Coverage counts for one method. Every campaign the study attempts is
+/// either `fitted` (interval produced) or recorded under a failure
+/// reason in `dropped` — `attempted == fitted + Σ dropped`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Tally {
+    /// Campaigns the study attempted for this method.
+    pub attempted: usize,
     /// Campaigns in which the interval contained the true ω.
     pub covered: usize,
     /// Campaigns successfully fitted.
     pub fitted: usize,
+    /// Campaigns that produced no interval, keyed by the failure reason.
+    pub dropped: BTreeMap<String, usize>,
 }
 
 impl Tally {
-    fn record(&mut self, interval: Option<(f64, f64)>, truth: f64) {
-        if let Some((lo, hi)) = interval {
-            self.fitted += 1;
-            if lo <= truth && truth <= hi {
-                self.covered += 1;
+    /// Records one campaign: either an interval to check against the
+    /// truth, or the reason no interval was produced.
+    pub fn record(&mut self, interval: Result<(f64, f64), String>, truth: f64) {
+        self.attempted += 1;
+        match interval {
+            Ok((lo, hi)) => {
+                self.fitted += 1;
+                if lo <= truth && truth <= hi {
+                    self.covered += 1;
+                }
+            }
+            Err(reason) => {
+                *self.dropped.entry(reason).or_insert(0) += 1;
             }
         }
     }
 
-    /// Empirical coverage rate (NaN with no successful fits).
+    /// Empirical coverage rate among fitted campaigns (NaN with no
+    /// successful fits).
     pub fn rate(&self) -> f64 {
         self.covered as f64 / self.fitted as f64
+    }
+
+    /// Total campaigns that produced no interval.
+    pub fn dropped_total(&self) -> usize {
+        self.dropped.values().sum()
     }
 }
 
 /// Results keyed by method label, in presentation order.
 pub type CoverageResults = Vec<(&'static str, Tally)>;
+
+/// Compact reason label for an ill-posed / failed interval fit. The
+/// label is the error's variant class, not its full message, so reasons
+/// aggregate cleanly across campaigns.
+fn model_error_class(e: &ModelError) -> String {
+    match e {
+        ModelError::InvalidParameter { name, .. } => format!("InvalidParameter({name})"),
+        ModelError::NoConvergence { context, .. } => format!("NoConvergence({context})"),
+        ModelError::DegenerateData { .. } => "DegenerateData".to_string(),
+        ModelError::Numeric(e) => {
+            use nhpp_numeric::NumericError;
+            let class = match e {
+                NumericError::NoBracket { .. } => "NoBracket",
+                NumericError::MaxIterations { .. } => "MaxIterations",
+                NumericError::NonFinite { .. } => "NonFinite",
+                NumericError::InvalidArgument { .. } => "InvalidArgument",
+                NumericError::BudgetExhausted { .. } => "BudgetExhausted",
+            };
+            format!("Numeric({class})")
+        }
+        ModelError::Dist(e) => format!("Dist({e})"),
+    }
+}
 
 /// Runs the study and returns per-method tallies for the ω interval.
 pub fn run_study(study: &CoverageStudy) -> CoverageResults {
@@ -102,40 +151,47 @@ pub fn run_study(study: &CoverageStudy) -> CoverageResults {
 
     for rep in 0..study.replications {
         let mut rng = StdRng::seed_from_u64(study.seed.wrapping_add(rep as u64));
-        let Ok(trace) = simulator.simulate_censored(&mut rng, study.t_end) else {
-            continue;
+        let trace = match simulator.simulate_censored(&mut rng, study.t_end) {
+            Ok(trace) if trace.len() >= 3 => trace,
+            Ok(_) | Err(_) => {
+                // The campaign itself is unusable (too few failures to
+                // fit anything): every method records it, so the
+                // denominator never silently shrinks.
+                for tally in [&mut vb2, &mut vb1, &mut lapl, &mut lapl_log, &mut profile] {
+                    tally.record(Err("TooFewFailures".to_string()), study.omega_true);
+                }
+                continue;
+            }
         };
-        if trace.len() < 3 {
-            continue; // nothing to fit
-        }
         let data: ObservedData = trace.into();
 
         vb2.record(
             Vb2Posterior::fit(spec, prior, &data, Vb2Options::default())
-                .ok()
-                .map(|p| p.credible_interval_omega(study.level)),
+                .map(|p| p.credible_interval_omega(study.level))
+                .map_err(|e| e.to_string()),
             study.omega_true,
         );
         vb1.record(
             Vb1Posterior::fit(spec, prior, &data, Vb1Options::default())
-                .ok()
-                .map(|p| p.credible_interval_omega(study.level)),
+                .map(|p| p.credible_interval_omega(study.level))
+                .map_err(|e| e.to_string()),
             study.omega_true,
         );
         lapl.record(
             LaplacePosterior::fit(spec, prior, &data)
-                .ok()
-                .map(|p| p.credible_interval_omega(study.level)),
+                .map(|p| p.credible_interval_omega(study.level))
+                .map_err(|e| e.to_string()),
             study.omega_true,
         );
         lapl_log.record(
             LaplaceLogPosterior::fit(spec, prior, &data)
-                .ok()
-                .map(|p| p.credible_interval_omega(study.level)),
+                .map(|p| p.credible_interval_omega(study.level))
+                .map_err(|e| e.to_string()),
             study.omega_true,
         );
         profile.record(
-            profile_interval(spec, &data, Param::Omega, study.level).ok(),
+            profile_interval(spec, &data, Param::Omega, study.level)
+                .map_err(|e| model_error_class(&e)),
             study.omega_true,
         );
     }
@@ -162,20 +218,37 @@ pub fn report(study: &CoverageStudy) -> String {
         study.level * 100.0
     )
     .unwrap();
-    writeln!(out, "{:<10} {:>8} {:>10}", "method", "fitted", "coverage").unwrap();
-    for (name, tally) in results {
+    writeln!(
+        out,
+        "{:<10} {:>9} {:>8} {:>8} {:>10}",
+        "method", "attempted", "fitted", "dropped", "coverage"
+    )
+    .unwrap();
+    for (name, tally) in &results {
         writeln!(
             out,
-            "{:<10} {:>8} {:>9.1}%",
+            "{:<10} {:>9} {:>8} {:>8} {:>9.1}%",
             name,
+            tally.attempted,
             tally.fitted,
+            tally.dropped_total(),
             tally.rate() * 100.0
         )
         .unwrap();
     }
+    let mut any_dropped = false;
+    for (name, tally) in &results {
+        for (reason, count) in &tally.dropped {
+            if !any_dropped {
+                writeln!(out, "dropped campaigns by reason:").unwrap();
+                any_dropped = true;
+            }
+            writeln!(out, "  {name:<10} {count:>4} x {reason}").unwrap();
+        }
+    }
     writeln!(
         out,
-        "(binomial se at 95%/200 reps ≈ 1.5pp. VB1's structural variance\n deficit shows as clear under-coverage; PROFILE's fitted count drops\n where the likelihood admits no finite upper bound — the frequentist\n face of the same small-sample problem.)"
+        "(binomial se at 95%/200 reps ≈ 1.5pp. VB1's structural variance\n deficit shows as clear under-coverage; PROFILE's dropped campaigns\n are those where the likelihood admits no finite upper bound — the\n frequentist face of the same small-sample problem.)"
     )
     .unwrap();
     out
@@ -196,7 +269,7 @@ mod tests {
             results
                 .iter()
                 .find(|(n, _)| *n == name)
-                .map(|(_, t)| *t)
+                .map(|(_, t)| t.clone())
                 .expect("method present")
         };
         let vb2 = get("VB2");
@@ -211,16 +284,40 @@ mod tests {
             vb1.rate(),
             vb2.rate()
         );
+        // Campaign accounting is exhaustive for every method: nothing
+        // vanishes from the denominator.
+        for (name, tally) in &results {
+            assert_eq!(tally.attempted, study.replications, "{name}");
+            assert_eq!(
+                tally.fitted + tally.dropped_total(),
+                tally.attempted,
+                "{name}"
+            );
+        }
+        // PROFILE drops a recognisable fraction of campaigns with a
+        // recorded reason (no finite upper bound ⇒ root bracketing or
+        // convergence failure), rather than losing them silently.
+        let profile = get("PROFILE");
+        assert!(
+            profile.dropped_total() > 0,
+            "expected some PROFILE campaigns without a finite bound"
+        );
+        assert!(profile.dropped.values().all(|&c| c > 0));
     }
 
     #[test]
     fn tally_arithmetic() {
         let mut tally = Tally::default();
-        tally.record(Some((1.0, 3.0)), 2.0);
-        tally.record(Some((1.0, 3.0)), 5.0);
-        tally.record(None, 2.0);
+        tally.record(Ok((1.0, 3.0)), 2.0);
+        tally.record(Ok((1.0, 3.0)), 5.0);
+        tally.record(Err("IllPosed".to_string()), 2.0);
+        tally.record(Err("IllPosed".to_string()), 2.0);
+        tally.record(Err("TooFewFailures".to_string()), 2.0);
+        assert_eq!(tally.attempted, 5);
         assert_eq!(tally.fitted, 2);
         assert_eq!(tally.covered, 1);
+        assert_eq!(tally.dropped_total(), 3);
+        assert_eq!(tally.dropped.get("IllPosed"), Some(&2));
         assert!((tally.rate() - 0.5).abs() < 1e-12);
     }
 }

@@ -11,6 +11,7 @@
 // numerical code needs.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 pub mod coverage;
+pub mod json;
 pub mod perf;
 pub mod reports;
 

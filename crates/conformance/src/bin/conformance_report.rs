@@ -1,0 +1,149 @@
+//! CLI driver for the conformance harness.
+//!
+//! ```text
+//! conformance_report run [--smoke] [--label L] [--out FILE]
+//!     [--reps N] [--sbc-draws N]
+//!     Sweep the grid, print the human summary, write/print the
+//!     conformance/v1 JSON, exit 1 when the gate fails.
+//!
+//! conformance_report golden [--full] [--bless] [--dir DIR]
+//!     Check (or with --bless regenerate) the golden-oracle fixtures.
+//!     Default checks the smoke fixture only; --full adds the
+//!     all-scenario fixture with MCMC.
+//! ```
+
+use nhpp_conformance::coverage::CoverageConfig;
+use nhpp_conformance::golden;
+use nhpp_conformance::report::{run, Grid};
+use nhpp_conformance::sbc::SbcConfig;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn flag(args: &mut Vec<String>, name: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != name);
+    args.len() != before
+}
+
+fn flag_value(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let idx = args.iter().position(|a| a == name)?;
+    if idx + 1 >= args.len() {
+        eprintln!("error: {name} requires a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(idx + 1);
+    args.remove(idx);
+    Some(value)
+}
+
+fn default_golden_dir() -> PathBuf {
+    // crates/conformance → workspace root → tests/golden.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn cmd_run(mut args: Vec<String>) -> ExitCode {
+    let smoke = flag(&mut args, "--smoke");
+    let label = flag_value(&mut args, "--label")
+        .unwrap_or_else(|| format!("CONFORMANCE_{}", if smoke { "SMOKE" } else { "FULL" }));
+    let out = flag_value(&mut args, "--out");
+    let mut coverage_config = CoverageConfig::default();
+    let mut sbc_config = SbcConfig::default();
+    if let Some(n) = flag_value(&mut args, "--reps") {
+        coverage_config.replications = n.parse().expect("--reps takes an integer");
+    }
+    if let Some(n) = flag_value(&mut args, "--sbc-draws") {
+        sbc_config.draws = n.parse().expect("--sbc-draws takes an integer");
+    }
+    if !args.is_empty() {
+        eprintln!("error: unrecognised arguments {args:?}");
+        return ExitCode::from(2);
+    }
+    let grid = if smoke { Grid::Smoke } else { Grid::Full };
+    let result = run(grid, &label, &coverage_config, &sbc_config);
+    eprint!("{}", result.summary());
+    let json = result.to_json();
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("writing the report file");
+            eprintln!("report written to {path}");
+        }
+        None => print!("{json}"),
+    }
+    if result.gate.pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn check_or_bless(path: &Path, entries: &[golden::GoldenEntry], bless: bool) -> bool {
+    if bless {
+        std::fs::create_dir_all(path.parent().expect("fixture path has a parent"))
+            .expect("creating the golden directory");
+        std::fs::write(path, golden::render(entries)).expect("writing the fixture");
+        eprintln!("blessed {} ({} entries)", path.display(), entries.len());
+        return true;
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {}: {e} (run with --bless first?)", path.display());
+            return false;
+        }
+    };
+    let expected = match golden::parse(&text) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            return false;
+        }
+    };
+    let mismatches = golden::compare(&expected, entries);
+    if mismatches.is_empty() {
+        eprintln!("{}: {} entries ok", path.display(), expected.len());
+        true
+    } else {
+        for m in &mismatches {
+            eprintln!("{}: {m}", path.display());
+        }
+        false
+    }
+}
+
+fn cmd_golden(mut args: Vec<String>) -> ExitCode {
+    let bless = flag(&mut args, "--bless");
+    let full = flag(&mut args, "--full");
+    let dir = flag_value(&mut args, "--dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(default_golden_dir);
+    if !args.is_empty() {
+        eprintln!("error: unrecognised arguments {args:?}");
+        return ExitCode::from(2);
+    }
+    let mut ok = check_or_bless(&dir.join("smoke.txt"), &golden::smoke_entries(), bless);
+    if full {
+        ok &= check_or_bless(&dir.join("full.txt"), &golden::full_entries(), bless);
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: conformance_report <run|golden> [options]");
+        return ExitCode::from(2);
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "run" => cmd_run(args),
+        "golden" => cmd_golden(args),
+        other => {
+            eprintln!("unknown subcommand {other:?}; expected `run` or `golden`");
+            ExitCode::from(2)
+        }
+    }
+}

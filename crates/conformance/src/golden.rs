@@ -1,0 +1,249 @@
+//! Golden oracle for the paper's tables and figure.
+//!
+//! Pins the numeric content of Tables 1–7 and Figure 1 — posterior
+//! moments, credible intervals and reliability estimates per scenario ×
+//! method — as fixtures of `(key, value, rel_tol)` lines checked in
+//! under `tests/golden/`. Wall times are deliberately excluded (they
+//! are the one non-deterministic column of Tables 6–7; the perf
+//! pipeline owns them).
+//!
+//! Two fixture tiers:
+//! * **smoke** — the `DT-Info` scenario without MCMC; cheap enough to
+//!   run inside tier-1 `cargo test -q` on every PR.
+//! * **full** — all four scenarios with the seeded MCMC included;
+//!   checked by the `conformance_report golden` bin in its own CI job.
+//!
+//! `--bless` mode regenerates the fixtures from the current tree; a
+//! diff in review then *is* the numeric change, with its tolerance.
+
+use crate::methods::Method;
+use nhpp_bench::{MethodSet, Scenario};
+use nhpp_models::{ModelSpec, Posterior};
+use std::fmt::Write as _;
+
+/// One pinned quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenEntry {
+    /// Stable key, `"<scenario>/<method>/<quantity>"`.
+    pub key: String,
+    /// The pinned value.
+    pub value: f64,
+    /// Relative tolerance band for comparisons.
+    pub rel_tol: f64,
+}
+
+/// Relative tolerance for posterior moments and quantiles.
+const TOL_MOMENT: f64 = 1e-3;
+/// Looser band for reliability quantities (they compound two quantile
+/// solves) and for everything MCMC (seeded but sensitive to any change
+/// in sampling order).
+const TOL_RELIABILITY: f64 = 5e-3;
+const TOL_MCMC: f64 = 2e-2;
+
+fn push_method_entries(
+    entries: &mut Vec<GoldenEntry>,
+    scenario: &Scenario,
+    label: &str,
+    posterior: &dyn Posterior,
+) {
+    let (mtol, rtol) = if label == "MCMC" {
+        (TOL_MCMC, TOL_MCMC)
+    } else {
+        (TOL_MOMENT, TOL_RELIABILITY)
+    };
+    let mut push = |quantity: &str, value: f64, rel_tol: f64| {
+        entries.push(GoldenEntry {
+            key: format!("{}/{}/{}", scenario.name, label, quantity),
+            value,
+            rel_tol,
+        });
+    };
+    // Tables 1–3: posterior moments.
+    push("mean_omega", posterior.mean_omega(), mtol);
+    push("sd_omega", posterior.var_omega().sqrt(), mtol);
+    push("mean_beta", posterior.mean_beta(), mtol);
+    push("sd_beta", posterior.var_beta().sqrt(), mtol);
+    // Tables 4–5: two-sided 99% credible intervals.
+    let (lo, hi) = posterior.credible_interval_omega(0.99);
+    push("ci99_omega_lo", lo, mtol);
+    push("ci99_omega_hi", hi, mtol);
+    let (lo, hi) = posterior.credible_interval_beta(0.99);
+    push("ci99_beta_lo", lo, mtol);
+    push("ci99_beta_hi", hi, mtol);
+    // Tables 6–7 / Figure 1: reliability point and 99% interval at the
+    // scenario's mission lengths.
+    let t = scenario.data.observation_end();
+    for &u in &scenario.missions {
+        let r = posterior.reliability_point(t, u);
+        let (rlo, rhi) = posterior.reliability_interval(t, u, 0.99);
+        push(&format!("rel_point_u{u}"), r, rtol);
+        push(&format!("rel_lo_u{u}"), rlo, rtol);
+        push(&format!("rel_hi_u{u}"), rhi, rtol);
+    }
+}
+
+/// The smoke tier: `DT-Info`, the four fast methods, no MCMC.
+pub fn smoke_entries() -> Vec<GoldenEntry> {
+    let scenario = Scenario::dt_info();
+    let spec = ModelSpec::goel_okumoto();
+    let vb2_options = scenario.vb2_options();
+    let mut entries = Vec::new();
+    for method in Method::all() {
+        let posterior = method
+            .fit(spec, scenario.prior, &scenario.data, &vb2_options)
+            .unwrap_or_else(|reason| panic!("{} fit failed: {reason}", method.label()));
+        push_method_entries(&mut entries, &scenario, method.label(), posterior.as_ref());
+    }
+    entries
+}
+
+/// The full tier: all four paper scenarios, all five methods including
+/// the seeded MCMC.
+pub fn full_entries() -> Vec<GoldenEntry> {
+    let mut entries = Vec::new();
+    for scenario in Scenario::all() {
+        let set = MethodSet::fit(&scenario);
+        for (label, posterior) in set.in_paper_order() {
+            push_method_entries(&mut entries, &scenario, label, posterior);
+        }
+    }
+    entries
+}
+
+/// Renders entries to the fixture format: one `key value rel_tol` line
+/// each, `#` comments allowed.
+pub fn render(entries: &[GoldenEntry]) -> String {
+    let mut out = String::from(
+        "# Golden oracle fixture: <key> <value> <rel_tol> per line.\n\
+         # Regenerate with: cargo run --release -p nhpp-conformance \
+         --bin conformance_report -- golden --bless\n",
+    );
+    for e in entries {
+        let _ = writeln!(out, "{} {:.12e} {:e}", e.key, e.value, e.rel_tol);
+    }
+    out
+}
+
+/// Parses a fixture file.
+///
+/// # Errors
+///
+/// A description of the first malformed line.
+pub fn parse(text: &str) -> Result<Vec<GoldenEntry>, String> {
+    let mut entries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(key), Some(value), Some(tol), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!("line {}: expected `key value rel_tol`", lineno + 1));
+        };
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {}: bad value {value:?}", lineno + 1))?;
+        let rel_tol: f64 = tol
+            .parse()
+            .map_err(|_| format!("line {}: bad rel_tol {tol:?}", lineno + 1))?;
+        entries.push(GoldenEntry {
+            key: key.to_string(),
+            value,
+            rel_tol,
+        });
+    }
+    Ok(entries)
+}
+
+/// Compares freshly computed entries against a parsed fixture. Returns
+/// one message per mismatch: value outside its tolerance band, a key
+/// missing from the fixture, or a fixture key no longer computed.
+pub fn compare(expected: &[GoldenEntry], actual: &[GoldenEntry]) -> Vec<String> {
+    let mut mismatches = Vec::new();
+    for exp in expected {
+        match actual.iter().find(|a| a.key == exp.key) {
+            None => mismatches.push(format!("{}: no longer computed", exp.key)),
+            Some(act) => {
+                // Tolerance from the *fixture*, so blessing a looser
+                // band is an explicit, reviewable act.
+                let band = exp.rel_tol * exp.value.abs().max(1e-12);
+                if !(act.value - exp.value).abs().le(&band) {
+                    mismatches.push(format!(
+                        "{}: {} outside {} ± {band:.3e}",
+                        exp.key, act.value, exp.value
+                    ));
+                }
+            }
+        }
+    }
+    for act in actual {
+        if !expected.iter().any(|e| e.key == act.key) {
+            mismatches.push(format!("{}: not in fixture (re-bless?)", act.key));
+        }
+    }
+    mismatches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<GoldenEntry> {
+        vec![
+            GoldenEntry {
+                key: "DT-Info/VB2/mean_omega".to_string(),
+                value: 41.78,
+                rel_tol: 1e-3,
+            },
+            GoldenEntry {
+                key: "DT-Info/VB2/mean_beta".to_string(),
+                value: 1.11e-5,
+                rel_tol: 1e-3,
+            },
+        ]
+    }
+
+    #[test]
+    fn fixture_round_trip() {
+        let entries = sample();
+        let text = render(&entries);
+        let back = parse(&text).expect("well-formed fixture");
+        assert_eq!(back.len(), entries.len());
+        assert!(compare(&back, &entries).is_empty());
+    }
+
+    #[test]
+    fn compare_catches_all_mismatch_kinds() {
+        let expected = sample();
+        let mut actual = sample();
+        actual[0].value *= 1.01; // 1% off against a 0.1% band
+        actual.push(GoldenEntry {
+            key: "DT-Info/VB2/new_quantity".to_string(),
+            value: 1.0,
+            rel_tol: 1e-3,
+        });
+        let mut missing = expected.clone();
+        missing.push(GoldenEntry {
+            key: "DT-Info/VB2/gone".to_string(),
+            value: 2.0,
+            rel_tol: 1e-3,
+        });
+        let mismatches = compare(&missing, &actual);
+        assert_eq!(mismatches.len(), 3, "{mismatches:?}");
+        // NaN never satisfies a band.
+        let mut nan = sample();
+        nan[0].value = f64::NAN;
+        assert!(!compare(&expected, &nan).is_empty());
+    }
+
+    #[test]
+    fn malformed_fixtures_are_rejected() {
+        assert!(parse("just-a-key").is_err());
+        assert!(parse("key notanumber 1e-3").is_err());
+        assert!(parse("key 1.0 xyz").is_err());
+        assert!(parse("key 1.0 1e-3 extra").is_err());
+        assert!(parse("# comment only\n\n").expect("ok").is_empty());
+    }
+}

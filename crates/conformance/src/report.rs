@@ -1,0 +1,417 @@
+//! The `conformance/v1` machine-readable report and its pass/fail gate.
+//!
+//! Mirrors the `bench/v1` shape from the perf-regression pipeline: a
+//! schema tag, a label, and a deterministic (sorted-key) body, written
+//! with the shared minimal JSON machinery in [`nhpp_bench::json`]. The
+//! gate encodes the paper's claim directly: on every Info cell of the
+//! gated grid, VB2, NINT and LAPL must pass SBC rank-uniformity *and*
+//! hold nominal coverage within ±3 binomial standard errors, while VB1
+//! must be flagged under-covering somewhere on the grid.
+
+use crate::coverage::{run_cell_coverage, CoverageConfig, MethodCoverage};
+use crate::sbc::{run_sbc, SbcConfig, SbcResult};
+use crate::scenario::{GridCell, PriorKind};
+use nhpp_bench::json::{self, json_number, json_string, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag emitted in every report.
+pub const SCHEMA: &str = "nhpp-conformance-report/v1";
+
+/// Which slice of the scenario grid to sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grid {
+    /// The deterministic PR-time subset (Info cells only).
+    Smoke,
+    /// All sixteen cells.
+    Full,
+}
+
+impl Grid {
+    /// The cells this grid sweeps.
+    pub fn cells(&self) -> Vec<GridCell> {
+        match self {
+            Grid::Smoke => GridCell::smoke_grid(),
+            Grid::Full => GridCell::grid(),
+        }
+    }
+
+    /// Stable name used in the report body.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Grid::Smoke => "smoke",
+            Grid::Full => "full",
+        }
+    }
+}
+
+/// Results for one grid cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Cell label (`"go-dt-info-small"`).
+    pub name: String,
+    /// `true` for proper-prior cells (the gated ones).
+    pub info: bool,
+    /// Per-method coverage outcomes.
+    pub coverage: Vec<MethodCoverage>,
+    /// Per-method SBC outcomes (empty on NoInfo cells — SBC needs a
+    /// proper generative prior).
+    pub sbc: Vec<SbcResult>,
+}
+
+/// Gate verdict over a run.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    /// `true` when every gated criterion held.
+    pub pass: bool,
+    /// Human-readable description of each violated criterion.
+    pub failures: Vec<String>,
+}
+
+/// A complete conformance run.
+#[derive(Debug, Clone)]
+pub struct ConformanceRun {
+    /// Report label, conventionally `CONFORMANCE_<pr>`.
+    pub label: String,
+    /// Grid slice that was swept.
+    pub grid: Grid,
+    /// Nominal interval level used by the coverage runner.
+    pub level: f64,
+    /// Per-cell results in grid order.
+    pub cells: Vec<CellResult>,
+    /// The gate verdict.
+    pub gate: Gate,
+}
+
+/// Sweeps the grid: coverage on every cell, SBC on the Info cells.
+pub fn run(
+    grid: Grid,
+    label: &str,
+    coverage_config: &CoverageConfig,
+    sbc_config: &SbcConfig,
+) -> ConformanceRun {
+    let mut cells = Vec::new();
+    for cell in grid.cells() {
+        let info = cell.prior == PriorKind::Info;
+        let coverage = run_cell_coverage(&cell, coverage_config);
+        let sbc = if info {
+            crate::methods::Method::all()
+                .iter()
+                .map(|&m| run_sbc(&cell, m, sbc_config))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        cells.push(CellResult {
+            name: cell.name(),
+            info,
+            coverage,
+            sbc,
+        });
+    }
+    let gate = gate(&cells, coverage_config.level);
+    ConformanceRun {
+        label: label.to_string(),
+        grid,
+        level: coverage_config.level,
+        cells,
+        gate,
+    }
+}
+
+/// Evaluates the gate over the Info cells at nominal `level`.
+pub fn gate(cells: &[CellResult], level: f64) -> Gate {
+    let mut failures = Vec::new();
+    let mut vb1_flagged = false;
+    for cell in cells.iter().filter(|c| c.info) {
+        for mc in &cell.coverage {
+            match mc.method {
+                "VB2" | "NINT" | "LAPL" if !mc.within_band => {
+                    failures.push(format!(
+                        "{}/{}: coverage {:.3} outside {level:.3} ± 3·{:.3}",
+                        cell.name, mc.method, mc.rate, mc.se
+                    ));
+                }
+                "VB1" if mc.under_covering => {
+                    vb1_flagged = true;
+                }
+                _ => {}
+            }
+        }
+        for sbc in &cell.sbc {
+            if matches!(sbc.method, "VB2" | "NINT" | "LAPL") && !sbc.calibrated_omega {
+                failures.push(format!(
+                    "{}/{}: SBC rank-uniformity rejected (chi2 p={:.2e}, ks p={:.2e})",
+                    cell.name, sbc.method, sbc.chi2_omega.p_value, sbc.ks_omega.p_value
+                ));
+            }
+        }
+    }
+    if !vb1_flagged {
+        failures.push("VB1 was not flagged under-covering on any Info cell".to_string());
+    }
+    Gate {
+        pass: failures.is_empty(),
+        failures,
+    }
+}
+
+fn json_dropped(dropped: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from("{");
+    for (i, (reason, count)) in dropped.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {}", json_string(reason), count);
+    }
+    out.push('}');
+    out
+}
+
+/// `NaN`-tolerant number rendering (`null` when not finite — a rate with
+/// zero fitted campaigns).
+fn json_maybe(x: f64) -> String {
+    if x.is_finite() {
+        json_number(x)
+    } else {
+        "null".to_string()
+    }
+}
+
+impl ConformanceRun {
+    /// Serialises the run to the canonical `conformance/v1` layout.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json_string(SCHEMA));
+        let _ = writeln!(out, "  \"label\": {},", json_string(&self.label));
+        let _ = writeln!(out, "  \"grid\": {},", json_string(self.grid.name()));
+        let _ = writeln!(out, "  \"level\": {},", json_number(self.level));
+        out.push_str("  \"cells\": {\n");
+        for (ci, cell) in self.cells.iter().enumerate() {
+            let _ = writeln!(out, "    {}: {{", json_string(&cell.name));
+            let _ = writeln!(out, "      \"info\": {},", cell.info);
+            out.push_str("      \"coverage\": {\n");
+            for (i, mc) in cell.coverage.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "        {}: {{ \"attempted\": {}, \"fitted\": {}, \"covered\": {}, \
+                     \"rate\": {}, \"se\": {}, \"within_band\": {}, \"under_covering\": {}, \
+                     \"dropped\": {} }}",
+                    json_string(mc.method),
+                    mc.tally.attempted,
+                    mc.tally.fitted,
+                    mc.tally.covered,
+                    json_maybe(mc.rate),
+                    json_maybe(mc.se),
+                    mc.within_band,
+                    mc.under_covering,
+                    json_dropped(&mc.tally.dropped),
+                );
+                out.push_str(if i + 1 == cell.coverage.len() { "\n" } else { ",\n" });
+            }
+            out.push_str("      },\n");
+            out.push_str("      \"sbc\": {\n");
+            for (i, sbc) in cell.sbc.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "        {}: {{ \"attempted\": {}, \"used\": {}, \
+                     \"chi2_omega\": {}, \"chi2_p_omega\": {}, \
+                     \"ks_omega\": {}, \"ks_p_omega\": {}, \
+                     \"chi2_p_beta\": {}, \"ks_p_beta\": {}, \
+                     \"calibrated_omega\": {}, \"dropped\": {} }}",
+                    json_string(sbc.method),
+                    sbc.attempted,
+                    sbc.pits_omega.len(),
+                    json_maybe(sbc.chi2_omega.statistic),
+                    json_maybe(sbc.chi2_omega.p_value),
+                    json_maybe(sbc.ks_omega.statistic),
+                    json_maybe(sbc.ks_omega.p_value),
+                    json_maybe(sbc.chi2_beta.p_value),
+                    json_maybe(sbc.ks_beta.p_value),
+                    sbc.calibrated_omega,
+                    json_dropped(&sbc.dropped),
+                );
+                out.push_str(if i + 1 == cell.sbc.len() { "\n" } else { ",\n" });
+            }
+            out.push_str("      }\n");
+            out.push_str("    }");
+            out.push_str(if ci + 1 == self.cells.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"gate\": {\n");
+        let _ = writeln!(out, "    \"pass\": {},", self.gate.pass);
+        out.push_str("    \"failures\": [");
+        for (i, f) in self.gate.failures.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(f));
+        }
+        out.push_str("]\n  }\n}\n");
+        out
+    }
+
+    /// Human-readable summary for the console.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "conformance run {} over the {} grid (level {:.0}%)",
+            self.label,
+            self.grid.name(),
+            self.level * 100.0
+        );
+        for cell in &self.cells {
+            let _ = writeln!(out, "  {}", cell.name);
+            for mc in &cell.coverage {
+                let _ = writeln!(
+                    out,
+                    "    {:<5} coverage {:>5}  rate {}  band {}  dropped {}",
+                    mc.method,
+                    format!("{}/{}", mc.tally.covered, mc.tally.fitted),
+                    if mc.rate.is_finite() {
+                        format!("{:.1}%", mc.rate * 100.0)
+                    } else {
+                        "  n/a".to_string()
+                    },
+                    if mc.within_band {
+                        "ok"
+                    } else if mc.under_covering {
+                        "UNDER"
+                    } else {
+                        "OUT"
+                    },
+                    mc.tally.dropped_total(),
+                );
+            }
+            for sbc in &cell.sbc {
+                let _ = writeln!(
+                    out,
+                    "    {:<5} SBC      n {:>4}  chi2 p {:.2e}  ks p {:.2e}  {}",
+                    sbc.method,
+                    sbc.pits_omega.len(),
+                    sbc.chi2_omega.p_value,
+                    sbc.ks_omega.p_value,
+                    if sbc.calibrated_omega {
+                        "uniform"
+                    } else {
+                        "REJECTED"
+                    },
+                );
+            }
+        }
+        let _ = writeln!(out, "gate: {}", if self.gate.pass { "PASS" } else { "FAIL" });
+        for f in &self.gate.failures {
+            let _ = writeln!(out, "  - {f}");
+        }
+        out
+    }
+}
+
+/// Reads back just the gate verdict of an emitted report (what the CI
+/// artifact check needs), validating the schema tag.
+///
+/// # Errors
+///
+/// A description of the first syntax or schema violation.
+pub fn gate_passed(text: &str) -> Result<bool, String> {
+    let value = json::parse(text)?;
+    let top = value.as_object().ok_or("top-level value must be an object")?;
+    let schema = top
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing \"schema\" tag")?;
+    if schema != SCHEMA {
+        return Err(format!("unsupported schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    top.get("gate")
+        .and_then(Value::as_object)
+        .and_then(|g| g.get("pass"))
+        .and_then(Value::as_bool)
+        .ok_or_else(|| "missing gate.pass".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::UniformityTest;
+    use nhpp_bench::coverage::Tally;
+
+    fn fake_cell(vb1_under: bool) -> CellResult {
+        let mut tally = Tally::default();
+        for _ in 0..57 {
+            tally.record(Ok((0.0, 100.0)), 50.0);
+        }
+        for _ in 0..3 {
+            tally.record(Ok((0.0, 1.0)), 50.0);
+        }
+        let mk = |method: &'static str, within: bool, under: bool| MethodCoverage {
+            method,
+            tally: tally.clone(),
+            rate: 0.95,
+            se: 0.028,
+            within_band: within,
+            under_covering: under,
+        };
+        let uniform = UniformityTest {
+            statistic: 5.0,
+            p_value: 0.5,
+        };
+        let sbc = |method: &'static str, ok: bool| SbcResult {
+            method,
+            attempted: 10,
+            pits_omega: vec![0.5; 10],
+            pits_beta: vec![0.5; 10],
+            dropped: BTreeMap::new(),
+            chi2_omega: uniform,
+            ks_omega: uniform,
+            chi2_beta: uniform,
+            ks_beta: uniform,
+            calibrated_omega: ok,
+        };
+        CellResult {
+            name: "go-dt-info-small".to_string(),
+            info: true,
+            coverage: vec![
+                mk("VB2", true, false),
+                mk("VB1", false, vb1_under),
+                mk("NINT", true, false),
+                mk("LAPL", true, false),
+            ],
+            sbc: vec![
+                sbc("VB2", true),
+                sbc("VB1", false),
+                sbc("NINT", true),
+                sbc("LAPL", true),
+            ],
+        }
+    }
+
+    #[test]
+    fn gate_encodes_the_papers_story() {
+        let good = gate(&[fake_cell(true)], 0.95);
+        assert!(good.pass, "{:?}", good.failures);
+        // VB1 never flagged under-covering → the gate must fail.
+        let bad = gate(&[fake_cell(false)], 0.95);
+        assert!(!bad.pass);
+        assert!(bad.failures.iter().any(|f| f.contains("VB1")));
+    }
+
+    #[test]
+    fn report_json_round_trips_through_the_shared_parser() {
+        let run = ConformanceRun {
+            label: "CONFORMANCE_TEST".to_string(),
+            grid: Grid::Smoke,
+            level: 0.95,
+            cells: vec![fake_cell(true)],
+            gate: gate(&[fake_cell(true)], 0.95),
+        };
+        let text = run.to_json();
+        assert!(gate_passed(&text).expect("valid report"));
+        assert!(gate_passed("{}").is_err());
+        assert!(gate_passed("{\"schema\": \"other/v9\"}").is_err());
+        // The summary renders without panicking on the same data.
+        assert!(run.summary().contains("gate: PASS"));
+    }
+}

@@ -1,0 +1,344 @@
+//! The seeded scenario grid the conformance harness sweeps.
+//!
+//! One [`GridCell`] fixes everything that varies across the paper's
+//! experimental axes — model family (GO `α₀=1` / delayed-S `α₀=2`),
+//! data kind (`D_T` failure times / `D_G` grouped counts), prior
+//! (Info / NoInfo) and sample size (small / medium) — and can then
+//! deterministically simulate any number of synthetic campaigns from
+//! it. All randomness flows through the vendored `StdRng` seeded as
+//! `base_seed ⊕ cell_hash + replication`, so every campaign is
+//! reproducible in isolation and identical across hosts.
+
+use nhpp_data::simulate::NhppSimulator;
+use nhpp_data::ObservedData;
+use nhpp_dist::{Gamma, Sample};
+use nhpp_models::prior::{NhppPrior, ParamPrior};
+use nhpp_models::ModelSpec;
+use nhpp_vb::{Truncation, Vb2Options};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Model family axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Goel–Okumoto, `α₀ = 1`.
+    GoelOkumoto,
+    /// Delayed S-shaped, `α₀ = 2`.
+    DelayedS,
+}
+
+/// Data-kind axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataKind {
+    /// Individual failure times censored at `t_end` (`D_T`).
+    Times,
+    /// Grouped counts over equal-width bins (`D_G`).
+    Grouped,
+}
+
+/// Prior axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorKind {
+    /// Proper conjugate Gamma priors centred at the generating truth.
+    Info,
+    /// Flat improper priors (the paper's ill-posed case).
+    NoInfo,
+}
+
+/// Sample-size axis, realised through the generating `ω`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleSize {
+    /// ~16 observed failures per campaign.
+    Small,
+    /// ~38 observed failures per campaign.
+    Medium,
+}
+
+/// One cell of the conformance grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridCell {
+    /// Model family.
+    pub model: ModelKind,
+    /// Data kind.
+    pub data: DataKind,
+    /// Prior kind.
+    pub prior: PriorKind,
+    /// Sample size.
+    pub size: SampleSize,
+}
+
+/// Number of equal-width bins used for grouped campaigns.
+pub const GROUPED_BINS: usize = 20;
+
+impl GridCell {
+    /// Stable cell label, e.g. `"go-dt-info-small"`.
+    pub fn name(&self) -> String {
+        format!(
+            "{}-{}-{}-{}",
+            match self.model {
+                ModelKind::GoelOkumoto => "go",
+                ModelKind::DelayedS => "dss",
+            },
+            match self.data {
+                DataKind::Times => "dt",
+                DataKind::Grouped => "dg",
+            },
+            match self.prior {
+                PriorKind::Info => "info",
+                PriorKind::NoInfo => "noinfo",
+            },
+            match self.size {
+                SampleSize::Small => "small",
+                SampleSize::Medium => "medium",
+            }
+        )
+    }
+
+    /// The model specification for this cell.
+    pub fn spec(&self) -> ModelSpec {
+        match self.model {
+            ModelKind::GoelOkumoto => ModelSpec::goel_okumoto(),
+            ModelKind::DelayedS => ModelSpec::delayed_s_shaped(),
+        }
+    }
+
+    /// Generating expected fault count.
+    pub fn omega_true(&self) -> f64 {
+        match self.size {
+            SampleSize::Small => 25.0,
+            SampleSize::Medium => 60.0,
+        }
+    }
+
+    /// Generating detection rate, chosen so the growth curve is ~60%
+    /// saturated at `t_end` for both families (the paper's small-sample
+    /// regime, where the interval methods genuinely differ).
+    pub fn beta_true(&self) -> f64 {
+        match self.model {
+            ModelKind::GoelOkumoto => 2e-4,
+            ModelKind::DelayedS => 4e-4,
+        }
+    }
+
+    /// Censoring time per campaign.
+    pub fn t_end(&self) -> f64 {
+        5_000.0
+    }
+
+    /// The prior this cell both fits with and (for SBC) draws ground
+    /// truths from: Info is a proper Gamma pair centred at the
+    /// generating truth with 50% relative sd, NoInfo is flat.
+    pub fn prior(&self) -> NhppPrior {
+        match self.prior {
+            PriorKind::Info => NhppPrior::informative(
+                Gamma::from_mean_sd(self.omega_true(), 0.5 * self.omega_true()).expect("valid"),
+                Gamma::from_mean_sd(self.beta_true(), 0.5 * self.beta_true()).expect("valid"),
+            ),
+            PriorKind::NoInfo => NhppPrior::flat(),
+        }
+    }
+
+    /// VB2 options matching the bench `Scenario` policy: strict adaptive
+    /// truncation under proper priors, capped growth under flat priors
+    /// (whose exact posterior over the latent count is improper).
+    pub fn vb2_options(&self) -> Vb2Options {
+        match self.prior {
+            PriorKind::Info => Vb2Options::default(),
+            PriorKind::NoInfo => Vb2Options {
+                truncation: Truncation::AdaptiveCapped {
+                    epsilon: 5e-15,
+                    cap: ((5.0 * self.omega_true()) as u64).max(100),
+                },
+                ..Vb2Options::default()
+            },
+        }
+    }
+
+    /// Deterministic per-cell seed component (FNV-1a over the name), so
+    /// different cells never share an RNG stream even under the same
+    /// base seed.
+    pub fn seed_component(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.name().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Simulates one campaign from explicit `(ω, β)` ground truth with a
+    /// dedicated RNG.
+    ///
+    /// # Errors
+    ///
+    /// A reason label (`"TooFewFailures"`, `"InvalidTruth"`, …) when the
+    /// campaign cannot support a fit; the caller records it instead of
+    /// dropping the campaign.
+    pub fn simulate_with<R: Rng + ?Sized>(
+        &self,
+        omega: f64,
+        beta: f64,
+        rng: &mut R,
+    ) -> Result<ObservedData, String> {
+        let law = self
+            .spec()
+            .failure_law(beta)
+            .map_err(|_| "InvalidTruth".to_string())?;
+        let sim = NhppSimulator::new(omega, law).map_err(|_| "InvalidTruth".to_string())?;
+        let data: ObservedData = match self.data {
+            DataKind::Times => sim
+                .simulate_censored(rng, self.t_end())
+                .map_err(|e| format!("Simulation({e})"))?
+                .into(),
+            DataKind::Grouped => {
+                let t_end = self.t_end();
+                let boundaries: Vec<f64> = (1..=GROUPED_BINS)
+                    .map(|i| t_end * i as f64 / GROUPED_BINS as f64)
+                    .collect();
+                sim.simulate_grouped(rng, boundaries)
+                    .map_err(|e| format!("Simulation({e})"))?
+                    .into()
+            }
+        };
+        if data.total_count() < 3 {
+            return Err("TooFewFailures".to_string());
+        }
+        Ok(data)
+    }
+
+    /// Simulates campaign number `rep` from the cell's fixed generating
+    /// truth, deterministically in `(seed, rep)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`GridCell::simulate_with`].
+    pub fn simulate(&self, seed: u64, rep: u64) -> Result<ObservedData, String> {
+        let mut rng = self.rng(seed, rep);
+        self.simulate_with(self.omega_true(), self.beta_true(), &mut rng)
+    }
+
+    /// The campaign RNG for `(seed, rep)` in this cell.
+    pub fn rng(&self, seed: u64, rep: u64) -> StdRng {
+        StdRng::seed_from_u64(seed ^ self.seed_component().wrapping_add(rep))
+    }
+
+    /// The full 2×2×2×2 grid, in a fixed order.
+    pub fn grid() -> Vec<GridCell> {
+        let mut cells = Vec::with_capacity(16);
+        for model in [ModelKind::GoelOkumoto, ModelKind::DelayedS] {
+            for data in [DataKind::Times, DataKind::Grouped] {
+                for prior in [PriorKind::Info, PriorKind::NoInfo] {
+                    for size in [SampleSize::Small, SampleSize::Medium] {
+                        cells.push(GridCell {
+                            model,
+                            data,
+                            prior,
+                            size,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// The deterministic smoke subset gated at PR time: all-Info cells
+    /// spanning both model families, both data kinds and both sample
+    /// sizes, small enough to finish well under the CI budget.
+    pub fn smoke_grid() -> Vec<GridCell> {
+        vec![
+            GridCell {
+                model: ModelKind::GoelOkumoto,
+                data: DataKind::Times,
+                prior: PriorKind::Info,
+                size: SampleSize::Small,
+            },
+            GridCell {
+                model: ModelKind::GoelOkumoto,
+                data: DataKind::Times,
+                prior: PriorKind::Info,
+                size: SampleSize::Medium,
+            },
+            GridCell {
+                model: ModelKind::DelayedS,
+                data: DataKind::Times,
+                prior: PriorKind::Info,
+                size: SampleSize::Small,
+            },
+            GridCell {
+                model: ModelKind::GoelOkumoto,
+                data: DataKind::Grouped,
+                prior: PriorKind::Info,
+                size: SampleSize::Small,
+            },
+        ]
+    }
+}
+
+/// Draws `(ω, β)` from a proper prior; `None` when either marginal is
+/// flat (SBC needs a generative prior).
+pub fn sample_prior<R: Rng + ?Sized>(prior: &NhppPrior, rng: &mut R) -> Option<(f64, f64)> {
+    // Draw ω first, then β: a fixed stream layout shared with SBC.
+    let omega = match prior.omega {
+        ParamPrior::Gamma(g) => g.sample(rng),
+        ParamPrior::Flat => return None,
+    };
+    let beta = match prior.beta {
+        ParamPrior::Gamma(g) => g.sample(rng),
+        ParamPrior::Flat => return None,
+    };
+    Some((omega, beta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape_and_names_are_stable() {
+        let grid = GridCell::grid();
+        assert_eq!(grid.len(), 16);
+        let names: Vec<String> = grid.iter().map(GridCell::name).collect();
+        assert_eq!(names[0], "go-dt-info-small");
+        assert_eq!(names[15], "dss-dg-noinfo-medium");
+        // All names unique → all seed components distinct streams.
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16);
+        for cell in &GridCell::smoke_grid() {
+            assert_eq!(cell.prior, PriorKind::Info);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed_and_rep() {
+        let cell = GridCell::smoke_grid()[0];
+        let a = cell.simulate(42, 7).expect("fit-worthy campaign");
+        let b = cell.simulate(42, 7).expect("fit-worthy campaign");
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = cell.simulate(42, 8).expect("fit-worthy campaign");
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
+    }
+
+    #[test]
+    fn grouped_cells_produce_grouped_data() {
+        let cell = GridCell {
+            model: ModelKind::GoelOkumoto,
+            data: DataKind::Grouped,
+            prior: PriorKind::Info,
+            size: SampleSize::Medium,
+        };
+        let data = cell.simulate(1, 0).expect("fit-worthy campaign");
+        assert!(matches!(data, ObservedData::Grouped(_)));
+    }
+
+    #[test]
+    fn prior_sampling_respects_flatness() {
+        let info = GridCell::smoke_grid()[0].prior();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (omega, beta) = sample_prior(&info, &mut rng).expect("proper prior");
+        assert!(omega > 0.0 && beta > 0.0);
+        assert!(sample_prior(&NhppPrior::flat(), &mut rng).is_none());
+    }
+}

@@ -1,0 +1,154 @@
+//! Statistical tests used by the conformance gates.
+//!
+//! Everything here is classical and closed-form: χ² and
+//! Kolmogorov–Smirnov uniformity tests for SBC PIT values, and the
+//! binomial standard error used to band empirical coverage rates. No
+//! randomness — the tests are pure functions of their inputs, so
+//! seeded campaigns yield bit-identical verdicts.
+
+use nhpp_special::gamma_q;
+
+/// Outcome of a goodness-of-fit test against Uniform(0, 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformityTest {
+    /// The test statistic (χ² value or the KS distance `D`).
+    pub statistic: f64,
+    /// The p-value under the uniform null.
+    pub p_value: f64,
+}
+
+/// Pearson χ² uniformity test with `bins` equal-width bins.
+///
+/// The p-value is the upper-tail χ² probability with `bins − 1` degrees
+/// of freedom, `Q((B−1)/2, χ²/2)`. Values outside `[0, 1]` are clamped
+/// into the extreme bins (they indicate a CDF evaluation edge, not a
+/// missing observation).
+pub fn chi_square_uniform(pits: &[f64], bins: usize) -> UniformityTest {
+    assert!(bins >= 2, "need at least two bins");
+    if pits.is_empty() {
+        return UniformityTest {
+            statistic: 0.0,
+            p_value: 1.0,
+        };
+    }
+    let mut counts = vec![0usize; bins];
+    for &u in pits {
+        let idx = ((u * bins as f64).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        counts[idx] += 1;
+    }
+    let expected = pits.len() as f64 / bins as f64;
+    let statistic: f64 = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    UniformityTest {
+        statistic,
+        p_value: gamma_q((bins as f64 - 1.0) / 2.0, statistic / 2.0),
+    }
+}
+
+/// One-sample Kolmogorov–Smirnov test against Uniform(0, 1).
+///
+/// Uses the asymptotic Kolmogorov distribution with Stephens' finite-`n`
+/// correction `λ = (√n + 0.12 + 0.11/√n) · D`; accurate enough for the
+/// `n ≥ 50` campaigns the harness runs.
+pub fn ks_uniform(pits: &[f64]) -> UniformityTest {
+    let n = pits.len();
+    if n == 0 {
+        return UniformityTest {
+            statistic: 0.0,
+            p_value: 1.0,
+        };
+    }
+    let mut sorted: Vec<f64> = pits.iter().map(|&u| u.clamp(0.0, 1.0)).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("PITs are finite"));
+    let n_f = n as f64;
+    let mut d: f64 = 0.0;
+    for (i, &u) in sorted.iter().enumerate() {
+        let above = (i as f64 + 1.0) / n_f - u;
+        let below = u - i as f64 / n_f;
+        d = d.max(above).max(below);
+    }
+    let lambda = (n_f.sqrt() + 0.12 + 0.11 / n_f.sqrt()) * d;
+    UniformityTest {
+        statistic: d,
+        p_value: kolmogorov_sf(lambda),
+    }
+}
+
+/// The Kolmogorov survival function `P(K > λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}`.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-16 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Binomial standard error of an empirical rate whose true value is
+/// `level`, over `n` trials.
+pub fn binomial_se(level: f64, n: usize) -> f64 {
+    if n == 0 {
+        return f64::NAN;
+    }
+    (level * (1.0 - level) / n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic low-discrepancy stand-in for uniform PITs.
+    fn golden_ratio_sequence(n: usize) -> Vec<f64> {
+        let phi = 0.618_033_988_749_894_9_f64;
+        (1..=n).map(|i| (i as f64 * phi).fract()).collect()
+    }
+
+    #[test]
+    fn uniform_input_passes_both_tests() {
+        let pits = golden_ratio_sequence(200);
+        let chi = chi_square_uniform(&pits, 10);
+        assert!(chi.p_value > 0.05, "chi2 p={}", chi.p_value);
+        let ks = ks_uniform(&pits);
+        assert!(ks.p_value > 0.05, "ks p={}", ks.p_value);
+        assert!(ks.statistic < 0.05);
+    }
+
+    #[test]
+    fn concentrated_input_fails_both_tests() {
+        // Everything piled into [0.4, 0.6] — a grossly over-confident
+        // posterior's PIT profile.
+        let pits: Vec<f64> = golden_ratio_sequence(200)
+            .iter()
+            .map(|u| 0.4 + 0.2 * u)
+            .collect();
+        let chi = chi_square_uniform(&pits, 10);
+        assert!(chi.p_value < 1e-10, "chi2 p={}", chi.p_value);
+        let ks = ks_uniform(&pits);
+        assert!(ks.p_value < 1e-10, "ks p={}", ks.p_value);
+    }
+
+    #[test]
+    fn edge_cases_are_tolerated() {
+        assert_eq!(chi_square_uniform(&[], 10).p_value, 1.0);
+        assert_eq!(ks_uniform(&[]).p_value, 1.0);
+        // Out-of-range PITs clamp into the extreme bins.
+        let chi = chi_square_uniform(&[-0.1, 1.1, 0.5], 2);
+        assert!(chi.statistic.is_finite());
+        let se = binomial_se(0.95, 200);
+        assert!((se - 0.0154).abs() < 1e-3);
+        assert!(binomial_se(0.95, 0).is_nan());
+    }
+}

@@ -75,3 +75,5 @@ pub use robust::{
 };
 pub use vb1::{Vb1Options, Vb1Posterior};
 pub use vb2::{SolverKind, Truncation, Vb2Options, Vb2Posterior, Vb2Scratch, Vb2Task};
+#[doc(hidden)]
+pub use vb2::zeta_probe;

@@ -32,6 +32,22 @@ pub struct FutureTrace {
 /// law — no dependence on the realised past enters beyond `t_from`
 /// (independent-increments property of the NHPP).
 ///
+/// # RNG stream layout
+///
+/// All randomness comes from the single `rng` stream, consumed in a
+/// fixed order per replication: the mixture parameter draw `(ω, β)`
+/// first, then the Poisson count, then exactly `count` truncated-gamma
+/// position draws (none when the window mass underflows to zero). No
+/// other consumer touches the stream, and the function never spawns
+/// threads, so a given `(mixture, spec, window, seed)` determines every
+/// trace bitwise. Because a [`Vb2Posterior`](crate::Vb2Posterior) fit
+/// is itself bitwise-identical across its `threads` setting, seeding
+/// the rng identically reproduces traces exactly no matter how the
+/// posterior was fitted — the property `tests/simulation_determinism.rs`
+/// pins. Callers that parallelise replications must split them into
+/// independently seeded sub-streams (one RNG per chunk head), not share
+/// one stream across threads.
+///
 /// # Errors
 ///
 /// [`VbError::InvalidOption`] unless `0 <= t_from < t_to`.

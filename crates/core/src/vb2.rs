@@ -317,6 +317,24 @@ fn zeta_and_data(
     }
 }
 
+/// Test-only probe of `ζ(ξ)` through the same shared evaluation the
+/// fits use, so out-of-crate regression tests can pin its domain guards
+/// (notably the `n < observed-count` u64-underflow boundary) without
+/// exposing [`DataSummary`].
+#[doc(hidden)]
+pub fn zeta_probe(data: &ObservedData, alpha0: f64, xi: f64, n: u64) -> f64 {
+    let summary = DataSummary::from(data);
+    zeta_and_data(
+        &summary,
+        alpha0,
+        xi,
+        n,
+        ln_gamma(alpha0),
+        ln_gamma(alpha0 + 1.0),
+    )
+    .0
+}
+
 /// The per-`N` solved state.
 #[derive(Debug, Clone, Copy)]
 struct Component {

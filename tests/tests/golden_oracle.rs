@@ -1,0 +1,45 @@
+//! Tier-1 golden-oracle check: the smoke fixture under `tests/golden/`
+//! must match what the current tree computes for the `DT-Info` scenario
+//! (Tables 1–7 / Figure 1 quantities, MCMC excluded), within each
+//! entry's own tolerance band. The full four-scenario fixture is
+//! checked by the `conformance_report golden --full` CI job; this test
+//! keeps the cheap subset on every `cargo test -q`.
+//!
+//! On a legitimate numeric change, regenerate with
+//! `cargo run --release -p nhpp-conformance --bin conformance_report -- golden --bless`
+//! and review the fixture diff — the diff *is* the numeric change.
+
+use nhpp_conformance::golden;
+
+const SMOKE_FIXTURE: &str = include_str!("../golden/smoke.txt");
+
+#[test]
+fn smoke_fixture_matches_current_tree() {
+    let expected = golden::parse(SMOKE_FIXTURE).expect("checked-in fixture parses");
+    assert!(
+        !expected.is_empty(),
+        "smoke fixture is empty — was it blessed?"
+    );
+    let actual = golden::smoke_entries();
+    let mismatches = golden::compare(&expected, &actual);
+    assert!(
+        mismatches.is_empty(),
+        "golden smoke mismatches (re-bless if intentional):\n  {}",
+        mismatches.join("\n  ")
+    );
+}
+
+#[test]
+fn smoke_fixture_is_in_sync_with_the_renderer() {
+    // A fixture edited by hand into a shape `render` would not emit
+    // (reordered keys, stray entries) still *compares* clean, so pin the
+    // round-trip too: parsing and re-rendering the current tree's
+    // entries must reproduce every fixture key in order.
+    let expected = golden::parse(SMOKE_FIXTURE).expect("checked-in fixture parses");
+    let actual = golden::smoke_entries();
+    assert_eq!(
+        expected.iter().map(|e| &e.key).collect::<Vec<_>>(),
+        actual.iter().map(|e| &e.key).collect::<Vec<_>>(),
+        "fixture key set/order drifted from smoke_entries()"
+    );
+}

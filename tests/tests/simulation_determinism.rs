@@ -1,0 +1,84 @@
+//! Determinism of posterior simulation: the same seed must reproduce
+//! `simulate_futures` traces *bitwise*, no matter how many worker
+//! threads the posterior fit used. The guarantee is two-layered — the
+//! VB2 component sweep is bitwise-identical across its `threads`
+//! setting (DESIGN.md §9/§10), and `simulate_futures` consumes a single
+//! serial RNG stream in a fixed order (see its RNG-stream-layout doc) —
+//! so a seeded what-if study is exactly reproducible on any machine.
+
+use nhpp_data::sys17;
+use nhpp_models::{prior::NhppPrior, ModelSpec};
+use nhpp_vb::{simulation::simulate_futures, Vb2Options, Vb2Posterior};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fitted(threads: usize) -> Vb2Posterior {
+    Vb2Posterior::fit(
+        ModelSpec::goel_okumoto(),
+        NhppPrior::paper_info_times(),
+        &sys17::failure_times().into(),
+        Vb2Options {
+            threads,
+            ..Vb2Options::default()
+        },
+    )
+    .unwrap()
+}
+
+fn trace_bits(post: &Vb2Posterior, seed: u64) -> Vec<u64> {
+    let t = sys17::T_END;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let traces = simulate_futures(
+        post.mixture(),
+        ModelSpec::goel_okumoto(),
+        t,
+        t + 25_000.0,
+        400,
+        &mut rng,
+    )
+    .unwrap();
+    traces
+        .iter()
+        .flat_map(|tr| {
+            [tr.omega.to_bits(), tr.beta.to_bits(), tr.times.len() as u64]
+                .into_iter()
+                .chain(tr.times.iter().map(|x| x.to_bits()))
+        })
+        .collect()
+}
+
+#[test]
+fn same_seed_is_bitwise_identical_across_fit_thread_counts() {
+    let serial = fitted(1);
+    let baseline = trace_bits(&serial, 0xD15EA5E);
+    // Re-simulating from the same posterior and seed is a pure replay.
+    assert_eq!(baseline, trace_bits(&serial, 0xD15EA5E));
+    // A different seed genuinely moves the stream (guards against a
+    // vacuous pass where the simulation ignores the rng).
+    assert_ne!(baseline, trace_bits(&serial, 0xD15EA5F));
+    // Fits with parallel sweeps give the same mixture bit for bit, so
+    // the simulated futures replay exactly too.
+    for threads in [2usize, 8] {
+        let parallel = fitted(threads);
+        assert_eq!(
+            baseline,
+            trace_bits(&parallel, 0xD15EA5E),
+            "threads = {threads} changed the simulated trace stream"
+        );
+    }
+}
+
+#[test]
+fn conformance_campaigns_replay_bitwise_from_their_seeds() {
+    // The conformance grid leans on the same guarantee one level up:
+    // cell streams are derived from (base seed, cell name hash, rep),
+    // so any individual campaign can be regenerated in isolation.
+    use nhpp_conformance::scenario::GridCell;
+    for cell in GridCell::smoke_grid() {
+        let a = cell.simulate(42, 7).expect("campaign simulates");
+        let b = cell.simulate(42, 7).expect("campaign simulates");
+        assert_eq!(a, b, "cell {} campaign not reproducible", cell.name());
+        let other = cell.simulate(42, 8).expect("campaign simulates");
+        assert_ne!(a, other, "cell {} reps share a stream", cell.name());
+    }
+}
