@@ -1,0 +1,197 @@
+//! Service-level load benchmark for `nhpp-serve`: boots the server
+//! in-process, drives it over real TCP with closed-loop clients, and
+//! writes a `BENCH_*.json` report through the shared
+//! [`nhpp_bench::perf`] pipeline.
+//!
+//! ```text
+//! bench_serve [--out BENCH_5.json] [--label BENCH_5] [--quick]
+//! ```
+//!
+//! Metrics (all milliseconds, lower is better, so the standard
+//! `bench_report compare` gate applies unchanged):
+//!
+//! * `serve-p50-ms-c{1,8,64}` / `serve-p99-ms-c{1,8,64}` — latency
+//!   percentiles of `GET /interval` on a warm posterior at 1/8/64
+//!   concurrent closed-loop clients;
+//! * `serve-refit-per-100q-c64` — the coalescing ratio: rounds of
+//!   "ingest one event, then 64 concurrent `/fit` queries"; the value
+//!   is executed refits per 100 queries (perfect coalescing: 100/64 ≈
+//!   1.6; no coalescing: 100). Not a wall time, but gate-safe: `compare`
+//!   only inspects metrics shared with the baseline report.
+//!
+//! Derived requests/sec per concurrency level is printed for humans.
+
+use nhpp_bench::perf::{Metric, Report};
+use nhpp_data::sys17;
+use nhpp_serve::{client_request, metrics::scrape_counter, Server, ServerConfig};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn sys17_batch() -> String {
+    let mut text = format!("# t_end={}\n", sys17::T_END);
+    for t in sys17::FAILURE_TIMES {
+        text.push_str(&format!("{t}\n"));
+    }
+    text
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn must_ok(addr: &str, method: &str, path: &str, body: Option<&str>) -> String {
+    let (status, text) =
+        client_request(addr, method, path, body).unwrap_or_else(|e| panic!("{method} {path}: {e}"));
+    assert!(
+        (200..300).contains(&status),
+        "{method} {path}: HTTP {status}: {text}"
+    );
+    text
+}
+
+fn scrape_fits(addr: &str) -> u64 {
+    let text = must_ok(addr, "GET", "/metrics", None);
+    scrape_counter(&text, "nhpp_serve_fits_total").expect("fits counter present")
+}
+
+/// Each of `clients` threads issues `per_client` requests back-to-back;
+/// returns all latencies in milliseconds, sorted.
+fn closed_loop(addr: &str, clients: usize, per_client: usize, path: &str) -> Vec<f64> {
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut times = Vec::with_capacity(per_client);
+                    for _ in 0..per_client {
+                        let t0 = Instant::now();
+                        must_ok(addr, "GET", path, None);
+                        times.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    times
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    latencies.sort_by(f64::total_cmp);
+    latencies
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_5.json");
+    let label = flag_value(&args, "--label")
+        .map(str::to_string)
+        .unwrap_or_else(|| {
+            std::path::Path::new(out_path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "BENCH".to_string())
+        });
+    let quick = args.iter().any(|a| a == "--quick");
+    let per_client = if quick { 30 } else { 150 };
+    let rounds = if quick { 4 } else { 10 };
+
+    // Flush ticks disabled: the coalescing measurement must attribute
+    // every refit to a query, not to the background scheduler.
+    let handle = Server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        flush_interval: None,
+        quiet: true,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let addr = handle.addr().to_string();
+
+    must_ok(
+        &addr,
+        "PUT",
+        "/projects/sys17?kind=times&model=go&prior=paper-info-times",
+        None,
+    );
+    must_ok(&addr, "POST", "/projects/sys17/events", Some(&sys17_batch()));
+    // Warm the posterior so the latency sections measure the cached
+    // query path, not one giant first fit.
+    must_ok(&addr, "GET", "/projects/sys17/fit", None);
+
+    let mut metrics = BTreeMap::new();
+    let query = "/projects/sys17/interval?param=omega&level=0.99";
+    for clients in [1usize, 8, 64] {
+        let latencies = closed_loop(&addr, clients, per_client, query);
+        let p50 = percentile(&latencies, 0.50);
+        let p99 = percentile(&latencies, 0.99);
+        let total_s: f64 = latencies.iter().sum::<f64>() / 1e3;
+        let rps = latencies.len() as f64 / (total_s / clients as f64);
+        eprintln!(
+            "c={clients:<3} {} requests: p50 {p50:.3} ms, p99 {p99:.3} ms, ≈{rps:.0} req/s",
+            latencies.len()
+        );
+        for (tag, value) in [("p50", p50), ("p99", p99)] {
+            metrics.insert(
+                format!("serve-{tag}-ms-c{clients}"),
+                Metric {
+                    median_ms: value,
+                    samples: latencies.len(),
+                    baseline_median_ms: None,
+                    speedup: None,
+                },
+            );
+        }
+    }
+
+    // Coalescing: each round makes the posterior stale, then 64 clients
+    // race to /fit. A correct scheduler runs exactly one refit a round.
+    let fits_before = scrape_fits(&addr);
+    for round in 0..rounds {
+        let t_end = sys17::T_END + 1000.0 * (round + 1) as f64;
+        must_ok(
+            &addr,
+            "POST",
+            "/projects/sys17/events",
+            Some(&format!("# t_end={t_end}\n")),
+        );
+        closed_loop(&addr, 64, 1, "/projects/sys17/fit");
+    }
+    let refits = scrape_fits(&addr) - fits_before;
+    let queries = (rounds * 64) as f64;
+    let per_100q = refits as f64 / queries * 100.0;
+    eprintln!(
+        "coalescing: {refits} refits across {queries} stale-posterior queries \
+         ({per_100q:.2} per 100 queries; ideal {:.2})",
+        100.0 / 64.0
+    );
+    metrics.insert(
+        "serve-refit-per-100q-c64".to_string(),
+        Metric {
+            median_ms: per_100q,
+            samples: rounds,
+            baseline_median_ms: None,
+            speedup: None,
+        },
+    );
+
+    handle.shutdown();
+
+    let report = Report { label, metrics };
+    if let Err(e) = std::fs::write(out_path, report.to_json()) {
+        eprintln!("bench_serve: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}:");
+    for (name, m) in &report.metrics {
+        println!("  {name:<24} {:>10.3}", m.median_ms);
+    }
+    ExitCode::SUCCESS
+}

@@ -72,6 +72,8 @@ COMMANDS:
   simulate  Generate a synthetic failure trace (CSV on stdout)
   select    Rank model families by AIC/BIC on the data
   trend     Laplace trend test for reliability growth
+  serve     Run the long-lived fitting service (HTTP/1.1 JSON)
+  client    Talk to a running service (one request per invocation)
   help      Show this message
 
 COMMON OPTIONS:
@@ -91,10 +93,28 @@ ROBUSTNESS (VB2 fits run under a supervised retry/fallback pipeline):
   --strict           retry VB2 but never degrade to VB1/Laplace
   --fallback         allow the VB2 -> VB1 -> Laplace cascade [default]
 
+SERVICE (see README \"Running as a service\"):
+  serve  --addr A        bind address            [default 127.0.0.1:7878]
+         --data-dir DIR  durable project logs (omit for in-memory)
+         --workers N     accept workers (0 = auto)
+         --flush-ms MS   background refit tick, 0 disables [default 500]
+         --threads N     threads per fit (0 = auto)
+         --quiet         suppress per-request log lines
+  client --addr A --op OP --project ID
+         OP: create | ingest | fit | interval | predict | reliability
+             | spc | metrics | check
+         create:  --kind times|grouped --model M --prior P
+                  (prior also accepts paper-info-times / paper-info-grouped)
+         ingest:  --file CSV [--batch N]  replay a trace, N events at a time
+         check:   --golden FILE --prefix P  compare the served posterior
+                  against the golden fixture (nonzero exit on mismatch)
+
 EXAMPLES:
   nhpp fit --data failures.csv --prior 50,16,1e-5,3.2e-6 --method all
   nhpp predict --data counts.csv --grouped --window 5
   nhpp simulate --omega 40 --beta 1e-5 --t-end 200000 --seed 7
+  nhpp serve --data-dir ./projects &
+  nhpp client --op create --project sys17 --prior paper-info-times
 ";
 
 /// Dispatches a parsed command line and returns the printable output.
@@ -112,6 +132,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "simulate" => cmd_simulate(args),
         "select" => cmd_select(args),
         "trend" => cmd_trend(args),
+        "serve" => crate::service::cmd_serve(args),
+        "client" => crate::service::cmd_client(args),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }

@@ -7,6 +7,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 mod args;
 mod commands;
+mod service;
 
 use args::ParsedArgs;
 

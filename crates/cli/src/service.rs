@@ -1,0 +1,419 @@
+//! The `serve` and `client` subcommands: running the `nhpp-serve`
+//! HTTP service from the CLI binary, and a small blocking client for
+//! scripting against it (used by the CI smoke job and the examples in
+//! the README).
+//!
+//! The client's `check` operation re-derives the golden-oracle
+//! quantities (`tests/golden/smoke.txt`) from live server responses and
+//! compares them under the fixture's own per-entry relative tolerances,
+//! so a served posterior is held to exactly the same bar as a batch fit.
+
+use crate::args::ParsedArgs;
+use crate::commands::CliError;
+use nhpp_bench::json;
+use nhpp_serve::{client_request, FitSettings, Server, ServerConfig};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+fn run_err<E: std::fmt::Display>(context: &str) -> impl FnOnce(E) -> CliError + '_ {
+    move |e| CliError::Run(format!("{context}: {e}"))
+}
+
+/// `nhpp serve`: boot the service and block until the process is
+/// killed. Prints the bound address on stderr once accepting.
+pub fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let data_dir = args.get("data-dir").map(std::path::PathBuf::from);
+    let workers = args.get_u64("workers", 0)? as usize;
+    let flush_ms = args.get_u64("flush-ms", 500)?;
+    let threads = args.get_u64("threads", 0)? as usize;
+    let config = ServerConfig {
+        addr,
+        data_dir,
+        workers,
+        flush_interval: (flush_ms > 0).then(|| Duration::from_millis(flush_ms)),
+        fit: FitSettings {
+            threads,
+            ..FitSettings::default()
+        },
+        quiet: args.flag("quiet"),
+    };
+    let server = Server::bind(config).map_err(run_err("starting server"))?;
+    eprintln!(
+        "nhpp-serve listening on {} ({} project(s) recovered)",
+        server.local_addr(),
+        server.state().registry.all().len()
+    );
+    server.run().map_err(run_err("serving"))?;
+    Ok(String::new())
+}
+
+fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> Result<(u16, String), CliError> {
+    client_request(addr, method, path, body)
+        .map_err(run_err(&format!("{method} {path} against {addr}")))
+}
+
+/// Issues a request that must succeed, returning the raw body.
+fn expect_ok(addr: &str, method: &str, path: &str, body: Option<&str>) -> Result<String, CliError> {
+    let (status, text) = http(addr, method, path, body)?;
+    if (200..300).contains(&status) {
+        Ok(text)
+    } else {
+        Err(CliError::Run(format!("{method} {path}: HTTP {status}: {text}")))
+    }
+}
+
+/// Issues a request that must succeed and parses the JSON body.
+fn get_json(addr: &str, path: &str) -> Result<json::Value, CliError> {
+    let text = expect_ok(addr, "GET", path, None)?;
+    json::parse(&text).map_err(run_err(&format!("parsing response of {path}")))
+}
+
+fn json_field(value: &json::Value, key: &str) -> Result<f64, CliError> {
+    value
+        .as_object()
+        .and_then(|o| o.get(key))
+        .and_then(json::Value::as_f64)
+        .ok_or_else(|| CliError::Run(format!("response is missing numeric field '{key}'")))
+}
+
+/// `nhpp client`: one operation against a running server.
+pub fn cmd_client(args: &ParsedArgs) -> Result<String, CliError> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let op = args.get("op").unwrap_or("fit");
+    match op {
+        "create" => {
+            let project = args.require("project")?;
+            let kind = if args.flag("grouped") { "grouped" } else { "times" };
+            let kind = args.get("kind").unwrap_or(kind);
+            let model = args.get("model").unwrap_or("go");
+            let prior = args.get("prior").unwrap_or("paper-info-times");
+            let path = format!("/projects/{project}?kind={kind}&model={model}&prior={prior}");
+            let body = expect_ok(addr, "PUT", &path, None)?;
+            Ok(format!("{body}\n"))
+        }
+        "ingest" => cmd_ingest(args, addr),
+        "fit" | "spc" => {
+            let project = args.require("project")?;
+            let body = expect_ok(addr, "GET", &format!("/projects/{project}/{op}"), None)?;
+            Ok(format!("{body}\n"))
+        }
+        "interval" => {
+            let project = args.require("project")?;
+            let level = args.get_f64("level", 0.99)?;
+            let param = args.get("param").unwrap_or("omega");
+            let path = format!("/projects/{project}/interval?param={param}&level={level}");
+            let body = expect_ok(addr, "GET", &path, None)?;
+            Ok(format!("{body}\n"))
+        }
+        "predict" | "reliability" => {
+            let project = args.require("project")?;
+            let level = args.get_f64("level", 0.99)?;
+            let window = args.get_f64("window", 1000.0)?;
+            let path = format!("/projects/{project}/{op}?window={window}&level={level}");
+            let body = expect_ok(addr, "GET", &path, None)?;
+            Ok(format!("{body}\n"))
+        }
+        "metrics" => expect_ok(addr, "GET", "/metrics", None),
+        "check" => cmd_check(args, addr),
+        other => Err(CliError::Run(format!(
+            "unknown --op '{other}' (create | ingest | fit | interval | predict | \
+             reliability | spc | metrics | check)"
+        ))),
+    }
+}
+
+/// Replays a failure-data CSV into a project, optionally split into
+/// incremental batches to exercise the streaming path.
+fn cmd_ingest(args: &ParsedArgs, addr: &str) -> Result<String, CliError> {
+    let project = args.require("project")?;
+    let path = args.require("file")?;
+    let text = std::fs::read_to_string(path).map_err(run_err(&format!("reading {path}")))?;
+    let batch = args.get_u64("batch", 0)? as usize;
+    let events_path = format!("/projects/{project}/events");
+
+    if batch == 0 || args.flag("grouped") {
+        let body = expect_ok(addr, "POST", &events_path, Some(&text))?;
+        return Ok(format!("{body}\n"));
+    }
+
+    // Incremental replay: each chunk's censoring time is its own last
+    // failure, except the final chunk which carries the file's t_end.
+    let times = nhpp_data::io::read_failure_times(text.as_bytes())
+        .map_err(run_err(&format!("parsing {path}")))?;
+    let all: Vec<f64> = times.times().to_vec();
+    let mut out = String::new();
+    let mut batches = 0usize;
+    let mut last_version = 0.0;
+    for (i, chunk) in all.chunks(batch).enumerate() {
+        let is_last = (i + 1) * batch >= all.len();
+        let t_end = if is_last {
+            times.observation_end()
+        } else {
+            chunk[chunk.len() - 1]
+        };
+        let mut body = format!("# t_end={t_end}\n");
+        for t in chunk {
+            let _ = writeln!(body, "{t}");
+        }
+        let reply = expect_ok(addr, "POST", &events_path, Some(&body))?;
+        let parsed = json::parse(&reply).map_err(run_err("parsing ingest reply"))?;
+        last_version = json_field(&parsed, "version")?;
+        batches += 1;
+    }
+    writeln!(
+        out,
+        "replayed {} events in {batches} batches; project at version {last_version}",
+        all.len()
+    )
+    .unwrap();
+    Ok(out)
+}
+
+/// One golden-fixture line: `<prefix>/<quantity> <value> <rel_tol>`.
+struct GoldenEntry {
+    quantity: String,
+    value: f64,
+    rel_tol: f64,
+}
+
+fn load_golden(path: &str, prefix: &str) -> Result<Vec<GoldenEntry>, CliError> {
+    let text = std::fs::read_to_string(path).map_err(run_err(&format!("reading {path}")))?;
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(key), Some(value), Some(tol)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(CliError::Run(format!("malformed golden line: {line}")));
+        };
+        let Some(quantity) = key.strip_prefix(prefix).and_then(|k| k.strip_prefix('/')) else {
+            continue;
+        };
+        entries.push(GoldenEntry {
+            quantity: quantity.to_string(),
+            value: value.parse().map_err(run_err("golden value"))?,
+            rel_tol: tol.parse().map_err(run_err("golden tolerance"))?,
+        });
+    }
+    if entries.is_empty() {
+        return Err(CliError::Run(format!(
+            "no golden entries under prefix '{prefix}' in {path}"
+        )));
+    }
+    Ok(entries)
+}
+
+/// `--op check`: fetch the served posterior summary, derive the golden
+/// quantities, and compare against the fixture. Any miss is an error
+/// (nonzero process exit), so CI can gate on it.
+fn cmd_check(args: &ParsedArgs, addr: &str) -> Result<String, CliError> {
+    let project = args.require("project")?;
+    let golden_path = args.get("golden").unwrap_or("tests/golden/smoke.txt");
+    let prefix = args.get("prefix").unwrap_or("DT-Info/VB2");
+    let entries = load_golden(golden_path, prefix)?;
+
+    let fit = get_json(addr, &format!("/projects/{project}/fit"))?;
+    let iv_omega = get_json(
+        addr,
+        &format!("/projects/{project}/interval?param=omega&level=0.99"),
+    )?;
+    let iv_beta = get_json(
+        addr,
+        &format!("/projects/{project}/interval?param=beta&level=0.99"),
+    )?;
+    let mut served: Vec<(String, f64)> = vec![
+        ("mean_omega".into(), json_field(&fit, "mean_omega")?),
+        ("sd_omega".into(), json_field(&fit, "sd_omega")?),
+        ("mean_beta".into(), json_field(&fit, "mean_beta")?),
+        ("sd_beta".into(), json_field(&fit, "sd_beta")?),
+        ("ci99_omega_lo".into(), json_field(&iv_omega, "lo")?),
+        ("ci99_omega_hi".into(), json_field(&iv_omega, "hi")?),
+        ("ci99_beta_lo".into(), json_field(&iv_beta, "lo")?),
+        ("ci99_beta_hi".into(), json_field(&iv_beta, "hi")?),
+    ];
+    for u in [1000u32, 10000] {
+        let rel = get_json(
+            addr,
+            &format!("/projects/{project}/reliability?window={u}&level=0.99"),
+        )?;
+        served.push((format!("rel_point_u{u}"), json_field(&rel, "point")?));
+        served.push((format!("rel_lo_u{u}"), json_field(&rel, "lo")?));
+        served.push((format!("rel_hi_u{u}"), json_field(&rel, "hi")?));
+    }
+
+    let mut out = String::new();
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    writeln!(
+        out,
+        "{:<20} {:>16} {:>16} {:>10} {:>8}",
+        "quantity", "served", "golden", "rel_err", "status"
+    )
+    .unwrap();
+    for entry in &entries {
+        let Some((_, value)) = served.iter().find(|(k, _)| *k == entry.quantity) else {
+            continue;
+        };
+        compared += 1;
+        let rel_err = (value - entry.value).abs() / entry.value.abs().max(f64::MIN_POSITIVE);
+        let ok = rel_err <= entry.rel_tol;
+        if !ok {
+            failures += 1;
+        }
+        writeln!(
+            out,
+            "{:<20} {:>16.9e} {:>16.9e} {:>10.2e} {:>8}",
+            entry.quantity,
+            value,
+            entry.value,
+            rel_err,
+            if ok { "ok" } else { "FAIL" }
+        )
+        .unwrap();
+    }
+    if compared == 0 {
+        return Err(CliError::Run(format!(
+            "no served quantity matched any golden entry under '{prefix}'"
+        )));
+    }
+    writeln!(out, "{compared} quantities compared, {failures} failed").unwrap();
+    if failures > 0 {
+        return Err(CliError::Run(format!(
+            "golden check failed ({failures}/{compared}):\n{out}"
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ParsedArgs;
+    use nhpp_data::{io, sys17};
+    use std::io::Write as _;
+
+    fn parse(words: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(words.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn temp_times_csv(tag: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "nhpp_client_test_{tag}_{}.csv",
+            std::process::id()
+        ));
+        let mut file = std::fs::File::create(&path).unwrap();
+        let mut buf = Vec::new();
+        io::write_failure_times(&mut buf, &sys17::failure_times()).unwrap();
+        file.write_all(&buf).unwrap();
+        path
+    }
+
+    fn spawn_server() -> nhpp_serve::ServerHandle {
+        Server::spawn(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            flush_interval: None,
+            quiet: true,
+            ..ServerConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn client_lifecycle_against_live_server() {
+        let handle = spawn_server();
+        let addr = handle.addr().to_string();
+        let csv = temp_times_csv("lifecycle");
+
+        let out = cmd_client(&parse(&[
+            "client", "--addr", &addr, "--op", "create", "--project", "sys17", "--model", "go",
+            "--prior", "paper-info-times",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"existed\": false"), "{out}");
+
+        // Incremental replay in batches of 10 exercises the streaming
+        // ingestion path (censoring time advances batch by batch).
+        let out = cmd_client(&parse(&[
+            "client",
+            "--addr",
+            &addr,
+            "--op",
+            "ingest",
+            "--project",
+            "sys17",
+            "--file",
+            csv.to_str().unwrap(),
+            "--batch",
+            "10",
+        ]))
+        .unwrap();
+        assert!(out.contains("replayed 38 events in 4 batches"), "{out}");
+
+        let out = cmd_client(&parse(&[
+            "client", "--addr", &addr, "--op", "fit", "--project", "sys17",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"provenance\": \"vb2\""), "{out}");
+
+        let out = cmd_client(&parse(&[
+            "client", "--addr", &addr, "--op", "spc", "--project", "sys17",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"status\""), "{out}");
+
+        // The golden check passes against the live server: the served
+        // posterior is the same paper-conformant fit as the batch path.
+        let golden = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/smoke.txt");
+        let out = cmd_client(&parse(&[
+            "client", "--addr", &addr, "--op", "check", "--project", "sys17", "--golden", golden,
+        ]))
+        .unwrap();
+        assert!(out.contains("14 quantities compared, 0 failed"), "{out}");
+
+        std::fs::remove_file(csv).ok();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn check_fails_on_wrong_posterior() {
+        let handle = spawn_server();
+        let addr = handle.addr().to_string();
+        let csv = temp_times_csv("wrongprior");
+        // A flat prior gives a different posterior than the paper's
+        // informative one; the golden gate must catch it.
+        cmd_client(&parse(&[
+            "client", "--addr", &addr, "--op", "create", "--project", "p", "--prior", "flat",
+        ]))
+        .unwrap();
+        cmd_client(&parse(&[
+            "client",
+            "--addr",
+            &addr,
+            "--op",
+            "ingest",
+            "--project",
+            "p",
+            "--file",
+            csv.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let golden = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/smoke.txt");
+        let err = cmd_client(&parse(&[
+            "client", "--addr", &addr, "--op", "check", "--project", "p", "--golden", golden,
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("golden check failed"), "{err}");
+        std::fs::remove_file(csv).ok();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn unknown_op_is_rejected() {
+        let err = cmd_client(&parse(&["client", "--op", "frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("unknown --op"));
+    }
+}

@@ -70,10 +70,13 @@ pub use error::VbError;
 pub use fault::{FaultKind, FaultPlan};
 pub use model_average::AveragedPosterior;
 pub use robust::{
-    fit_many_supervised, fit_supervised, FitReport, RetryPolicy, RobustFit, RobustOptions,
-    RobustPosterior, RobustTask,
+    fit_many_supervised, fit_many_supervised_warm, fit_supervised, fit_supervised_warm,
+    FailureKind, FitFailure, FitReport, RetryPolicy, RobustFit, RobustOptions, RobustPosterior,
+    RobustTask, WarmRobustTask,
 };
 pub use vb1::{Vb1Options, Vb1Posterior};
-pub use vb2::{SolverKind, Truncation, Vb2Options, Vb2Posterior, Vb2Scratch, Vb2Task};
+pub use vb2::{
+    SolverKind, Truncation, Vb2Options, Vb2Posterior, Vb2Scratch, Vb2Task, Vb2WarmStart,
+};
 #[doc(hidden)]
 pub use vb2::zeta_probe;

@@ -28,7 +28,8 @@
 use crate::error::VbError;
 use crate::fault::FaultPlan;
 use crate::vb1::{Vb1Options, Vb1Posterior};
-use crate::vb2::{SolverKind, Truncation, Vb2Options, Vb2Posterior};
+use crate::vb2::{SolverKind, Truncation, Vb2Options, Vb2Posterior, Vb2WarmStart};
+use nhpp_numeric::NumericError;
 use nhpp_bayes::laplace::LaplacePosterior;
 use nhpp_data::ObservedData;
 use nhpp_models::prior::NhppPrior;
@@ -133,6 +134,57 @@ impl RobustOptions {
     }
 }
 
+/// Machine-readable classification of a failed cascade attempt, so
+/// non-CLI surfaces (the HTTP service, batch supervisors) can report
+/// *why* an attempt failed without parsing error strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A cooperative solve [`nhpp_numeric::Budget`] ran out of
+    /// iterations or wall-clock time.
+    BudgetExhausted,
+    /// An inner or outer loop stalled below tolerance.
+    NoConvergence,
+    /// The adaptive truncation overflowed its hard cap.
+    TruncationOverflow,
+    /// The variational weights degenerated.
+    DegenerateWeights,
+    /// A non-finite intermediate value surfaced.
+    NonFinite,
+    /// A misconfigured option (never retried).
+    InvalidOption,
+    /// Anything else (model/distribution/conventional-estimator layers).
+    Other,
+}
+
+impl FailureKind {
+    /// Classifies a pipeline error.
+    pub fn classify(err: &VbError) -> FailureKind {
+        match err {
+            VbError::Numeric(NumericError::BudgetExhausted { .. }) => FailureKind::BudgetExhausted,
+            VbError::Numeric(NumericError::MaxIterations { .. })
+            | VbError::NoConvergence { .. } => FailureKind::NoConvergence,
+            VbError::Numeric(NumericError::NonFinite { .. }) => FailureKind::NonFinite,
+            VbError::TruncationOverflow { .. } => FailureKind::TruncationOverflow,
+            VbError::DegenerateWeights { .. } => FailureKind::DegenerateWeights,
+            VbError::InvalidOption { .. } => FailureKind::InvalidOption,
+            _ => FailureKind::Other,
+        }
+    }
+
+    /// Stable kebab-case label (used by HTTP bodies and metrics).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FailureKind::BudgetExhausted => "budget-exhausted",
+            FailureKind::NoConvergence => "no-convergence",
+            FailureKind::TruncationOverflow => "truncation-overflow",
+            FailureKind::DegenerateWeights => "degenerate-weights",
+            FailureKind::NonFinite => "non-finite",
+            FailureKind::InvalidOption => "invalid-option",
+            FailureKind::Other => "other",
+        }
+    }
+}
+
 /// One attempt of the cascade, as recorded in the [`FitReport`].
 #[derive(Debug, Clone)]
 pub struct AttemptRecord {
@@ -144,6 +196,8 @@ pub struct AttemptRecord {
     pub detail: String,
     /// `Ok(())` or the stringified error.
     pub outcome: Result<(), String>,
+    /// Structured classification of the failure (`None` on success).
+    pub kind: Option<FailureKind>,
 }
 
 /// Structured provenance of a supervised fit.
@@ -167,6 +221,49 @@ impl FitReport {
     /// Whether the fit succeeded without retries or degradation.
     pub fn is_clean(&self) -> bool {
         self.provenance == "vb2" && self.warnings.is_empty()
+    }
+
+    /// Whether any attempt died of solve-budget exhaustion — the
+    /// signal a serving layer should surface as "try a larger budget
+    /// or deadline" rather than a generic failure.
+    pub fn budget_exhausted(&self) -> bool {
+        self.attempts
+            .iter()
+            .any(|a| a.kind == Some(FailureKind::BudgetExhausted))
+    }
+
+    /// The degraded method that produced the posterior, when the
+    /// cascade left VB2 (`"vb1"` or `"laplace"`); `None` while the
+    /// result is full-fidelity VB2 (including retried VB2).
+    pub fn fallback_tier(&self) -> Option<&'static str> {
+        match self.provenance {
+            "vb1" | "laplace" => Some(self.provenance),
+            _ => None,
+        }
+    }
+}
+
+/// A supervised-pipeline failure that keeps its [`FitReport`]: every
+/// attempt, classification and warning up to the point the cascade gave
+/// up, so serving layers can put budget exhaustion and the tier reached
+/// in the response body instead of a bare error string.
+#[derive(Debug)]
+pub struct FitFailure {
+    /// The error the pipeline surfaced.
+    pub error: VbError,
+    /// Everything that was tried before giving up.
+    pub report: FitReport,
+}
+
+impl std::fmt::Display for FitFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.error)
+    }
+}
+
+impl std::error::Error for FitFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
     }
 }
 
@@ -213,6 +310,24 @@ pub fn fit_supervised(
     data: &ObservedData,
     options: RobustOptions,
 ) -> Result<RobustFit, VbError> {
+    fit_supervised_warm(spec, prior, data, options, None).map_err(|failure| failure.error)
+}
+
+/// [`fit_supervised`] with two serving-layer extensions: VB2 attempts
+/// may be warm-started from a previous fit's `ξ` table (see
+/// [`Vb2WarmStart`]), and a failure keeps its full [`FitReport`] (as a
+/// [`FitFailure`]) instead of discarding everything but the error.
+///
+/// # Errors
+///
+/// As [`fit_supervised`], wrapped in [`FitFailure`] with the report.
+pub fn fit_supervised_warm(
+    spec: ModelSpec,
+    prior: NhppPrior,
+    data: &ObservedData,
+    options: RobustOptions,
+    warm: Option<&Vb2WarmStart>,
+) -> Result<RobustFit, FitFailure> {
     let mut report = FitReport {
         provenance: "vb2",
         attempts: Vec::new(),
@@ -229,20 +344,22 @@ pub fn fit_supervised(
             ..tier
         };
         let detail = format!(
-            "solver={:?}, inner_tol={:.1e}, inner_max_iter={}, init_scale={:.4}, truncation={:?}",
+            "solver={:?}, inner_tol={:.1e}, inner_max_iter={}, init_scale={:.4}, truncation={:?}{}",
             vb2_options.solver,
             vb2_options.inner_tol,
             vb2_options.inner_max_iter,
             vb2_options.init_scale,
             vb2_options.truncation,
+            if warm.is_some() { ", warm-started" } else { "" },
         );
-        match Vb2Posterior::fit(spec, prior, data, vb2_options) {
+        match Vb2Posterior::fit_warm(spec, prior, data, vb2_options, warm) {
             Ok(posterior) => {
                 report.attempts.push(AttemptRecord {
                     method: "vb2",
                     attempt,
                     detail,
                     outcome: Ok(()),
+                    kind: None,
                 });
                 report.provenance = if attempt == 0 && report.warnings.is_empty() {
                     "vb2"
@@ -260,9 +377,10 @@ pub fn fit_supervised(
                     attempt,
                     detail,
                     outcome: Err(err.to_string()),
+                    kind: Some(FailureKind::classify(&err)),
                 });
                 if !is_retryable(&err) {
-                    return Err(err);
+                    return Err(FitFailure { error: err, report });
                 }
                 if let VbError::TruncationOverflow { cap, tail_mass } = &err {
                     if let Truncation::Adaptive { epsilon } = truncation {
@@ -283,7 +401,10 @@ pub fn fit_supervised(
 
     let vb2_err = last_err.expect("at least one VB2 attempt ran");
     if !options.fallback {
-        return Err(vb2_err);
+        return Err(FitFailure {
+            error: vb2_err,
+            report,
+        });
     }
 
     report.warnings.push(format!(
@@ -304,6 +425,7 @@ pub fn fit_supervised(
                 attempt: 0,
                 detail: format!("tol={:.1e}, max_iter={}", vb1_options.tol, vb1_options.max_iter),
                 outcome: Ok(()),
+                kind: None,
             });
             report.provenance = "vb1";
             return Ok(RobustFit {
@@ -317,6 +439,7 @@ pub fn fit_supervised(
                 attempt: 0,
                 detail: format!("tol={:.1e}, max_iter={}", vb1_options.tol, vb1_options.max_iter),
                 outcome: Err(err.to_string()),
+                kind: Some(FailureKind::classify(&err)),
             });
             err
         }
@@ -333,6 +456,7 @@ pub fn fit_supervised(
                 attempt: 0,
                 detail: "MAP + analytic Hessian".to_string(),
                 outcome: Ok(()),
+                kind: None,
             });
             report.provenance = "laplace";
             Ok(RobustFit {
@@ -346,11 +470,15 @@ pub fn fit_supervised(
                 attempt: 0,
                 detail: "MAP + analytic Hessian".to_string(),
                 outcome: Err(laplace_err.to_string()),
+                // The Laplace layer carries no budget/convergence
+                // structure worth classifying.
+                kind: Some(FailureKind::Other),
             });
-            Err(VbError::CascadeExhausted {
-                message: format!(
-                    "vb2: {vb2_err}; vb1: {vb1_err}; laplace: {laplace_err}"
-                ),
+            Err(FitFailure {
+                error: VbError::CascadeExhausted {
+                    message: format!("vb2: {vb2_err}; vb1: {vb1_err}; laplace: {laplace_err}"),
+                },
+                report,
             })
         }
     }
@@ -385,6 +513,38 @@ pub fn fit_many_supervised(
         let mut options = task.options;
         options.base.threads = 1;
         fit_supervised(task.spec, task.prior, task.data, options)
+    })
+}
+
+/// One unit of a [`fit_many_supervised_warm`] batch: a supervised
+/// fitting problem plus an optional warm-start table from the
+/// project's previous fit.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmRobustTask<'a> {
+    /// The fitting problem.
+    pub task: RobustTask<'a>,
+    /// Warm-start table for the VB2 attempts (`None` = cold).
+    pub warm: Option<&'a Vb2WarmStart>,
+}
+
+/// [`fit_many_supervised`] for refit batches: each task may carry a
+/// warm-start table, and failures keep their reports. This is the
+/// flush-tick path of a serving layer — many projects went stale, one
+/// pool refits them all, each warm-started from its own previous fit.
+pub fn fit_many_supervised_warm(
+    tasks: &[WarmRobustTask<'_>],
+    threads: usize,
+) -> Vec<Result<RobustFit, FitFailure>> {
+    nhpp_numeric::parallel::map_items(threads, tasks, |_, unit| {
+        let mut options = unit.task.options;
+        options.base.threads = 1;
+        fit_supervised_warm(
+            unit.task.spec,
+            unit.task.prior,
+            unit.task.data,
+            options,
+            unit.warm,
+        )
     })
 }
 
@@ -567,6 +727,76 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, VbError::InvalidOption { .. }));
+    }
+
+    #[test]
+    fn warm_supervised_matches_cold_on_closed_form_path() {
+        let data: ObservedData = sys17::failure_times().into();
+        let prior = NhppPrior::paper_info_times();
+        let cold = fit_supervised(spec(), prior, &data, RobustOptions::default()).unwrap();
+        let RobustPosterior::Vb2(cold_post) = &cold.posterior else {
+            panic!("happy path must be VB2");
+        };
+        let table = cold_post.warm_start();
+        let warm =
+            fit_supervised_warm(spec(), prior, &data, RobustOptions::default(), Some(&table))
+                .unwrap();
+        assert_eq!(warm.posterior.mean_omega(), cold.posterior.mean_omega());
+        assert_eq!(warm.posterior.covariance(), cold.posterior.covariance());
+        assert!(warm.report.attempts[0].detail.contains("warm-started"));
+        assert_eq!(warm.report.attempts[0].kind, None);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_classified_and_kept_on_both_paths() {
+        // A 2-iteration budget kills every VB2 tier; the budget-free
+        // VB1 stage catches the cascade.
+        let options = RobustOptions {
+            base: Vb2Options {
+                total_budget: Some(2),
+                ..Vb2Options::default()
+            },
+            retry: RetryPolicy {
+                max_attempts: 2,
+                budget_growth: 1,
+                ..RetryPolicy::default()
+            },
+            ..RobustOptions::default()
+        };
+        let fit = fit_supervised(
+            spec(),
+            NhppPrior::paper_info_times(),
+            &sys17::failure_times().into(),
+            options,
+        )
+        .unwrap();
+        assert_eq!(fit.report.fallback_tier(), Some("vb1"));
+        assert!(fit.report.budget_exhausted());
+        assert!(fit
+            .report
+            .attempts
+            .iter()
+            .any(|a| a.kind == Some(FailureKind::BudgetExhausted)));
+        // Strict mode: the failure keeps the full report instead of
+        // collapsing to a bare error.
+        let failure = fit_supervised_warm(
+            spec(),
+            NhppPrior::paper_info_times(),
+            &sys17::failure_times().into(),
+            RobustOptions {
+                fallback: false,
+                ..options
+            },
+            None,
+        )
+        .unwrap_err();
+        assert!(failure.report.budget_exhausted());
+        assert_eq!(failure.report.fallback_tier(), None);
+        assert_eq!(
+            FailureKind::classify(&failure.error),
+            FailureKind::BudgetExhausted
+        );
+        assert_eq!(FailureKind::BudgetExhausted.as_str(), "budget-exhausted");
     }
 
     #[test]

@@ -395,6 +395,113 @@ pub struct Vb2Task<'a> {
     pub options: Vb2Options,
 }
 
+/// A warm-start table distilled from a fitted [`Vb2Posterior`]: the
+/// converged `ξ_{β|N}` of every mixture component, indexed by `N`.
+///
+/// Feeding the table into [`Vb2Posterior::fit_warm`] makes each
+/// component's inner fixed point start from the previous fit's solution
+/// instead of the cold heuristic, which is what makes incremental
+/// refits after `k` new events cheap: the fixed points move only
+/// slightly, so the iterative solvers converge in a handful of steps
+/// (the closed-form Goel–Okumoto/failure-time path ignores starting
+/// points entirely, so warm fits there are bitwise identical to cold
+/// ones). The lookup is a pure function of `N` — never of chunk
+/// neighbours or the thread count — so warm fits keep the bitwise
+/// thread-count determinism of cold fits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vb2WarmStart {
+    /// `N` of the first table entry (the previous fit's observed count).
+    n0: u64,
+    /// `ξ_{β|N}` for `N = n0, n0+1, …`, all finite and positive.
+    xis: Vec<f64>,
+}
+
+/// Magic header of the serialized warm-start snapshot format.
+const WARM_START_MAGIC: &[u8; 8] = b"NHPPWS1\0";
+
+impl Vb2WarmStart {
+    /// The stored starting point for component `N`, if the table
+    /// covers it.
+    pub fn xi(&self, n: u64) -> Option<f64> {
+        let idx = n.checked_sub(self.n0)? as usize;
+        self.xis.get(idx).copied()
+    }
+
+    /// The inclusive `N`-range the table covers, or `None` when empty.
+    pub fn n_range(&self) -> Option<(u64, u64)> {
+        if self.xis.is_empty() {
+            None
+        } else {
+            Some((self.n0, self.n0 + (self.xis.len() as u64 - 1)))
+        }
+    }
+
+    /// Number of table entries.
+    pub fn len(&self) -> usize {
+        self.xis.len()
+    }
+
+    /// Whether the table has no entries (warm fits then behave cold).
+    pub fn is_empty(&self) -> bool {
+        self.xis.is_empty()
+    }
+
+    /// Serializes the table to a self-describing byte snapshot
+    /// (magic + `n0` + entry count + little-endian `f64` entries),
+    /// suitable for a durability log or a posterior cache file.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 16 + 8 * self.xis.len());
+        out.extend_from_slice(WARM_START_MAGIC);
+        out.extend_from_slice(&self.n0.to_le_bytes());
+        out.extend_from_slice(&(self.xis.len() as u64).to_le_bytes());
+        for xi in &self.xis {
+            out.extend_from_slice(&xi.to_le_bytes());
+        }
+        out
+    }
+
+    /// Reconstructs a table serialized by [`Vb2WarmStart::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`VbError::InvalidOption`] for a wrong magic, a truncated
+    /// buffer, or a non-finite / non-positive entry — a torn or
+    /// corrupted snapshot never becomes a silently wrong warm start.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, VbError> {
+        let take8 = |at: usize| -> Option<[u8; 8]> {
+            bytes.get(at..at + 8)?.try_into().ok()
+        };
+        if bytes.len() < 24 || &bytes[..8] != WARM_START_MAGIC {
+            return Err(VbError::InvalidOption {
+                message: "warm-start snapshot: bad magic or truncated header",
+            });
+        }
+        let n0 = u64::from_le_bytes(take8(8).expect("header length checked"));
+        let count = u64::from_le_bytes(take8(16).expect("header length checked"));
+        let Ok(count) = usize::try_from(count) else {
+            return Err(VbError::InvalidOption {
+                message: "warm-start snapshot: entry count overflows usize",
+            });
+        };
+        if bytes.len() != 24 + 8 * count {
+            return Err(VbError::InvalidOption {
+                message: "warm-start snapshot: body length does not match entry count",
+            });
+        }
+        let mut xis = Vec::with_capacity(count);
+        for i in 0..count {
+            let xi = f64::from_le_bytes(take8(24 + 8 * i).expect("body length checked"));
+            if !xi.is_finite() || !(xi > 0.0) {
+                return Err(VbError::InvalidOption {
+                    message: "warm-start snapshot: entry is not finite and positive",
+                });
+            }
+            xis.push(xi);
+        }
+        Ok(Vb2WarmStart { n0, xis })
+    }
+}
+
 /// The VB2 variational posterior: a finite Gamma-product mixture over the
 /// latent total fault count `N`.
 #[derive(Debug, Clone)]
@@ -403,6 +510,8 @@ pub struct Vb2Posterior {
     mixture: GammaProductMixture,
     /// `(N, Pᵥ(N))` pairs, ascending in `N`.
     pv: Vec<(u64, f64)>,
+    /// Converged `ξ_{β|N}` per component, aligned with `pv`.
+    xis: Vec<f64>,
     elbo: f64,
     n_max: u64,
     inner_iterations: usize,
@@ -427,6 +536,41 @@ impl Vb2Posterior {
         Self::fit_with_scratch(spec, prior, data, options, &mut Vb2Scratch::new())
     }
 
+    /// [`Vb2Posterior::fit`] warm-started from a previous fit's
+    /// converged `ξ` table (see [`Vb2WarmStart`]). Components the table
+    /// covers start their inner solve at the stored fixed point; the
+    /// rest fall back to the usual within-chunk warm chain. `None`
+    /// behaves exactly like [`Vb2Posterior::fit`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Vb2Posterior::fit`].
+    pub fn fit_warm(
+        spec: ModelSpec,
+        prior: NhppPrior,
+        data: &ObservedData,
+        options: Vb2Options,
+        warm: Option<&Vb2WarmStart>,
+    ) -> Result<Self, VbError> {
+        Self::fit_warm_with_scratch(spec, prior, data, options, warm, &mut Vb2Scratch::new())
+    }
+
+    /// [`Vb2Posterior::fit_warm`] reusing caller-owned working memory.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vb2Posterior::fit`].
+    pub fn fit_warm_with_scratch(
+        spec: ModelSpec,
+        prior: NhppPrior,
+        data: &ObservedData,
+        options: Vb2Options,
+        warm: Option<&Vb2WarmStart>,
+        scratch: &mut Vb2Scratch,
+    ) -> Result<Self, VbError> {
+        Self::fit_impl(spec, prior, data, options, warm, scratch)
+    }
+
     /// [`Vb2Posterior::fit`] reusing caller-owned working memory.
     ///
     /// The hot sweep writes into the scratch's buffers instead of
@@ -444,6 +588,17 @@ impl Vb2Posterior {
         prior: NhppPrior,
         data: &ObservedData,
         options: Vb2Options,
+        scratch: &mut Vb2Scratch,
+    ) -> Result<Self, VbError> {
+        Self::fit_impl(spec, prior, data, options, None, scratch)
+    }
+
+    fn fit_impl(
+        spec: ModelSpec,
+        prior: NhppPrior,
+        data: &ObservedData,
+        options: Vb2Options,
+        warm: Option<&Vb2WarmStart>,
         scratch: &mut Vb2Scratch,
     ) -> Result<Self, VbError> {
         if !(options.inner_tol > 0.0) {
@@ -504,6 +659,7 @@ impl Vb2Posterior {
             } else {
                 None
             },
+            warm: warm.filter(|w| !w.is_empty()),
             options,
         };
 
@@ -596,11 +752,13 @@ impl Vb2Posterior {
         let elbo = lse + elbo_constant(&summary, alpha0, &prior);
 
         let mut pv = Vec::with_capacity(components.len());
+        let mut xis = Vec::with_capacity(components.len());
         let mut parts = Vec::with_capacity(components.len());
         let mut inner_total = 0;
         for c in components {
             let w = (c.ln_weight - lse).exp();
             pv.push((c.n, w));
+            xis.push(c.xi);
             inner_total += c.inner_iterations;
             parts.push(MixtureComponent {
                 weight: w,
@@ -613,6 +771,7 @@ impl Vb2Posterior {
             spec,
             mixture,
             pv,
+            xis,
             elbo,
             n_max: n_hi,
             inner_iterations: inner_total,
@@ -680,6 +839,16 @@ impl Vb2Posterior {
     /// The truncation point `n_max` actually used.
     pub fn n_max(&self) -> u64 {
         self.n_max
+    }
+
+    /// Distils this fit's converged per-`N` `ξ` table into a
+    /// [`Vb2WarmStart`] for a cheap incremental refit on extended data
+    /// (see [`Vb2Posterior::fit_warm`]).
+    pub fn warm_start(&self) -> Vb2WarmStart {
+        Vb2WarmStart {
+            n0: self.pv.first().map(|&(n, _)| n).unwrap_or(0),
+            xis: self.xis.clone(),
+        }
     }
 
     /// The evidence lower bound `F[Pᵥ] <= ln P(D)` at the optimum,
@@ -756,6 +925,10 @@ struct FitContext<'a> {
     /// model families); `None` disables the ladder in favour of direct
     /// evaluation.
     b_stride: Option<u32>,
+    /// Per-`N` starting points carried over from a previous fit. The
+    /// lookup is a pure function of `N`, so warm fits keep the bitwise
+    /// thread-count determinism of cold fits.
+    warm: Option<&'a Vb2WarmStart>,
     options: Vb2Options,
 }
 
@@ -822,6 +995,49 @@ fn chunk_head_seed(ctx: &FitContext, n: u64, shared: &SharedBudget) -> Option<f6
     seed
 }
 
+/// Picks the inner-solver seed for component `N` between a warm-table
+/// entry (a converged fixed point from a *previous* fit) and the
+/// in-chunk chain value (the neighbouring `N`'s fixed point on the
+/// *current* data), by one fixed-point-map residual evaluation of
+/// each. When the data has not changed the table entry wins with a
+/// near-zero residual; after new events the per-`N` fixed points
+/// shift, and the chain — already converged on the new data — is
+/// often the closer start. Both candidates and `ζ` are pure functions
+/// of `N` and chunk-local state, so the choice preserves bitwise
+/// thread-count determinism. Best-effort: on budget exhaustion or
+/// under fault injection it just returns the chain value.
+fn pick_seed(
+    ctx: &FitContext,
+    n: u64,
+    table: Option<f64>,
+    chain: Option<f64>,
+    shared: &SharedBudget,
+) -> Option<f64> {
+    let (Some(t), Some(c)) = (table, chain) else {
+        return table.or(chain);
+    };
+    if t == c || uses_closed_form(ctx) || ctx.options.fault.is_some() {
+        return Some(c);
+    }
+    let mut local = shared.local(2);
+    if local.charge(2).is_err() {
+        let _ = shared.absorb(&local);
+        return Some(c);
+    }
+    let _ = shared.absorb(&local);
+    let b_shape = ctx.a_b + n as f64 * ctx.alpha0;
+    let residual = |xi: f64| {
+        let next = b_shape / (ctx.r_b + ctx.zeta(xi, n));
+        ((next - xi) / xi).abs()
+    };
+    let (rt, rc) = (residual(t), residual(c));
+    if rt.is_finite() && (!rc.is_finite() || rt < rc) {
+        Some(t)
+    } else {
+        Some(c)
+    }
+}
+
 /// Solves one contiguous chunk of candidate `N`s into its disjoint
 /// output window: the head is seeded by [`chunk_head_seed`], the rest
 /// warm-start sequentially from their predecessor, exactly as the old
@@ -841,7 +1057,14 @@ fn solve_chunk(
     let Some(&n0) = ns.first() else {
         return Ok(());
     };
-    let mut warm_xi = chunk_head_seed(ctx, n0, shared);
+    // A warm-start table entry outranks the seed solve — it *is* a
+    // converged fixed point from the previous fit — and, per
+    // component, races the chain through [`pick_seed`]: all the
+    // lookups are pure in `N`.
+    let mut warm_xi = match ctx.warm.and_then(|w| w.xi(n0)) {
+        Some(xi) => Some(xi),
+        None => chunk_head_seed(ctx, n0, shared),
+    };
     let mut ladder_a = LnGammaLadder::new(ctx.a_w + n0 as f64);
     let mut ladder_b = ctx
         .b_stride
@@ -852,8 +1075,9 @@ fn solve_chunk(
             Some(ladder) => ladder.value(),
             None => ln_gamma(ctx.a_b + n as f64 * ctx.alpha0),
         };
+        let start = pick_seed(ctx, n, ctx.warm.and_then(|w| w.xi(n)), warm_xi, shared);
         let mut local = shared.local(u64::MAX);
-        let result = solve_component(ctx, n, warm_xi, ln_gamma_a, ln_gamma_b, &mut local);
+        let result = solve_component(ctx, n, start, ln_gamma_a, ln_gamma_b, &mut local);
         // Settle the consumption either way, but let a solve error take
         // precedence over a budget trip caused by that same solve.
         let settled = shared.absorb(&local);
@@ -1401,6 +1625,75 @@ mod tests {
             .map(f64::to_bits),
         );
         v
+    }
+
+    #[test]
+    fn warm_start_table_lookup_and_snapshot_roundtrip() {
+        let post = fit_times_info();
+        let warm = post.warm_start();
+        let (lo, hi) = warm.n_range().unwrap();
+        assert_eq!(lo, 38);
+        assert_eq!(hi, post.pv_n().last().unwrap().0);
+        assert_eq!(warm.len(), post.pv_n().len());
+        assert!(warm.xi(lo).unwrap() > 0.0);
+        assert_eq!(warm.xi(lo - 1), None);
+        assert_eq!(warm.xi(hi + 1), None);
+        let bytes = warm.to_bytes();
+        assert_eq!(Vb2WarmStart::from_bytes(&bytes).unwrap(), warm);
+        // Torn or corrupted snapshots are rejected, never misread.
+        assert!(Vb2WarmStart::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        let mut corrupt = bytes.clone();
+        corrupt[0] ^= 0xFF;
+        assert!(Vb2WarmStart::from_bytes(&corrupt).is_err());
+        let mut negative = bytes;
+        let last = negative.len() - 8;
+        negative[last..].copy_from_slice(&(-1.0f64).to_le_bytes());
+        assert!(Vb2WarmStart::from_bytes(&negative).is_err());
+    }
+
+    #[test]
+    fn warm_fit_on_closed_form_path_is_bitwise_cold() {
+        // GO + failure times solves in closed form (starting points are
+        // ignored), so a warm fit must be bitwise identical to cold.
+        let data: ObservedData = sys17::failure_times().into();
+        let prior = NhppPrior::paper_info_times();
+        let cold = Vb2Posterior::fit(spec(), prior, &data, Vb2Options::default()).unwrap();
+        let warm = Vb2Posterior::fit_warm(
+            spec(),
+            prior,
+            &data,
+            Vb2Options::default(),
+            Some(&cold.warm_start()),
+        )
+        .unwrap();
+        assert_eq!(bits(&warm), bits(&cold));
+    }
+
+    #[test]
+    fn warm_fit_cuts_inner_iterations_on_iterative_path() {
+        // Grouped data iterates; starting at the previous fixed point
+        // must converge in far fewer inner iterations and land on the
+        // same optimum to well within the solver tolerance.
+        let data: ObservedData = sys17::grouped().into();
+        let prior = NhppPrior::paper_info_grouped();
+        let cold = Vb2Posterior::fit(spec(), prior, &data, Vb2Options::default()).unwrap();
+        let warm = Vb2Posterior::fit_warm(
+            spec(),
+            prior,
+            &data,
+            Vb2Options::default(),
+            Some(&cold.warm_start()),
+        )
+        .unwrap();
+        assert!(
+            warm.inner_iterations() < cold.inner_iterations(),
+            "warm {} vs cold {}",
+            warm.inner_iterations(),
+            cold.inner_iterations()
+        );
+        assert!((warm.mean_omega() - cold.mean_omega()).abs() < 1e-9 * cold.mean_omega());
+        assert!((warm.mean_beta() - cold.mean_beta()).abs() < 1e-9 * cold.mean_beta());
+        assert!((warm.elbo() - cold.elbo()).abs() < 1e-8);
     }
 
     #[test]

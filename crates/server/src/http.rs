@@ -1,0 +1,263 @@
+//! A deliberately minimal HTTP/1.1 layer: exactly what the service and
+//! its test/bench clients need, nothing more.
+//!
+//! One request per connection (`Connection: close`), bodies sized by
+//! `Content-Length` only, query strings as flat `key=value` pairs.
+//! No percent-decoding: project identifiers are restricted to
+//! `[A-Za-z0-9._-]` and every parameter the API takes is numeric or an
+//! enum keyword, so nothing in the grammar needs escaping.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on accepted request bodies (1 MiB): the largest
+/// legitimate payload is an event batch of a few thousand CSV lines.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, `PUT`, …).
+    pub method: String,
+    /// Path without the query string, e.g. `/projects/sys17/fit`.
+    pub path: String,
+    /// Query parameters in order-independent form.
+    pub query: BTreeMap<String, String>,
+    /// Raw request body (UTF-8 expected by every route that reads it).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A query parameter, if present.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query.get(key).map(String::as_str)
+    }
+
+    /// The `/`-separated path segments, empties dropped.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// An HTTP response ready to serialise.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (`200`, `404`, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A plain-text response (used by `/metrics`).
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body,
+        }
+    }
+
+    /// The standard reason phrase for the status code.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            201 => "Created",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialises the response (status line, headers, body) to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// Parses one request from a buffered stream.
+///
+/// # Errors
+///
+/// `InvalidData` on a malformed request line, header or oversized body;
+/// plain I/O errors (including timeouts) pass through.
+pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Request> {
+    let mut line = String::new();
+    r.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m.to_string(), t.to_string()),
+        _ => return Err(bad("malformed request line")),
+    };
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        r.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(bad("malformed header"));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| bad("bad content-length"))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+
+    let (path, query_text) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.clone(), ""),
+    };
+    let mut query = BTreeMap::new();
+    for pair in query_text.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.insert(k.to_string(), v.to_string());
+    }
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+fn bad(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.to_string())
+}
+
+/// Blocking one-shot client used by the CLI client, the load generator
+/// and the end-to-end tests: connects, sends one request, returns
+/// `(status, body)`.
+///
+/// # Errors
+///
+/// Connection or protocol failures as `io::Error`.
+pub fn client_request(
+    addr: &str,
+    method: &str,
+    path_and_query: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(60)))?;
+    let payload = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len()
+    )?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut content_length = None;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let mut body = String::new();
+    match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            body = String::from_utf8(buf).map_err(|_| bad("non-UTF-8 body"))?;
+        }
+        None => {
+            reader.read_to_string(&mut body)?;
+        }
+    }
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_request_with_query_and_body() {
+        let raw = "POST /projects/p1/events?level=0.99&param=omega HTTP/1.1\r\n\
+                   Host: x\r\nContent-Length: 9\r\n\r\n# t_end=1";
+        let req = read_request(&mut raw.as_bytes()).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/projects/p1/events");
+        assert_eq!(req.param("level"), Some("0.99"));
+        assert_eq!(req.param("param"), Some("omega"));
+        assert_eq!(req.segments(), vec!["projects", "p1", "events"]);
+        assert_eq!(req.body, b"# t_end=1");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(read_request(&mut "\r\n\r\n".as_bytes()).is_err());
+        assert!(read_request(&mut "GET\r\n\r\n".as_bytes()).is_err());
+        let oversized = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert!(read_request(&mut oversized.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn response_serialises_with_content_length() {
+        let mut buf = Vec::new();
+        Response::json(200, "{\"ok\":true}".into())
+            .write_to(&mut buf)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

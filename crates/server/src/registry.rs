@@ -1,0 +1,897 @@
+//! The project registry: named streaming datasets with append-only
+//! ingestion and a durable, replayable on-disk log.
+//!
+//! # Data model
+//!
+//! A *project* is one monitored software system: a model family, a
+//! prior, and a failure dataset that only ever grows. Ingestion appends
+//! *batches* — the same CSV text the `nhpp_data::io` readers accept —
+//! and each accepted batch bumps the project's *data version*, the
+//! monotone counter the fit scheduler deduplicates refits by.
+//!
+//! # Durability
+//!
+//! Each project owns one append-only log file `<dir>/<id>.log` holding
+//! length-prefixed records (`u32` little-endian byte length, then the
+//! payload). The first record is the project configuration (`C`); every
+//! accepted batch appends its raw CSV payload verbatim (`B`). Startup
+//! replays every log through exactly the ingestion code path, so a
+//! recovered registry is state-identical to the one that wrote the log.
+//! A torn final record — the crash window of an append — is detected by
+//! the length prefix and truncated away; everything before it survives.
+
+use crate::scheduler::FitSlot;
+use nhpp_data::io::{read_failure_times, read_grouped};
+use nhpp_data::{FailureTimeData, GroupedData, ObservedData};
+use nhpp_dist::Gamma;
+use nhpp_models::prior::NhppPrior;
+use nhpp_models::ModelSpec;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Whether a project ingests failure times or grouped counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataKind {
+    /// Exact failure times plus a censoring end (`D_T`).
+    Times,
+    /// Interval boundaries plus per-interval counts (`D_G`).
+    Grouped,
+}
+
+impl DataKind {
+    /// Stable keyword used in the API and the log.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DataKind::Times => "times",
+            DataKind::Grouped => "grouped",
+        }
+    }
+
+    /// Parses the keyword.
+    pub fn parse(text: &str) -> Result<DataKind, String> {
+        match text {
+            "times" => Ok(DataKind::Times),
+            "grouped" => Ok(DataKind::Grouped),
+            other => Err(format!("unknown data kind '{other}' (times|grouped)")),
+        }
+    }
+}
+
+/// Immutable configuration a project is created with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjectConfig {
+    /// Ingestion shape.
+    pub kind: DataKind,
+    /// Model family.
+    pub spec: ModelSpec,
+    /// Prior over `(ω, β)`.
+    pub prior: NhppPrior,
+    /// Canonical model keyword (`go`, `dss`, `gamma:<a0>`).
+    pub model_label: String,
+    /// Canonical prior keyword.
+    pub prior_label: String,
+}
+
+impl ProjectConfig {
+    /// Builds a configuration from the API keywords.
+    ///
+    /// # Errors
+    ///
+    /// A description of the offending keyword.
+    pub fn from_labels(kind: &str, model: &str, prior: &str) -> Result<ProjectConfig, String> {
+        let kind = DataKind::parse(kind)?;
+        let spec = parse_model(model)?;
+        let prior_value = parse_prior(prior)?;
+        Ok(ProjectConfig {
+            kind,
+            spec,
+            prior: prior_value,
+            model_label: model.to_string(),
+            prior_label: prior.to_string(),
+        })
+    }
+}
+
+/// Parses a model keyword: `go`, `dss` or `gamma:<alpha0>`.
+pub fn parse_model(text: &str) -> Result<ModelSpec, String> {
+    match text {
+        "go" => Ok(ModelSpec::goel_okumoto()),
+        "dss" => Ok(ModelSpec::delayed_s_shaped()),
+        other => match other.strip_prefix("gamma:") {
+            Some(raw) => {
+                let alpha0: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("bad gamma shape '{raw}'"))?;
+                ModelSpec::gamma_type(alpha0).map_err(|e| e.to_string())
+            }
+            None => Err(format!("unknown model '{other}' (go|dss|gamma:<a0>)")),
+        },
+    }
+}
+
+/// Parses a prior keyword: `paper-info-times`, `paper-info-grouped`,
+/// `flat`, or `wmean,wsd,bmean,bsd`.
+pub fn parse_prior(text: &str) -> Result<NhppPrior, String> {
+    match text {
+        "paper-info-times" => Ok(NhppPrior::paper_info_times()),
+        "paper-info-grouped" => Ok(NhppPrior::paper_info_grouped()),
+        "flat" => Ok(NhppPrior::flat()),
+        other => {
+            let parts: Vec<&str> = other.split(',').collect();
+            if parts.len() != 4 {
+                return Err(format!(
+                    "unknown prior '{other}' \
+                     (paper-info-times|paper-info-grouped|flat|wmean,wsd,bmean,bsd)"
+                ));
+            }
+            let mut values = [0.0f64; 4];
+            for (slot, raw) in values.iter_mut().zip(&parts) {
+                *slot = raw
+                    .parse()
+                    .map_err(|_| format!("bad prior component '{raw}'"))?;
+            }
+            let omega = Gamma::from_mean_sd(values[0], values[1]).map_err(|e| e.to_string())?;
+            let beta = Gamma::from_mean_sd(values[2], values[3]).map_err(|e| e.to_string())?;
+            Ok(NhppPrior::informative(omega, beta))
+        }
+    }
+}
+
+/// Errors surfaced by registry operations, pre-classified for the HTTP
+/// layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// Bad project id or keyword (HTTP 400).
+    Invalid(String),
+    /// A project exists with a different configuration (HTTP 409).
+    Conflict(String),
+    /// A batch violated the append-only data invariants (HTTP 400).
+    Data(String),
+    /// The durable log could not be written or read (HTTP 500).
+    Io(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Invalid(m)
+            | RegistryError::Conflict(m)
+            | RegistryError::Data(m)
+            | RegistryError::Io(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The mutable streaming state of one project.
+#[derive(Debug)]
+struct ProjectState {
+    config: ProjectConfig,
+    /// Observed failure times (`Times` projects).
+    times: Vec<f64>,
+    /// Observation end (`Times` projects; 0 before the first batch).
+    t_end: f64,
+    /// Interval boundaries (`Grouped` projects).
+    boundaries: Vec<f64>,
+    /// Interval counts (`Grouped` projects).
+    counts: Vec<u64>,
+    /// Monotone data version: the number of accepted batches.
+    version: u64,
+    /// Total failure events observed.
+    event_count: u64,
+    /// Open append handle of the durable log (`None` = in-memory only).
+    log: Option<File>,
+}
+
+/// A point-in-time description of a project, cheap to serialise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjectSummary {
+    /// Project id.
+    pub id: String,
+    /// Ingestion shape keyword.
+    pub kind: &'static str,
+    /// Model keyword.
+    pub model: String,
+    /// Prior keyword.
+    pub prior: String,
+    /// Data version (accepted batches).
+    pub version: u64,
+    /// Total failure events.
+    pub event_count: u64,
+    /// Observation end (times: seconds; grouped: last boundary).
+    pub observation_end: f64,
+}
+
+/// One registered project. The fit slot and its condition variable live
+/// here so the scheduler can coalesce per project without a global lock.
+#[derive(Debug)]
+pub struct Project {
+    id: String,
+    state: Mutex<ProjectState>,
+    /// Cached fit + in-flight marker (owned by [`crate::scheduler`]).
+    pub(crate) fit: Mutex<FitSlot>,
+    /// Signalled when an in-flight fit completes.
+    pub(crate) fit_ready: Condvar,
+}
+
+impl Project {
+    fn new(id: String, config: ProjectConfig, log: Option<File>) -> Project {
+        Project {
+            id,
+            state: Mutex::new(ProjectState {
+                config,
+                times: Vec::new(),
+                t_end: 0.0,
+                boundaries: Vec::new(),
+                counts: Vec::new(),
+                version: 0,
+                event_count: 0,
+                log,
+            }),
+            fit: Mutex::new(FitSlot::default()),
+            fit_ready: Condvar::new(),
+        }
+    }
+
+    /// The project id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Ingests one batch in the `nhpp_data::io` CSV format, appending
+    /// it to the durable log first. Returns the number of new events.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Data`] when the batch violates the append-only
+    /// invariants, [`RegistryError::Io`] when the log write fails (the
+    /// in-memory state is left untouched in both cases).
+    pub fn ingest(&self, batch_text: &str) -> Result<u64, RegistryError> {
+        let mut state = self.state.lock().expect("project state poisoned");
+        let staged = stage_batch(&state, batch_text)?;
+        if let Some(log) = state.log.as_mut() {
+            append_record(log, b'B', batch_text.as_bytes())
+                .map_err(|e| RegistryError::Io(format!("log append failed: {e}")))?;
+        }
+        let added = staged.added;
+        match staged.data {
+            StagedData::Times { times, t_end } => {
+                state.times = times;
+                state.t_end = t_end;
+            }
+            StagedData::Grouped { boundaries, counts } => {
+                state.boundaries = boundaries;
+                state.counts = counts;
+            }
+        }
+        state.version += 1;
+        state.event_count += added;
+        Ok(added)
+    }
+
+    /// Consistent snapshot for fitting: `(version, data, spec, prior)`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Data`] before any batch has been accepted (there
+    /// is nothing to fit).
+    pub fn snapshot(&self) -> Result<(u64, ObservedData, ModelSpec, NhppPrior), RegistryError> {
+        let state = self.state.lock().expect("project state poisoned");
+        if state.version == 0 {
+            return Err(RegistryError::Data(format!(
+                "project '{}' has no ingested data yet",
+                self.id
+            )));
+        }
+        let data = match state.config.kind {
+            DataKind::Times => FailureTimeData::new(state.times.clone(), state.t_end)
+                .map(ObservedData::from)
+                .map_err(|e| RegistryError::Data(e.to_string()))?,
+            DataKind::Grouped => GroupedData::new(state.boundaries.clone(), state.counts.clone())
+                .map(ObservedData::from)
+                .map_err(|e| RegistryError::Data(e.to_string()))?,
+        };
+        Ok((state.version, data, state.config.spec, state.config.prior))
+    }
+
+    /// The two newest failure times `(t_prev, t_last)` for the SPC
+    /// check, when the project has at least two (`Times` only).
+    pub fn newest_gap(&self) -> Option<(f64, f64)> {
+        let state = self.state.lock().expect("project state poisoned");
+        if state.config.kind != DataKind::Times || state.times.len() < 2 {
+            return None;
+        }
+        let n = state.times.len();
+        Some((state.times[n - 2], state.times[n - 1]))
+    }
+
+    /// The current data version.
+    pub fn version(&self) -> u64 {
+        self.state.lock().expect("project state poisoned").version
+    }
+
+    /// A serialisable description of the current state.
+    pub fn summary(&self) -> ProjectSummary {
+        let state = self.state.lock().expect("project state poisoned");
+        let observation_end = match state.config.kind {
+            DataKind::Times => state.t_end,
+            DataKind::Grouped => state.boundaries.last().copied().unwrap_or(0.0),
+        };
+        ProjectSummary {
+            id: self.id.clone(),
+            kind: state.config.kind.as_str(),
+            model: state.config.model_label.clone(),
+            prior: state.config.prior_label.clone(),
+            version: state.version,
+            event_count: state.event_count,
+            observation_end,
+        }
+    }
+
+    /// The project configuration.
+    pub fn config(&self) -> ProjectConfig {
+        self.state
+            .lock()
+            .expect("project state poisoned")
+            .config
+            .clone()
+    }
+}
+
+/// A validated batch, not yet committed.
+struct Staged {
+    data: StagedData,
+    added: u64,
+}
+
+enum StagedData {
+    Times { times: Vec<f64>, t_end: f64 },
+    Grouped { boundaries: Vec<f64>, counts: Vec<u64> },
+}
+
+/// Validates a batch against the append-only invariants and produces
+/// the merged dataset without mutating anything.
+fn stage_batch(state: &ProjectState, batch_text: &str) -> Result<Staged, RegistryError> {
+    match state.config.kind {
+        DataKind::Times => {
+            let batch = read_failure_times(batch_text.as_bytes())
+                .map_err(|e| RegistryError::Data(format!("bad times batch: {e}")))?;
+            if state.version > 0 && batch.observation_end() < state.t_end {
+                return Err(RegistryError::Data(format!(
+                    "batch t_end {} precedes current observation end {}",
+                    batch.observation_end(),
+                    state.t_end
+                )));
+            }
+            if let (Some(&last), Some(&first)) = (state.times.last(), batch.times().first()) {
+                if first < last {
+                    return Err(RegistryError::Data(format!(
+                        "batch starts at {first} before the newest recorded failure {last}"
+                    )));
+                }
+            }
+            let mut times = state.times.clone();
+            times.extend_from_slice(batch.times());
+            let t_end = batch.observation_end();
+            // Revalidate the merged dataset through the canonical
+            // constructor so a registry invariant can never drift from
+            // the `FailureTimeData` one.
+            FailureTimeData::new(times.clone(), t_end)
+                .map_err(|e| RegistryError::Data(e.to_string()))?;
+            Ok(Staged {
+                added: batch.len() as u64,
+                data: StagedData::Times { times, t_end },
+            })
+        }
+        DataKind::Grouped => {
+            let batch = read_grouped(batch_text.as_bytes())
+                .map_err(|e| RegistryError::Data(format!("bad grouped batch: {e}")))?;
+            if let (Some(&last), Some(&first)) =
+                (state.boundaries.last(), batch.boundaries().first())
+            {
+                if first <= last {
+                    return Err(RegistryError::Data(format!(
+                        "batch boundary {first} does not extend the last boundary {last}"
+                    )));
+                }
+            }
+            let mut boundaries = state.boundaries.clone();
+            boundaries.extend_from_slice(batch.boundaries());
+            let mut counts = state.counts.clone();
+            counts.extend_from_slice(batch.counts());
+            GroupedData::new(boundaries.clone(), counts.clone())
+                .map_err(|e| RegistryError::Data(e.to_string()))?;
+            Ok(Staged {
+                added: batch.total_count(),
+                data: StagedData::Grouped { boundaries, counts },
+            })
+        }
+    }
+}
+
+/// Outcome of [`Registry::create`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreateOutcome {
+    /// The project was created.
+    Created,
+    /// A project with the identical configuration already exists
+    /// (creation is idempotent).
+    AlreadyExists,
+}
+
+/// The registry: all projects, plus the durable-log directory.
+#[derive(Debug)]
+pub struct Registry {
+    dir: Option<PathBuf>,
+    projects: Mutex<BTreeMap<String, Arc<Project>>>,
+}
+
+impl Registry {
+    /// Opens a registry. With a directory, every `*.log` in it is
+    /// replayed (creating the directory if absent); with `None` the
+    /// registry is in-memory only (tests, benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Io`] when the directory cannot be created or a
+    /// log cannot be read; [`RegistryError::Data`] when a fully-written
+    /// log record fails to re-apply (true corruption, not a torn tail).
+    pub fn open(dir: Option<&Path>) -> Result<Registry, RegistryError> {
+        let registry = Registry {
+            dir: dir.map(Path::to_path_buf),
+            projects: Mutex::new(BTreeMap::new()),
+        };
+        if let Some(dir) = dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| RegistryError::Io(format!("cannot create {}: {e}", dir.display())))?;
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+                .map_err(|e| RegistryError::Io(e.to_string()))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|ext| ext == "log"))
+                .collect();
+            entries.sort();
+            for path in entries {
+                registry.replay_log(&path)?;
+            }
+        }
+        Ok(registry)
+    }
+
+    /// Creates a project (idempotent when the configuration matches).
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Invalid`] for a bad id,
+    /// [`RegistryError::Conflict`] when the id exists with a different
+    /// configuration, [`RegistryError::Io`] when the log cannot be
+    /// started.
+    pub fn create(&self, id: &str, config: ProjectConfig) -> Result<CreateOutcome, RegistryError> {
+        validate_id(id)?;
+        let mut projects = self.projects.lock().expect("registry poisoned");
+        if let Some(existing) = projects.get(id) {
+            return if existing.config() == config {
+                Ok(CreateOutcome::AlreadyExists)
+            } else {
+                Err(RegistryError::Conflict(format!(
+                    "project '{id}' already exists with a different configuration"
+                )))
+            };
+        }
+        let log = match &self.dir {
+            Some(dir) => {
+                let mut file = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(dir.join(format!("{id}.log")))
+                    .map_err(|e| RegistryError::Io(format!("cannot open log: {e}")))?;
+                let record = format!(
+                    "{} {} {}",
+                    config.kind.as_str(),
+                    config.model_label,
+                    config.prior_label
+                );
+                append_record(&mut file, b'C', record.as_bytes())
+                    .map_err(|e| RegistryError::Io(format!("log append failed: {e}")))?;
+                Some(file)
+            }
+            None => None,
+        };
+        projects.insert(
+            id.to_string(),
+            Arc::new(Project::new(id.to_string(), config, log)),
+        );
+        Ok(CreateOutcome::Created)
+    }
+
+    /// Looks up a project.
+    pub fn get(&self, id: &str) -> Option<Arc<Project>> {
+        self.projects
+            .lock()
+            .expect("registry poisoned")
+            .get(id)
+            .cloned()
+    }
+
+    /// All projects, in id order.
+    pub fn all(&self) -> Vec<Arc<Project>> {
+        self.projects
+            .lock()
+            .expect("registry poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Replays one project log, truncating a torn final record.
+    fn replay_log(&self, path: &Path) -> Result<(), RegistryError> {
+        let id = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| RegistryError::Io(format!("unreadable log name {}", path.display())))?
+            .to_string();
+        validate_id(&id)?;
+        let mut file = File::open(path).map_err(|e| RegistryError::Io(e.to_string()))?;
+        let mut records = Vec::new();
+        let mut good_offset = 0u64;
+        loop {
+            let mut len_buf = [0u8; 4];
+            match read_exact_or_eof(&mut file, &mut len_buf) {
+                ReadOutcome::Full => {}
+                ReadOutcome::Eof => break,
+                ReadOutcome::Partial | ReadOutcome::Err => {
+                    truncate_to(path, good_offset)?;
+                    break;
+                }
+            }
+            let len = u32::from_le_bytes(len_buf) as usize;
+            let mut payload = vec![0u8; len];
+            match read_exact_or_eof(&mut file, &mut payload) {
+                ReadOutcome::Full => {}
+                _ => {
+                    // Torn write: the length prefix landed but the
+                    // payload did not. Drop the tail.
+                    truncate_to(path, good_offset)?;
+                    break;
+                }
+            }
+            good_offset += 4 + len as u64;
+            records.push(payload);
+        }
+
+        let mut project: Option<Arc<Project>> = None;
+        for record in records {
+            let (tag, body) = record
+                .split_first()
+                .ok_or_else(|| RegistryError::Data(format!("empty record in {}", path.display())))?;
+            let text = std::str::from_utf8(body).map_err(|_| {
+                RegistryError::Data(format!("non-UTF-8 record in {}", path.display()))
+            })?;
+            match tag {
+                b'C' => {
+                    let mut parts = text.split_whitespace();
+                    let (kind, model, prior) = match (parts.next(), parts.next(), parts.next()) {
+                        (Some(k), Some(m), Some(p)) => (k, m, p),
+                        _ => {
+                            return Err(RegistryError::Data(format!(
+                                "malformed config record in {}",
+                                path.display()
+                            )))
+                        }
+                    };
+                    let config = ProjectConfig::from_labels(kind, model, prior)
+                        .map_err(RegistryError::Data)?;
+                    // Reattach the append handle so post-replay batches
+                    // keep extending the same log.
+                    let log = OpenOptions::new()
+                        .append(true)
+                        .open(path)
+                        .map_err(|e| RegistryError::Io(e.to_string()))?;
+                    let p = Arc::new(Project::new(id.clone(), config, Some(log)));
+                    self.projects
+                        .lock()
+                        .expect("registry poisoned")
+                        .insert(id.clone(), p.clone());
+                    project = Some(p);
+                }
+                b'B' => {
+                    let project = project.as_ref().ok_or_else(|| {
+                        RegistryError::Data(format!(
+                            "batch before config record in {}",
+                            path.display()
+                        ))
+                    })?;
+                    // Replay must not re-append to the log: bypass
+                    // `ingest` by staging against the current state and
+                    // committing directly.
+                    let mut state = project.state.lock().expect("project state poisoned");
+                    let staged = stage_batch(&state, text)?;
+                    match staged.data {
+                        StagedData::Times { times, t_end } => {
+                            state.times = times;
+                            state.t_end = t_end;
+                        }
+                        StagedData::Grouped { boundaries, counts } => {
+                            state.boundaries = boundaries;
+                            state.counts = counts;
+                        }
+                    }
+                    state.version += 1;
+                    state.event_count += staged.added;
+                }
+                other => {
+                    return Err(RegistryError::Data(format!(
+                        "unknown record tag {other} in {}",
+                        path.display()
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Project ids are path- and URL-safe by construction.
+fn validate_id(id: &str) -> Result<(), RegistryError> {
+    let ok = !id.is_empty()
+        && id.len() <= 64
+        && !id.starts_with('.')
+        && id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+    if ok {
+        Ok(())
+    } else {
+        Err(RegistryError::Invalid(format!(
+            "invalid project id '{id}' (1-64 chars of [A-Za-z0-9._-], no leading dot)"
+        )))
+    }
+}
+
+/// Appends one length-prefixed record and forces it to stable storage.
+fn append_record(file: &mut File, tag: u8, payload: &[u8]) -> std::io::Result<()> {
+    let len = (payload.len() + 1) as u32;
+    let mut buf = Vec::with_capacity(5 + payload.len());
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.push(tag);
+    buf.extend_from_slice(payload);
+    file.write_all(&buf)?;
+    file.sync_data()
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+    Partial,
+    Err,
+}
+
+/// `read_exact` variant distinguishing clean EOF (no bytes) from a torn
+/// tail (some bytes, then EOF).
+fn read_exact_or_eof(file: &mut File, buf: &mut [u8]) -> ReadOutcome {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match file.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Partial
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return ReadOutcome::Err,
+        }
+    }
+    ReadOutcome::Full
+}
+
+fn truncate_to(path: &Path, offset: u64) -> Result<(), RegistryError> {
+    let file = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| RegistryError::Io(e.to_string()))?;
+    file.set_len(offset)
+        .map_err(|e| RegistryError::Io(e.to_string()))?;
+    file.sync_data()
+        .map_err(|e| RegistryError::Io(e.to_string()))?;
+    // Position sanity for any subsequent append handle: append mode
+    // seeks to the (now truncated) end on each write.
+    let _ = (&file).seek(SeekFrom::End(0));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "nhpp-serve-registry-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn times_config() -> ProjectConfig {
+        ProjectConfig::from_labels("times", "go", "paper-info-times").unwrap()
+    }
+
+    fn batch(times: &[f64], t_end: f64) -> String {
+        let mut text = format!("# t_end={t_end}\n");
+        for t in times {
+            text.push_str(&format!("{t}\n"));
+        }
+        text
+    }
+
+    #[test]
+    fn create_is_idempotent_and_conflicts_on_mismatch() {
+        let registry = Registry::open(None).unwrap();
+        assert_eq!(
+            registry.create("p1", times_config()).unwrap(),
+            CreateOutcome::Created
+        );
+        assert_eq!(
+            registry.create("p1", times_config()).unwrap(),
+            CreateOutcome::AlreadyExists
+        );
+        let other = ProjectConfig::from_labels("times", "dss", "paper-info-times").unwrap();
+        assert!(matches!(
+            registry.create("p1", other),
+            Err(RegistryError::Conflict(_))
+        ));
+        assert!(matches!(
+            registry.create("../evil", times_config()),
+            Err(RegistryError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn ingestion_is_append_only_and_versioned() {
+        let registry = Registry::open(None).unwrap();
+        registry.create("p1", times_config()).unwrap();
+        let p = registry.get("p1").unwrap();
+        assert!(p.snapshot().is_err(), "no data yet");
+
+        assert_eq!(p.ingest(&batch(&[1.0, 2.0], 3.0)).unwrap(), 2);
+        assert_eq!(p.ingest(&batch(&[4.5], 5.0)).unwrap(), 1);
+        // A batch may advance the censoring end without new failures.
+        assert_eq!(p.ingest(&batch(&[], 6.0)).unwrap(), 0);
+        assert_eq!(p.version(), 3);
+        let (version, data, _, _) = p.snapshot().unwrap();
+        assert_eq!(version, 3);
+        assert_eq!(data.total_count(), 3);
+        assert_eq!(data.observation_end(), 6.0);
+
+        // Rejections leave state untouched.
+        assert!(p.ingest(&batch(&[0.5], 7.0)).is_err(), "out of order");
+        assert!(p.ingest(&batch(&[6.5], 5.0)).is_err(), "t_end went back");
+        assert_eq!(p.version(), 3);
+    }
+
+    #[test]
+    fn grouped_ingestion_extends_boundaries() {
+        let registry = Registry::open(None).unwrap();
+        let config = ProjectConfig::from_labels("grouped", "go", "paper-info-grouped").unwrap();
+        registry.create("g1", config).unwrap();
+        let p = registry.get("g1").unwrap();
+        assert_eq!(p.ingest("1,3\n2,1\n").unwrap(), 4);
+        assert_eq!(p.ingest("3,0\n4,2\n").unwrap(), 2);
+        assert!(p.ingest("4,1\n").is_err(), "non-extending boundary");
+        let (version, data, _, _) = p.snapshot().unwrap();
+        assert_eq!(version, 2);
+        assert_eq!(data.total_count(), 6);
+    }
+
+    #[test]
+    fn persistence_round_trip_restores_identical_state() {
+        let dir = temp_dir("roundtrip");
+        let summary_before;
+        {
+            let registry = Registry::open(Some(&dir)).unwrap();
+            registry.create("p1", times_config()).unwrap();
+            let p = registry.get("p1").unwrap();
+            for k in 0..10 {
+                let t = (k + 1) as f64 * 10.0;
+                p.ingest(&batch(&[t], t + 5.0)).unwrap();
+            }
+            summary_before = p.summary();
+        }
+        // "Restart": a fresh registry replays the log.
+        let registry = Registry::open(Some(&dir)).unwrap();
+        let p = registry.get("p1").unwrap();
+        assert_eq!(p.summary(), summary_before);
+        let (version, data, _, _) = p.snapshot().unwrap();
+        assert_eq!(version, 10);
+        assert_eq!(data.total_count(), 10);
+        assert_eq!(data.observation_end(), 105.0);
+        // And the recovered registry keeps accepting appends.
+        p.ingest(&batch(&[110.0], 120.0)).unwrap();
+        assert_eq!(p.version(), 11);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_record_is_truncated_cleanly() {
+        let dir = temp_dir("torn");
+        {
+            let registry = Registry::open(Some(&dir)).unwrap();
+            registry.create("p1", times_config()).unwrap();
+            let p = registry.get("p1").unwrap();
+            p.ingest(&batch(&[1.0, 2.0], 3.0)).unwrap();
+            p.ingest(&batch(&[4.0], 5.0)).unwrap();
+        }
+        // Simulate a crash mid-append: a record whose payload is cut
+        // short of its length prefix.
+        let log_path = dir.join("p1.log");
+        {
+            let mut file = OpenOptions::new().append(true).open(&log_path).unwrap();
+            let torn = b"B# t_end=9\n6.0\n";
+            file.write_all(&((torn.len() + 20) as u32).to_le_bytes())
+                .unwrap();
+            file.write_all(torn).unwrap();
+        }
+        let len_with_torn = std::fs::metadata(&log_path).unwrap().len();
+
+        let registry = Registry::open(Some(&dir)).unwrap();
+        let p = registry.get("p1").unwrap();
+        // The torn record is gone; the two complete batches survive.
+        assert_eq!(p.version(), 2);
+        let (_, data, _, _) = p.snapshot().unwrap();
+        assert_eq!(data.total_count(), 3);
+        assert!(
+            std::fs::metadata(&log_path).unwrap().len() < len_with_torn,
+            "torn tail was truncated away"
+        );
+        // The next append lands after the truncation point and a third
+        // replay sees it.
+        p.ingest(&batch(&[6.0], 7.0)).unwrap();
+        let registry = Registry::open(Some(&dir)).unwrap();
+        assert_eq!(registry.get("p1").unwrap().version(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_length_prefix_is_truncated_cleanly() {
+        let dir = temp_dir("torn-prefix");
+        {
+            let registry = Registry::open(Some(&dir)).unwrap();
+            registry.create("p1", times_config()).unwrap();
+            registry
+                .get("p1")
+                .unwrap()
+                .ingest(&batch(&[1.0], 2.0))
+                .unwrap();
+        }
+        let log_path = dir.join("p1.log");
+        {
+            let mut file = OpenOptions::new().append(true).open(&log_path).unwrap();
+            // Two bytes of a four-byte length prefix.
+            file.write_all(&[0x10, 0x00]).unwrap();
+        }
+        let registry = Registry::open(Some(&dir)).unwrap();
+        assert_eq!(registry.get("p1").unwrap().version(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_helpers_reject_garbage() {
+        assert!(parse_model("go").is_ok());
+        assert!(parse_model("gamma:2.5").is_ok());
+        assert!(parse_model("gamma:-1").is_err());
+        assert!(parse_model("weibull").is_err());
+        assert!(parse_prior("flat").is_ok());
+        assert!(parse_prior("50,15.8,1e-5,3.2e-6").is_ok());
+        assert!(parse_prior("1,2,3").is_err());
+        assert!(parse_prior("a,b,c,d").is_err());
+        assert!(DataKind::parse("times").is_ok());
+        assert!(DataKind::parse("stream").is_err());
+    }
+}

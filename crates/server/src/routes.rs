@@ -1,0 +1,770 @@
+//! The HTTP endpoint surface, as a pure function from request to
+//! response — no sockets here, so every route is unit-testable without
+//! binding a port.
+//!
+//! | Route | Purpose |
+//! |---|---|
+//! | `GET /healthz` | liveness |
+//! | `GET /metrics` | Prometheus text exposition |
+//! | `GET /projects` | list projects |
+//! | `PUT /projects/{id}?kind=&model=&prior=` | create a project |
+//! | `GET /projects/{id}` | project summary |
+//! | `POST /projects/{id}/events` | ingest a CSV batch |
+//! | `GET /projects/{id}/fit` | posterior summary (refits if stale) |
+//! | `GET /projects/{id}/interval?param=&level=` | credible interval |
+//! | `GET /projects/{id}/band?points=&level=` | `Λ(t)` credible band |
+//! | `GET /projects/{id}/predict?window=&level=` | residual failures |
+//! | `GET /projects/{id}/reliability?window=&level=` | reliability |
+//! | `GET /projects/{id}/spc` | control-limit check on newest gap |
+//!
+//! Fit failures answer `503` with a structured body carrying the
+//! cascade's [`nhpp_vb::FitReport`] essentials — the failure kind,
+//! whether a solve budget was exhausted, and the fallback tier reached
+//! — so operators see *why* without grepping server logs.
+
+use crate::http::{Request, Response};
+use crate::registry::{CreateOutcome, ProjectConfig, RegistryError};
+use crate::scheduler::{cached_fit, ensure_fit, FitServeError};
+use crate::server::AppState;
+use nhpp_models::Posterior;
+use nhpp_vb::{FailureKind, FitFailure};
+use std::fmt::Write as _;
+
+/// SPC lower control limit on `P(T ≤ τ)` (3σ equivalent; Rao et al.).
+pub const SPC_LCL: f64 = 0.00135;
+/// SPC centre line.
+pub const SPC_CL: f64 = 0.5;
+/// SPC upper control limit.
+pub const SPC_UCL: f64 = 0.99865;
+
+/// Escapes a string into a JSON literal.
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a number as JSON; non-finite values become `null` (JSON has
+/// no NaN, and a query must not produce an unparsable body).
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        let mut s = format!("{x}");
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(status, format!("{{\"error\": {}}}", jstr(message)))
+}
+
+fn registry_error(err: &RegistryError) -> Response {
+    let status = match err {
+        RegistryError::Invalid(_) | RegistryError::Data(_) => 400,
+        RegistryError::Conflict(_) => 409,
+        RegistryError::Io(_) => 500,
+    };
+    error_response(status, &err.to_string())
+}
+
+/// The `503` body for a failed cascade: the satellite fix that surfaces
+/// budget exhaustion and the fallback tier in the HTTP response instead
+/// of only in the CLI report.
+fn fit_failure_response(failure: &FitFailure) -> Response {
+    let kind = failure
+        .report
+        .attempts
+        .iter()
+        .rev()
+        .find_map(|a| a.kind)
+        .unwrap_or(FailureKind::Other);
+    let tier = match failure.report.fallback_tier() {
+        Some(t) => jstr(t),
+        None => "null".to_string(),
+    };
+    Response::json(
+        503,
+        format!(
+            "{{\"error\": {}, \"kind\": {}, \"budget_exhausted\": {}, \
+             \"fallback_tier\": {}, \"attempts\": {}}}",
+            jstr(&failure.error.to_string()),
+            jstr(kind.as_str()),
+            failure.report.budget_exhausted(),
+            tier,
+            failure.report.total_attempts(),
+        ),
+    )
+}
+
+fn fit_serve_error(err: &FitServeError) -> Response {
+    match err {
+        FitServeError::Registry(e) => registry_error(e),
+        FitServeError::Fit(failure) => fit_failure_response(failure),
+    }
+}
+
+fn parse_f64(req: &Request, key: &str, default: f64) -> Result<f64, Response> {
+    match req.param(key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| error_response(400, &format!("bad numeric parameter {key}='{raw}'"))),
+    }
+}
+
+fn check_level(level: f64) -> Result<(), Response> {
+    if 0.0 < level && level < 1.0 {
+        Ok(())
+    } else {
+        Err(error_response(400, "level must be in (0, 1)"))
+    }
+}
+
+/// Dispatches one request against the shared state.
+pub fn handle(state: &AppState, req: &Request) -> Response {
+    let segments = req.segments();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::json(200, "{\"status\": \"ok\"}".to_string()),
+        ("GET", ["metrics"]) => Response::text(200, state.metrics.render()),
+        ("GET", ["projects"]) => list_projects(state),
+        ("PUT", ["projects", id]) => create_project(state, req, id),
+        ("GET", ["projects", id]) => project_summary(state, id),
+        ("POST", ["projects", id, "events"]) => ingest_events(state, req, id),
+        ("GET", ["projects", id, "fit"]) => fit_summary(state, id),
+        ("GET", ["projects", id, "interval"]) => interval(state, req, id),
+        ("GET", ["projects", id, "band"]) => band(state, req, id),
+        ("GET", ["projects", id, "predict"]) => predict(state, req, id),
+        ("GET", ["projects", id, "reliability"]) => reliability(state, req, id),
+        ("GET", ["projects", id, "spc"]) => spc(state, id),
+        ("GET" | "PUT" | "POST", _) => error_response(404, "no such route"),
+        _ => error_response(405, "method not allowed"),
+    }
+}
+
+fn summary_json(summary: &crate::registry::ProjectSummary, fitted_version: Option<u64>) -> String {
+    format!(
+        "{{\"id\": {}, \"kind\": {}, \"model\": {}, \"prior\": {}, \"version\": {}, \
+         \"event_count\": {}, \"observation_end\": {}, \"fitted_version\": {}}}",
+        jstr(&summary.id),
+        jstr(summary.kind),
+        jstr(&summary.model),
+        jstr(&summary.prior),
+        summary.version,
+        summary.event_count,
+        jnum(summary.observation_end),
+        match fitted_version {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        },
+    )
+}
+
+fn list_projects(state: &AppState) -> Response {
+    let entries: Vec<String> = state
+        .registry
+        .all()
+        .iter()
+        .map(|p| summary_json(&p.summary(), cached_fit(p).map(|c| c.version)))
+        .collect();
+    Response::json(200, format!("{{\"projects\": [{}]}}", entries.join(", ")))
+}
+
+fn create_project(state: &AppState, req: &Request, id: &str) -> Response {
+    let kind = req.param("kind").unwrap_or("times");
+    let Some(model) = req.param("model") else {
+        return error_response(400, "missing 'model' parameter");
+    };
+    let Some(prior) = req.param("prior") else {
+        return error_response(400, "missing 'prior' parameter");
+    };
+    let config = match ProjectConfig::from_labels(kind, model, prior) {
+        Ok(c) => c,
+        Err(message) => return error_response(400, &message),
+    };
+    match state.registry.create(id, config) {
+        Ok(CreateOutcome::Created) => Response::json(
+            201,
+            format!("{{\"created\": {}, \"existed\": false}}", jstr(id)),
+        ),
+        Ok(CreateOutcome::AlreadyExists) => Response::json(
+            200,
+            format!("{{\"created\": {}, \"existed\": true}}", jstr(id)),
+        ),
+        Err(err) => registry_error(&err),
+    }
+}
+
+fn project_summary(state: &AppState, id: &str) -> Response {
+    match state.registry.get(id) {
+        Some(project) => Response::json(
+            200,
+            summary_json(&project.summary(), cached_fit(&project).map(|c| c.version)),
+        ),
+        None => error_response(404, &format!("unknown project '{id}'")),
+    }
+}
+
+fn ingest_events(state: &AppState, req: &Request, id: &str) -> Response {
+    let Some(project) = state.registry.get(id) else {
+        return error_response(404, &format!("unknown project '{id}'"));
+    };
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return error_response(400, "body must be UTF-8 CSV");
+    };
+    match project.ingest(text) {
+        Ok(added) => {
+            state
+                .metrics
+                .events_ingested
+                .fetch_add(added, std::sync::atomic::Ordering::Relaxed);
+            Response::json(
+                200,
+                format!(
+                    "{{\"ingested\": {added}, \"version\": {}}}",
+                    project.version()
+                ),
+            )
+        }
+        Err(err) => registry_error(&err),
+    }
+}
+
+/// Runs (or joins, or cache-hits) the fit for the current data version.
+fn current_fit(
+    state: &AppState,
+    id: &str,
+) -> Result<(std::sync::Arc<crate::scheduler::CachedFit>, std::sync::Arc<crate::registry::Project>), Response> {
+    let Some(project) = state.registry.get(id) else {
+        return Err(error_response(404, &format!("unknown project '{id}'")));
+    };
+    match ensure_fit(&project, &state.fit, &state.metrics) {
+        Ok(cached) => Ok((cached, project)),
+        Err(err) => Err(fit_serve_error(&err)),
+    }
+}
+
+fn fit_summary(state: &AppState, id: &str) -> Response {
+    let (cached, _) = match current_fit(state, id) {
+        Ok(pair) => pair,
+        Err(resp) => return resp,
+    };
+    let report = &cached.fit.report;
+    let posterior = &cached.fit.posterior;
+    let warnings: Vec<String> = report.warnings.iter().map(|w| jstr(w)).collect();
+    let tier = match report.fallback_tier() {
+        Some(t) => jstr(t),
+        None => "null".to_string(),
+    };
+    let mean_n = match posterior.mean_n() {
+        Some(v) => jnum(v),
+        None => "null".to_string(),
+    };
+    Response::json(
+        200,
+        format!(
+            "{{\"data_version\": {}, \"method\": {}, \"provenance\": {}, \"attempts\": {}, \
+             \"warm_started\": {}, \"budget_exhausted\": {}, \"fallback_tier\": {}, \
+             \"warnings\": [{}], \"mean_omega\": {}, \"sd_omega\": {}, \"mean_beta\": {}, \
+             \"sd_beta\": {}, \"covariance\": {}, \"mean_n\": {}}}",
+            cached.version,
+            jstr(posterior.method_name()),
+            jstr(report.provenance),
+            report.total_attempts(),
+            cached.warm_started,
+            report.budget_exhausted(),
+            tier,
+            warnings.join(", "),
+            jnum(posterior.mean_omega()),
+            jnum(posterior.var_omega().sqrt()),
+            jnum(posterior.mean_beta()),
+            jnum(posterior.var_beta().sqrt()),
+            jnum(posterior.covariance()),
+            mean_n,
+        ),
+    )
+}
+
+fn interval(state: &AppState, req: &Request, id: &str) -> Response {
+    let level = match parse_f64(req, "level", 0.99) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if let Err(resp) = check_level(level) {
+        return resp;
+    }
+    let param = req.param("param").unwrap_or("omega");
+    let (cached, _) = match current_fit(state, id) {
+        Ok(pair) => pair,
+        Err(resp) => return resp,
+    };
+    let (lo, hi) = match param {
+        "omega" => cached.fit.posterior.credible_interval_omega(level),
+        "beta" => cached.fit.posterior.credible_interval_beta(level),
+        other => return error_response(400, &format!("unknown param '{other}' (omega|beta)")),
+    };
+    Response::json(
+        200,
+        format!(
+            "{{\"param\": {}, \"level\": {}, \"lo\": {}, \"hi\": {}, \"data_version\": {}}}",
+            jstr(param),
+            jnum(level),
+            jnum(lo),
+            jnum(hi),
+            cached.version,
+        ),
+    )
+}
+
+fn band(state: &AppState, req: &Request, id: &str) -> Response {
+    let level = match parse_f64(req, "level", 0.99) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if let Err(resp) = check_level(level) {
+        return resp;
+    }
+    let points = match parse_f64(req, "points", 20.0) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if !(2.0..=512.0).contains(&points) {
+        return error_response(400, "points must be in [2, 512]");
+    }
+    let (cached, project) = match current_fit(state, id) {
+        Ok(pair) => pair,
+        Err(resp) => return resp,
+    };
+    let t_end = project.summary().observation_end;
+    let n = points as usize;
+    let grid: Vec<f64> = (1..=n).map(|i| t_end * i as f64 / n as f64).collect();
+    match cached.fit.posterior.mean_value_band(&grid, level) {
+        Some(Ok(band)) => {
+            let rows: Vec<String> = band
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{\"t\": {}, \"lower\": {}, \"mean\": {}, \"upper\": {}}}",
+                        jnum(p.t),
+                        jnum(p.lower),
+                        jnum(p.mean),
+                        jnum(p.upper)
+                    )
+                })
+                .collect();
+            Response::json(
+                200,
+                format!(
+                    "{{\"level\": {}, \"band\": [{}], \"data_version\": {}}}",
+                    jnum(level),
+                    rows.join(", "),
+                    cached.version
+                ),
+            )
+        }
+        Some(Err(err)) => error_response(500, &err.to_string()),
+        None => error_response(
+            409,
+            &format!(
+                "the posterior was produced by the '{}' fallback tier, which has no \
+                 mixture representation to integrate a band over",
+                cached.fit.report.provenance
+            ),
+        ),
+    }
+}
+
+fn predict(state: &AppState, req: &Request, id: &str) -> Response {
+    let level = match parse_f64(req, "level", 0.99) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if let Err(resp) = check_level(level) {
+        return resp;
+    }
+    let window = match parse_f64(req, "window", 0.0) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if window.is_nan() || window <= 0.0 {
+        return error_response(400, "window must be positive");
+    }
+    let (cached, project) = match current_fit(state, id) {
+        Ok(pair) => pair,
+        Err(resp) => return resp,
+    };
+    let t = project.summary().observation_end;
+    match cached.fit.posterior.predictive_failures(t, window) {
+        Ok(counts) => {
+            let interval = match counts.interval(level) {
+                Some((lo, hi)) => format!("[{lo}, {hi}]"),
+                None => "null".to_string(),
+            };
+            Response::json(
+                200,
+                format!(
+                    "{{\"t\": {}, \"window\": {}, \"mean\": {}, \"variance\": {}, \
+                     \"prob_zero\": {}, \"level\": {}, \"interval\": {}, \"data_version\": {}}}",
+                    jnum(t),
+                    jnum(window),
+                    jnum(counts.mean()),
+                    jnum(counts.variance()),
+                    jnum(counts.prob_zero()),
+                    jnum(level),
+                    interval,
+                    cached.version,
+                ),
+            )
+        }
+        Err(err) => error_response(500, &err.to_string()),
+    }
+}
+
+fn reliability(state: &AppState, req: &Request, id: &str) -> Response {
+    let level = match parse_f64(req, "level", 0.99) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if let Err(resp) = check_level(level) {
+        return resp;
+    }
+    let window = match parse_f64(req, "window", 0.0) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if window.is_nan() || window <= 0.0 {
+        return error_response(400, "window must be positive");
+    }
+    let (cached, project) = match current_fit(state, id) {
+        Ok(pair) => pair,
+        Err(resp) => return resp,
+    };
+    let t = project.summary().observation_end;
+    let point = cached.fit.posterior.reliability_point(t, window);
+    let (lo, hi) = cached.fit.posterior.reliability_interval(t, window, level);
+    Response::json(
+        200,
+        format!(
+            "{{\"t\": {}, \"window\": {}, \"point\": {}, \"level\": {}, \"lo\": {}, \
+             \"hi\": {}, \"data_version\": {}}}",
+            jnum(t),
+            jnum(window),
+            jnum(point),
+            jnum(level),
+            jnum(lo),
+            jnum(hi),
+            cached.version,
+        ),
+    )
+}
+
+/// SPC control-limit check on the newest inter-failure time (ordered
+/// statistics chart of Rao et al.): the plotted statistic is
+/// `p = P(T ≤ τ | D) = 1 − E[R(t_{m−1} + τ | t_{m−1})]` — the posterior
+/// probability of seeing the newest gap `τ` or shorter. `p` below the
+/// LCL means failures are arriving much faster than the fitted process
+/// predicts (reliability deterioration); above the UCL, much slower
+/// (significant improvement).
+fn spc(state: &AppState, id: &str) -> Response {
+    let Some(project) = state.registry.get(id) else {
+        return error_response(404, &format!("unknown project '{id}'"));
+    };
+    let Some((t_prev, t_last)) = project.newest_gap() else {
+        return error_response(
+            409,
+            "SPC needs a times project with at least two recorded failures",
+        );
+    };
+    let (cached, _) = match current_fit(state, id) {
+        Ok(pair) => pair,
+        Err(resp) => return resp,
+    };
+    let tau = t_last - t_prev;
+    let p = 1.0 - cached.fit.posterior.reliability_point(t_prev, tau);
+    let status = if p < SPC_LCL {
+        "deterioration-alarm"
+    } else if p > SPC_UCL {
+        "improvement"
+    } else {
+        "in-control"
+    };
+    Response::json(
+        200,
+        format!(
+            "{{\"t_prev\": {}, \"t_last\": {}, \"gap\": {}, \"p\": {}, \"lcl\": {}, \
+             \"cl\": {}, \"ucl\": {}, \"status\": {}, \"data_version\": {}}}",
+            jnum(t_prev),
+            jnum(t_last),
+            jnum(tau),
+            jnum(p),
+            jnum(SPC_LCL),
+            jnum(SPC_CL),
+            jnum(SPC_UCL),
+            jstr(status),
+            cached.version,
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::scheduler::FitSettings;
+    use nhpp_data::sys17;
+    use std::collections::BTreeMap;
+
+    fn state() -> AppState {
+        AppState {
+            registry: Registry::open(None).unwrap(),
+            metrics: crate::Metrics::new(),
+            fit: FitSettings::default(),
+            quiet: true,
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        request("GET", path, "")
+    }
+
+    fn request(method: &str, path_and_query: &str, body: &str) -> Request {
+        let (path, query_text) = match path_and_query.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (path_and_query, ""),
+        };
+        let mut query = BTreeMap::new();
+        for pair in query_text.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.insert(k.to_string(), v.to_string());
+        }
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query,
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn sys17_batch() -> String {
+        let mut text = format!("# t_end={}\n", sys17::T_END);
+        for t in sys17::FAILURE_TIMES {
+            text.push_str(&format!("{t}\n"));
+        }
+        text
+    }
+
+    fn extract_num(body: &str, key: &str) -> f64 {
+        let marker = format!("\"{key}\": ");
+        let start = body.find(&marker).unwrap_or_else(|| {
+            panic!("key {key} not in {body}");
+        }) + marker.len();
+        let rest = &body[start..];
+        let end = rest.find([',', '}', ']']).unwrap();
+        rest[..end].trim().parse().unwrap()
+    }
+
+    #[test]
+    fn health_and_unknown_routes() {
+        let state = state();
+        assert_eq!(handle(&state, &get("/healthz")).status, 200);
+        assert_eq!(handle(&state, &get("/nope")).status, 404);
+        assert_eq!(
+            handle(&state, &request("DELETE", "/projects/x", "")).status,
+            405
+        );
+    }
+
+    #[test]
+    fn full_project_lifecycle_over_routes() {
+        let state = state();
+        let create = handle(
+            &state,
+            &request(
+                "PUT",
+                "/projects/sys17?kind=times&model=go&prior=paper-info-times",
+                "",
+            ),
+        );
+        assert_eq!(create.status, 201, "{}", create.body);
+        // Idempotent re-create.
+        assert_eq!(
+            handle(
+                &state,
+                &request(
+                    "PUT",
+                    "/projects/sys17?kind=times&model=go&prior=paper-info-times",
+                    "",
+                ),
+            )
+            .status,
+            200
+        );
+
+        let ingest = handle(
+            &state,
+            &request("POST", "/projects/sys17/events", &sys17_batch()),
+        );
+        assert_eq!(ingest.status, 200, "{}", ingest.body);
+        assert!(ingest.body.contains("\"ingested\": 38"));
+
+        let fit = handle(&state, &get("/projects/sys17/fit"));
+        assert_eq!(fit.status, 200, "{}", fit.body);
+        assert!(fit.body.contains("\"provenance\": \"vb2\""));
+        assert!(fit.body.contains("\"warm_started\": false"));
+
+        // The served interval equals the library's batch fit exactly
+        // (same code path, same data).
+        let direct = nhpp_vb::Vb2Posterior::fit(
+            nhpp_models::ModelSpec::goel_okumoto(),
+            nhpp_models::prior::NhppPrior::paper_info_times(),
+            &sys17::failure_times().into(),
+            nhpp_vb::Vb2Options::default(),
+        )
+        .unwrap();
+        let interval = handle(
+            &state,
+            &get("/projects/sys17/interval?param=omega&level=0.99"),
+        );
+        assert_eq!(interval.status, 200);
+        let (lo, hi) = direct.credible_interval_omega(0.99);
+        assert_eq!(extract_num(&interval.body, "lo"), lo);
+        assert_eq!(extract_num(&interval.body, "hi"), hi);
+
+        let rel = handle(
+            &state,
+            &get("/projects/sys17/reliability?window=1000&level=0.99"),
+        );
+        assert_eq!(rel.status, 200, "{}", rel.body);
+        assert_eq!(
+            extract_num(&rel.body, "point"),
+            direct.reliability_point(sys17::T_END, 1000.0)
+        );
+
+        let predict = handle(&state, &get("/projects/sys17/predict?window=86400"));
+        assert_eq!(predict.status, 200, "{}", predict.body);
+        assert!(extract_num(&predict.body, "mean") > 0.0);
+
+        let band = handle(&state, &get("/projects/sys17/band?points=5&level=0.9"));
+        assert_eq!(band.status, 200, "{}", band.body);
+        assert!(band.body.matches("\"t\":").count() == 5);
+
+        let spc = handle(&state, &get("/projects/sys17/spc"));
+        assert_eq!(spc.status, 200, "{}", spc.body);
+        let p = extract_num(&spc.body, "p");
+        assert!(p > 0.0 && p < 1.0, "p={p}");
+        assert!(spc.body.contains("\"status\": \"in-control\""), "{}", spc.body);
+
+        // All those queries ran exactly one fit.
+        let fits = state
+            .metrics
+            .fits_total
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(fits, 1, "queries were served from the cached posterior");
+
+        let metrics = handle(&state, &get("/metrics"));
+        assert_eq!(metrics.status, 200);
+        assert!(
+            crate::metrics::scrape_counter(&metrics.body, "nhpp_serve_fits_total") == Some(1)
+        );
+    }
+
+    #[test]
+    fn validation_errors_are_4xx() {
+        let state = state();
+        assert_eq!(
+            handle(&state, &request("PUT", "/projects/bad id!", "")).status,
+            400
+        );
+        assert_eq!(
+            handle(
+                &state,
+                &request("PUT", "/projects/x?model=weibull&prior=flat", "")
+            )
+            .status,
+            400
+        );
+        assert_eq!(handle(&state, &get("/projects/ghost/fit")).status, 404);
+
+        handle(
+            &state,
+            &request(
+                "PUT",
+                "/projects/p?kind=times&model=go&prior=paper-info-times",
+                "",
+            ),
+        );
+        // No data yet: fitting is a 400, not a crash.
+        assert_eq!(handle(&state, &get("/projects/p/fit")).status, 400);
+        handle(
+            &state,
+            &request("POST", "/projects/p/events", "# t_end=10\n1.0\n2.0\n"),
+        );
+        assert_eq!(
+            handle(&state, &get("/projects/p/interval?level=1.5")).status,
+            400
+        );
+        assert_eq!(
+            handle(&state, &get("/projects/p/interval?param=sigma")).status,
+            400
+        );
+        assert_eq!(
+            handle(&state, &get("/projects/p/predict?window=-1")).status,
+            400
+        );
+        // Malformed batch.
+        assert_eq!(
+            handle(&state, &request("POST", "/projects/p/events", "nonsense")).status,
+            400
+        );
+    }
+
+    #[test]
+    fn fit_failure_surfaces_budget_and_tier_in_body() {
+        let mut state = state();
+        let mut options = nhpp_vb::RobustOptions::strict();
+        options.base.total_budget = Some(1);
+        options.retry.max_attempts = 1;
+        state.fit = FitSettings {
+            options,
+            threads: 1,
+        };
+        handle(
+            &state,
+            &request(
+                "PUT",
+                "/projects/p?kind=times&model=go&prior=paper-info-times",
+                "",
+            ),
+        );
+        handle(
+            &state,
+            &request("POST", "/projects/p/events", &sys17_batch()),
+        );
+        let resp = handle(&state, &get("/projects/p/fit"));
+        assert_eq!(resp.status, 503, "{}", resp.body);
+        assert!(
+            resp.body.contains("\"budget_exhausted\": true"),
+            "{}",
+            resp.body
+        );
+        assert!(resp.body.contains("\"kind\": \"budget-exhausted\""));
+        assert!(resp.body.contains("\"fallback_tier\": null"));
+    }
+}

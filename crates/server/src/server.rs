@@ -1,0 +1,398 @@
+//! The long-running service: a `std::net::TcpListener` accept loop
+//! fanned out over the existing [`nhpp_numeric::parallel`] worker pool.
+//!
+//! There is deliberately no async runtime here. The service's unit of
+//! work is a *fit* — milliseconds of dense floating-point arithmetic —
+//! not a high-fanout I/O wait, so blocking threads over cloned listener
+//! file descriptors are the simplest correct model: the kernel load-
+//! balances `accept(2)` across workers, and a slow fit occupies exactly
+//! one worker without starving the others. Shutdown is cooperative: a
+//! shared flag plus one self-connect per worker to unblock `accept`.
+
+use crate::http::{read_request, Response};
+use crate::metrics::Metrics;
+use crate::registry::Registry;
+use crate::routes;
+use crate::scheduler::{flush_stale, FitSettings};
+use std::io::{self, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything the route handlers can see. One instance, shared by all
+/// workers and the flush thread.
+pub struct AppState {
+    /// Project registry (durable if the server was given a data dir).
+    pub registry: Registry,
+    /// Service counters.
+    pub metrics: Metrics,
+    /// Options + thread budget applied to every supervised fit.
+    pub fit: FitSettings,
+    /// Suppress per-request log lines.
+    pub quiet: bool,
+}
+
+/// Server construction parameters.
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878`. Port `0` picks a free port.
+    pub addr: String,
+    /// Directory for durable project logs; `None` keeps state in memory.
+    pub data_dir: Option<PathBuf>,
+    /// Accept workers; `0` means [`nhpp_numeric::parallel::auto_threads`].
+    pub workers: usize,
+    /// Period of the background flush tick that batch-refits stale
+    /// projects; `None` disables it (queries still refit on demand).
+    pub flush_interval: Option<Duration>,
+    /// Fit options and per-fit thread budget.
+    pub fit: FitSettings,
+    /// Suppress per-request log lines.
+    pub quiet: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            data_dir: None,
+            workers: 0,
+            flush_interval: Some(Duration::from_millis(500)),
+            fit: FitSettings::default(),
+            quiet: false,
+        }
+    }
+}
+
+/// A bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    shutdown: Arc<AtomicBool>,
+    workers: usize,
+    flush_interval: Option<Duration>,
+}
+
+impl Server {
+    /// Binds the listener and replays any durable project logs found in
+    /// the data directory. The server does not accept until [`run`] or
+    /// [`spawn`].
+    ///
+    /// [`run`]: Server::run
+    /// [`spawn`]: Server::spawn
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let registry = Registry::open(config.data_dir.as_deref())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = if config.workers == 0 {
+            nhpp_numeric::parallel::auto_threads()
+        } else {
+            config.workers
+        }
+        .max(1);
+        Ok(Server {
+            listener,
+            addr,
+            state: Arc::new(AppState {
+                registry,
+                metrics: Metrics::new(),
+                fit: config.fit,
+                quiet: config.quiet,
+            }),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            workers,
+            flush_interval: config.flush_interval,
+        })
+    }
+
+    /// The bound address (useful when the config asked for port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state, for in-process introspection.
+    pub fn state(&self) -> Arc<AppState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Runs the accept workers on the calling thread's pool and blocks
+    /// until shutdown is signalled.
+    pub fn run(self) -> io::Result<()> {
+        let flush_thread = self.flush_interval.map(|interval| {
+            let state = Arc::clone(&self.state);
+            let shutdown = Arc::clone(&self.shutdown);
+            std::thread::spawn(move || flush_loop(&state, &shutdown, interval))
+        });
+
+        let worker_ids: Vec<usize> = (0..self.workers).collect();
+        let state = &self.state;
+        let shutdown = &self.shutdown;
+        let listener = &self.listener;
+        nhpp_numeric::parallel::map_items(self.workers, &worker_ids, |_, _| {
+            let listener = match listener.try_clone() {
+                Ok(l) => l,
+                Err(_) => return,
+            };
+            accept_loop(&listener, state, shutdown);
+        });
+
+        if let Some(handle) = flush_thread {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    /// Starts the server on a background thread and returns a handle
+    /// that can query its state and shut it down.
+    pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
+        let server = Server::bind(config)?;
+        let addr = server.addr;
+        let state = server.state();
+        let shutdown = Arc::clone(&server.shutdown);
+        let workers = server.workers;
+        let join = std::thread::spawn(move || server.run());
+        Ok(ServerHandle {
+            addr,
+            state,
+            shutdown,
+            workers,
+            join: Some(join),
+        })
+    }
+}
+
+/// Handle to a spawned server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    shutdown: Arc<AtomicBool>,
+    workers: usize,
+    join: Option<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The address the server is accepting on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state, for in-process assertions (tests, benches).
+    pub fn state(&self) -> Arc<AppState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Signals shutdown, wakes every blocked `accept`, and joins the
+    /// server thread.
+    pub fn shutdown(mut self) {
+        self.signal();
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+
+    fn signal(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // One wake-up connection per worker: each is parked in
+        // `accept`, and the kernel hands each connect to exactly one.
+        for _ in 0..self.workers {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.signal();
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+fn flush_loop(state: &AppState, shutdown: &AtomicBool, interval: Duration) {
+    // Sleep in short slices so shutdown never waits a full interval.
+    let slice = interval.min(Duration::from_millis(50));
+    let mut elapsed = Duration::ZERO;
+    loop {
+        std::thread::sleep(slice);
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        elapsed += slice;
+        if elapsed < interval {
+            continue;
+        }
+        elapsed = Duration::ZERO;
+        flush_stale(&state.registry, &state.fit, &state.metrics);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &AppState, shutdown: &AtomicBool) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                handle_connection(stream, state);
+            }
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Transient accept failure (e.g. fd pressure): back off
+                // briefly instead of spinning.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &AppState) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "-".to_string());
+    let mut reader = BufReader::new(stream);
+    let started = Instant::now();
+    let (request, response) = match read_request(&mut reader) {
+        Ok(req) => {
+            let resp = routes::handle(state, &req);
+            (Some(req), resp)
+        }
+        Err(err) => (
+            None,
+            Response::json(
+                400,
+                format!("{{\"error\": \"malformed request: {err}\"}}"),
+            ),
+        ),
+    };
+    let elapsed = started.elapsed();
+    state.metrics.observe_request(response.status, elapsed);
+    if !state.quiet {
+        let (method, path) = request
+            .as_ref()
+            .map(|r| (r.method.as_str(), r.path.as_str()))
+            .unwrap_or(("-", "-"));
+        eprintln!(
+            "nhpp-serve peer={peer} method={method} path={path} status={} bytes={} ms={:.3}",
+            response.status,
+            response.body.len(),
+            elapsed.as_secs_f64() * 1000.0,
+        );
+    }
+    let mut stream = reader.into_inner();
+    let _ = response.write_to(&mut stream);
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::client_request;
+    use nhpp_data::sys17;
+
+    fn quiet_config() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            flush_interval: None,
+            quiet: true,
+            ..ServerConfig::default()
+        }
+    }
+
+    fn sys17_batch() -> String {
+        let mut text = format!("# t_end={}\n", sys17::T_END);
+        for t in sys17::FAILURE_TIMES {
+            text.push_str(&format!("{t}\n"));
+        }
+        text
+    }
+
+    #[test]
+    fn spawned_server_answers_over_real_tcp_and_shuts_down() {
+        let handle = Server::spawn(quiet_config()).unwrap();
+        let addr = handle.addr().to_string();
+
+        let (status, body) = client_request(&addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"ok\""));
+
+        let (status, _) = client_request(
+            &addr,
+            "PUT",
+            "/projects/sys17?kind=times&model=go&prior=paper-info-times",
+            None,
+        )
+        .unwrap();
+        assert_eq!(status, 201);
+
+        let batch = sys17_batch();
+        let (status, body) =
+            client_request(&addr, "POST", "/projects/sys17/events", Some(&batch)).unwrap();
+        assert_eq!(status, 200, "{body}");
+
+        let (status, body) = client_request(&addr, "GET", "/projects/sys17/fit", None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"provenance\": \"vb2\""), "{body}");
+
+        let (status, body) = client_request(&addr, "GET", "/metrics", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            crate::metrics::scrape_counter(&body, "nhpp_serve_fits_total"),
+            Some(1),
+            "{body}"
+        );
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn flush_tick_refits_in_background() {
+        let mut config = quiet_config();
+        config.flush_interval = Some(Duration::from_millis(60));
+        let handle = Server::spawn(config).unwrap();
+        let addr = handle.addr().to_string();
+
+        client_request(
+            &addr,
+            "PUT",
+            "/projects/p?kind=times&model=go&prior=paper-info-times",
+            None,
+        )
+        .unwrap();
+        client_request(&addr, "POST", "/projects/p/events", Some(&sys17_batch())).unwrap();
+
+        // Wait for a tick to fit the stale project without any query.
+        let state = handle.state();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while state
+            .metrics
+            .fits_total
+            .load(std::sync::atomic::Ordering::Relaxed)
+            == 0
+        {
+            assert!(Instant::now() < deadline, "flush tick never fitted");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+
+        // The query is now a pure cache hit.
+        let (status, _) = client_request(&addr, "GET", "/projects/p/fit", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            state
+                .metrics
+                .fits_total
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        handle.shutdown();
+    }
+}
