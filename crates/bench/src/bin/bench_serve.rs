@@ -5,9 +5,10 @@
 //!
 //! ```text
 //! bench_serve [--out BENCH_5.json] [--label BENCH_5] [--quick]
+//! bench_serve --overload [--out BENCH_6.json] [--quick]
 //! ```
 //!
-//! Metrics (all milliseconds, lower is better, so the standard
+//! Default metrics (all milliseconds, lower is better, so the standard
 //! `bench_report compare` gate applies unchanged):
 //!
 //! * `serve-p50-ms-c{1,8,64}` / `serve-p99-ms-c{1,8,64}` — latency
@@ -19,13 +20,29 @@
 //!   1.6; no coalescing: 100). Not a wall time, but gate-safe: `compare`
 //!   only inspects metrics shared with the baseline report.
 //!
+//! `--overload` metrics (BENCH_6): the overload/recovery scenario.
+//!
+//! * `serve-ovl-p99-ms-c{N}` — accepted-request p99 against a small
+//!   admission queue at N closed-loop clients over 4 projects: the
+//!   saturation curve. With shedding, p99 stays bounded as N grows
+//!   instead of scaling with queue depth;
+//! * `serve-shed-per-100-c{N}` — requests shed (503 + `Retry-After`)
+//!   per 100 issued at the same points (a ratio, not a wall time);
+//! * `serve-coldstart-ms-full` / `serve-coldstart-ms-compacted` —
+//!   median registry replay time of a long pure log vs the same state
+//!   after `force_compact`: the measured bound on replay cost.
+//!
 //! Derived requests/sec per concurrency level is printed for humans.
 
 use nhpp_bench::perf::{Metric, Report};
 use nhpp_data::sys17;
-use nhpp_serve::{client_request, metrics::scrape_counter, Server, ServerConfig};
+use nhpp_serve::{
+    client_request, client_request_full, metrics::scrape_counter, DurabilityPolicy, FsStorage,
+    ProjectConfig, Registry, Server, ServerConfig,
+};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -89,9 +106,231 @@ fn closed_loop(addr: &str, clients: usize, per_client: usize, path: &str) -> Vec
     latencies
 }
 
+/// Writes a finished report and prints it; shared by both modes.
+fn finish(out_path: &str, label: String, metrics: BTreeMap<String, Metric>) -> ExitCode {
+    let report = Report { label, metrics };
+    if let Err(e) = std::fs::write(out_path, report.to_json()) {
+        eprintln!("bench_serve: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}:");
+    for (name, m) in &report.metrics {
+        println!("  {name:<28} {:>10.3}", m.median_ms);
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `--overload` scenario: saturation curve against a small
+/// admission queue, then cold-start replay before/after compaction.
+fn overload_main(out_path: &str, label: String, quick: bool) -> ExitCode {
+    let per_client = if quick { 10 } else { 24 };
+    let mut metrics = BTreeMap::new();
+
+    // --- Saturation curve: 2 workers, an 8-slot queue, 4 projects. ---
+    let handle = Server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 8,
+        retry_after_secs: 1,
+        flush_interval: None,
+        quiet: true,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let addr = handle.addr().to_string();
+    let projects = 4usize;
+    for p in 0..projects {
+        must_ok(
+            &addr,
+            "PUT",
+            &format!("/projects/p{p}?kind=times&model=go&prior=paper-info-times"),
+            None,
+        );
+        must_ok(
+            &addr,
+            "POST",
+            &format!("/projects/p{p}/events"),
+            Some(&sys17_batch()),
+        );
+        must_ok(&addr, "GET", &format!("/projects/p{p}/fit"), None);
+    }
+
+    for clients in [4usize, 16, 64] {
+        let results: Vec<(Vec<f64>, usize)> = std::thread::scope(|scope| {
+            let addr = &addr;
+            // Collect the handles before joining: a lazy spawn→join chain
+            // would run the clients one at a time.
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    scope.spawn(move || {
+                        // A moderately heavy query (~100 ms of posterior
+                        // integration) so the queue actually fills under
+                        // concurrency.
+                        let path = format!(
+                            "/projects/p{}/predict?window=86400&level=0.99",
+                            c % projects
+                        );
+                        let mut ok_ms = Vec::new();
+                        let mut shed = 0usize;
+                        for _ in 0..per_client {
+                            let t0 = Instant::now();
+                            let (status, retry_after, body) =
+                                client_request_full(addr, "GET", &path, None)
+                                    .expect("request completes");
+                            match status {
+                                200..=299 => ok_ms.push(t0.elapsed().as_secs_f64() * 1e3),
+                                503 => {
+                                    assert!(
+                                        retry_after.is_some(),
+                                        "shed response without Retry-After: {body}"
+                                    );
+                                    shed += 1;
+                                }
+                                other => panic!("unexpected HTTP {other}: {body}"),
+                            }
+                        }
+                        (ok_ms, shed)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let mut ok_ms: Vec<f64> = results.iter().flat_map(|(ms, _)| ms.clone()).collect();
+        let shed: usize = results.iter().map(|(_, s)| s).sum();
+        let issued = clients * per_client;
+        ok_ms.sort_by(f64::total_cmp);
+        let p99 = if ok_ms.is_empty() {
+            f64::NAN
+        } else {
+            percentile(&ok_ms, 0.99)
+        };
+        let shed_per_100 = shed as f64 / issued as f64 * 100.0;
+        eprintln!(
+            "c={clients:<3} {issued} issued: {} accepted (p99 {p99:.3} ms), {shed} shed \
+             ({shed_per_100:.2} per 100, every one with Retry-After)",
+            ok_ms.len()
+        );
+        metrics.insert(
+            format!("serve-ovl-p99-ms-c{clients}"),
+            Metric {
+                median_ms: p99,
+                samples: ok_ms.len(),
+                baseline_median_ms: None,
+                speedup: None,
+            },
+        );
+        metrics.insert(
+            format!("serve-shed-per-100-c{clients}"),
+            Metric {
+                median_ms: shed_per_100,
+                samples: issued,
+                baseline_median_ms: None,
+                speedup: None,
+            },
+        );
+    }
+    let total_shed = handle
+        .state()
+        .metrics
+        .requests_shed
+        .load(std::sync::atomic::Ordering::Relaxed);
+    eprintln!("server counted {total_shed} shed requests; still live");
+    must_ok(&addr, "GET", "/healthz", None);
+    handle.shutdown();
+
+    // --- Cold-start replay: long pure log vs compacted state. ---
+    let dir = std::env::temp_dir().join(format!("nhpp_bench6_coldstart_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let batches = if quick { 96 } else { 384 };
+    {
+        let storage = Arc::new(FsStorage::open(&dir).expect("open data dir"));
+        let manual = DurabilityPolicy {
+            snapshot_every: 0,
+            compact_at_bytes: 0,
+        };
+        let registry = Registry::open_with(storage, manual).expect("open registry");
+        let config =
+            ProjectConfig::from_labels("times", "go", "paper-info-times").expect("config");
+        registry.create("cold", config).expect("create");
+        let project = registry.get("cold").expect("project");
+        for i in 0..batches {
+            let base = 10.0 * i as f64;
+            let batch = format!(
+                "# t_end={}\n{}\n{}\n{}\n{}\n",
+                base + 10.0,
+                base + 2.0,
+                base + 4.0,
+                base + 6.0,
+                base + 8.0
+            );
+            project.ingest(&batch).expect("ingest");
+        }
+    }
+    let log_bytes_full = std::fs::metadata(dir.join("cold.log")).map_or(0, |m| m.len());
+
+    let replay_median_ms = |label: &str| {
+        let runs = if quick { 3 } else { 5 };
+        let mut times: Vec<f64> = (0..runs)
+            .map(|_| {
+                let t0 = Instant::now();
+                let registry = Registry::open(Some(&dir)).expect("replay");
+                let version = registry.get("cold").expect("project").version();
+                assert_eq!(version as usize, batches, "{label}: wrong replay version");
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        (times[times.len() / 2], runs)
+    };
+
+    let (full_ms, runs) = replay_median_ms("full");
+    // Compact (snapshot + minimal log), then measure the same replay.
+    {
+        let registry = Registry::open(Some(&dir)).expect("open for compaction");
+        let (before, after) = registry
+            .get("cold")
+            .expect("project")
+            .force_compact()
+            .expect("compact");
+        eprintln!("compaction: log {before} -> {after} bytes");
+    }
+    let log_bytes_compacted = std::fs::metadata(dir.join("cold.log")).map_or(0, |m| m.len());
+    let (compacted_ms, _) = replay_median_ms("compacted");
+    eprintln!(
+        "cold start over {batches} batches: full log ({log_bytes_full} B) {full_ms:.3} ms, \
+         compacted ({log_bytes_compacted} B) {compacted_ms:.3} ms"
+    );
+    for (name, value) in [
+        ("serve-coldstart-ms-full", full_ms),
+        ("serve-coldstart-ms-compacted", compacted_ms),
+    ] {
+        metrics.insert(
+            name.to_string(),
+            Metric {
+                median_ms: value,
+                samples: runs,
+                baseline_median_ms: None,
+                speedup: None,
+            },
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    finish(out_path, label, metrics)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_5.json");
+    let overload = args.iter().any(|a| a == "--overload");
+    let default_out = if overload {
+        "BENCH_6.json"
+    } else {
+        "BENCH_5.json"
+    };
+    let out_path = flag_value(&args, "--out").unwrap_or(default_out);
     let label = flag_value(&args, "--label")
         .map(str::to_string)
         .unwrap_or_else(|| {
@@ -101,6 +340,9 @@ fn main() -> ExitCode {
                 .unwrap_or_else(|| "BENCH".to_string())
         });
     let quick = args.iter().any(|a| a == "--quick");
+    if overload {
+        return overload_main(out_path, label, quick);
+    }
     let per_client = if quick { 30 } else { 150 };
     let rounds = if quick { 4 } else { 10 };
 
@@ -184,14 +426,5 @@ fn main() -> ExitCode {
 
     handle.shutdown();
 
-    let report = Report { label, metrics };
-    if let Err(e) = std::fs::write(out_path, report.to_json()) {
-        eprintln!("bench_serve: cannot write {out_path}: {e}");
-        return ExitCode::FAILURE;
-    }
-    println!("wrote {out_path}:");
-    for (name, m) in &report.metrics {
-        println!("  {name:<24} {:>10.3}", m.median_ms);
-    }
-    ExitCode::SUCCESS
+    finish(out_path, label, metrics)
 }

@@ -74,6 +74,9 @@ COMMANDS:
   trend     Laplace trend test for reliability growth
   serve     Run the long-lived fitting service (HTTP/1.1 JSON)
   client    Talk to a running service (one request per invocation)
+  fsck      Verify a service data directory (checksums, snapshots,
+            dry-run recovery) without modifying it
+  compact   Snapshot projects and rewrite their logs to the minimum
   help      Show this message
 
 COMMON OPTIONS:
@@ -96,10 +99,22 @@ ROBUSTNESS (VB2 fits run under a supervised retry/fallback pipeline):
 SERVICE (see README \"Running as a service\"):
   serve  --addr A        bind address            [default 127.0.0.1:7878]
          --data-dir DIR  durable project logs (omit for in-memory)
-         --workers N     accept workers (0 = auto)
+         --workers N     request workers (0 = auto)
          --flush-ms MS   background refit tick, 0 disables [default 500]
          --threads N     threads per fit (0 = auto)
+         --queue N       admission queue bound, 0 = unbounded
+                         (full queue sheds 503 + Retry-After) [default 1024]
+         --retry-after-secs S  seconds advertised on shed    [default 1]
+         --fit-deadline-ms MS  per-request fit deadline, 0 = none
+         --max-cached-fits N   LRU bound on cached posteriors, 0 = none
+         --snapshot-every N    snapshot every N batches, 0 = never
+                               [default 64]
+         --compact-at-bytes B  compact logs past B bytes, 0 = never
+                               [default 1048576]
          --quiet         suppress per-request log lines
+  fsck   --data-dir DIR [--project ID]  nonzero exit on corruption a
+         restart could not absorb (torn tails are reported, but clean)
+  compact --data-dir DIR [--project ID]  bound future replay cost
   client --addr A --op OP --project ID
          OP: create | ingest | fit | interval | predict | reliability
              | spc | metrics | check
@@ -134,6 +149,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "trend" => cmd_trend(args),
         "serve" => crate::service::cmd_serve(args),
         "client" => crate::service::cmd_client(args),
+        "fsck" => crate::service::cmd_fsck(args),
+        "compact" => crate::service::cmd_compact(args),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -233,6 +250,7 @@ fn robust_options(
         },
         fallback: !args.flag("strict"),
         fault: None,
+        total_deadline: None,
     })
 }
 

@@ -11,7 +11,10 @@
 use crate::args::ParsedArgs;
 use crate::commands::CliError;
 use nhpp_bench::json;
-use nhpp_serve::{client_request, FitSettings, Server, ServerConfig};
+use nhpp_serve::{
+    client_request, DurabilityPolicy, FitSettings, FsStorage, Registry, Server, ServerConfig,
+    SnapshotStatus,
+};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -27,6 +30,7 @@ pub fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
     let workers = args.get_u64("workers", 0)? as usize;
     let flush_ms = args.get_u64("flush-ms", 500)?;
     let threads = args.get_u64("threads", 0)? as usize;
+    let deadline_ms = args.get_u64("fit-deadline-ms", 0)?;
     let config = ServerConfig {
         addr,
         data_dir,
@@ -34,7 +38,15 @@ pub fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
         flush_interval: (flush_ms > 0).then(|| Duration::from_millis(flush_ms)),
         fit: FitSettings {
             threads,
+            deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
             ..FitSettings::default()
+        },
+        queue_capacity: args.get_u64("queue", 1024)? as usize,
+        max_cached_fits: args.get_u64("max-cached-fits", 0)? as usize,
+        retry_after_secs: args.get_u64("retry-after-secs", 1)? as u32,
+        durability: DurabilityPolicy {
+            snapshot_every: args.get_u64("snapshot-every", 64)?,
+            compact_at_bytes: args.get_u64("compact-at-bytes", 1 << 20)?,
         },
         quiet: args.flag("quiet"),
     };
@@ -46,6 +58,123 @@ pub fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
     );
     server.run().map_err(run_err("serving"))?;
     Ok(String::new())
+}
+
+/// `nhpp fsck`: verify a service data directory without modifying it.
+///
+/// Checksums are scanned in place and recovery is dry-run against an
+/// in-memory copy, so this is safe against a live server's directory.
+/// The exit is nonzero only for corruption a restart could not absorb;
+/// a torn tail (crash residue the next startup truncates) is reported
+/// but clean.
+pub fn cmd_fsck(args: &ParsedArgs) -> Result<String, CliError> {
+    let dir = std::path::PathBuf::from(args.require("data-dir")?);
+    let storage = FsStorage::open(&dir).map_err(run_err("opening data dir"))?;
+    let mut entries = nhpp_serve::fsck(&storage).map_err(run_err("fsck"))?;
+    if let Some(only) = args.get("project") {
+        entries.retain(|e| e.id == only);
+        if entries.is_empty() {
+            return Err(CliError::Run(format!(
+                "no stored project '{only}' in {}",
+                dir.display()
+            )));
+        }
+    }
+
+    let mut out = String::new();
+    let mut unhealthy = 0usize;
+    writeln!(
+        out,
+        "{:<16} {:>10} {:>8} {:>10} {:<14} {:>10} {:<8}",
+        "project", "log_bytes", "records", "torn_tail", "snapshot", "recovers", "status"
+    )
+    .unwrap();
+    for entry in &entries {
+        let snapshot = match entry.snapshot {
+            SnapshotStatus::Missing => "missing".to_string(),
+            SnapshotStatus::Valid { version } => format!("v{version}"),
+            SnapshotStatus::Corrupt => "CORRUPT".to_string(),
+        };
+        let recovers = match &entry.recovery {
+            Ok(version) => format!("v{version}"),
+            Err(_) => "FAILS".to_string(),
+        };
+        let status = if entry.healthy() {
+            if entry.torn_tail_bytes > 0 {
+                "torn-tail"
+            } else {
+                "ok"
+            }
+        } else {
+            unhealthy += 1;
+            "CORRUPT"
+        };
+        writeln!(
+            out,
+            "{:<16} {:>10} {:>8} {:>10} {:<14} {:>10} {:<8}",
+            entry.id,
+            entry.log_bytes,
+            entry.log_records,
+            entry.torn_tail_bytes,
+            snapshot,
+            recovers,
+            status
+        )
+        .unwrap();
+        if let Err(reason) = &entry.recovery {
+            writeln!(out, "  {}: {reason}", entry.id).unwrap();
+        }
+    }
+    writeln!(
+        out,
+        "{} project(s) checked, {unhealthy} unhealthy",
+        entries.len()
+    )
+    .unwrap();
+    if unhealthy > 0 {
+        return Err(CliError::Run(format!(
+            "fsck found {unhealthy} unhealthy project(s):\n{out}"
+        )));
+    }
+    Ok(out)
+}
+
+/// `nhpp compact`: snapshot projects and rewrite their logs to the
+/// minimum, bounding the next startup's replay cost. Must not run
+/// against a directory a live server is writing.
+pub fn cmd_compact(args: &ParsedArgs) -> Result<String, CliError> {
+    let dir = std::path::PathBuf::from(args.require("data-dir")?);
+    let registry = Registry::open(Some(&dir)).map_err(run_err("opening data dir"))?;
+    let mut projects = registry.all();
+    if let Some(only) = args.get("project") {
+        projects.retain(|p| p.id() == only);
+        if projects.is_empty() {
+            return Err(CliError::Run(format!(
+                "no stored project '{only}' in {}",
+                dir.display()
+            )));
+        }
+    }
+
+    let mut out = String::new();
+    for project in &projects {
+        if project.version() == 0 {
+            writeln!(out, "{}: empty, skipped", project.id()).unwrap();
+            continue;
+        }
+        let (before, after) = project
+            .force_compact()
+            .map_err(run_err(&format!("compacting '{}'", project.id())))?;
+        writeln!(
+            out,
+            "{}: log {before} -> {after} bytes (snapshot at v{})",
+            project.id(),
+            project.version()
+        )
+        .unwrap();
+    }
+    writeln!(out, "{} project(s) compacted", projects.len()).unwrap();
+    Ok(out)
 }
 
 fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> Result<(u16, String), CliError> {
@@ -415,5 +544,74 @@ mod tests {
     fn unknown_op_is_rejected() {
         let err = cmd_client(&parse(&["client", "--op", "frobnicate"])).unwrap_err();
         assert!(err.to_string().contains("unknown --op"));
+    }
+
+    /// End-to-end admin loop: serve durably, fsck clean, compact, fsck
+    /// again, then corrupt the log checksum and watch fsck fail.
+    #[test]
+    fn fsck_and_compact_admin_cycle() {
+        let dir = std::env::temp_dir().join(format!("nhpp_admin_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let csv = temp_times_csv("admin");
+        let handle = Server::spawn(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: Some(dir.clone()),
+            flush_interval: None,
+            quiet: true,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        cmd_client(&parse(&[
+            "client", "--addr", &addr, "--op", "create", "--project", "p", "--prior",
+            "paper-info-times",
+        ]))
+        .unwrap();
+        cmd_client(&parse(&[
+            "client",
+            "--addr",
+            &addr,
+            "--op",
+            "ingest",
+            "--project",
+            "p",
+            "--file",
+            csv.to_str().unwrap(),
+            "--batch",
+            "10",
+        ]))
+        .unwrap();
+        handle.shutdown();
+
+        let dir_arg = dir.to_str().unwrap();
+        let out = cmd_fsck(&parse(&["fsck", "--data-dir", dir_arg])).unwrap();
+        assert!(out.contains("1 project(s) checked, 0 unhealthy"), "{out}");
+        assert!(out.contains("recovers"), "{out}");
+
+        let out = cmd_compact(&parse(&["compact", "--data-dir", dir_arg, "--project", "p"]))
+            .unwrap();
+        assert!(out.contains("p: log"), "{out}");
+        assert!(out.contains("snapshot at v4"), "{out}");
+
+        // Compacted state still fscks clean and replays to v4.
+        let out = cmd_fsck(&parse(&["fsck", "--data-dir", dir_arg])).unwrap();
+        assert!(out.contains("v4"), "{out}");
+        assert!(out.contains("0 unhealthy"), "{out}");
+
+        // Flip a byte inside the log: fsck must exit nonzero.
+        let log = dir.join("p.log");
+        let mut bytes = std::fs::read(&log).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&log, &bytes).unwrap();
+        let err = cmd_fsck(&parse(&["fsck", "--data-dir", dir_arg])).unwrap_err();
+        assert!(err.to_string().contains("unhealthy"), "{err}");
+
+        let err = cmd_fsck(&parse(&["fsck", "--data-dir", dir_arg, "--project", "ghost"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("no stored project"), "{err}");
+
+        std::fs::remove_file(csv).ok();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -111,6 +111,14 @@ pub struct RobustOptions {
     pub fallback: bool,
     /// Deterministic fault injection (tests only; `None` in production).
     pub fault: Option<FaultPlan>,
+    /// Wall-clock budget for the *whole* cascade — every VB2 retry
+    /// tier, VB1 and Laplace together. Each stage's own deadline is
+    /// clamped to the time remaining, and a stage is not started at all
+    /// once the budget is spent; the failure classifies as
+    /// [`FailureKind::BudgetExhausted`]. `None` = unbounded (the
+    /// per-attempt `base.deadline` still applies if set). This is how a
+    /// serving layer threads a per-request deadline into the fit.
+    pub total_deadline: Option<std::time::Duration>,
 }
 
 impl Default for RobustOptions {
@@ -120,6 +128,7 @@ impl Default for RobustOptions {
             retry: RetryPolicy::default(),
             fallback: true,
             fault: None,
+            total_deadline: None,
         }
     }
 }
@@ -295,6 +304,64 @@ fn is_retryable(err: &VbError) -> bool {
     !matches!(err, VbError::InvalidOption { .. })
 }
 
+/// Tracks the cascade-wide wall-clock budget of
+/// [`RobustOptions::total_deadline`].
+#[derive(Clone, Copy)]
+struct CascadeClock {
+    started: std::time::Instant,
+    total: Option<std::time::Duration>,
+}
+
+impl CascadeClock {
+    fn start(total: Option<std::time::Duration>) -> CascadeClock {
+        CascadeClock {
+            started: std::time::Instant::now(),
+            total,
+        }
+    }
+
+    /// `Some(remaining)` when a total deadline is set; `None` when the
+    /// cascade is unbounded.
+    fn remaining(&self) -> Option<std::time::Duration> {
+        self.total
+            .map(|total| total.saturating_sub(self.started.elapsed()))
+    }
+
+    /// Whether the budget is spent.
+    fn expired(&self) -> bool {
+        self.remaining() == Some(std::time::Duration::ZERO)
+    }
+
+    /// Clamps a stage's own deadline to the time remaining.
+    fn clamp(&self, stage: Option<std::time::Duration>) -> Option<std::time::Duration> {
+        match (self.remaining(), stage) {
+            (Some(rem), Some(own)) => Some(rem.min(own)),
+            (Some(rem), None) => Some(rem),
+            (None, own) => own,
+        }
+    }
+}
+
+/// The failure returned when the cascade deadline expires before
+/// `method` could start: classified as budget exhaustion so serving
+/// layers surface it as "retry later / raise the deadline".
+fn deadline_failure(mut report: FitReport, method: &'static str) -> FitFailure {
+    report.attempts.push(AttemptRecord {
+        method,
+        attempt: 0,
+        detail: "not started".to_string(),
+        outcome: Err("cascade deadline exhausted before this stage".to_string()),
+        kind: Some(FailureKind::BudgetExhausted),
+    });
+    FitFailure {
+        error: VbError::Numeric(NumericError::BudgetExhausted {
+            used: 0,
+            reason: "cascade deadline exhausted",
+        }),
+        report,
+    }
+}
+
 /// Runs the supervised fitting pipeline (see the module docs).
 ///
 /// # Errors
@@ -335,12 +402,17 @@ pub fn fit_supervised_warm(
     };
     let mut truncation = options.base.truncation;
     let mut last_err: Option<VbError> = None;
+    let clock = CascadeClock::start(options.total_deadline);
 
     for attempt in 0..options.retry.max_attempts.max(1) {
+        if clock.expired() {
+            return Err(deadline_failure(report, "vb2"));
+        }
         let tier = options.retry.options_for(attempt, &options.base);
         let vb2_options = Vb2Options {
             truncation,
             fault: options.fault.and_then(|plan| plan.vb2_fault(attempt)),
+            deadline: clock.clamp(tier.deadline),
             ..tier
         };
         let detail = format!(
@@ -407,6 +479,9 @@ pub fn fit_supervised_warm(
         });
     }
 
+    if clock.expired() {
+        return Err(deadline_failure(report, "vb1"));
+    }
     report.warnings.push(format!(
         "VB2 failed after {} attempt(s) (last error: {vb2_err}); falling back to VB1 — its \
          posterior has structurally zero ω–β covariance and underestimated variances",
@@ -415,7 +490,7 @@ pub fn fit_supervised_warm(
     let vb1_options = Vb1Options {
         tol: options.base.inner_tol,
         max_iter: options.base.inner_max_iter,
-        deadline: options.base.deadline,
+        deadline: clock.clamp(options.base.deadline),
         fault: options.fault.and_then(|plan| plan.vb1_fault()),
     };
     let vb1_err = match Vb1Posterior::fit(spec, prior, data, vb1_options) {
@@ -445,6 +520,9 @@ pub fn fit_supervised_warm(
         }
     };
 
+    if clock.expired() {
+        return Err(deadline_failure(report, "laplace"));
+    }
     report.warnings.push(format!(
         "VB1 fallback failed ({vb1_err}); falling back to the Laplace approximation — a \
          bivariate normal at the MAP that misses the posterior's right skew"
@@ -797,6 +875,50 @@ mod tests {
             FailureKind::BudgetExhausted
         );
         assert_eq!(FailureKind::BudgetExhausted.as_str(), "budget-exhausted");
+    }
+
+    #[test]
+    fn cascade_deadline_bounds_the_whole_pipeline() {
+        let data: ObservedData = sys17::failure_times().into();
+        let prior = NhppPrior::paper_info_times();
+        // A spent deadline fails before any stage starts — even with
+        // fallback enabled, because the fallbacks share the budget.
+        let failure = fit_supervised_warm(
+            spec(),
+            prior,
+            &data,
+            RobustOptions {
+                total_deadline: Some(std::time::Duration::ZERO),
+                ..RobustOptions::default()
+            },
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(
+            FailureKind::classify(&failure.error),
+            FailureKind::BudgetExhausted
+        );
+        assert!(failure.report.budget_exhausted());
+        assert_eq!(failure.report.attempts.len(), 1);
+        assert_eq!(failure.report.attempts[0].method, "vb2");
+
+        // A generous deadline changes nothing about the result.
+        let bounded = fit_supervised(
+            spec(),
+            prior,
+            &data,
+            RobustOptions {
+                total_deadline: Some(std::time::Duration::from_secs(600)),
+                ..RobustOptions::default()
+            },
+        )
+        .unwrap();
+        let unbounded = fit_supervised(spec(), prior, &data, RobustOptions::default()).unwrap();
+        assert_eq!(
+            bounded.posterior.mean_omega(),
+            unbounded.posterior.mean_omega()
+        );
+        assert!(bounded.report.is_clean());
     }
 
     #[test]

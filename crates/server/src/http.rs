@@ -49,6 +49,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: String,
+    /// Seconds to send in a `Retry-After` header, for 503 shed/overload
+    /// responses.
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
@@ -58,6 +61,7 @@ impl Response {
             status,
             content_type: "application/json",
             body,
+            retry_after: None,
         }
     }
 
@@ -67,7 +71,15 @@ impl Response {
             status,
             content_type: "text/plain; version=0.0.4",
             body,
+            retry_after: None,
         }
+    }
+
+    /// Attaches a `Retry-After` header (seconds).
+    #[must_use]
+    pub fn with_retry_after(mut self, seconds: u32) -> Response {
+        self.retry_after = Some(seconds);
+        self
     }
 
     /// The standard reason phrase for the status code.
@@ -94,12 +106,16 @@ impl Response {
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len()
         )?;
+        if let Some(seconds) = self.retry_after {
+            write!(w, "Retry-After: {seconds}\r\n")?;
+        }
+        write!(w, "Connection: close\r\n\r\n")?;
         w.write_all(self.body.as_bytes())?;
         w.flush()
     }
@@ -178,6 +194,22 @@ pub fn client_request(
     path_and_query: &str,
     body: Option<&str>,
 ) -> io::Result<(u16, String)> {
+    let (status, _, body) = client_request_full(addr, method, path_and_query, body)?;
+    Ok((status, body))
+}
+
+/// Like [`client_request`] but also returns the parsed `Retry-After`
+/// header (seconds), which shed/overload responses carry.
+///
+/// # Errors
+///
+/// Connection or protocol failures as `io::Error`.
+pub fn client_request_full(
+    addr: &str,
+    method: &str,
+    path_and_query: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, Option<u32>, String)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(std::time::Duration::from_secs(60)))?;
     let payload = body.unwrap_or("");
@@ -197,6 +229,7 @@ pub fn client_request(
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad("malformed status line"))?;
     let mut content_length = None;
+    let mut retry_after = None;
     loop {
         let mut header = String::new();
         reader.read_line(&mut header)?;
@@ -207,6 +240,8 @@ pub fn client_request(
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse::<usize>().ok();
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after = value.trim().parse::<u32>().ok();
             }
         }
     }
@@ -221,7 +256,7 @@ pub fn client_request(
             reader.read_to_string(&mut body)?;
         }
     }
-    Ok((status, body))
+    Ok((status, retry_after, body))
 }
 
 #[cfg(test)]
@@ -258,6 +293,19 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(!text.contains("Retry-After"));
         assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn shed_response_carries_retry_after() {
+        let mut buf = Vec::new();
+        Response::json(503, "{\"error\":\"overloaded\"}".into())
+            .with_retry_after(2)
+            .write_to(&mut buf)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
     }
 }

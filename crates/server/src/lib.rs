@@ -9,10 +9,15 @@
 //! mixtures warm, and answer interval/reliability queries cheaply. This
 //! crate provides that service with zero new dependencies:
 //!
+//! * [`storage`] — the durable-storage boundary: a small trait over
+//!   the filesystem with CRC-framed records, a real backend, and a
+//!   deterministic fault-injecting backend (torn write, short read,
+//!   disk full, failed rename) for the crash-recovery chaos harness;
 //! * [`registry`] — named projects with append-only event ingestion,
-//!   versioned data snapshots, and durability via a length-prefixed
-//!   append-only log that is replayed (with torn-write recovery) on
-//!   startup;
+//!   versioned data snapshots, and durability via checksummed
+//!   append-only logs plus crash-consistent snapshots and log
+//!   compaction, replayed (with torn-write recovery and
+//!   corrupt-snapshot fallback) on startup;
 //! * [`scheduler`] — a per-project fit cache with request coalescing:
 //!   concurrent queries against a stale posterior trigger exactly one
 //!   [`nhpp_vb::robust`] refit (deduplicated by data version), warm
@@ -37,9 +42,14 @@ pub mod registry;
 pub mod routes;
 pub mod scheduler;
 pub mod server;
+pub mod storage;
 
-pub use http::{client_request, Request, Response};
+pub use http::{client_request, client_request_full, Request, Response};
 pub use metrics::Metrics;
-pub use registry::{DataKind, ProjectConfig, Registry};
-pub use scheduler::{CachedFit, FitSettings};
+pub use registry::{
+    fsck, DataKind, DurabilityPolicy, FsckEntry, ProjectConfig, RecoveryStats, Registry,
+    SnapshotStatus,
+};
+pub use scheduler::{CachedFit, FitCache, FitSettings};
 pub use server::{AppState, Server, ServerConfig, ServerHandle};
+pub use storage::{FaultStorage, FsStorage, IoFaultKind, IoFaultPlan, MemStorage, Storage};

@@ -46,6 +46,11 @@ pub struct Metrics {
     pub refit_inner_iterations: AtomicU64,
     /// Flush ticks that ran (idle ticks included).
     pub flush_ticks: AtomicU64,
+    /// Requests shed by admission control (503 + `Retry-After`) because
+    /// the work queue was full.
+    pub requests_shed: AtomicU64,
+    /// Cached posteriors dropped by the LRU memory bound.
+    pub posteriors_evicted: AtomicU64,
     /// Latency bucket counters (`LATENCY_BUCKETS_MS` + `+Inf`).
     pub latency_buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
     /// Total observed latency in microseconds.
@@ -81,6 +86,12 @@ impl Metrics {
 
     /// Renders the Prometheus text exposition.
     pub fn render(&self) -> String {
+        self.render_with(None)
+    }
+
+    /// Renders the exposition including the registry's durability
+    /// counters, when given.
+    pub fn render_with(&self, recovery: Option<&crate::registry::RecoveryStats>) -> String {
         let mut out = String::with_capacity(2048);
         let counter = |out: &mut String, name: &str, help: &str, value: u64| {
             let _ = writeln!(out, "# HELP nhpp_serve_{name} {help}");
@@ -161,6 +172,64 @@ impl Metrics {
             "Scheduler flush ticks.",
             g(&self.flush_ticks),
         );
+        counter(
+            &mut out,
+            "requests_shed_total",
+            "Requests shed by admission control (503 + Retry-After).",
+            g(&self.requests_shed),
+        );
+        counter(
+            &mut out,
+            "posteriors_evicted_total",
+            "Cached posteriors dropped by the LRU memory bound.",
+            g(&self.posteriors_evicted),
+        );
+        if let Some(recovery) = recovery {
+            for (name, help, value) in [
+                (
+                    "recovery_torn_tails_total",
+                    "Torn log tails truncated during replay.",
+                    &recovery.torn_truncated,
+                ),
+                (
+                    "recovery_checksum_failures_total",
+                    "Log suffixes dropped for checksum failures.",
+                    &recovery.checksum_failures,
+                ),
+                (
+                    "recovery_snapshots_loaded_total",
+                    "Snapshots that seeded a project replay.",
+                    &recovery.snapshots_loaded,
+                ),
+                (
+                    "recovery_snapshot_fallbacks_total",
+                    "Corrupt snapshots that forced pure log replay.",
+                    &recovery.snapshot_fallbacks,
+                ),
+                (
+                    "snapshots_written_total",
+                    "Snapshots written by maintenance, compaction or shutdown.",
+                    &recovery.snapshots_written,
+                ),
+                (
+                    "compactions_total",
+                    "Log compactions performed.",
+                    &recovery.compactions_run,
+                ),
+                (
+                    "recovery_duplicates_skipped_total",
+                    "Replay records already covered by a snapshot.",
+                    &recovery.duplicates_skipped,
+                ),
+                (
+                    "maintenance_failures_total",
+                    "Failed snapshot/compaction attempts.",
+                    &recovery.maintenance_failures,
+                ),
+            ] {
+                counter(&mut out, name, help, g(value));
+            }
+        }
 
         let _ = writeln!(
             out,
@@ -226,6 +295,32 @@ mod tests {
             m.latency_buckets[LATENCY_BUCKETS_MS.len()].load(Ordering::Relaxed),
             1
         );
+    }
+
+    #[test]
+    fn render_with_exposes_recovery_counters() {
+        let m = Metrics::new();
+        m.requests_shed.fetch_add(4, Ordering::Relaxed);
+        m.posteriors_evicted.fetch_add(2, Ordering::Relaxed);
+        let stats = crate::registry::RecoveryStats::default();
+        stats.torn_truncated.fetch_add(3, Ordering::Relaxed);
+        stats.compactions_run.fetch_add(1, Ordering::Relaxed);
+        let text = m.render_with(Some(&stats));
+        assert_eq!(
+            scrape_counter(&text, "nhpp_serve_requests_shed_total"),
+            Some(4)
+        );
+        assert_eq!(
+            scrape_counter(&text, "nhpp_serve_posteriors_evicted_total"),
+            Some(2)
+        );
+        assert_eq!(
+            scrape_counter(&text, "nhpp_serve_recovery_torn_tails_total"),
+            Some(3)
+        );
+        assert_eq!(scrape_counter(&text, "nhpp_serve_compactions_total"), Some(1));
+        // Without recovery stats the durability counters are absent.
+        assert!(!m.render().contains("recovery_torn_tails"));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The project registry: named streaming datasets with append-only
-//! ingestion and a durable, replayable on-disk log.
+//! ingestion and a durable, replayable, checksummed on-disk log.
 //!
 //! # Data model
 //!
@@ -11,25 +11,35 @@
 //!
 //! # Durability
 //!
-//! Each project owns one append-only log file `<dir>/<id>.log` holding
-//! length-prefixed records (`u32` little-endian byte length, then the
-//! payload). The first record is the project configuration (`C`); every
-//! accepted batch appends its raw CSV payload verbatim (`B`). Startup
-//! replays every log through exactly the ingestion code path, so a
-//! recovered registry is state-identical to the one that wrote the log.
-//! A torn final record — the crash window of an append — is detected by
-//! the length prefix and truncated away; everything before it survives.
+//! Each project owns one append-only log `<id>.log` of CRC-framed
+//! records (see [`crate::storage`]): a config record (`C`, body
+//! `kind model prior`) followed by batch records (`B`, body
+//! `<seq>\n<csv>` where `seq` is the data version the batch produces).
+//! Periodically — every [`DurabilityPolicy::snapshot_every`] versions —
+//! the full project state is atomically written to `<id>.snap` as one
+//! framed `S` record; when the log outgrows
+//! [`DurabilityPolicy::compact_at_bytes`] it is compacted: snapshot
+//! first, then the log is atomically replaced by its `C` record alone.
+//!
+//! Startup replays snapshot-plus-log: a valid snapshot seeds the state
+//! and every batch record with `seq` at or below the snapshot version
+//! is skipped — the sequence numbers, not byte offsets, make replay
+//! insensitive to compaction. A corrupt or missing snapshot falls back
+//! to pure log replay. A torn log tail (the crash window of an append)
+//! or a checksum-failing suffix is truncated away; everything before it
+//! survives, so recovery is always a *prefix* of the ingested history
+//! with monotone versions — the invariant the chaos harness sweeps.
 
 use crate::scheduler::FitSlot;
+use crate::storage::{frame_record, scan_records, FsStorage, MemStorage, ScanStop, Storage};
 use nhpp_data::io::{read_failure_times, read_grouped};
 use nhpp_data::{FailureTimeData, GroupedData, ObservedData};
 use nhpp_dist::Gamma;
 use nhpp_models::prior::NhppPrior;
 use nhpp_models::ModelSpec;
-use std::collections::BTreeMap;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::{Path, PathBuf};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Whether a project ingests failure times or grouped counts.
@@ -51,6 +61,10 @@ impl DataKind {
     }
 
     /// Parses the keyword.
+    ///
+    /// # Errors
+    ///
+    /// A description of the offending keyword.
     pub fn parse(text: &str) -> Result<DataKind, String> {
         match text {
             "times" => Ok(DataKind::Times),
@@ -96,6 +110,10 @@ impl ProjectConfig {
 }
 
 /// Parses a model keyword: `go`, `dss` or `gamma:<alpha0>`.
+///
+/// # Errors
+///
+/// A description of the offending keyword.
 pub fn parse_model(text: &str) -> Result<ModelSpec, String> {
     match text {
         "go" => Ok(ModelSpec::goel_okumoto()),
@@ -114,6 +132,10 @@ pub fn parse_model(text: &str) -> Result<ModelSpec, String> {
 
 /// Parses a prior keyword: `paper-info-times`, `paper-info-grouped`,
 /// `flat`, or `wmean,wsd,bmean,bsd`.
+///
+/// # Errors
+///
+/// A description of the offending keyword.
 pub fn parse_prior(text: &str) -> Result<NhppPrior, String> {
     match text {
         "paper-info-times" => Ok(NhppPrior::paper_info_times()),
@@ -167,6 +189,72 @@ impl std::fmt::Display for RegistryError {
 
 impl std::error::Error for RegistryError {}
 
+fn io_err(context: &str, e: impl std::fmt::Display) -> RegistryError {
+    RegistryError::Io(format!("{context}: {e}"))
+}
+
+/// When the registry snapshots and compacts project logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityPolicy {
+    /// Write a snapshot every this many data versions (0 = never).
+    pub snapshot_every: u64,
+    /// Compact the log once it reaches this many bytes (0 = never).
+    pub compact_at_bytes: u64,
+}
+
+impl Default for DurabilityPolicy {
+    fn default() -> DurabilityPolicy {
+        DurabilityPolicy {
+            snapshot_every: 64,
+            compact_at_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Counters for durability events: what recovery found at startup and
+/// what maintenance does at runtime. Exposed through `/metrics` and
+/// asserted on by the chaos harness.
+#[derive(Debug, Default)]
+pub struct RecoveryStats {
+    /// Torn log tails truncated during replay.
+    pub torn_truncated: AtomicU64,
+    /// Log suffixes dropped because a record failed its checksum.
+    pub checksum_failures: AtomicU64,
+    /// Snapshots that seeded a project's replay.
+    pub snapshots_loaded: AtomicU64,
+    /// Corrupt snapshots that forced pure log replay.
+    pub snapshot_fallbacks: AtomicU64,
+    /// Snapshots written by maintenance, compaction or shutdown.
+    pub snapshots_written: AtomicU64,
+    /// Log compactions performed.
+    pub compactions_run: AtomicU64,
+    /// Batch records skipped during replay because the snapshot already
+    /// covered their sequence number.
+    pub duplicates_skipped: AtomicU64,
+    /// Snapshot/compaction attempts that failed (ingestion proceeds;
+    /// durability falls back to the log).
+    pub maintenance_failures: AtomicU64,
+}
+
+impl RecoveryStats {
+    fn bump(&self, counter: &AtomicU64) {
+        let _ = self;
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The durable backing of one project.
+#[derive(Debug)]
+struct ProjectStore {
+    storage: Arc<dyn Storage>,
+    log_name: String,
+    snap_name: String,
+    /// Current log length — drives the compaction trigger.
+    log_bytes: u64,
+    policy: DurabilityPolicy,
+    stats: Arc<RecoveryStats>,
+}
+
 /// The mutable streaming state of one project.
 #[derive(Debug)]
 struct ProjectState {
@@ -183,8 +271,8 @@ struct ProjectState {
     version: u64,
     /// Total failure events observed.
     event_count: u64,
-    /// Open append handle of the durable log (`None` = in-memory only).
-    log: Option<File>,
+    /// Durable backing (`None` = in-memory only).
+    store: Option<ProjectStore>,
 }
 
 /// A point-in-time description of a project, cheap to serialise.
@@ -219,22 +307,17 @@ pub struct Project {
 }
 
 impl Project {
-    fn new(id: String, config: ProjectConfig, log: Option<File>) -> Project {
+    fn from_state(id: String, state: ProjectState) -> Project {
         Project {
             id,
-            state: Mutex::new(ProjectState {
-                config,
-                times: Vec::new(),
-                t_end: 0.0,
-                boundaries: Vec::new(),
-                counts: Vec::new(),
-                version: 0,
-                event_count: 0,
-                log,
-            }),
+            state: Mutex::new(state),
             fit: Mutex::new(FitSlot::default()),
             fit_ready: Condvar::new(),
         }
+    }
+
+    fn new(id: String, config: ProjectConfig, store: Option<ProjectStore>) -> Project {
+        Project::from_state(id, fresh_state(config, store))
     }
 
     /// The project id.
@@ -253,9 +336,14 @@ impl Project {
     pub fn ingest(&self, batch_text: &str) -> Result<u64, RegistryError> {
         let mut state = self.state.lock().expect("project state poisoned");
         let staged = stage_batch(&state, batch_text)?;
-        if let Some(log) = state.log.as_mut() {
-            append_record(log, b'B', batch_text.as_bytes())
-                .map_err(|e| RegistryError::Io(format!("log append failed: {e}")))?;
+        let next_version = state.version + 1;
+        if let Some(store) = state.store.as_mut() {
+            let mut body = format!("{next_version}\n").into_bytes();
+            body.extend_from_slice(batch_text.as_bytes());
+            store.log_bytes = store
+                .storage
+                .append(&store.log_name, &frame_record(b'B', &body))
+                .map_err(|e| io_err("log append failed", e))?;
         }
         let added = staged.added;
         match staged.data {
@@ -268,8 +356,9 @@ impl Project {
                 state.counts = counts;
             }
         }
-        state.version += 1;
+        state.version = next_version;
         state.event_count += added;
+        maintain(&mut state);
         Ok(added)
     }
 
@@ -340,7 +429,265 @@ impl Project {
             .config
             .clone()
     }
+
+    /// Writes a snapshot of the current state now (no-op for in-memory
+    /// projects or before the first batch).
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Io`] when the snapshot cannot be written.
+    pub fn snapshot_now(&self) -> Result<(), RegistryError> {
+        let mut state = self.state.lock().expect("project state poisoned");
+        if state.version == 0 || state.store.is_none() {
+            return Ok(());
+        }
+        let frame = frame_record(b'S', &encode_snapshot(&state));
+        let store = state.store.as_mut().expect("store checked above");
+        store
+            .storage
+            .replace(&store.snap_name, &frame)
+            .map_err(|e| io_err("snapshot write failed", e))?;
+        store.stats.bump(&store.stats.snapshots_written);
+        Ok(())
+    }
+
+    /// Snapshots and compacts the project log regardless of policy
+    /// thresholds. Returns `(log_bytes_before, log_bytes_after)`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Data`] before any batch has been accepted,
+    /// [`RegistryError::Io`] when a write fails (the log is only
+    /// replaced after the snapshot has landed, so a failure never loses
+    /// data).
+    pub fn force_compact(&self) -> Result<(u64, u64), RegistryError> {
+        let mut state = self.state.lock().expect("project state poisoned");
+        if state.store.is_none() {
+            return Err(RegistryError::Data(format!(
+                "project '{}' is in-memory only",
+                self.id
+            )));
+        }
+        if state.version == 0 {
+            return Err(RegistryError::Data(format!(
+                "project '{}' has no ingested data to compact",
+                self.id
+            )));
+        }
+        let snap_frame = frame_record(b'S', &encode_snapshot(&state));
+        let config_frame = frame_record(b'C', config_body(&state.config).as_bytes());
+        let store = state.store.as_mut().expect("store checked above");
+        let before = store.log_bytes;
+        store
+            .storage
+            .replace(&store.snap_name, &snap_frame)
+            .map_err(|e| io_err("snapshot write failed", e))?;
+        store.stats.bump(&store.stats.snapshots_written);
+        store
+            .storage
+            .replace(&store.log_name, &config_frame)
+            .map_err(|e| io_err("log compaction failed", e))?;
+        store.log_bytes = config_frame.len() as u64;
+        store.stats.bump(&store.stats.compactions_run);
+        Ok((before, store.log_bytes))
+    }
 }
+
+fn fresh_state(config: ProjectConfig, store: Option<ProjectStore>) -> ProjectState {
+    ProjectState {
+        config,
+        times: Vec::new(),
+        t_end: 0.0,
+        boundaries: Vec::new(),
+        counts: Vec::new(),
+        version: 0,
+        event_count: 0,
+        store,
+    }
+}
+
+/// The `C` record body for a configuration.
+fn config_body(config: &ProjectConfig) -> String {
+    format!(
+        "{} {} {}",
+        config.kind.as_str(),
+        config.model_label,
+        config.prior_label
+    )
+}
+
+/// Post-ingest maintenance: periodic snapshot and size-triggered
+/// compaction. Failures are counted, never surfaced — the log already
+/// holds the batch, so durability is intact either way.
+fn maintain(state: &mut ProjectState) {
+    let (due_snapshot, due_compact) = match state.store.as_ref() {
+        None => return,
+        Some(store) => (
+            store.policy.snapshot_every > 0 && state.version.is_multiple_of(store.policy.snapshot_every),
+            store.policy.compact_at_bytes > 0 && store.log_bytes >= store.policy.compact_at_bytes,
+        ),
+    };
+    if !due_snapshot && !due_compact {
+        return;
+    }
+    let snap_frame = frame_record(b'S', &encode_snapshot(state));
+    let config_frame = frame_record(b'C', config_body(&state.config).as_bytes());
+    let store = state.store.as_mut().expect("store checked above");
+    if store
+        .storage
+        .replace(&store.snap_name, &snap_frame)
+        .is_err()
+    {
+        store.stats.bump(&store.stats.maintenance_failures);
+        return;
+    }
+    store.stats.bump(&store.stats.snapshots_written);
+    if due_compact {
+        if store
+            .storage
+            .replace(&store.log_name, &config_frame)
+            .is_err()
+        {
+            store.stats.bump(&store.stats.maintenance_failures);
+            return;
+        }
+        store.log_bytes = config_frame.len() as u64;
+        store.stats.bump(&store.stats.compactions_run);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot encoding.
+// ---------------------------------------------------------------------
+
+/// Decoded `S` record body.
+struct SnapshotState {
+    config: ProjectConfig,
+    times: Vec<f64>,
+    t_end: f64,
+    boundaries: Vec<f64>,
+    counts: Vec<u64>,
+    version: u64,
+    event_count: u64,
+}
+
+/// Serialises the full project state as the line-oriented `S` body.
+/// `f64` `Display` round-trips exactly through `parse`, so a decoded
+/// snapshot is bit-identical to the state that wrote it.
+fn encode_snapshot(state: &ProjectState) -> Vec<u8> {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(64 + 24 * state.times.len().max(state.counts.len()));
+    let _ = writeln!(out, "version {}", state.version);
+    let _ = writeln!(out, "events {}", state.event_count);
+    let _ = writeln!(out, "config {}", config_body(&state.config));
+    match state.config.kind {
+        DataKind::Times => {
+            let _ = writeln!(out, "t_end {}", state.t_end);
+            out.push_str("times");
+            for t in &state.times {
+                let _ = write!(out, " {t}");
+            }
+            out.push('\n');
+        }
+        DataKind::Grouped => {
+            out.push_str("bounds");
+            for b in &state.boundaries {
+                let _ = write!(out, " {b}");
+            }
+            out.push_str("\ncounts");
+            for c in &state.counts {
+                let _ = write!(out, " {c}");
+            }
+            out.push('\n');
+        }
+    }
+    out.into_bytes()
+}
+
+fn parse_list<T: std::str::FromStr>(rest: &str, what: &str) -> Result<Vec<T>, String> {
+    rest.split_whitespace()
+        .map(|tok| tok.parse().map_err(|_| format!("bad {what} '{tok}'")))
+        .collect()
+}
+
+/// Decodes and *validates* an `S` body: the dataset must satisfy the
+/// same invariants the canonical constructors enforce, and the event
+/// count must match, so a decoded snapshot can never poison a registry.
+fn decode_snapshot(body: &[u8]) -> Result<SnapshotState, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "non-UTF-8 snapshot".to_string())?;
+    let mut version = None;
+    let mut event_count = None;
+    let mut config: Option<ProjectConfig> = None;
+    let mut t_end = 0.0f64;
+    let mut times = Vec::new();
+    let mut boundaries = Vec::new();
+    let mut counts = Vec::new();
+    for line in text.lines() {
+        let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match key {
+            "version" => version = Some(rest.parse().map_err(|_| "bad version")?),
+            "events" => event_count = Some(rest.parse().map_err(|_| "bad events")?),
+            "config" => {
+                let mut parts = rest.split_whitespace();
+                let (kind, model, prior) = match (parts.next(), parts.next(), parts.next()) {
+                    (Some(k), Some(m), Some(p)) => (k, m, p),
+                    _ => return Err("malformed config line".to_string()),
+                };
+                config = Some(ProjectConfig::from_labels(kind, model, prior)?);
+            }
+            "t_end" => t_end = rest.parse().map_err(|_| "bad t_end")?,
+            "times" => times = parse_list(rest, "time")?,
+            "bounds" => boundaries = parse_list(rest, "boundary")?,
+            "counts" => counts = parse_list(rest, "count")?,
+            other => return Err(format!("unknown snapshot key '{other}'")),
+        }
+    }
+    let version: u64 = version.ok_or("snapshot missing version")?;
+    let event_count: u64 = event_count.ok_or("snapshot missing events")?;
+    let config = config.ok_or("snapshot missing config")?;
+    if version > 0 {
+        match config.kind {
+            DataKind::Times => {
+                FailureTimeData::new(times.clone(), t_end).map_err(|e| e.to_string())?;
+                if event_count != times.len() as u64 {
+                    return Err("snapshot event count disagrees with times".to_string());
+                }
+            }
+            DataKind::Grouped => {
+                GroupedData::new(boundaries.clone(), counts.clone()).map_err(|e| e.to_string())?;
+                if event_count != counts.iter().sum::<u64>() {
+                    return Err("snapshot event count disagrees with counts".to_string());
+                }
+            }
+        }
+    }
+    Ok(SnapshotState {
+        config,
+        times,
+        t_end,
+        boundaries,
+        counts,
+        version,
+        event_count,
+    })
+}
+
+/// Parses a snapshot *file*: exactly one cleanly-framed `S` record.
+fn parse_snapshot_file(bytes: &[u8]) -> Result<SnapshotState, String> {
+    let scan = scan_records(bytes);
+    if scan.stop.is_some() || scan.records.len() != 1 {
+        return Err("snapshot file is not one clean record".to_string());
+    }
+    let (tag, body) = &scan.records[0];
+    if *tag != b'S' {
+        return Err(format!("unexpected snapshot tag {tag}"));
+    }
+    decode_snapshot(body)
+}
+
+// ---------------------------------------------------------------------
+// Batch staging (shared by ingest and replay).
+// ---------------------------------------------------------------------
 
 /// A validated batch, not yet committed.
 struct Staged {
@@ -413,6 +760,22 @@ fn stage_batch(state: &ProjectState, batch_text: &str) -> Result<Staged, Registr
     }
 }
 
+/// Commits a staged batch into `state` (no log write — replay only).
+fn commit_staged(state: &mut ProjectState, staged: Staged) {
+    match staged.data {
+        StagedData::Times { times, t_end } => {
+            state.times = times;
+            state.t_end = t_end;
+        }
+        StagedData::Grouped { boundaries, counts } => {
+            state.boundaries = boundaries;
+            state.counts = counts;
+        }
+    }
+    state.version += 1;
+    state.event_count += staged.added;
+}
+
 /// Outcome of [`Registry::create`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CreateOutcome {
@@ -423,42 +786,79 @@ pub enum CreateOutcome {
     AlreadyExists,
 }
 
-/// The registry: all projects, plus the durable-log directory.
+/// The registry: all projects, plus their durable storage.
 #[derive(Debug)]
 pub struct Registry {
-    dir: Option<PathBuf>,
+    storage: Option<Arc<dyn Storage>>,
+    policy: DurabilityPolicy,
+    stats: Arc<RecoveryStats>,
     projects: Mutex<BTreeMap<String, Arc<Project>>>,
 }
 
 impl Registry {
-    /// Opens a registry. With a directory, every `*.log` in it is
-    /// replayed (creating the directory if absent); with `None` the
+    /// Opens a registry. With a directory, every project in it is
+    /// replayed through [`FsStorage`] (creating the directory if
+    /// absent) under the default [`DurabilityPolicy`]; with `None` the
     /// registry is in-memory only (tests, benchmarks).
     ///
     /// # Errors
     ///
     /// [`RegistryError::Io`] when the directory cannot be created or a
-    /// log cannot be read; [`RegistryError::Data`] when a fully-written
-    /// log record fails to re-apply (true corruption, not a torn tail).
+    /// file cannot be read; [`RegistryError::Data`] when a
+    /// checksum-valid record fails to re-apply (true corruption beyond
+    /// what truncation can absorb).
     pub fn open(dir: Option<&Path>) -> Result<Registry, RegistryError> {
-        let registry = Registry {
-            dir: dir.map(Path::to_path_buf),
-            projects: Mutex::new(BTreeMap::new()),
-        };
-        if let Some(dir) = dir {
-            std::fs::create_dir_all(dir)
-                .map_err(|e| RegistryError::Io(format!("cannot create {}: {e}", dir.display())))?;
-            let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
-                .map_err(|e| RegistryError::Io(e.to_string()))?
-                .filter_map(|entry| entry.ok().map(|e| e.path()))
-                .filter(|p| p.extension().is_some_and(|ext| ext == "log"))
-                .collect();
-            entries.sort();
-            for path in entries {
-                registry.replay_log(&path)?;
+        match dir {
+            None => Ok(Registry {
+                storage: None,
+                policy: DurabilityPolicy::default(),
+                stats: Arc::new(RecoveryStats::default()),
+                projects: Mutex::new(BTreeMap::new()),
+            }),
+            Some(dir) => {
+                let storage = FsStorage::open(dir)
+                    .map_err(|e| io_err(&format!("cannot open {}", dir.display()), e))?;
+                Registry::open_with(Arc::new(storage), DurabilityPolicy::default())
             }
         }
+    }
+
+    /// Opens a registry over an explicit storage backend — the entry
+    /// point of the chaos harness and of `nhpp fsck`'s dry-run replay.
+    ///
+    /// # Errors
+    ///
+    /// As [`Registry::open`].
+    pub fn open_with(
+        storage: Arc<dyn Storage>,
+        policy: DurabilityPolicy,
+    ) -> Result<Registry, RegistryError> {
+        let registry = Registry {
+            storage: Some(storage.clone()),
+            policy,
+            stats: Arc::new(RecoveryStats::default()),
+            projects: Mutex::new(BTreeMap::new()),
+        };
+        for id in stored_ids(storage.as_ref())? {
+            registry.replay_project(&id)?;
+        }
         Ok(registry)
+    }
+
+    /// The recovery/maintenance counters.
+    pub fn stats(&self) -> &RecoveryStats {
+        &self.stats
+    }
+
+    /// The active durability policy.
+    pub fn policy(&self) -> DurabilityPolicy {
+        self.policy
+    }
+
+    /// Overrides the durability policy for projects created *after*
+    /// this call (existing projects keep their store's policy).
+    pub fn set_policy(&mut self, policy: DurabilityPolicy) {
+        self.policy = policy;
     }
 
     /// Creates a project (idempotent when the configuration matches).
@@ -481,28 +881,27 @@ impl Registry {
                 )))
             };
         }
-        let log = match &self.dir {
-            Some(dir) => {
-                let mut file = OpenOptions::new()
-                    .create(true)
-                    .append(true)
-                    .open(dir.join(format!("{id}.log")))
-                    .map_err(|e| RegistryError::Io(format!("cannot open log: {e}")))?;
-                let record = format!(
-                    "{} {} {}",
-                    config.kind.as_str(),
-                    config.model_label,
-                    config.prior_label
-                );
-                append_record(&mut file, b'C', record.as_bytes())
-                    .map_err(|e| RegistryError::Io(format!("log append failed: {e}")))?;
-                Some(file)
+        let store = match &self.storage {
+            Some(storage) => {
+                let log_name = format!("{id}.log");
+                let frame = frame_record(b'C', config_body(&config).as_bytes());
+                let log_bytes = storage
+                    .append(&log_name, &frame)
+                    .map_err(|e| io_err("log append failed", e))?;
+                Some(ProjectStore {
+                    storage: storage.clone(),
+                    log_name,
+                    snap_name: format!("{id}.snap"),
+                    log_bytes,
+                    policy: self.policy,
+                    stats: self.stats.clone(),
+                })
             }
             None => None,
         };
         projects.insert(
             id.to_string(),
-            Arc::new(Project::new(id.to_string(), config, log)),
+            Arc::new(Project::new(id.to_string(), config, store)),
         );
         Ok(CreateOutcome::Created)
     }
@@ -526,112 +925,172 @@ impl Registry {
             .collect()
     }
 
-    /// Replays one project log, truncating a torn final record.
-    fn replay_log(&self, path: &Path) -> Result<(), RegistryError> {
-        let id = path
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .ok_or_else(|| RegistryError::Io(format!("unreadable log name {}", path.display())))?
-            .to_string();
-        validate_id(&id)?;
-        let mut file = File::open(path).map_err(|e| RegistryError::Io(e.to_string()))?;
-        let mut records = Vec::new();
-        let mut good_offset = 0u64;
-        loop {
-            let mut len_buf = [0u8; 4];
-            match read_exact_or_eof(&mut file, &mut len_buf) {
-                ReadOutcome::Full => {}
-                ReadOutcome::Eof => break,
-                ReadOutcome::Partial | ReadOutcome::Err => {
-                    truncate_to(path, good_offset)?;
-                    break;
-                }
+    /// Snapshots every project (graceful-shutdown hook: the next
+    /// startup replays snapshot-plus-nothing). Best effort — failures
+    /// are counted in [`RecoveryStats::maintenance_failures`]. Returns
+    /// the number of snapshots written.
+    pub fn snapshot_all(&self) -> u64 {
+        let mut written = 0;
+        for project in self.all() {
+            match project.snapshot_now() {
+                Ok(()) => written += 1,
+                Err(_) => self.stats.bump(&self.stats.maintenance_failures),
             }
-            let len = u32::from_le_bytes(len_buf) as usize;
-            let mut payload = vec![0u8; len];
-            match read_exact_or_eof(&mut file, &mut payload) {
-                ReadOutcome::Full => {}
-                _ => {
-                    // Torn write: the length prefix landed but the
-                    // payload did not. Drop the tail.
-                    truncate_to(path, good_offset)?;
-                    break;
+        }
+        written
+    }
+
+    /// Replays one project from its snapshot and log.
+    fn replay_project(&self, id: &str) -> Result<(), RegistryError> {
+        let storage = self.storage.as_ref().expect("replay requires storage");
+        let log_name = format!("{id}.log");
+        let snap_name = format!("{id}.snap");
+
+        // Snapshot first: a valid one seeds the state; a corrupt one
+        // falls back to pure log replay.
+        let mut state: Option<ProjectState> = None;
+        if let Some(bytes) = storage
+            .read(&snap_name)
+            .map_err(|e| io_err("snapshot read failed", e))?
+        {
+            match parse_snapshot_file(&bytes) {
+                Ok(snap) => {
+                    self.stats.bump(&self.stats.snapshots_loaded);
+                    state = Some(ProjectState {
+                        config: snap.config,
+                        times: snap.times,
+                        t_end: snap.t_end,
+                        boundaries: snap.boundaries,
+                        counts: snap.counts,
+                        version: snap.version,
+                        event_count: snap.event_count,
+                        store: None,
+                    });
                 }
+                Err(_) => self.stats.bump(&self.stats.snapshot_fallbacks),
             }
-            good_offset += 4 + len as u64;
-            records.push(payload);
         }
 
-        let mut project: Option<Arc<Project>> = None;
-        for record in records {
-            let (tag, body) = record
-                .split_first()
-                .ok_or_else(|| RegistryError::Data(format!("empty record in {}", path.display())))?;
-            let text = std::str::from_utf8(body).map_err(|_| {
-                RegistryError::Data(format!("non-UTF-8 record in {}", path.display()))
-            })?;
+        // Scan the log, truncating a torn or corrupt suffix so the next
+        // append lands on a clean prefix.
+        let log_bytes = storage
+            .read(&log_name)
+            .map_err(|e| io_err("log read failed", e))?
+            .unwrap_or_default();
+        let scan = scan_records(&log_bytes);
+        match scan.stop {
+            Some(ScanStop::TornTail) => self.stats.bump(&self.stats.torn_truncated),
+            Some(ScanStop::Corrupt) => self.stats.bump(&self.stats.checksum_failures),
+            None => {}
+        }
+        if scan.stop.is_some() {
+            storage
+                .truncate(&log_name, scan.valid_len)
+                .map_err(|e| io_err("log truncation failed", e))?;
+        }
+
+        if state.is_none() && scan.records.is_empty() {
+            // Nothing recoverable: a create whose very first append was
+            // torn away. The project never existed durably.
+            return Ok(());
+        }
+
+        for (tag, body) in &scan.records {
             match tag {
                 b'C' => {
+                    let text = std::str::from_utf8(body).map_err(|_| {
+                        RegistryError::Data(format!("non-UTF-8 config record in {log_name}"))
+                    })?;
                     let mut parts = text.split_whitespace();
                     let (kind, model, prior) = match (parts.next(), parts.next(), parts.next()) {
                         (Some(k), Some(m), Some(p)) => (k, m, p),
                         _ => {
                             return Err(RegistryError::Data(format!(
-                                "malformed config record in {}",
-                                path.display()
+                                "malformed config record in {log_name}"
                             )))
                         }
                     };
                     let config = ProjectConfig::from_labels(kind, model, prior)
                         .map_err(RegistryError::Data)?;
-                    // Reattach the append handle so post-replay batches
-                    // keep extending the same log.
-                    let log = OpenOptions::new()
-                        .append(true)
-                        .open(path)
-                        .map_err(|e| RegistryError::Io(e.to_string()))?;
-                    let p = Arc::new(Project::new(id.clone(), config, Some(log)));
-                    self.projects
-                        .lock()
-                        .expect("registry poisoned")
-                        .insert(id.clone(), p.clone());
-                    project = Some(p);
-                }
-                b'B' => {
-                    let project = project.as_ref().ok_or_else(|| {
-                        RegistryError::Data(format!(
-                            "batch before config record in {}",
-                            path.display()
-                        ))
-                    })?;
-                    // Replay must not re-append to the log: bypass
-                    // `ingest` by staging against the current state and
-                    // committing directly.
-                    let mut state = project.state.lock().expect("project state poisoned");
-                    let staged = stage_batch(&state, text)?;
-                    match staged.data {
-                        StagedData::Times { times, t_end } => {
-                            state.times = times;
-                            state.t_end = t_end;
-                        }
-                        StagedData::Grouped { boundaries, counts } => {
-                            state.boundaries = boundaries;
-                            state.counts = counts;
+                    match &state {
+                        None => state = Some(fresh_state(config, None)),
+                        Some(existing) => {
+                            if existing.config != config {
+                                return Err(RegistryError::Data(format!(
+                                    "config record in {log_name} disagrees with snapshot"
+                                )));
+                            }
                         }
                     }
-                    state.version += 1;
-                    state.event_count += staged.added;
+                }
+                b'B' => {
+                    let state = state.as_mut().ok_or_else(|| {
+                        RegistryError::Data(format!("batch before config record in {log_name}"))
+                    })?;
+                    let text = std::str::from_utf8(body).map_err(|_| {
+                        RegistryError::Data(format!("non-UTF-8 batch record in {log_name}"))
+                    })?;
+                    let (seq_text, csv) = text.split_once('\n').ok_or_else(|| {
+                        RegistryError::Data(format!("batch record without sequence in {log_name}"))
+                    })?;
+                    let seq: u64 = seq_text.trim().parse().map_err(|_| {
+                        RegistryError::Data(format!("bad batch sequence '{seq_text}' in {log_name}"))
+                    })?;
+                    if seq <= state.version {
+                        // Already covered by the snapshot (or a replayed
+                        // duplicate): sequence numbers make replay
+                        // insensitive to compaction.
+                        self.stats.bump(&self.stats.duplicates_skipped);
+                        continue;
+                    }
+                    if seq != state.version + 1 {
+                        return Err(RegistryError::Data(format!(
+                            "sequence gap in {log_name}: have version {}, next record is {seq}",
+                            state.version
+                        )));
+                    }
+                    let staged = stage_batch(state, csv)?;
+                    commit_staged(state, staged);
                 }
                 other => {
                     return Err(RegistryError::Data(format!(
-                        "unknown record tag {other} in {}",
-                        path.display()
+                        "unknown record tag {other} in {log_name}"
                     )))
                 }
             }
         }
+
+        let mut state = state.expect("state exists when records or snapshot do");
+        state.store = Some(ProjectStore {
+            storage: storage.clone(),
+            log_name,
+            snap_name,
+            log_bytes: scan.valid_len,
+            policy: self.policy,
+            stats: self.stats.clone(),
+        });
+        self.projects.lock().expect("registry poisoned").insert(
+            id.to_string(),
+            Arc::new(Project::from_state(id.to_string(), state)),
+        );
         Ok(())
     }
+}
+
+/// Project ids found in storage: stems of `*.log` / `*.snap` names.
+fn stored_ids(storage: &dyn Storage) -> Result<Vec<String>, RegistryError> {
+    let mut ids = BTreeSet::new();
+    for name in storage.list().map_err(|e| io_err("storage list failed", e))? {
+        let stem = name
+            .strip_suffix(".log")
+            .or_else(|| name.strip_suffix(".snap"));
+        if let Some(stem) = stem {
+            if validate_id(stem).is_ok() {
+                ids.insert(stem.to_string());
+            }
+        }
+    }
+    Ok(ids.into_iter().collect())
 }
 
 /// Project ids are path- and URL-safe by construction.
@@ -651,63 +1110,126 @@ fn validate_id(id: &str) -> Result<(), RegistryError> {
     }
 }
 
-/// Appends one length-prefixed record and forces it to stable storage.
-fn append_record(file: &mut File, tag: u8, payload: &[u8]) -> std::io::Result<()> {
-    let len = (payload.len() + 1) as u32;
-    let mut buf = Vec::with_capacity(5 + payload.len());
-    buf.extend_from_slice(&len.to_le_bytes());
-    buf.push(tag);
-    buf.extend_from_slice(payload);
-    file.write_all(&buf)?;
-    file.sync_data()
+// ---------------------------------------------------------------------
+// Offline verification (`nhpp fsck`).
+// ---------------------------------------------------------------------
+
+/// Snapshot health as seen by [`fsck`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotStatus {
+    /// No snapshot file.
+    Missing,
+    /// A clean snapshot at this version.
+    Valid {
+        /// Data version the snapshot captures.
+        version: u64,
+    },
+    /// The snapshot exists but fails framing, checksum or decoding —
+    /// startup will fall back to pure log replay.
+    Corrupt,
 }
 
-enum ReadOutcome {
-    Full,
-    Eof,
-    Partial,
-    Err,
+/// Per-project report from [`fsck`].
+#[derive(Debug, Clone)]
+pub struct FsckEntry {
+    /// Project id.
+    pub id: String,
+    /// Log length in bytes.
+    pub log_bytes: u64,
+    /// Cleanly-framed records in the log.
+    pub log_records: usize,
+    /// Bytes past the last valid record (0 = clean tail).
+    pub torn_tail_bytes: u64,
+    /// Whether the tail was cut by a checksum failure (true corruption)
+    /// rather than a torn write.
+    pub checksum_corrupt: bool,
+    /// Sequence number of the first batch record (> 1 once the log has
+    /// been compacted).
+    pub first_batch_seq: Option<u64>,
+    /// Snapshot health.
+    pub snapshot: SnapshotStatus,
+    /// Data version a dry-run replay recovers, or the error it hits.
+    pub recovery: Result<u64, String>,
 }
 
-/// `read_exact` variant distinguishing clean EOF (no bytes) from a torn
-/// tail (some bytes, then EOF).
-fn read_exact_or_eof(file: &mut File, buf: &mut [u8]) -> ReadOutcome {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match file.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return if filled == 0 {
-                    ReadOutcome::Eof
-                } else {
-                    ReadOutcome::Partial
-                }
-            }
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(_) => return ReadOutcome::Err,
-        }
+impl FsckEntry {
+    /// Whether startup would recover this project without data loss
+    /// beyond a torn tail.
+    pub fn healthy(&self) -> bool {
+        !self.checksum_corrupt && self.snapshot != SnapshotStatus::Corrupt && self.recovery.is_ok()
     }
-    ReadOutcome::Full
 }
 
-fn truncate_to(path: &Path, offset: u64) -> Result<(), RegistryError> {
-    let file = OpenOptions::new()
-        .write(true)
-        .open(path)
-        .map_err(|e| RegistryError::Io(e.to_string()))?;
-    file.set_len(offset)
-        .map_err(|e| RegistryError::Io(e.to_string()))?;
-    file.sync_data()
-        .map_err(|e| RegistryError::Io(e.to_string()))?;
-    // Position sanity for any subsequent append handle: append mode
-    // seeks to the (now truncated) end on each write.
-    let _ = (&file).seek(SeekFrom::End(0));
-    Ok(())
+/// Verifies every project in `storage` without modifying it: checksums
+/// are scanned in place and recovery is dry-run against an in-memory
+/// copy, so `fsck` is safe to run against a live data directory.
+///
+/// # Errors
+///
+/// [`RegistryError::Io`] when the storage itself cannot be read.
+pub fn fsck(storage: &dyn Storage) -> Result<Vec<FsckEntry>, RegistryError> {
+    let mut entries = Vec::new();
+    for id in stored_ids(storage)? {
+        let log_name = format!("{id}.log");
+        let snap_name = format!("{id}.snap");
+        let log_bytes = storage
+            .read(&log_name)
+            .map_err(|e| io_err("log read failed", e))?
+            .unwrap_or_default();
+        let snap_bytes = storage
+            .read(&snap_name)
+            .map_err(|e| io_err("snapshot read failed", e))?;
+
+        let scan = scan_records(&log_bytes);
+        let snapshot = match &snap_bytes {
+            None => SnapshotStatus::Missing,
+            Some(bytes) => match parse_snapshot_file(bytes) {
+                Ok(snap) => SnapshotStatus::Valid {
+                    version: snap.version,
+                },
+                Err(_) => SnapshotStatus::Corrupt,
+            },
+        };
+        let first_batch_seq = scan.records.iter().find_map(|(tag, body)| {
+            if *tag != b'B' {
+                return None;
+            }
+            let text = std::str::from_utf8(body).ok()?;
+            text.split_once('\n')?.0.trim().parse().ok()
+        });
+
+        // Dry-run recovery on a copy: any tail truncation happens on
+        // the in-memory clone, never on the inspected storage.
+        let mut copy = BTreeMap::new();
+        copy.insert(log_name, log_bytes.clone());
+        if let Some(bytes) = snap_bytes {
+            copy.insert(snap_name, bytes);
+        }
+        let recovery = Registry::open_with(
+            Arc::new(MemStorage::from_map(copy)),
+            DurabilityPolicy::default(),
+        )
+        .map(|registry| registry.get(&id).map_or(0, |p| p.version()))
+        .map_err(|e| e.to_string());
+
+        entries.push(FsckEntry {
+            id,
+            log_bytes: log_bytes.len() as u64,
+            log_records: scan.records.len(),
+            torn_tail_bytes: log_bytes.len() as u64 - scan.valid_len,
+            checksum_corrupt: scan.stop == Some(ScanStop::Corrupt),
+            first_batch_seq,
+            snapshot,
+            recovery,
+        });
+    }
+    Ok(entries)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::PathBuf;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -729,6 +1251,29 @@ mod tests {
             text.push_str(&format!("{t}\n"));
         }
         text
+    }
+
+    /// A policy that never snapshots or compacts on its own, so tests
+    /// control maintenance explicitly.
+    fn manual_policy() -> DurabilityPolicy {
+        DurabilityPolicy {
+            snapshot_every: 0,
+            compact_at_bytes: 0,
+        }
+    }
+
+    fn mem_registry(policy: DurabilityPolicy) -> (Arc<MemStorage>, Registry) {
+        let storage = Arc::new(MemStorage::new());
+        let registry = Registry::open_with(storage.clone(), policy).unwrap();
+        (storage, registry)
+    }
+
+    fn reopen(storage: &Arc<MemStorage>) -> Registry {
+        Registry::open_with(
+            Arc::new(MemStorage::from_map(storage.dump())),
+            manual_policy(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -820,65 +1365,346 @@ mod tests {
 
     #[test]
     fn torn_final_record_is_truncated_cleanly() {
-        let dir = temp_dir("torn");
-        {
-            let registry = Registry::open(Some(&dir)).unwrap();
-            registry.create("p1", times_config()).unwrap();
-            let p = registry.get("p1").unwrap();
-            p.ingest(&batch(&[1.0, 2.0], 3.0)).unwrap();
-            p.ingest(&batch(&[4.0], 5.0)).unwrap();
-        }
-        // Simulate a crash mid-append: a record whose payload is cut
-        // short of its length prefix.
-        let log_path = dir.join("p1.log");
-        {
-            let mut file = OpenOptions::new().append(true).open(&log_path).unwrap();
-            let torn = b"B# t_end=9\n6.0\n";
-            file.write_all(&((torn.len() + 20) as u32).to_le_bytes())
-                .unwrap();
-            file.write_all(torn).unwrap();
-        }
-        let len_with_torn = std::fs::metadata(&log_path).unwrap().len();
+        let (storage, registry) = mem_registry(manual_policy());
+        registry.create("p1", times_config()).unwrap();
+        let p = registry.get("p1").unwrap();
+        p.ingest(&batch(&[1.0, 2.0], 3.0)).unwrap();
+        p.ingest(&batch(&[4.0], 5.0)).unwrap();
+        // Simulate a crash mid-append: a record cut short of its frame.
+        let torn = frame_record(b'B', b"3\n# t_end=9\n6.0\n");
+        storage.append("p1.log", &torn[..torn.len() - 5]).unwrap();
+        let len_with_torn = storage.read("p1.log").unwrap().unwrap().len();
 
-        let registry = Registry::open(Some(&dir)).unwrap();
+        let survivor = Arc::new(MemStorage::from_map(storage.dump()));
+        let registry = Registry::open_with(survivor.clone(), manual_policy()).unwrap();
+        assert_eq!(registry.stats().torn_truncated.load(Ordering::Relaxed), 1);
         let p = registry.get("p1").unwrap();
         // The torn record is gone; the two complete batches survive.
         assert_eq!(p.version(), 2);
         let (_, data, _, _) = p.snapshot().unwrap();
         assert_eq!(data.total_count(), 3);
         assert!(
-            std::fs::metadata(&log_path).unwrap().len() < len_with_torn,
+            survivor.read("p1.log").unwrap().unwrap().len() < len_with_torn,
             "torn tail was truncated away"
         );
         // The next append lands after the truncation point and a third
         // replay sees it.
         p.ingest(&batch(&[6.0], 7.0)).unwrap();
-        let registry = Registry::open(Some(&dir)).unwrap();
+        let registry = reopen(&survivor);
         assert_eq!(registry.get("p1").unwrap().version(), 3);
-        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn torn_length_prefix_is_truncated_cleanly() {
-        let dir = temp_dir("torn-prefix");
-        {
-            let registry = Registry::open(Some(&dir)).unwrap();
-            registry.create("p1", times_config()).unwrap();
-            registry
-                .get("p1")
-                .unwrap()
-                .ingest(&batch(&[1.0], 2.0))
-                .unwrap();
-        }
-        let log_path = dir.join("p1.log");
-        {
-            let mut file = OpenOptions::new().append(true).open(&log_path).unwrap();
-            // Two bytes of a four-byte length prefix.
-            file.write_all(&[0x10, 0x00]).unwrap();
-        }
-        let registry = Registry::open(Some(&dir)).unwrap();
+        let (storage, registry) = mem_registry(manual_policy());
+        registry.create("p1", times_config()).unwrap();
+        registry
+            .get("p1")
+            .unwrap()
+            .ingest(&batch(&[1.0], 2.0))
+            .unwrap();
+        // Two bytes of an eight-byte frame header.
+        storage.append("p1.log", &[0x10, 0x00]).unwrap();
+        let registry = reopen(&storage);
         assert_eq!(registry.get("p1").unwrap().version(), 1);
-        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_corruption_drops_the_suffix() {
+        let (storage, registry) = mem_registry(manual_policy());
+        registry.create("p1", times_config()).unwrap();
+        let p = registry.get("p1").unwrap();
+        p.ingest(&batch(&[1.0], 2.0)).unwrap();
+        p.ingest(&batch(&[3.0], 4.0)).unwrap();
+        // Flip a bit inside the last record's payload.
+        let mut bytes = storage.read("p1.log").unwrap().unwrap();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0x01;
+        storage.replace("p1.log", &bytes).unwrap();
+
+        let registry = reopen(&storage);
+        assert_eq!(
+            registry.stats().checksum_failures.load(Ordering::Relaxed),
+            1
+        );
+        let p = registry.get("p1").unwrap();
+        assert_eq!(p.version(), 1, "clean prefix survives");
+    }
+
+    #[test]
+    fn empty_log_is_skipped_not_fatal() {
+        let storage = Arc::new(MemStorage::new());
+        storage.append("ghost.log", b"").unwrap();
+        let registry = Registry::open_with(storage, manual_policy()).unwrap();
+        assert!(registry.get("ghost").is_none());
+        assert!(registry.all().is_empty());
+    }
+
+    #[test]
+    fn zero_length_record_is_treated_as_corruption() {
+        let (storage, registry) = mem_registry(manual_policy());
+        registry.create("p1", times_config()).unwrap();
+        registry
+            .get("p1")
+            .unwrap()
+            .ingest(&batch(&[1.0], 2.0))
+            .unwrap();
+        // A zero-length frame: len=0, crc of empty payload.
+        storage.append("p1.log", &0u32.to_le_bytes()).unwrap();
+        storage
+            .append("p1.log", &crate::storage::crc32(b"").to_le_bytes())
+            .unwrap();
+        let registry = reopen(&storage);
+        assert_eq!(
+            registry.stats().checksum_failures.load(Ordering::Relaxed),
+            1
+        );
+        assert_eq!(registry.get("p1").unwrap().version(), 1);
+    }
+
+    #[test]
+    fn duplicate_sequence_numbers_are_skipped() {
+        let (storage, registry) = mem_registry(manual_policy());
+        registry.create("p1", times_config()).unwrap();
+        let p = registry.get("p1").unwrap();
+        p.ingest(&batch(&[1.0], 2.0)).unwrap();
+        // Re-append a copy of the seq-1 batch record (a replayed
+        // duplicate, e.g. from an at-least-once upstream writer).
+        let dup = format!("1\n{}", batch(&[1.0], 2.0));
+        storage
+            .append("p1.log", &frame_record(b'B', dup.as_bytes()))
+            .unwrap();
+        let registry = reopen(&storage);
+        assert_eq!(
+            registry.stats().duplicates_skipped.load(Ordering::Relaxed),
+            1
+        );
+        let p = registry.get("p1").unwrap();
+        assert_eq!(p.version(), 1);
+        assert_eq!(p.summary().event_count, 1, "duplicate did not re-apply");
+    }
+
+    #[test]
+    fn sequence_gap_is_a_hard_error() {
+        let (storage, registry) = mem_registry(manual_policy());
+        registry.create("p1", times_config()).unwrap();
+        registry
+            .get("p1")
+            .unwrap()
+            .ingest(&batch(&[1.0], 2.0))
+            .unwrap();
+        let gap = format!("5\n{}", batch(&[3.0], 4.0));
+        storage
+            .append("p1.log", &frame_record(b'B', gap.as_bytes()))
+            .unwrap();
+        let err = Registry::open_with(
+            Arc::new(MemStorage::from_map(storage.dump())),
+            manual_policy(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RegistryError::Data(_)));
+        assert!(err.to_string().contains("sequence gap"));
+    }
+
+    #[test]
+    fn snapshot_round_trip_and_fallback() {
+        let (storage, registry) = mem_registry(manual_policy());
+        registry.create("p1", times_config()).unwrap();
+        let p = registry.get("p1").unwrap();
+        for k in 0..5 {
+            let t = (k + 1) as f64 * 10.0;
+            p.ingest(&batch(&[t], t + 5.0)).unwrap();
+        }
+        p.snapshot_now().unwrap();
+        let summary = p.summary();
+        assert_eq!(registry.stats().snapshots_written.load(Ordering::Relaxed), 1);
+
+        // Reopen: the snapshot seeds the state and every log record is
+        // a duplicate.
+        let registry = reopen(&storage);
+        assert_eq!(registry.stats().snapshots_loaded.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            registry.stats().duplicates_skipped.load(Ordering::Relaxed),
+            5
+        );
+        assert_eq!(registry.get("p1").unwrap().summary(), summary);
+
+        // Corrupt the snapshot: replay falls back to the pure log and
+        // recovers the identical state.
+        let mut snap = storage.read("p1.snap").unwrap().unwrap();
+        let n = snap.len();
+        snap[n / 2] ^= 0xFF;
+        storage.replace("p1.snap", &snap).unwrap();
+        let registry = reopen(&storage);
+        assert_eq!(
+            registry.stats().snapshot_fallbacks.load(Ordering::Relaxed),
+            1
+        );
+        assert_eq!(registry.get("p1").unwrap().summary(), summary);
+    }
+
+    #[test]
+    fn snapshot_newer_than_log_tail_wins() {
+        let (storage, registry) = mem_registry(manual_policy());
+        registry.create("p1", times_config()).unwrap();
+        let p = registry.get("p1").unwrap();
+        p.ingest(&batch(&[1.0], 2.0)).unwrap();
+        p.ingest(&batch(&[3.0], 4.0)).unwrap();
+        p.snapshot_now().unwrap();
+        // Truncate the log back to just the config record: the log tail
+        // is now *older* than the snapshot (a compaction crash window
+        // cannot produce this, but a restored-from-backup log can).
+        let bytes = storage.read("p1.log").unwrap().unwrap();
+        let config_len = frame_record(b'C', config_body(&times_config()).as_bytes()).len();
+        storage.replace("p1.log", &bytes[..config_len]).unwrap();
+
+        let registry = reopen(&storage);
+        let p = registry.get("p1").unwrap();
+        assert_eq!(p.version(), 2, "snapshot state wins over the stale log");
+        assert_eq!(p.summary().event_count, 2);
+        // And the project still extends cleanly from version 2.
+        p.ingest(&batch(&[5.0], 6.0)).unwrap();
+        assert_eq!(p.version(), 3);
+    }
+
+    #[test]
+    fn compaction_bounds_replay_and_preserves_state() {
+        let policy = DurabilityPolicy {
+            snapshot_every: 0,
+            compact_at_bytes: 1, // compact after every ingest
+        };
+        let (storage, registry) = mem_registry(policy);
+        registry.create("p1", times_config()).unwrap();
+        let p = registry.get("p1").unwrap();
+        for k in 0..8 {
+            let t = (k + 1) as f64 * 10.0;
+            p.ingest(&batch(&[t], t + 5.0)).unwrap();
+        }
+        assert_eq!(registry.stats().compactions_run.load(Ordering::Relaxed), 8);
+        // The compacted log holds only the config record.
+        let log = storage.read("p1.log").unwrap().unwrap();
+        let scan = scan_records(&log);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].0, b'C');
+
+        let summary = p.summary();
+        let registry = reopen(&storage);
+        let p = registry.get("p1").unwrap();
+        assert_eq!(p.summary(), summary);
+        assert_eq!(p.version(), 8);
+        // Post-recovery ingestion continues the sequence.
+        p.ingest(&batch(&[100.0], 110.0)).unwrap();
+        assert_eq!(p.version(), 9);
+    }
+
+    #[test]
+    fn force_compact_shrinks_the_log() {
+        let (storage, registry) = mem_registry(manual_policy());
+        registry.create("p1", times_config()).unwrap();
+        let p = registry.get("p1").unwrap();
+        for k in 0..20 {
+            let t = (k + 1) as f64 * 10.0;
+            p.ingest(&batch(&[t], t + 5.0)).unwrap();
+        }
+        let (before, after) = p.force_compact().unwrap();
+        assert!(after < before, "compaction shrank the log");
+        let summary = p.summary();
+        let registry = reopen(&storage);
+        assert_eq!(registry.get("p1").unwrap().summary(), summary);
+    }
+
+    #[test]
+    fn periodic_snapshots_follow_policy() {
+        let policy = DurabilityPolicy {
+            snapshot_every: 3,
+            compact_at_bytes: 0,
+        };
+        let (storage, registry) = mem_registry(policy);
+        registry.create("p1", times_config()).unwrap();
+        let p = registry.get("p1").unwrap();
+        for k in 0..7 {
+            let t = (k + 1) as f64 * 10.0;
+            p.ingest(&batch(&[t], t + 5.0)).unwrap();
+        }
+        // Versions 3 and 6 snapshot.
+        assert_eq!(registry.stats().snapshots_written.load(Ordering::Relaxed), 2);
+        let snap = storage.read("p1.snap").unwrap().unwrap();
+        let parsed = parse_snapshot_file(&snap).unwrap();
+        assert_eq!(parsed.version, 6);
+    }
+
+    #[test]
+    fn snapshot_all_writes_every_project() {
+        let (storage, registry) = mem_registry(manual_policy());
+        registry.create("p1", times_config()).unwrap();
+        registry.create("p2", times_config()).unwrap();
+        registry.create("empty", times_config()).unwrap();
+        registry
+            .get("p1")
+            .unwrap()
+            .ingest(&batch(&[1.0], 2.0))
+            .unwrap();
+        registry
+            .get("p2")
+            .unwrap()
+            .ingest(&batch(&[1.0], 2.0))
+            .unwrap();
+        // `empty` has no data: snapshot_now is a no-op, not a failure.
+        assert_eq!(registry.snapshot_all(), 3);
+        assert!(storage.read("p1.snap").unwrap().is_some());
+        assert!(storage.read("p2.snap").unwrap().is_some());
+        assert!(storage.read("empty.snap").unwrap().is_none());
+    }
+
+    #[test]
+    fn grouped_snapshot_round_trips() {
+        let (storage, registry) = mem_registry(manual_policy());
+        let config = ProjectConfig::from_labels("grouped", "go", "paper-info-grouped").unwrap();
+        registry.create("g1", config).unwrap();
+        let p = registry.get("g1").unwrap();
+        p.ingest("1,3\n2,1\n").unwrap();
+        p.ingest("3,0\n4,2\n").unwrap();
+        p.snapshot_now().unwrap();
+        let summary = p.summary();
+        let registry = reopen(&storage);
+        assert_eq!(registry.get("g1").unwrap().summary(), summary);
+    }
+
+    #[test]
+    fn fsck_reports_health_and_corruption() {
+        let (storage, registry) = mem_registry(manual_policy());
+        registry.create("good", times_config()).unwrap();
+        registry.create("torn", times_config()).unwrap();
+        let good = registry.get("good").unwrap();
+        good.ingest(&batch(&[1.0], 2.0)).unwrap();
+        good.ingest(&batch(&[3.0], 4.0)).unwrap();
+        good.snapshot_now().unwrap();
+        let torn_p = registry.get("torn").unwrap();
+        torn_p.ingest(&batch(&[1.0], 2.0)).unwrap();
+        let frame = frame_record(b'B', b"2\n# t_end=9\n6.0\n");
+        storage.append("torn.log", &frame[..frame.len() - 3]).unwrap();
+
+        let entries = fsck(storage.as_ref()).unwrap();
+        assert_eq!(entries.len(), 2);
+        let by_id = |id: &str| entries.iter().find(|e| e.id == id).unwrap();
+
+        let good_entry = by_id("good");
+        assert!(good_entry.healthy());
+        assert_eq!(good_entry.torn_tail_bytes, 0);
+        assert_eq!(good_entry.snapshot, SnapshotStatus::Valid { version: 2 });
+        assert_eq!(good_entry.recovery, Ok(2));
+        assert_eq!(good_entry.first_batch_seq, Some(1));
+
+        let torn_entry = by_id("torn");
+        assert!(torn_entry.healthy(), "a torn tail is recoverable");
+        assert!(torn_entry.torn_tail_bytes > 0);
+        assert!(!torn_entry.checksum_corrupt);
+        assert_eq!(torn_entry.recovery, Ok(1));
+
+        // fsck never modifies the inspected storage.
+        let before = storage.dump();
+        let _ = fsck(storage.as_ref()).unwrap();
+        assert_eq!(storage.dump(), before);
     }
 
     #[test]

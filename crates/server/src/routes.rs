@@ -87,8 +87,9 @@ fn registry_error(err: &RegistryError) -> Response {
 
 /// The `503` body for a failed cascade: the satellite fix that surfaces
 /// budget exhaustion and the fallback tier in the HTTP response instead
-/// of only in the CLI report.
-fn fit_failure_response(failure: &FitFailure) -> Response {
+/// of only in the CLI report. Budget/deadline exhaustion is a load
+/// signal, so those responses also carry `Retry-After`.
+fn fit_failure_response(failure: &FitFailure, retry_after_secs: u32) -> Response {
     let kind = failure
         .report
         .attempts
@@ -100,7 +101,7 @@ fn fit_failure_response(failure: &FitFailure) -> Response {
         Some(t) => jstr(t),
         None => "null".to_string(),
     };
-    Response::json(
+    let response = Response::json(
         503,
         format!(
             "{{\"error\": {}, \"kind\": {}, \"budget_exhausted\": {}, \
@@ -111,13 +112,23 @@ fn fit_failure_response(failure: &FitFailure) -> Response {
             tier,
             failure.report.total_attempts(),
         ),
-    )
+    );
+    if failure.report.budget_exhausted() {
+        response.with_retry_after(retry_after_secs)
+    } else {
+        response
+    }
 }
 
-fn fit_serve_error(err: &FitServeError) -> Response {
+fn fit_serve_error(state: &AppState, err: &FitServeError) -> Response {
     match err {
         FitServeError::Registry(e) => registry_error(e),
-        FitServeError::Fit(failure) => fit_failure_response(failure),
+        FitServeError::Fit(failure) => fit_failure_response(failure, state.retry_after_secs),
+        FitServeError::DeadlineExceeded => Response::json(
+            503,
+            "{\"error\": \"fit deadline exceeded\", \"kind\": \"deadline\"}".to_string(),
+        )
+        .with_retry_after(state.retry_after_secs),
     }
 }
 
@@ -143,7 +154,9 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
     let segments = req.segments();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => Response::json(200, "{\"status\": \"ok\"}".to_string()),
-        ("GET", ["metrics"]) => Response::text(200, state.metrics.render()),
+        ("GET", ["metrics"]) => {
+            Response::text(200, state.metrics.render_with(Some(state.registry.stats())))
+        }
         ("GET", ["projects"]) => list_projects(state),
         ("PUT", ["projects", id]) => create_project(state, req, id),
         ("GET", ["projects", id]) => project_summary(state, id),
@@ -256,8 +269,13 @@ fn current_fit(
         return Err(error_response(404, &format!("unknown project '{id}'")));
     };
     match ensure_fit(&project, &state.fit, &state.metrics) {
-        Ok(cached) => Ok((cached, project)),
-        Err(err) => Err(fit_serve_error(&err)),
+        Ok(cached) => {
+            // Register the access with the LRU bound; this may evict
+            // the coldest cached posterior elsewhere.
+            state.cache.touch(&project, &state.metrics);
+            Ok((cached, project))
+        }
+        Err(err) => Err(fit_serve_error(state, &err)),
     }
 }
 
@@ -536,6 +554,8 @@ mod tests {
             registry: Registry::open(None).unwrap(),
             metrics: crate::Metrics::new(),
             fit: FitSettings::default(),
+            cache: crate::scheduler::FitCache::new(0),
+            retry_after_secs: 1,
             quiet: true,
         }
     }
@@ -744,6 +764,7 @@ mod tests {
         state.fit = FitSettings {
             options,
             threads: 1,
+            deadline: None,
         };
         handle(
             &state,
@@ -766,5 +787,60 @@ mod tests {
         );
         assert!(resp.body.contains("\"kind\": \"budget-exhausted\""));
         assert!(resp.body.contains("\"fallback_tier\": null"));
+        // Budget exhaustion is a load signal: the response tells the
+        // client when to come back.
+        assert_eq!(resp.retry_after, Some(1));
+    }
+
+    #[test]
+    fn deadline_exceeded_maps_to_503_with_retry_after() {
+        let state = state();
+        let resp = fit_serve_error(&state, &FitServeError::DeadlineExceeded);
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.retry_after, Some(1));
+        assert!(resp.body.contains("\"kind\": \"deadline\""), "{}", resp.body);
+    }
+
+    #[test]
+    fn expired_request_deadline_fails_fast_over_routes() {
+        let mut state = state();
+        state.fit.deadline = Some(std::time::Duration::ZERO);
+        handle(
+            &state,
+            &request(
+                "PUT",
+                "/projects/p?kind=times&model=go&prior=paper-info-times",
+                "",
+            ),
+        );
+        handle(
+            &state,
+            &request("POST", "/projects/p/events", &sys17_batch()),
+        );
+        let resp = handle(&state, &get("/projects/p/fit"));
+        assert_eq!(resp.status, 503, "{}", resp.body);
+        assert!(
+            resp.body.contains("budget_exhausted") || resp.body.contains("deadline"),
+            "{}",
+            resp.body
+        );
+        assert_eq!(resp.retry_after, Some(1), "{}", resp.body);
+    }
+
+    #[test]
+    fn metrics_route_exposes_durability_counters() {
+        let state = state();
+        let resp = handle(&state, &get("/metrics"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            crate::metrics::scrape_counter(&resp.body, "nhpp_serve_recovery_torn_tails_total"),
+            Some(0),
+            "{}",
+            resp.body
+        );
+        assert_eq!(
+            crate::metrics::scrape_counter(&resp.body, "nhpp_serve_requests_shed_total"),
+            Some(0)
+        );
     }
 }

@@ -36,8 +36,10 @@ use nhpp_vb::{
     fit_many_supervised_warm, fit_supervised_warm, FitFailure, RobustFit, RobustOptions,
     RobustPosterior, Truncation, Vb2WarmStart,
 };
+use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, Weak};
+use std::time::{Duration, Instant};
 
 /// Fit execution settings shared by the query and flush paths.
 #[derive(Debug, Clone, Copy, Default)]
@@ -46,6 +48,10 @@ pub struct FitSettings {
     pub options: RobustOptions,
     /// Worker threads for batch refits (`0` = available parallelism).
     pub threads: usize,
+    /// Per-request fit deadline: threaded into the cascade as
+    /// [`RobustOptions::total_deadline`] and bounding how long a query
+    /// waits on someone else's in-flight fit. `None` = unbounded.
+    pub deadline: Option<Duration>,
 }
 
 /// A cached successful fit.
@@ -72,6 +78,10 @@ pub struct FitSlot {
     pub last: Option<(u64, FitOutcome)>,
     /// Data version currently being fit, if any.
     pub in_flight: Option<u64>,
+    /// Version whose posterior the LRU evicted: the flush tick must not
+    /// resurrect it (that would defeat the memory bound), but a direct
+    /// query refits on demand.
+    pub evicted: Option<u64>,
 }
 
 impl FitSlot {
@@ -92,6 +102,9 @@ pub enum FitServeError {
     Registry(RegistryError),
     /// The supervised cascade failed; the report travels along.
     Fit(Arc<FitFailure>),
+    /// The request's fit deadline passed while waiting on someone
+    /// else's in-flight fit (HTTP 503 + `Retry-After`).
+    DeadlineExceeded,
 }
 
 /// Per-project option tuning: a flat prior makes the exact posterior
@@ -105,6 +118,7 @@ fn tuned_options(
     data: &nhpp_data::ObservedData,
 ) -> RobustOptions {
     let mut options = settings.options;
+    options.total_deadline = settings.deadline;
     if prior.omega.is_flat() || prior.beta.is_flat() {
         options.base.truncation = Truncation::AdaptiveCapped {
             epsilon: 5e-15,
@@ -161,17 +175,21 @@ fn publish_outcome(
 
 /// Returns the posterior for the project's *current* data version,
 /// fitting at most once per version across any number of concurrent
-/// callers (see the module docs).
+/// callers (see the module docs). When [`FitSettings::deadline`] is
+/// set it bounds both the cascade itself and the time spent waiting on
+/// an in-flight fit.
 ///
 /// # Errors
 ///
-/// [`FitServeError`] — no data yet, or the cascade failed.
+/// [`FitServeError`] — no data yet, the cascade failed, or the
+/// deadline passed while waiting.
 pub fn ensure_fit(
     project: &Project,
     settings: &FitSettings,
     metrics: &Metrics,
 ) -> Result<Arc<CachedFit>, FitServeError> {
     let (version, data, spec, prior) = project.snapshot().map_err(FitServeError::Registry)?;
+    let deadline_at = settings.deadline.map(|d| Instant::now() + d);
 
     let mut slot = project.fit.lock().expect("fit slot poisoned");
     let warm = loop {
@@ -188,10 +206,23 @@ pub fn ensure_fit(
                 if v == version {
                     metrics.fits_coalesced.fetch_add(1, Ordering::Relaxed);
                 }
-                slot = project
-                    .fit_ready
-                    .wait(slot)
-                    .expect("fit slot poisoned");
+                slot = match deadline_at {
+                    None => project.fit_ready.wait(slot).expect("fit slot poisoned"),
+                    Some(at) => {
+                        let remaining = at.saturating_duration_since(Instant::now());
+                        if remaining.is_zero() {
+                            return Err(FitServeError::DeadlineExceeded);
+                        }
+                        let (slot, timeout) = project
+                            .fit_ready
+                            .wait_timeout(slot, remaining)
+                            .expect("fit slot poisoned");
+                        if timeout.timed_out() && slot.in_flight.is_some() {
+                            return Err(FitServeError::DeadlineExceeded);
+                        }
+                        slot
+                    }
+                };
                 // Re-check from the top: the finished fit may or may
                 // not be for our version.
             }
@@ -212,10 +243,97 @@ pub fn ensure_fit(
     let mut slot = project.fit.lock().expect("fit slot poisoned");
     slot.in_flight = None;
     slot.last = Some((version, outcome.clone()));
+    slot.evicted = None;
     project.fit_ready.notify_all();
     drop(slot);
 
     outcome.map_err(FitServeError::Fit)
+}
+
+/// A registry-wide LRU bound on *cached posteriors*: each project's
+/// [`FitSlot`] holds at most one posterior, so bounding the number of
+/// slots that hold one bounds the service's posterior memory. Queries
+/// [`FitCache::touch`] their project after [`ensure_fit`]; once more
+/// than `capacity` projects hold posteriors, the least recently touched
+/// one is dropped (its slot keeps the evicted version so the flush tick
+/// does not immediately resurrect it — only a direct query does).
+#[derive(Debug)]
+pub struct FitCache {
+    capacity: usize,
+    inner: Mutex<FitCacheState>,
+}
+
+#[derive(Debug, Default)]
+struct FitCacheState {
+    tick: u64,
+    entries: BTreeMap<String, (u64, Weak<Project>)>,
+}
+
+impl FitCache {
+    /// A cache evicting beyond `capacity` posteriors (`0` = unbounded).
+    pub fn new(capacity: usize) -> FitCache {
+        FitCache {
+            capacity,
+            inner: Mutex::new(FitCacheState::default()),
+        }
+    }
+
+    /// Records a use of `project`'s posterior and evicts the least
+    /// recently used ones while over capacity. A project whose fit is
+    /// in flight is skipped (its memory is live on a fitting thread);
+    /// it re-enters the cache on its next touch.
+    pub fn touch(&self, project: &Arc<Project>, metrics: &Metrics) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("fit cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner
+            .entries
+            .insert(project.id().to_string(), (tick, Arc::downgrade(project)));
+        while inner.entries.len() > self.capacity {
+            let oldest = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(id, (_, weak))| (id.clone(), weak.clone()))
+                .expect("entries nonempty while over capacity");
+            inner.entries.remove(&oldest.0);
+            if let Some(project) = oldest.1.upgrade() {
+                evict_posterior(&project, metrics);
+            }
+        }
+    }
+
+    /// Number of projects currently tracked as holding a posterior.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("fit cache poisoned").entries.len()
+    }
+
+    /// Whether the cache tracks no posteriors.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Drops a project's cached posterior (LRU eviction). Returns whether
+/// anything was evicted.
+fn evict_posterior(project: &Project, metrics: &Metrics) -> bool {
+    let mut slot = project.fit.lock().expect("fit slot poisoned");
+    if slot.in_flight.is_some() {
+        return false;
+    }
+    match slot.last.take() {
+        Some((version, outcome)) => {
+            if outcome.is_ok() {
+                metrics.posteriors_evicted.fetch_add(1, Ordering::Relaxed);
+            }
+            slot.evicted = Some(version);
+            true
+        }
+        None => false,
+    }
 }
 
 /// The cached fit for the current version if one exists, without ever
@@ -257,6 +375,12 @@ pub fn flush_stale(registry: &Registry, settings: &FitSettings, metrics: &Metric
             continue;
         }
         if matches!(&slot.last, Some((v, _)) if *v == version) {
+            continue;
+        }
+        if slot.evicted == Some(version) {
+            // The LRU dropped this posterior to stay under the memory
+            // bound; refitting it from the background tick would undo
+            // the eviction. A direct query still refits on demand.
             continue;
         }
         slot.in_flight = Some(version);
@@ -301,6 +425,7 @@ pub fn flush_stale(registry: &Registry, settings: &FitSettings, metrics: &Metric
         let mut slot = claim.project.fit.lock().expect("fit slot poisoned");
         slot.in_flight = None;
         slot.last = Some((claim.version, outcome));
+        slot.evicted = None;
         claim.project.fit_ready.notify_all();
     }
     refits
@@ -425,6 +550,115 @@ mod tests {
     }
 
     #[test]
+    fn lru_evicts_oldest_posterior_and_flush_respects_it() {
+        let registry = registry_with_sys17();
+        // Three more small projects (cheap grouped fits).
+        for id in ["a", "b", "c"] {
+            let config =
+                ProjectConfig::from_labels("grouped", "go", "paper-info-grouped").unwrap();
+            registry.create(id, config).unwrap();
+            let p = registry.get(id).unwrap();
+            let mut batch = String::new();
+            for (i, c) in sys17::DAILY_COUNTS.iter().enumerate() {
+                batch.push_str(&format!("{},{c}\n", i + 1));
+            }
+            p.ingest(&batch).unwrap();
+        }
+        let settings = FitSettings::default();
+        let metrics = Metrics::new();
+        let cache = FitCache::new(2);
+
+        for id in ["sys17", "a", "b"] {
+            let p = registry.get(id).unwrap();
+            ensure_fit(&p, &settings, &metrics).unwrap();
+            cache.touch(&p, &metrics);
+        }
+        // Capacity 2: touching the third project evicted the first.
+        assert_eq!(cache.len(), 2);
+        assert_eq!(load(&metrics.posteriors_evicted), 1);
+        assert!(
+            cached_fit(&registry.get("sys17").unwrap()).is_none(),
+            "sys17 was the LRU entry"
+        );
+        assert!(cached_fit(&registry.get("a").unwrap()).is_some());
+
+        // The flush tick does not resurrect the evicted posterior...
+        assert_eq!(flush_stale(&registry, &settings, &metrics), 1, "only 'c'");
+        assert!(cached_fit(&registry.get("sys17").unwrap()).is_none());
+
+        // ...but a direct query does, and the eviction marker clears.
+        let p = registry.get("sys17").unwrap();
+        ensure_fit(&p, &settings, &metrics).unwrap();
+        assert!(cached_fit(&p).is_some());
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let registry = registry_with_sys17();
+        let p = registry.get("sys17").unwrap();
+        let settings = FitSettings::default();
+        let metrics = Metrics::new();
+        let cache = FitCache::new(0);
+        ensure_fit(&p, &settings, &metrics).unwrap();
+        cache.touch(&p, &metrics);
+        assert!(cache.is_empty(), "capacity 0 tracks nothing");
+        assert_eq!(load(&metrics.posteriors_evicted), 0);
+        assert!(cached_fit(&p).is_some());
+    }
+
+    #[test]
+    fn fit_deadline_threads_into_the_cascade() {
+        let registry = registry_with_sys17();
+        let project = registry.get("sys17").unwrap();
+        // A spent deadline: the cascade fails fast with a budget
+        // classification instead of running anything.
+        let settings = FitSettings {
+            deadline: Some(std::time::Duration::ZERO),
+            ..FitSettings::default()
+        };
+        let metrics = Metrics::new();
+        match ensure_fit(&project, &settings, &metrics) {
+            Err(FitServeError::Fit(failure)) => {
+                assert!(failure.report.budget_exhausted());
+            }
+            other => panic!("expected budget-exhausted failure, got {other:?}"),
+        }
+        assert_eq!(load(&metrics.budget_exhaustions), 1);
+
+        // A generous deadline fits normally.
+        let settings = FitSettings {
+            deadline: Some(std::time::Duration::from_secs(600)),
+            ..FitSettings::default()
+        };
+        // New data so the cached failure does not short-circuit.
+        project
+            .ingest(&format!("# t_end={}\n", sys17::T_END + 100.0))
+            .unwrap();
+        ensure_fit(&project, &settings, &metrics).unwrap();
+    }
+
+    #[test]
+    fn waiters_time_out_when_an_in_flight_fit_outlives_the_deadline() {
+        let registry = registry_with_sys17();
+        let project = registry.get("sys17").unwrap();
+        // Mark a fit in flight by hand and never publish it: a waiter
+        // with a deadline must give up instead of blocking forever.
+        project.fit.lock().unwrap().in_flight = Some(project.version());
+        let settings = FitSettings {
+            deadline: Some(std::time::Duration::from_millis(50)),
+            ..FitSettings::default()
+        };
+        let metrics = Metrics::new();
+        let started = std::time::Instant::now();
+        match ensure_fit(&project, &settings, &metrics) {
+            Err(FitServeError::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(started.elapsed() < std::time::Duration::from_secs(10));
+        project.fit.lock().unwrap().in_flight = None;
+    }
+
+    #[test]
     fn failures_are_cached_per_version() {
         let registry = registry_with_sys17();
         let project = registry.get("sys17").unwrap();
@@ -435,6 +669,7 @@ mod tests {
         let settings = FitSettings {
             options,
             threads: 1,
+            deadline: None,
         };
         let metrics = Metrics::new();
 

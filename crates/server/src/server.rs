@@ -3,22 +3,30 @@
 //!
 //! There is deliberately no async runtime here. The service's unit of
 //! work is a *fit* — milliseconds of dense floating-point arithmetic —
-//! not a high-fanout I/O wait, so blocking threads over cloned listener
-//! file descriptors are the simplest correct model: the kernel load-
-//! balances `accept(2)` across workers, and a slow fit occupies exactly
-//! one worker without starving the others. Shutdown is cooperative: a
-//! shared flag plus one self-connect per worker to unblock `accept`.
+//! not a high-fanout I/O wait, so blocking threads are the simplest
+//! correct model: one acceptor thread admits connections into a bounded
+//! work queue, request workers drain it, and a slow fit occupies
+//! exactly one worker without starving the others.
+//!
+//! The bounded queue is the overload story: when it is full the
+//! acceptor sheds the connection immediately with `503` +
+//! `Retry-After` instead of letting latency grow without bound.
+//! Shutdown is cooperative and graceful: a shared flag plus one
+//! self-connect unblocks `accept`, the queue is closed, workers drain
+//! what was already admitted, and the registry takes a final
+//! crash-consistent snapshot so the next start replays only a tail.
 
 use crate::http::{read_request, Response};
 use crate::metrics::Metrics;
-use crate::registry::Registry;
+use crate::registry::{DurabilityPolicy, Registry};
 use crate::routes;
-use crate::scheduler::{flush_stale, FitSettings};
-use std::io::{self, BufReader, Write as _};
+use crate::scheduler::{flush_stale, FitCache, FitSettings};
+use std::collections::VecDeque;
+use std::io::{self, BufReader, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Everything the route handlers can see. One instance, shared by all
@@ -30,6 +38,10 @@ pub struct AppState {
     pub metrics: Metrics,
     /// Options + thread budget applied to every supervised fit.
     pub fit: FitSettings,
+    /// LRU bound on cached posteriors (capacity `0` = unbounded).
+    pub cache: FitCache,
+    /// Seconds advertised in `Retry-After` on shed/deadline responses.
+    pub retry_after_secs: u32,
     /// Suppress per-request log lines.
     pub quiet: bool,
 }
@@ -47,6 +59,16 @@ pub struct ServerConfig {
     pub flush_interval: Option<Duration>,
     /// Fit options and per-fit thread budget.
     pub fit: FitSettings,
+    /// Bound on connections queued between the acceptor and the
+    /// workers; beyond it the acceptor sheds with `503` +
+    /// `Retry-After`. `0` means unbounded (no admission control).
+    pub queue_capacity: usize,
+    /// Bound on cached posteriors before LRU eviction; `0` = unbounded.
+    pub max_cached_fits: usize,
+    /// Seconds advertised in `Retry-After` on shed/deadline responses.
+    pub retry_after_secs: u32,
+    /// Snapshot/compaction policy applied to a durable registry.
+    pub durability: DurabilityPolicy,
     /// Suppress per-request log lines.
     pub quiet: bool,
 }
@@ -59,6 +81,10 @@ impl Default for ServerConfig {
             workers: 0,
             flush_interval: Some(Duration::from_millis(500)),
             fit: FitSettings::default(),
+            queue_capacity: 1024,
+            max_cached_fits: 0,
+            retry_after_secs: 1,
+            durability: DurabilityPolicy::default(),
             quiet: false,
         }
     }
@@ -72,6 +98,7 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     workers: usize,
     flush_interval: Option<Duration>,
+    queue_capacity: usize,
 }
 
 impl Server {
@@ -82,8 +109,16 @@ impl Server {
     /// [`run`]: Server::run
     /// [`spawn`]: Server::spawn
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
-        let registry = Registry::open(config.data_dir.as_deref())
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let invalid = |e: crate::registry::RegistryError| {
+            io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+        };
+        let registry = match config.data_dir.as_deref() {
+            None => Registry::open(None).map_err(invalid)?,
+            Some(dir) => {
+                let storage = crate::storage::FsStorage::open(dir)?;
+                Registry::open_with(Arc::new(storage), config.durability).map_err(invalid)?
+            }
+        };
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = if config.workers == 0 {
@@ -99,11 +134,14 @@ impl Server {
                 registry,
                 metrics: Metrics::new(),
                 fit: config.fit,
+                cache: FitCache::new(config.max_cached_fits),
+                retry_after_secs: config.retry_after_secs,
                 quiet: config.quiet,
             }),
             shutdown: Arc::new(AtomicBool::new(false)),
             workers,
             flush_interval: config.flush_interval,
+            queue_capacity: config.queue_capacity,
         })
     }
 
@@ -117,8 +155,9 @@ impl Server {
         Arc::clone(&self.state)
     }
 
-    /// Runs the accept workers on the calling thread's pool and blocks
-    /// until shutdown is signalled.
+    /// Runs the acceptor and request workers and blocks until shutdown
+    /// is signalled, then drains admitted connections and takes a final
+    /// snapshot of every durable project.
     pub fn run(self) -> io::Result<()> {
         let flush_thread = self.flush_interval.map(|interval| {
             let state = Arc::clone(&self.state);
@@ -126,21 +165,33 @@ impl Server {
             std::thread::spawn(move || flush_loop(&state, &shutdown, interval))
         });
 
+        let queue = Arc::new(WorkQueue::new(self.queue_capacity));
+        let acceptor = {
+            let listener = self.listener.try_clone()?;
+            let state = Arc::clone(&self.state);
+            let shutdown = Arc::clone(&self.shutdown);
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || accept_loop(&listener, &state, &shutdown, &queue))
+        };
+
         let worker_ids: Vec<usize> = (0..self.workers).collect();
         let state = &self.state;
-        let shutdown = &self.shutdown;
-        let listener = &self.listener;
         nhpp_numeric::parallel::map_items(self.workers, &worker_ids, |_, _| {
-            let listener = match listener.try_clone() {
-                Ok(l) => l,
-                Err(_) => return,
-            };
-            accept_loop(&listener, state, shutdown);
+            // Graceful drain: `pop` keeps yielding admitted connections
+            // after close, and returns `None` only once the queue is
+            // closed *and* empty.
+            while let Some(stream) = queue.pop() {
+                handle_connection(stream, state);
+            }
         });
 
+        let _ = acceptor.join();
         if let Some(handle) = flush_thread {
             let _ = handle.join();
         }
+        // Final crash-consistent snapshot: the next start replays
+        // snapshot-plus-nothing instead of the whole log.
+        self.state.registry.snapshot_all();
         Ok(())
     }
 
@@ -151,13 +202,11 @@ impl Server {
         let addr = server.addr;
         let state = server.state();
         let shutdown = Arc::clone(&server.shutdown);
-        let workers = server.workers;
         let join = std::thread::spawn(move || server.run());
         Ok(ServerHandle {
             addr,
             state,
             shutdown,
-            workers,
             join: Some(join),
         })
     }
@@ -168,7 +217,6 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<AppState>,
     shutdown: Arc<AtomicBool>,
-    workers: usize,
     join: Option<std::thread::JoinHandle<io::Result<()>>>,
 }
 
@@ -196,11 +244,9 @@ impl ServerHandle {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // One wake-up connection per worker: each is parked in
-        // `accept`, and the kernel hands each connect to exactly one.
-        for _ in 0..self.workers {
-            let _ = TcpStream::connect(self.addr);
-        }
+        // One wake-up connection: only the acceptor is parked in
+        // `accept`; workers are woken by the queue close that follows.
+        let _ = TcpStream::connect(self.addr);
     }
 }
 
@@ -231,17 +277,89 @@ fn flush_loop(state: &AppState, shutdown: &AtomicBool, interval: Duration) {
     }
 }
 
-fn accept_loop(listener: &TcpListener, state: &AppState, shutdown: &AtomicBool) {
+/// Bounded handoff between the acceptor and the request workers: the
+/// admission-control point of the overload story.
+struct WorkQueue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    items: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl WorkQueue {
+    fn new(capacity: usize) -> WorkQueue {
+        WorkQueue {
+            capacity,
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Admits a connection, or hands it straight back when the queue is
+    /// full or closed — the caller sheds it.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed || (self.capacity != 0 && state.items.len() >= self.capacity) {
+            return Err(stream);
+        }
+        state.items.push_back(stream);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next admitted connection; `None` once the queue
+    /// is closed *and* drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(stream) = state.items.pop_front() {
+                return Some(stream);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Stops admission; workers drain what was already admitted.
+    fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &AppState,
+    shutdown: &AtomicBool,
+    queue: &WorkQueue,
+) {
     loop {
         if shutdown.load(Ordering::SeqCst) {
-            return;
+            break;
         }
         match listener.accept() {
             Ok((stream, _)) => {
                 if shutdown.load(Ordering::SeqCst) {
-                    return;
+                    break;
                 }
-                handle_connection(stream, state);
+                if let Err(stream) = queue.push(stream) {
+                    shed(stream, state);
+                }
             }
             Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => {
@@ -251,6 +369,39 @@ fn accept_loop(listener: &TcpListener, state: &AppState, shutdown: &AtomicBool) 
             }
         }
     }
+    queue.close();
+}
+
+/// Admission control: answer a connection the queue could not take with
+/// an immediate `503` + `Retry-After`, without tying up a worker or
+/// parsing the request.
+fn shed(mut stream: TcpStream, state: &AppState) {
+    state.metrics.requests_shed.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let response = Response::json(
+        503,
+        "{\"error\": \"server overloaded, request shed\"}".to_string(),
+    )
+    .with_retry_after(state.retry_after_secs);
+    if response.write_to(&mut stream).is_ok() {
+        // Closing with unread request bytes in the receive buffer turns
+        // the close into an RST, which can destroy the in-flight 503 on
+        // the client side. Send our FIN, then drain what the client
+        // sends — bounded in bytes and time so a slow writer cannot
+        // hold the acceptor hostage.
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let mut sink = [0u8; 4096];
+        let mut drained = 0usize;
+        while drained < 64 * 1024 && Instant::now() < deadline {
+            match stream.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => drained += n,
+            }
+        }
+    }
+    state.metrics.observe_request(503, Duration::ZERO);
 }
 
 fn handle_connection(stream: TcpStream, state: &AppState) {
@@ -314,6 +465,87 @@ mod tests {
             text.push_str(&format!("{t}\n"));
         }
         text
+    }
+
+    #[test]
+    fn work_queue_bounds_admission_and_drains_after_close() {
+        let queue = WorkQueue::new(1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _c1 = TcpStream::connect(addr).unwrap();
+        let _c2 = TcpStream::connect(addr).unwrap();
+        let _c3 = TcpStream::connect(addr).unwrap();
+        let (s1, _) = listener.accept().unwrap();
+        let (s2, _) = listener.accept().unwrap();
+        let (s3, _) = listener.accept().unwrap();
+
+        assert!(queue.push(s1).is_ok(), "first admission fits");
+        let rejected = queue.push(s2);
+        assert!(rejected.is_err(), "capacity 1 sheds the second");
+        assert_eq!(queue.len(), 1);
+
+        // Close stops admission but the admitted connection drains.
+        queue.close();
+        assert!(queue.push(s3).is_err(), "closed queue admits nothing");
+        assert!(queue.pop().is_some());
+        assert!(queue.pop().is_none(), "closed and drained");
+    }
+
+    #[test]
+    fn shed_answers_503_with_retry_after() {
+        let state = AppState {
+            registry: Registry::open(None).unwrap(),
+            metrics: Metrics::new(),
+            fit: FitSettings::default(),
+            cache: FitCache::new(0),
+            retry_after_secs: 3,
+            quiet: true,
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut text = String::new();
+            use std::io::Read as _;
+            stream.read_to_string(&mut text).unwrap();
+            text
+        });
+        let (server_side, _) = listener.accept().unwrap();
+        shed(server_side, &state);
+        let text = client.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 503"), "{text}");
+        assert!(text.contains("Retry-After: 3\r\n"), "{text}");
+        assert_eq!(state.metrics.requests_shed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn graceful_shutdown_snapshots_durable_projects() {
+        let dir = std::env::temp_dir().join(format!("nhpp-serve-shutdown-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = quiet_config();
+        config.data_dir = Some(dir.clone());
+        let handle = Server::spawn(config).unwrap();
+        let addr = handle.addr().to_string();
+        client_request(
+            &addr,
+            "PUT",
+            "/projects/p?kind=times&model=go&prior=paper-info-times",
+            None,
+        )
+        .unwrap();
+        client_request(&addr, "POST", "/projects/p/events", Some(&sys17_batch())).unwrap();
+        handle.shutdown();
+
+        assert!(dir.join("p.snap").exists(), "shutdown snapshot missing");
+        // The next start replays snapshot-plus-nothing.
+        let registry = Registry::open(Some(&dir)).unwrap();
+        let project = registry.get("p").unwrap();
+        assert_eq!(project.version(), 1);
+        assert_eq!(
+            registry.stats().snapshots_loaded.load(Ordering::Relaxed),
+            1
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
