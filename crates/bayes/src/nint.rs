@@ -19,7 +19,9 @@ use nhpp_models::prior::NhppPrior;
 use nhpp_models::{LogPosterior, ModelSpec, Posterior};
 use nhpp_numeric::quadrature::GaussLegendre;
 use nhpp_numeric::roots::bisect;
-use nhpp_special::log_sum_exp;
+use nhpp_special::{
+    exp_shift_inplace_x4, log_sum_exp, log_sum_exp_x4, SimdDispatch, SimdPolicy, WIDE_LANES,
+};
 use std::cell::RefCell;
 
 thread_local! {
@@ -63,6 +65,11 @@ pub struct NintOptions {
     pub n_omega: usize,
     /// Gauss–Legendre points along the β axis.
     pub n_beta: usize,
+    /// SIMD lane policy of the grid reduction (the streaming
+    /// log-sum-exp and the normalising exponential pass).
+    /// [`SimdPolicy::Auto`] follows the process-wide dispatch;
+    /// forcing a lane width reproduces a recorded fit bitwise.
+    pub lanes: SimdPolicy,
 }
 
 impl Default for NintOptions {
@@ -70,6 +77,7 @@ impl Default for NintOptions {
         NintOptions {
             n_omega: 200,
             n_beta: 200,
+            lanes: SimdPolicy::Auto,
         }
     }
 }
@@ -94,6 +102,10 @@ pub struct NintPosterior {
     /// Log of the normalising constant `∫∫ P(D|ω,β)P(ω,β) dω dβ` — the
     /// log marginal likelihood over the box.
     ln_norm: f64,
+    /// SIMD lane width the grid reduction ran at (`1` scalar,
+    /// `WIDE_LANES` wide) — pinned so a fit is reproducible on any
+    /// machine by forcing the same policy.
+    lane_width: usize,
 }
 
 impl NintPosterior {
@@ -141,15 +153,24 @@ impl NintPosterior {
                 *cell += ln_ww + lb;
             }
         }
-        let ln_norm = log_sum_exp(&cells);
+        let dispatch = options.lanes.resolve();
+        let ln_norm = match dispatch {
+            SimdDispatch::Scalar => log_sum_exp(&cells),
+            SimdDispatch::Wide4 => log_sum_exp_x4(&cells),
+        };
         if !ln_norm.is_finite() {
             return Err(BayesError::IllPosed {
                 message: format!("posterior mass over box {bounds:?} is zero or non-finite"),
             });
         }
         let mut prob = cells;
-        for v in &mut prob {
-            *v = (*v - ln_norm).exp();
+        match dispatch {
+            SimdDispatch::Scalar => {
+                for v in &mut prob {
+                    *v = (*v - ln_norm).exp();
+                }
+            }
+            SimdDispatch::Wide4 => exp_shift_inplace_x4(&mut prob, ln_norm),
         }
         let mut marg_omega = vec![0.0; omega_nodes.len()];
         let mut marg_beta = vec![0.0; beta_nodes.len()];
@@ -170,12 +191,23 @@ impl NintPosterior {
             marg_omega,
             marg_beta,
             ln_norm,
+            lane_width: match dispatch {
+                SimdDispatch::Scalar => 1,
+                SimdDispatch::Wide4 => WIDE_LANES,
+            },
         })
     }
 
     /// The integration rectangle in use.
     pub fn bounds(&self) -> Bounds {
         self.bounds
+    }
+
+    /// SIMD lane width the grid reduction ran at (`1` = scalar,
+    /// [`nhpp_special::WIDE_LANES`] = wide). Replaying a fit with the
+    /// matching [`SimdPolicy`] reproduces it bitwise on any machine.
+    pub fn lane_width(&self) -> usize {
+        self.lane_width
     }
 
     /// Log marginal likelihood (evidence) over the integration box.
@@ -509,6 +541,7 @@ mod tests {
             NintOptions {
                 n_omega: 80,
                 n_beta: 80,
+                ..NintOptions::default()
             },
         )
         .unwrap();
@@ -520,6 +553,7 @@ mod tests {
             NintOptions {
                 n_omega: 320,
                 n_beta: 320,
+                ..NintOptions::default()
             },
         )
         .unwrap();
@@ -582,7 +616,8 @@ mod tests {
                 ((1.0, 100.0), (1e-6, 1e-4)),
                 NintOptions {
                     n_omega: 2,
-                    n_beta: 2
+                    n_beta: 2,
+                    ..NintOptions::default()
                 }
             ),
             Err(BayesError::InvalidOption { .. })
@@ -617,6 +652,45 @@ mod tests {
         }
         assert!(NintPosterior::marginal_quantile(&nodes, &masses, lo, hi, -0.1).is_nan());
         assert!(NintPosterior::marginal_quantile(&nodes, &masses, lo, hi, 1.1).is_nan());
+    }
+
+    #[test]
+    fn forced_lane_widths_agree_and_are_pinned() {
+        let data: ObservedData = sys17::failure_times().into();
+        let spec = ModelSpec::goel_okumoto();
+        let prior = NhppPrior::paper_info_times();
+        let lap = LaplacePosterior::fit(spec, prior, &data).unwrap();
+        let bounds = bounds_from_posterior(&lap);
+        let fit = |lanes| {
+            NintPosterior::fit(
+                spec,
+                prior,
+                &data,
+                bounds,
+                NintOptions {
+                    lanes,
+                    ..NintOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let scalar = fit(SimdPolicy::ForceScalar);
+        let wide = fit(SimdPolicy::ForceWide);
+        assert_eq!(scalar.lane_width(), 1);
+        assert_eq!(wide.lane_width(), WIDE_LANES);
+        // The two reductions differ only by ulp-level regrouping.
+        assert!(
+            (scalar.mean_omega() - wide.mean_omega()).abs() < 1e-12 * scalar.mean_omega()
+        );
+        assert!((scalar.log_evidence() - wide.log_evidence()).abs() < 1e-10);
+        // Each width reproduces itself bitwise on a repeat fit.
+        let wide2 = fit(SimdPolicy::ForceWide);
+        assert_eq!(wide.mean_omega().to_bits(), wide2.mean_omega().to_bits());
+        assert_eq!(wide.ln_norm.to_bits(), wide2.ln_norm.to_bits());
+        assert_eq!(wide.prob.len(), wide2.prob.len());
+        for (a, b) in wide.prob.iter().zip(&wide2.prob) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! pass). A file that fails to parse is a hard error in both modes.
 
 use nhpp_bayes::nint::{bounds_from_posterior, NintOptions, NintPosterior};
-use nhpp_bench::perf::{compare, Metric, Report};
+use nhpp_bench::perf::{compare_full, Metric, Report};
 use nhpp_bench::Scenario;
 use nhpp_models::ModelSpec;
 use nhpp_vb::{SolverKind, Truncation, Vb2Options, Vb2Posterior, Vb2Task};
@@ -154,6 +154,34 @@ fn run(args: &[String]) -> ExitCode {
         }
     });
 
+    // vb2-fit-many-lanes: the batch API over independent failure-time
+    // projects on the successive-substitution solver, so every task's
+    // N-sweep rides the four-lane kernels inside a threaded pool — the
+    // shape of the server's coalesced refit ticks.
+    let lane_opts = Vb2Options {
+        solver: SolverKind::SuccessiveSubstitution,
+        truncation: Truncation::Fixed {
+            n_max: if quick { 250 } else { 500 },
+        },
+        ..Vb2Options::default()
+    };
+    let lane_tasks: Vec<Vb2Task<'_>> = [&dt, &dt_flat]
+        .into_iter()
+        .cycle()
+        .take(if quick { 4 } else { 8 })
+        .map(|s| Vb2Task {
+            spec,
+            prior: s.prior,
+            data: &s.data,
+            options: lane_opts,
+        })
+        .collect();
+    record(&mut metrics, "vb2-fit-many-lanes", samples, || {
+        for r in Vb2Posterior::fit_many(&lane_tasks, 4) {
+            r.unwrap();
+        }
+    });
+
     // vb2-parallel-t{1,4}: thread-count scaling on the flat-prior sweep,
     // large fixed truncation (the component-dominated regime).
     let par_n_max = if quick { 800 } else { 2000 };
@@ -277,13 +305,29 @@ fn run_compare(args: &[String]) -> ExitCode {
         }
     }
     let (old, new) = (&reports[0], &reports[1]);
-    let deltas = compare(old, new, max_regression);
-    if deltas.is_empty() {
+    let comparison = compare_full(old, new, max_regression);
+    if comparison.deltas.is_empty() {
         eprintln!("bench_report: no shared metrics between {old_path} and {new_path}");
         return ExitCode::FAILURE;
     }
+    // New benchmarks are benign; report them for the record.
+    for name in &comparison.missing_in_baseline {
+        println!("  {name:<20} new metric (not in baseline)");
+    }
+    // A benchmark that vanished from the new report means a scenario
+    // was renamed or deleted: warn in smoke mode, fail the real gate —
+    // a silently dropped metric must not read as "no regression".
+    let mut dropped = false;
+    for name in &comparison.missing_in_new {
+        dropped = true;
+        if smoke {
+            println!("  {name:<20} MISSING from new report (smoke mode: warning only)");
+        } else {
+            eprintln!("  {name:<20} MISSING from new report");
+        }
+    }
     let mut regressed = false;
-    for d in &deltas {
+    for d in &comparison.deltas {
         let verdict = if d.regressed { "REGRESSED" } else { "ok" };
         println!(
             "  {:<20} {:>10.3} ms -> {:>10.3} ms  {:+7.1}%  {verdict}",
@@ -293,6 +337,13 @@ fn run_compare(args: &[String]) -> ExitCode {
             d.change * 100.0
         );
         regressed |= d.regressed;
+    }
+    if dropped && !smoke {
+        eprintln!(
+            "bench_report: FAIL — {} baseline metric(s) missing from the new report",
+            comparison.missing_in_new.len()
+        );
+        return ExitCode::FAILURE;
     }
     if regressed {
         if smoke {

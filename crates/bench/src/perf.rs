@@ -147,21 +147,37 @@ pub struct Delta {
     pub regressed: bool,
 }
 
-/// Compares `new` against `old`, flagging any shared metric whose median
-/// grew by more than `max_regression` (e.g. `0.10` = +10%). Metrics
-/// present in only one report are skipped — adding a benchmark must not
-/// fail the gate.
-pub fn compare(old: &Report, new: &Report, max_regression: f64) -> Vec<Delta> {
-    let mut deltas = Vec::new();
+/// Outcome of a full report comparison: per-shared-metric verdicts plus
+/// the metrics that exist on only one side. A metric missing from the
+/// baseline is a *new* benchmark (benign); a metric missing from the new
+/// report means a scenario was renamed or deleted — exactly the case a
+/// regression gate must not wave through silently.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Verdicts for metrics present in both reports.
+    pub deltas: Vec<Delta>,
+    /// Metrics only in the new report (added benchmarks), sorted.
+    pub missing_in_baseline: Vec<String>,
+    /// Metrics only in the baseline (dropped/renamed benchmarks), sorted.
+    pub missing_in_new: Vec<String>,
+}
+
+/// Compares `new` against `old`: shared metrics are flagged when their
+/// median grew by more than `max_regression` (e.g. `0.10` = +10%), and
+/// metrics present in only one report are listed instead of skipped, so
+/// the caller decides whether a vanished benchmark passes the gate.
+pub fn compare_full(old: &Report, new: &Report, max_regression: f64) -> Comparison {
+    let mut result = Comparison::default();
     for (name, m_new) in &new.metrics {
         let Some(m_old) = old.metrics.get(name) else {
+            result.missing_in_baseline.push(name.clone());
             continue;
         };
         if m_old.median_ms <= 0.0 {
             continue;
         }
         let change = m_new.median_ms / m_old.median_ms - 1.0;
-        deltas.push(Delta {
+        result.deltas.push(Delta {
             name: name.clone(),
             old_ms: m_old.median_ms,
             new_ms: m_new.median_ms,
@@ -169,7 +185,18 @@ pub fn compare(old: &Report, new: &Report, max_regression: f64) -> Vec<Delta> {
             regressed: change > max_regression,
         });
     }
-    deltas
+    for name in old.metrics.keys() {
+        if !new.metrics.contains_key(name) {
+            result.missing_in_new.push(name.clone());
+        }
+    }
+    result
+}
+
+/// Shared-metric verdicts only — [`compare_full`] without the missing
+/// lists, kept for callers that tolerate report-shape drift.
+pub fn compare(old: &Report, new: &Report, max_regression: f64) -> Vec<Delta> {
+    compare_full(old, new, max_regression).deltas
 }
 
 #[cfg(test)]
@@ -253,5 +280,38 @@ mod tests {
         assert!(nint.regressed && (nint.change - 0.25).abs() < 1e-12);
         let sweep = deltas.iter().find(|d| d.name == "vb2-sweep").unwrap();
         assert!(!sweep.regressed);
+    }
+
+    #[test]
+    fn compare_full_reports_one_sided_metrics() {
+        let mut old = sample();
+        old.metrics.insert(
+            "dropped-metric".to_string(),
+            Metric {
+                median_ms: 3.0,
+                samples: 5,
+                baseline_median_ms: None,
+                speedup: None,
+            },
+        );
+        let mut new = sample();
+        new.metrics.insert(
+            "fresh-metric".to_string(),
+            Metric {
+                median_ms: 1.0,
+                samples: 5,
+                baseline_median_ms: None,
+                speedup: None,
+            },
+        );
+        let full = compare_full(&old, &new, 0.10);
+        assert_eq!(full.deltas.len(), 2);
+        assert_eq!(full.missing_in_baseline, vec!["fresh-metric".to_string()]);
+        assert_eq!(full.missing_in_new, vec!["dropped-metric".to_string()]);
+        // The identical shared metrics carry no regression.
+        assert!(full.deltas.iter().all(|d| !d.regressed));
+        // The convenience wrapper matches the full deltas.
+        let plain = compare(&old, &new, 0.10);
+        assert_eq!(plain.len(), full.deltas.len());
     }
 }

@@ -12,8 +12,8 @@ use crate::args::ParsedArgs;
 use crate::commands::CliError;
 use nhpp_bench::json;
 use nhpp_serve::{
-    client_request, DurabilityPolicy, FitSettings, FsStorage, Registry, Server, ServerConfig,
-    SnapshotStatus,
+    client_request_with_backoff, DurabilityPolicy, FitSettings, FsStorage, Registry, Server,
+    ServerConfig, SnapshotStatus,
 };
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -177,8 +177,12 @@ pub fn cmd_compact(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// One client request with shed-aware retries: a 503 is retried up to
+/// three times, honouring the server's `Retry-After` (capped at 2 s per
+/// wait) so scripted clients ride out transient overload instead of
+/// failing on the first shed.
 fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> Result<(u16, String), CliError> {
-    client_request(addr, method, path, body)
+    client_request_with_backoff(addr, method, path, body, 3, Duration::from_secs(2))
         .map_err(run_err(&format!("{method} {path} against {addr}")))
 }
 

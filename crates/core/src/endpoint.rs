@@ -9,7 +9,8 @@
 //! exponential forms when `α₀ = 1` (Goel–Okumoto).
 
 use nhpp_special::{
-    ln_gamma_p_step, ln_gamma_pq_given, ln_gamma_q_given, ln_gamma_q_step, log_diff_exp,
+    ln_gamma_p_step, ln_gamma_pq_given, ln_gamma_q_given, ln_gamma_q_step, ln_gamma_q_step_x4,
+    log_diff_exp, F64x4,
 };
 
 /// The regularised incomplete-gamma state at one scaled endpoint
@@ -49,6 +50,46 @@ impl Endpoint {
             ln_gamma_q_given(alpha0, x, gln)
         };
         (ln_q, ln_gamma_q_step(alpha0, x, x.ln(), ln_q, gln1))
+    }
+
+    /// Four-lane [`Endpoint::eval_tail`]: the same two upper tails for
+    /// four rate candidates `ξ` at once, in struct-of-arrays form. The
+    /// base shape uses the exact `Q(1, x) = e^{−x}` branch when
+    /// `α₀ = 1` (the only shape the wide VB2 sweep engages for today)
+    /// and otherwise delegates lane by lane to the scalar evaluation;
+    /// the `α₀ + 1` tails step forward through the wide Q-recurrence.
+    pub(crate) fn eval_tail_x4(
+        alpha0: f64,
+        xi: F64x4,
+        t: f64,
+        gln: f64,
+        gln1: f64,
+    ) -> (F64x4, F64x4) {
+        let x = xi * F64x4::splat(t);
+        if alpha0 == 1.0 {
+            let mut ln_q = [0.0; 4];
+            for (q, &xv) in ln_q.iter_mut().zip(&x.0) {
+                *q = if xv == 0.0 { 0.0 } else { -xv };
+            }
+            let ln_q = F64x4(ln_q);
+            let ln_q1 = ln_gamma_q_step_x4(
+                F64x4::splat(alpha0),
+                x,
+                x.ln(),
+                ln_q,
+                F64x4::splat(gln1),
+            );
+            (ln_q, ln_q1)
+        } else {
+            let mut ln_q = [0.0; 4];
+            let mut ln_q1 = [0.0; 4];
+            for i in 0..4 {
+                let (q, q1) = Endpoint::eval_tail(alpha0, xi.0[i], t, gln, gln1);
+                ln_q[i] = q;
+                ln_q1[i] = q1;
+            }
+            (F64x4(ln_q), F64x4(ln_q1))
+        }
     }
 
     pub(crate) fn eval(alpha0: f64, xi: f64, t: f64, gln: f64, gln1: f64) -> Self {
@@ -109,6 +150,18 @@ pub(crate) fn mean_from_masses(alpha0: f64, xi: f64, ln_mass: f64, ln_mass1: f64
     (alpha0 / xi) * (ln_mass1 - ln_mass).exp()
 }
 
+/// Four-lane [`mean_from_masses`] for the censored tail `(t, ∞)`,
+/// where the mass is never zero: `(α₀/ξ)·exp(ln M_{α₀+1} − ln M_{α₀})`
+/// per lane on the wide exponential kernel.
+pub(crate) fn tail_mean_from_masses_x4(
+    alpha0: f64,
+    xi: F64x4,
+    ln_mass: F64x4,
+    ln_mass1: F64x4,
+) -> F64x4 {
+    (F64x4::splat(alpha0) / xi) * (ln_mass1 - ln_mass).exp()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +187,37 @@ mod tests {
                 let (tq, tq1) = Endpoint::eval_tail(alpha0, xi, t, gln, gln1);
                 assert_eq!(tq.to_bits(), e.ln_q.to_bits());
                 assert_eq!(tq1.to_bits(), e.ln_q1.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn wide_tail_tracks_scalar_tail() {
+        for &alpha0 in &[1.0, 2.5] {
+            let gln = ln_gamma(alpha0);
+            let gln1 = ln_gamma(alpha0 + 1.0);
+            let t = 3.2;
+            let xis = F64x4([0.05, 0.7, 2.0, 9.5]);
+            let (wq, wq1) = Endpoint::eval_tail_x4(alpha0, xis, t, gln, gln1);
+            let means = tail_mean_from_masses_x4(alpha0, xis, wq, wq1);
+            for i in 0..4 {
+                let (sq, sq1) = Endpoint::eval_tail(alpha0, xis.0[i], t, gln, gln1);
+                // The base-shape tail is closed form at α₀ = 1 (and a
+                // lane-wise delegate otherwise): bitwise equal. The
+                // stepped shape runs on the wide kernels, which trade
+                // a couple of ulps for lane throughput.
+                assert_eq!(wq.0[i].to_bits(), sq.to_bits(), "alpha0={alpha0} lane {i}");
+                assert!(
+                    (wq1.0[i] - sq1).abs() <= 1e-12 * sq1.abs().max(1.0),
+                    "alpha0={alpha0} lane {i}: {} vs {sq1}",
+                    wq1.0[i]
+                );
+                let scalar_mean =
+                    mean_from_masses(alpha0, xis.0[i], sq, sq1);
+                assert!(
+                    (means.0[i] - scalar_mean).abs() <= 1e-12 * scalar_mean.abs(),
+                    "mean lane {i}"
+                );
             }
         }
     }

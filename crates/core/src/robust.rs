@@ -219,6 +219,13 @@ pub struct FitReport {
     pub attempts: Vec<AttemptRecord>,
     /// Degradations and accommodations the caller should know about.
     pub warnings: Vec<String>,
+    /// SIMD lane width of the sweep that produced the posterior
+    /// (`nhpp_special::WIDE_LANES` when the wide VB2 path ran, `1` for
+    /// scalar sweeps and for the VB1/Laplace fallbacks). Recording it
+    /// here makes a supervised fit reproducible on any machine: replay
+    /// with the matching [`crate::SimdPolicy`] and the sweep is
+    /// bitwise identical.
+    pub lane_width: usize,
 }
 
 impl FitReport {
@@ -388,6 +395,9 @@ pub fn fit_supervised(
 /// # Errors
 ///
 /// As [`fit_supervised`], wrapped in [`FitFailure`] with the report.
+// The report-carrying error is only built on the cold give-up path;
+// boxing it would tax every caller for a case that never dominates.
+#[allow(clippy::result_large_err)]
 pub fn fit_supervised_warm(
     spec: ModelSpec,
     prior: NhppPrior,
@@ -399,6 +409,7 @@ pub fn fit_supervised_warm(
         provenance: "vb2",
         attempts: Vec::new(),
         warnings: Vec::new(),
+        lane_width: 1,
     };
     let mut truncation = options.base.truncation;
     let mut last_err: Option<VbError> = None;
@@ -438,6 +449,7 @@ pub fn fit_supervised_warm(
                 } else {
                     "vb2-retry"
                 };
+                report.lane_width = posterior.lane_width();
                 return Ok(RobustFit {
                     posterior: RobustPosterior::Vb2(posterior),
                     report,
@@ -609,6 +621,7 @@ pub struct WarmRobustTask<'a> {
 /// warm-start table, and failures keep their reports. This is the
 /// flush-tick path of a serving layer — many projects went stale, one
 /// pool refits them all, each warm-started from its own previous fit.
+#[allow(clippy::result_large_err)]
 pub fn fit_many_supervised_warm(
     tasks: &[WarmRobustTask<'_>],
     threads: usize,
@@ -919,6 +932,56 @@ mod tests {
             unbounded.posterior.mean_omega()
         );
         assert!(bounded.report.is_clean());
+    }
+
+    #[test]
+    fn report_records_lane_width_of_producing_sweep() {
+        use nhpp_special::{SimdPolicy, WIDE_LANES};
+        let data: ObservedData = sys17::failure_times().into();
+        let prior = NhppPrior::paper_info_times();
+        // The default Auto fit takes the closed-form scalar path.
+        let closed = fit_supervised(spec(), prior, &data, RobustOptions::default()).unwrap();
+        assert_eq!(closed.report.lane_width, 1);
+        // A forced-wide successive-substitution fit rides the lanes,
+        // and the report pins the width for replay.
+        let wide = fit_supervised(
+            spec(),
+            prior,
+            &data,
+            RobustOptions {
+                base: Vb2Options {
+                    solver: SolverKind::SuccessiveSubstitution,
+                    lanes: SimdPolicy::ForceWide,
+                    ..Vb2Options::default()
+                },
+                ..RobustOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(wide.report.lane_width, WIDE_LANES);
+        // Fallback tiers are scalar: a budget-starved cascade that
+        // lands on VB1 reports width 1 even under a wide policy.
+        let fallen = fit_supervised(
+            spec(),
+            prior,
+            &data,
+            RobustOptions {
+                base: Vb2Options {
+                    solver: SolverKind::SuccessiveSubstitution,
+                    lanes: SimdPolicy::ForceWide,
+                    total_budget: Some(2),
+                    ..Vb2Options::default()
+                },
+                retry: RetryPolicy {
+                    max_attempts: 1,
+                    ..RetryPolicy::default()
+                },
+                ..RobustOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(fallen.report.fallback_tier(), Some("vb1"));
+        assert_eq!(fallen.report.lane_width, 1);
     }
 
     #[test]

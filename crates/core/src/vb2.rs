@@ -52,9 +52,12 @@ use nhpp_models::{ModelSpec, Posterior};
 use nhpp_numeric::fixed_point::{
     bisection_fixed_point, newton_fixed_point_budgeted, successive_substitution_budgeted,
 };
-use nhpp_numeric::{parallel, Budget, SharedBudget};
-use crate::endpoint::{ln_mass_between, mean_from_masses, Endpoint};
-use nhpp_special::{ln_factorial, ln_gamma, LnGammaLadder, StreamingLogSumExp};
+use nhpp_numeric::{parallel, Budget, NumericError, SharedBudget};
+use crate::endpoint::{ln_mass_between, mean_from_masses, tail_mean_from_masses_x4, Endpoint};
+use nhpp_special::{
+    ln_factorial, ln_gamma, F64x4, LnGammaLadder, SimdDispatch, SimdPolicy, StreamingLogSumExp,
+    WIDE_LANES,
+};
 use std::cell::RefCell;
 use std::time::Duration;
 
@@ -158,6 +161,15 @@ pub struct Vb2Options {
     /// Forced numerical pathology (deterministic fault injection for
     /// the robustness tests; `None` in production).
     pub fault: Option<FaultKind>,
+    /// Lane policy for the component sweep's kernels: follow the
+    /// process-wide dispatch (`NHPP_SIMD`), or force the scalar /
+    /// 4-lane path. The width actually used is pinned into the result
+    /// ([`Vb2Posterior::lane_width`]); forcing it reproduces a recorded
+    /// run bitwise on any machine. The wide path engages only where the
+    /// sweep supports it (iterative Goel–Okumoto failure-time solves,
+    /// no fault injection) — everywhere else fits run scalar and are
+    /// bitwise identical under every policy.
+    pub lanes: SimdPolicy,
 }
 
 impl Default for Vb2Options {
@@ -173,6 +185,7 @@ impl Default for Vb2Options {
             init_scale: 1.0,
             threads: 1,
             fault: None,
+            lanes: SimdPolicy::Auto,
         }
     }
 }
@@ -515,6 +528,8 @@ pub struct Vb2Posterior {
     elbo: f64,
     n_max: u64,
     inner_iterations: usize,
+    /// Kernel lane width the sweep ran on (1 = scalar, 4 = wide).
+    lane_width: usize,
 }
 
 impl Vb2Posterior {
@@ -660,7 +675,17 @@ impl Vb2Posterior {
                 None
             },
             warm: warm.filter(|w| !w.is_empty()),
+            dispatch: options.lanes.resolve(),
             options,
+        };
+        // Pinned into the result: the lane width is part of the
+        // reproducibility contract (same data + options + lane width ⇒
+        // same bits, on any machine — dispatch is a software choice,
+        // never a CPU-feature probe).
+        let lane_width = if wide_sweep_eligible(&ctx) {
+            WIDE_LANES
+        } else {
+            1
         };
 
         scratch.components.clear();
@@ -775,6 +800,7 @@ impl Vb2Posterior {
             elbo,
             n_max: n_hi,
             inner_iterations: inner_total,
+            lane_width,
         })
     }
 
@@ -864,6 +890,15 @@ impl Vb2Posterior {
         self.inner_iterations
     }
 
+    /// The kernel lane width the component sweep actually ran on:
+    /// `1` (scalar kernels) or [`WIDE_LANES`]. Part of the
+    /// reproducibility contract — re-running with the same data,
+    /// options and a [`SimdPolicy`] forcing this width reproduces the
+    /// posterior bitwise on any machine.
+    pub fn lane_width(&self) -> usize {
+        self.lane_width
+    }
+
     /// Credible band of the mean value function `Λ(t)` over a time grid
     /// (see [`crate::bands`]).
     ///
@@ -929,6 +964,9 @@ struct FitContext<'a> {
     /// lookup is a pure function of `N`, so warm fits keep the bitwise
     /// thread-count determinism of cold fits.
     warm: Option<&'a Vb2WarmStart>,
+    /// The resolved lane dispatch (policy against the process default),
+    /// fixed once per fit so every chunk sees the same kernels.
+    dispatch: SimdDispatch,
     options: Vb2Options,
 }
 
@@ -959,6 +997,26 @@ fn uses_closed_form(ctx: &FitContext) -> bool {
         && matches!(
             (ctx.spec.is_goel_okumoto(), ctx.summary),
             (true, DataSummary::Times { .. })
+        )
+}
+
+/// Whether the component sweep may run its iterative fixed points on
+/// the 4-lane kernels. The wide path is the iterative Goel–Okumoto /
+/// failure-time sweep (`α₀ = 1`, where the censored-tail terms have
+/// closed algebraic forms per lane): the benchmark-critical Table 7
+/// protocol and every explicit-substitution fit. Everything else — the
+/// closed form (already iteration-free), grouped data, `α₀ ≠ 1`
+/// shapes, Newton/bisection solvers, fault injection — keeps the
+/// scalar path, bitwise unchanged from previous releases.
+fn wide_sweep_eligible(ctx: &FitContext) -> bool {
+    ctx.dispatch == SimdDispatch::Wide4
+        && !uses_closed_form(ctx)
+        && ctx.options.fault.is_none()
+        && ctx.alpha0 == 1.0
+        && matches!(ctx.summary, DataSummary::Times { .. })
+        && matches!(
+            ctx.options.solver,
+            SolverKind::Auto | SolverKind::SuccessiveSubstitution
         )
 }
 
@@ -1069,7 +1127,38 @@ fn solve_chunk(
     let mut ladder_b = ctx
         .b_stride
         .map(|_| LnGammaLadder::new(ctx.a_b + n0 as f64 * ctx.alpha0));
-    for (&n, slot) in ns.iter().zip(out.iter_mut()) {
+    // Lane-parallel sweep: whole quads of consecutive `N` solve their
+    // fixed points side by side in struct-of-arrays form; the ragged
+    // tail (and any ineligible fit) takes the scalar loop below, which
+    // continues from the same ladder and warm-chain state. Quad
+    // staging lives in registers; results fold back into the
+    // array-of-structs scratch, so the chunk output layout (and the
+    // chunk partition, and therefore thread-count determinism) is
+    // unchanged.
+    let mut idx = 0;
+    if wide_sweep_eligible(ctx) {
+        while idx + WIDE_LANES <= ns.len() {
+            let quad_ns = [ns[idx], ns[idx + 1], ns[idx + 2], ns[idx + 3]];
+            let mut lga = [0.0; 4];
+            let mut lgb = [0.0; 4];
+            for i in 0..WIDE_LANES {
+                lga[i] = ladder_a.value();
+                lgb[i] = match &ladder_b {
+                    Some(ladder) => ladder.value(),
+                    None => ln_gamma(ctx.a_b + quad_ns[i] as f64 * ctx.alpha0),
+                };
+                ladder_a.advance();
+                if let (Some(ladder), Some(stride)) = (&mut ladder_b, ctx.b_stride) {
+                    ladder.advance_by(stride);
+                }
+            }
+            let quad = solve_quad(ctx, quad_ns, warm_xi, lga, lgb, shared)?;
+            warm_xi = Some(quad[WIDE_LANES - 1].xi);
+            out[idx..idx + WIDE_LANES].copy_from_slice(&quad);
+            idx += WIDE_LANES;
+        }
+    }
+    for (&n, slot) in ns[idx..].iter().zip(out[idx..].iter_mut()) {
         let ln_gamma_a = ladder_a.value();
         let ln_gamma_b = match &ladder_b {
             Some(ladder) => ladder.value(),
@@ -1091,6 +1180,175 @@ fn solve_chunk(
         }
     }
     Ok(())
+}
+
+/// Solves four consecutive components side by side on the 4-lane
+/// kernels (Goel–Okumoto, failure-time data, `α₀ = 1` — see
+/// [`wide_sweep_eligible`]).
+///
+/// With `α₀ = 1` the censored-tail mean is `t_e + 1/ξ` in closed form,
+/// so the per-iteration fixed-point map collapses to
+/// `ξ ← (m_β + N) / (φ_β + Σt + r·t_e + r/ξ)` — pure lane arithmetic,
+/// no transcendentals — and the four lanes' divisions pipeline. Each
+/// lane replicates the scalar successive-substitution contract
+/// exactly: one budget charge per executed iteration, a `NonFinite`
+/// error on an escaped iterate, convergence at
+/// `|Δξ| <= tol·max(|ξ|, 1)`, and the per-component `inner_max_iter`
+/// cap; converged lanes freeze while the rest keep iterating. Weights
+/// then finish through the wide tail recurrence
+/// ([`Endpoint::eval_tail_x4`]) in the same shape as the scalar
+/// [`zeta_and_data`].
+///
+/// Lanes seed through the same [`pick_seed`] race as the scalar path —
+/// warm-table entry vs. the predecessor quad's last converged `ξ` (the
+/// chunk-head seed for the first quad), whichever has the smaller
+/// fixed-point residual — pure functions of `N` and chunk-local state,
+/// so the bitwise thread-count determinism of the sweep is preserved
+/// and a stale table never costs a warm refit more iterations than the
+/// chain would. Wide
+/// results may differ from scalar results by inner-tolerance-sized
+/// amounts (different iterate sequence, polynomial exponential); the
+/// lane width pinned into the posterior records which path produced
+/// them.
+fn solve_quad(
+    ctx: &FitContext,
+    ns: [u64; WIDE_LANES],
+    chain: Option<f64>,
+    ln_gamma_a: [f64; WIDE_LANES],
+    ln_gamma_b: [f64; WIDE_LANES],
+    shared: &SharedBudget,
+) -> Result<[Component; WIDE_LANES], VbError> {
+    let (sum_obs, t_end) = match ctx.summary {
+        DataSummary::Times { sum_obs, t_end, .. } => (*sum_obs, *t_end),
+        DataSummary::Grouped { .. } => unreachable!("guarded by wide_sweep_eligible"),
+    };
+    let m = ctx.summary.observed();
+    let tol = ctx.options.inner_tol;
+    let max_iter = ctx.options.inner_max_iter;
+    let mut local = shared.local(u64::MAX);
+    let result = (|| -> Result<[Component; WIDE_LANES], VbError> {
+        // The per-component head charges, as in the scalar path.
+        local.charge(WIDE_LANES as u64).map_err(VbError::from)?;
+        let mut b_shapes = [0.0; WIDE_LANES];
+        let mut denoms = [0.0; WIDE_LANES];
+        let mut coefs = [0.0; WIDE_LANES];
+        let mut rs = [0u64; WIDE_LANES];
+        let mut x = [0.0; WIDE_LANES];
+        for i in 0..WIDE_LANES {
+            let n = ns[i];
+            let Some(r) = n.checked_sub(m) else {
+                return Err(VbError::InvalidOption {
+                    message: "candidate N must be at least the observed count m",
+                });
+            };
+            rs[i] = r;
+            let rf = r as f64;
+            b_shapes[i] = ctx.a_b + n as f64 * ctx.alpha0;
+            denoms[i] = ctx.r_b + sum_obs + rf * t_end;
+            coefs[i] = rf;
+            let seed = pick_seed(ctx, n, ctx.warm.and_then(|w| w.xi(n)), chain, shared)
+                .unwrap_or_else(|| {
+                    // Cold start at the ξ = α₀/t_e probe, algebraically:
+                    // ζ(α₀/t_e) = Σt + 2·r·t_e when α₀ = 1.
+                    b_shapes[i] / (ctx.r_b + sum_obs + 2.0 * rf * t_end)
+                });
+            x[i] = ctx.options.init_scale * seed;
+        }
+        let ones = F64x4::splat(1.0);
+        let b_shape_v = F64x4(b_shapes);
+        let denom_v = F64x4(denoms);
+        let coef_v = F64x4(coefs);
+        let mut iters = [0usize; WIDE_LANES];
+        let mut done = [false; WIDE_LANES];
+        loop {
+            let mut active = 0u64;
+            for i in 0..WIDE_LANES {
+                if !done[i] {
+                    if iters[i] >= max_iter {
+                        // The scalar path's per-component sub-budget
+                        // trips on this same iteration's charge.
+                        return Err(VbError::from(NumericError::BudgetExhausted {
+                            used: iters[i] as u64,
+                            reason: "iteration limit",
+                        }));
+                    }
+                    active += 1;
+                }
+            }
+            if active == 0 {
+                break;
+            }
+            local.charge(active).map_err(VbError::from)?;
+            let xv = F64x4(x);
+            let next = b_shape_v / (coef_v.mul_add(ones / xv, denom_v));
+            for i in 0..WIDE_LANES {
+                if done[i] {
+                    continue;
+                }
+                let nx = next.0[i];
+                iters[i] += 1;
+                if !nx.is_finite() {
+                    return Err(VbError::from(NumericError::NonFinite {
+                        context: "successive substitution update",
+                    }));
+                }
+                if (nx - x[i]).abs() <= tol * x[i].abs().max(1.0) {
+                    done[i] = true;
+                }
+                x[i] = nx;
+            }
+        }
+
+        // Weight assembly in the same shape as the scalar
+        // `zeta_and_data` + `solve_component` finish, on the wide
+        // kernels: tail recurrence, ζ, data factor, ln weight.
+        let xi_v = F64x4(x);
+        let (ln_q, ln_q1) = Endpoint::eval_tail_x4(
+            ctx.alpha0,
+            xi_v,
+            t_end,
+            ctx.ln_gamma_alpha0,
+            ctx.ln_gamma_alpha0p1,
+        );
+        let mean = tail_mean_from_masses_x4(ctx.alpha0, xi_v, ln_q, ln_q1);
+        let rf_v = F64x4(coefs);
+        let tail_mean_term = rf_v * mean;
+        let zeta_v = F64x4::splat(sum_obs) + tail_mean_term;
+        let ln_xi = xi_v.ln();
+        let alpha0_v = F64x4::splat(ctx.alpha0);
+        let ln_data = xi_v * tail_mean_term - rf_v * alpha0_v * ln_xi + rf_v * ln_q;
+        let ln_rw1 = F64x4::splat((ctx.r_w + 1.0).ln());
+        let ln_rb_zeta = (F64x4::splat(ctx.r_b) + zeta_v).ln();
+        let mut comps = [Component::PLACEHOLDER; WIDE_LANES];
+        for i in 0..WIDE_LANES {
+            let n = ns[i];
+            let a_shape = ctx.a_w + n as f64;
+            let ln_w = ln_gamma_a[i] - a_shape * ln_rw1.0[i] + ln_gamma_b[i]
+                - b_shapes[i] * ln_rb_zeta.0[i]
+                - ln_factorial(rs[i])
+                + ln_data.0[i];
+            if ln_w.is_nan() {
+                return Err(VbError::DegenerateWeights {
+                    message: format!("ln weight is NaN at N={n} (ζ={}, ξ={})", zeta_v.0[i], x[i]),
+                });
+            }
+            comps[i] = Component {
+                n,
+                zeta: zeta_v.0[i],
+                xi: x[i],
+                ln_weight: ln_w,
+                inner_iterations: iters[i],
+            };
+        }
+        Ok(comps)
+    })();
+    // Settle the consumption either way; a solve error takes precedence
+    // over a budget trip caused by that same solve (as in the scalar
+    // path).
+    let settled = shared.absorb(&local);
+    let comps = result?;
+    settled.map_err(VbError::from)?;
+    Ok(comps)
 }
 
 /// Solves the `(ζ, ξ)` fixed point for one `N` and evaluates the
@@ -1721,6 +1979,140 @@ mod tests {
             .unwrap();
             assert_eq!(bits(&parallel), bits(&serial), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn wide_lanes_agree_with_scalar_and_pin_width() {
+        let data: ObservedData = sys17::failure_times().into();
+        let prior = NhppPrior::paper_info_times();
+        let base = Vb2Options {
+            solver: SolverKind::SuccessiveSubstitution,
+            ..Vb2Options::default()
+        };
+        let scalar = Vb2Posterior::fit(
+            spec(),
+            prior,
+            &data,
+            Vb2Options {
+                lanes: SimdPolicy::ForceScalar,
+                ..base
+            },
+        )
+        .unwrap();
+        let wide = Vb2Posterior::fit(
+            spec(),
+            prior,
+            &data,
+            Vb2Options {
+                lanes: SimdPolicy::ForceWide,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(scalar.lane_width(), 1);
+        assert_eq!(wide.lane_width(), WIDE_LANES);
+        // Different iterate sequences, same fixed points: moments agree
+        // to inner-tolerance-sized amounts.
+        assert!((scalar.mean_omega() - wide.mean_omega()).abs() < 1e-8 * scalar.mean_omega());
+        assert!((scalar.mean_beta() - wide.mean_beta()).abs() < 1e-8 * scalar.mean_beta());
+        assert!((scalar.elbo() - wide.elbo()).abs() < 1e-6);
+        // Each lane width is individually deterministic: repeating the
+        // fit reproduces it bitwise.
+        for (policy, first) in [(SimdPolicy::ForceScalar, &scalar), (SimdPolicy::ForceWide, &wide)]
+        {
+            let again = Vb2Posterior::fit(
+                spec(),
+                prior,
+                &data,
+                Vb2Options {
+                    lanes: policy,
+                    ..base
+                },
+            )
+            .unwrap();
+            assert_eq!(bits(&again), bits(first), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn wide_parallel_fit_is_bitwise_identical_to_serial() {
+        // The ForceWide twin of the thread-determinism test: quad
+        // boundaries are chunk-local, so the lane path must also be a
+        // pure function of the solved N-range.
+        let data: ObservedData = sys17::failure_times().into();
+        let prior = NhppPrior::paper_info_times();
+        let options = Vb2Options {
+            solver: SolverKind::SuccessiveSubstitution,
+            truncation: Truncation::AdaptiveCapped {
+                epsilon: 5e-15,
+                cap: 400,
+            },
+            lanes: SimdPolicy::ForceWide,
+            ..Vb2Options::default()
+        };
+        let serial = Vb2Posterior::fit(spec(), prior, &data, options).unwrap();
+        assert_eq!(serial.lane_width(), WIDE_LANES);
+        for threads in [2usize, 8] {
+            let parallel =
+                Vb2Posterior::fit(spec(), prior, &data, Vb2Options { threads, ..options })
+                    .unwrap();
+            assert_eq!(bits(&parallel), bits(&serial), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn ineligible_sweeps_report_scalar_lane_width() {
+        // The closed-form path and grouped data never take the lanes,
+        // even when the policy asks for them.
+        let times: ObservedData = sys17::failure_times().into();
+        let closed = Vb2Posterior::fit(
+            spec(),
+            NhppPrior::paper_info_times(),
+            &times,
+            Vb2Options {
+                lanes: SimdPolicy::ForceWide,
+                ..Vb2Options::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(closed.lane_width(), 1);
+        let grouped = Vb2Posterior::fit(
+            spec(),
+            NhppPrior::paper_info_grouped(),
+            &sys17::grouped().into(),
+            Vb2Options {
+                solver: SolverKind::SuccessiveSubstitution,
+                lanes: SimdPolicy::ForceWide,
+                ..Vb2Options::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(grouped.lane_width(), 1);
+    }
+
+    #[test]
+    fn wide_warm_fit_converges_on_same_optimum() {
+        // Warm tables feed per-lane seeds on the wide path; the refit
+        // must land on the same optimum and stay cheap.
+        let data: ObservedData = sys17::failure_times().into();
+        let prior = NhppPrior::paper_info_times();
+        let options = Vb2Options {
+            solver: SolverKind::SuccessiveSubstitution,
+            lanes: SimdPolicy::ForceWide,
+            ..Vb2Options::default()
+        };
+        let cold = Vb2Posterior::fit(spec(), prior, &data, options).unwrap();
+        let warm =
+            Vb2Posterior::fit_warm(spec(), prior, &data, options, Some(&cold.warm_start()))
+                .unwrap();
+        assert!(
+            warm.inner_iterations() <= cold.inner_iterations(),
+            "warm {} vs cold {}",
+            warm.inner_iterations(),
+            cold.inner_iterations()
+        );
+        assert!((warm.mean_omega() - cold.mean_omega()).abs() < 1e-9 * cold.mean_omega());
+        assert!((warm.elbo() - cold.elbo()).abs() < 1e-8);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::spec::ModelSpec;
 use nhpp_data::{FailureTimeData, GroupedData, ObservedData};
 use nhpp_dist::{Continuous, Gamma};
 use nhpp_numeric::linalg::SymMat2;
-use nhpp_special::{ln_factorial, ln_gamma};
+use nhpp_special::{ln_factorial, ln_gamma, F64x4, WIDE_LANES};
 
 /// `∂G(t; α₀, β)/∂β = (βt)^{α₀} e^{−βt} / (β·Γ(α₀))` for `t >= 0` — the
 /// β-sensitivity of the gamma CDF, used by score equations and by the
@@ -165,39 +165,59 @@ impl<'a> LogPosterior<'a> {
                 }
             })
             .collect();
-        // `(B(β), G(t_e; β))` per β node.
-        let b_of_beta: Vec<(f64, f64)> = betas
-            .iter()
-            .map(|&b| {
-                if !(b > 0.0) {
-                    return (f64::NEG_INFINITY, 0.0);
+        // `B(β)` and `−G(t_e; β)` per β node, in struct-of-arrays form
+        // so the cell loop below streams both factors lane-contiguous.
+        let mut b_terms = Vec::with_capacity(betas.len());
+        let mut neg_g = Vec::with_capacity(betas.len());
+        for &b in betas {
+            if !(b > 0.0) {
+                b_terms.push(f64::NEG_INFINITY);
+                neg_g.push(-0.0);
+                continue;
+            }
+            let law = Gamma::new(a0, b).expect("positive shape and rate");
+            let mut s = self.prior.beta.ln_density(b);
+            match self.data {
+                ObservedData::Times(d) => {
+                    s += count * (a0 * b.ln() - ln_gamma(a0))
+                        + (a0 - 1.0) * d.sum_ln_times()
+                        - b * d.sum_times();
                 }
-                let law = Gamma::new(a0, b).expect("positive shape and rate");
-                let mut s = self.prior.beta.ln_density(b);
-                match self.data {
-                    ObservedData::Times(d) => {
-                        s += count * (a0 * b.ln() - ln_gamma(a0))
-                            + (a0 - 1.0) * d.sum_ln_times()
-                            - b * d.sum_times();
-                    }
-                    ObservedData::Grouped(d) => {
-                        for (lo, hi, c) in d.intervals() {
-                            if c > 0 {
-                                s += c as f64 * law.ln_interval_mass(lo, hi) - ln_factorial(c);
-                            }
+                ObservedData::Grouped(d) => {
+                    for (lo, hi, c) in d.intervals() {
+                        if c > 0 {
+                            s += c as f64 * law.ln_interval_mass(lo, hi) - ln_factorial(c);
                         }
                     }
                 }
-                (s, law.cdf(t_end))
-            })
-            .collect();
+            }
+            b_terms.push(s);
+            neg_g.push(-law.cdf(t_end));
+        }
         for ((row, &w), &a) in out
             .chunks_mut(betas.len())
             .zip(omegas)
             .zip(&a_of_omega)
         {
-            for (cell, &(b_term, g)) in row.iter_mut().zip(&b_of_beta) {
-                *cell = w.mul_add(-g, a + b_term);
+            // Four fused multiply-adds per step; the lane-wise
+            // `F64x4::mul_add` is bitwise the scalar `f64::mul_add`, so
+            // the wide body and the remainder loop agree exactly.
+            let w4 = F64x4::splat(w);
+            let a4 = F64x4::splat(a);
+            let mut cells = row.chunks_exact_mut(WIDE_LANES);
+            let mut bs = b_terms.chunks_exact(WIDE_LANES);
+            let mut gs = neg_g.chunks_exact(WIDE_LANES);
+            for ((cell, b), g) in (&mut cells).zip(&mut bs).zip(&mut gs) {
+                let v = w4.mul_add(F64x4::from_slice(g), a4 + F64x4::from_slice(b));
+                cell.copy_from_slice(&v.to_array());
+            }
+            for ((cell, &b_term), &g) in cells
+                .into_remainder()
+                .iter_mut()
+                .zip(bs.remainder())
+                .zip(gs.remainder())
+            {
+                *cell = w.mul_add(g, a + b_term);
             }
         }
     }

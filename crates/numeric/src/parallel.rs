@@ -309,6 +309,61 @@ mod tests {
     }
 
     #[test]
+    fn resolve_threads_handles_degenerate_requests() {
+        // Zero work units must still resolve to one (inline) worker —
+        // including the doubly degenerate `(0, 0)` auto request — so
+        // the spawn-free path is taken and no pool is built over an
+        // empty queue.
+        assert_eq!(resolve_threads(0, 0), 1);
+        assert_eq!(resolve_threads(4, 0), 1);
+        assert_eq!(resolve_threads(0, 1), 1);
+        assert_eq!(resolve_threads(1, 1), 1);
+        // More threads than units: capped to the unit count.
+        assert_eq!(resolve_threads(8, 3), 3);
+        // More units than threads: the request is honoured.
+        assert_eq!(resolve_threads(3, 100), 3);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_return_cleanly_on_every_api() {
+        // units = 0: every entry point returns empty/Ok without
+        // touching the worker closure.
+        let none: Vec<u64> = Vec::new();
+        for threads in [0usize, 1, 4] {
+            assert!(run_chunks(threads, 8, &none, |_, c: &[u64]| c.len()).is_empty());
+            assert!(map_items::<u64, u64, _>(threads, &none, |_, &x| x).is_empty());
+            let mut out: Vec<u64> = Vec::new();
+            run_chunks_with_out(threads, 8, &none, &mut out, |_, _, _| Err(()))
+                .expect("no chunks, no work, no error");
+        }
+        // units = 1: a single chunk runs inline whatever the request.
+        let one = [7u64];
+        for threads in [0usize, 1, 64] {
+            assert_eq!(run_chunks(threads, 8, &one, |_, c| c[0]), vec![7]);
+            assert_eq!(map_items(threads, &one, |_, &x| x * 3), vec![21]);
+            let mut out = [0u64];
+            run_chunks_with_out(threads, 8, &one, &mut out, |_, c, o| {
+                o[0] = c[0] + 1;
+                Ok::<(), ()>(())
+            })
+            .unwrap();
+            assert_eq!(out, [8]);
+        }
+        // units = threads − 1: the pool caps at the unit count and the
+        // results still come back in chunk order.
+        let items: Vec<u64> = (0..3).collect();
+        let got = run_chunks(4, 1, &items, |index, chunk| (index, chunk[0]));
+        assert_eq!(got, vec![(0, 0), (1, 1), (2, 2)]);
+        let mut out = vec![0u64; items.len()];
+        run_chunks_with_out(4, 1, &items, &mut out, |_, c, o| {
+            o[0] = c[0] * 10;
+            Ok::<(), ()>(())
+        })
+        .unwrap();
+        assert_eq!(out, vec![0, 10, 20]);
+    }
+
+    #[test]
     fn single_chunk_runs_inline() {
         // threads capped by unit count: one chunk → inline path even
         // with a large requested pool.

@@ -238,10 +238,26 @@ pub fn client_request_full(
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
+            // Numeric headers are normalised (surrounding whitespace
+            // stripped) and then parsed strictly: a present-but-garbled
+            // value is a protocol error, not an absent header. Treating
+            // it as absent would make the client read to EOF on a bad
+            // Content-Length and ignore the server's shed interval on a
+            // bad Retry-After — both silent misbehaviours.
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse::<usize>().ok();
+                content_length = Some(
+                    value
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|_| bad("malformed Content-Length in response"))?,
+                );
             } else if name.eq_ignore_ascii_case("retry-after") {
-                retry_after = value.trim().parse::<u32>().ok();
+                retry_after = Some(
+                    value
+                        .trim()
+                        .parse::<u32>()
+                        .map_err(|_| bad("malformed Retry-After in response"))?,
+                );
             }
         }
     }
@@ -257,6 +273,37 @@ pub fn client_request_full(
         }
     }
     Ok((status, retry_after, body))
+}
+
+/// [`client_request`] with shed-aware retries: on a 503 the client
+/// sleeps for the server's `Retry-After` interval (capped at
+/// `max_wait`, defaulting to one second when the header is absent) and
+/// reissues the request, up to `max_retries` additional attempts. Any
+/// other status — success or error — is returned immediately; the
+/// caller still decides what non-2xx means.
+///
+/// # Errors
+///
+/// Connection or protocol failures as `io::Error`.
+pub fn client_request_with_backoff(
+    addr: &str,
+    method: &str,
+    path_and_query: &str,
+    body: Option<&str>,
+    max_retries: u32,
+    max_wait: std::time::Duration,
+) -> io::Result<(u16, String)> {
+    let mut attempt = 0u32;
+    loop {
+        let (status, retry_after, text) = client_request_full(addr, method, path_and_query, body)?;
+        if status != 503 || attempt >= max_retries {
+            return Ok((status, text));
+        }
+        let wait =
+            std::time::Duration::from_secs(u64::from(retry_after.unwrap_or(1))).min(max_wait);
+        std::thread::sleep(wait);
+        attempt += 1;
+    }
 }
 
 #[cfg(test)]
@@ -307,5 +354,94 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("Retry-After: 2\r\n"));
+    }
+
+    /// Serves each canned raw response to one connection, in order,
+    /// reading (and discarding) the request first. Returns the bound
+    /// address and a handle yielding the number of connections served.
+    fn serve_raw(responses: Vec<Vec<u8>>) -> (String, std::thread::JoinHandle<usize>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let mut served = 0usize;
+            for raw in responses {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let _ = read_request(&mut reader);
+                stream.write_all(&raw).unwrap();
+                served += 1;
+            }
+            served
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn client_rejects_malformed_numeric_headers() {
+        for raw in [
+            "HTTP/1.1 200 OK\r\nContent-Length: many\r\n\r\n",
+            "HTTP/1.1 200 OK\r\nContent-Length: 12 bytes\r\n\r\n",
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\nRetry-After: soon\r\n\r\n",
+        ] {
+            let (addr, handle) = serve_raw(vec![raw.as_bytes().to_vec()]);
+            let err = client_request(&addr, "GET", "/", None).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{raw:?}: {err}");
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn client_normalises_whitespace_padded_numeric_headers() {
+        let raw = "HTTP/1.1 503 Service Unavailable\r\n\
+                   Content-Length:   2  \r\nRetry-After:\t7 \r\n\r\nhi";
+        let (addr, handle) = serve_raw(vec![raw.as_bytes().to_vec()]);
+        let (status, retry_after, body) = client_request_full(&addr, "GET", "/", None).unwrap();
+        assert_eq!((status, retry_after, body.as_str()), (503, Some(7), "hi"));
+        handle.join().unwrap();
+    }
+
+    /// A shed 503's `Retry-After` — serialised by the server's own
+    /// `Response` type — round-trips through the client backoff: the
+    /// client sleeps for the advertised interval (clamped to its cap)
+    /// and the retry lands the 200.
+    #[test]
+    fn shed_retry_after_round_trips_through_backoff() {
+        let mut shed = Vec::new();
+        Response::json(503, "{\"error\":\"overloaded\"}".into())
+            .with_retry_after(1)
+            .write_to(&mut shed)
+            .unwrap();
+        let mut ok = Vec::new();
+        Response::json(200, "{\"ok\":true}".into())
+            .write_to(&mut ok)
+            .unwrap();
+        let (addr, handle) = serve_raw(vec![shed, ok]);
+        let cap = std::time::Duration::from_millis(40);
+        let started = std::time::Instant::now();
+        let (status, body) =
+            client_request_with_backoff(&addr, "GET", "/projects/p/fit", None, 3, cap).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\":true"), "{body}");
+        // The advertised 1 s interval was honoured but clamped to the cap.
+        let elapsed = started.elapsed();
+        assert!(elapsed >= cap, "slept only {elapsed:?}");
+        assert!(elapsed < std::time::Duration::from_secs(1), "{elapsed:?}");
+        assert_eq!(handle.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn backoff_gives_up_after_max_retries() {
+        let mut shed = Vec::new();
+        Response::json(503, "{\"error\":\"overloaded\"}".into())
+            .with_retry_after(0)
+            .write_to(&mut shed)
+            .unwrap();
+        let (addr, handle) = serve_raw(vec![shed.clone(), shed.clone(), shed]);
+        let cap = std::time::Duration::from_millis(10);
+        let (status, body) =
+            client_request_with_backoff(&addr, "GET", "/", None, 2, cap).unwrap();
+        assert_eq!(status, 503);
+        assert!(body.contains("overloaded"), "{body}");
+        assert_eq!(handle.join().unwrap(), 3);
     }
 }

@@ -44,7 +44,7 @@ pub mod scheduler;
 pub mod server;
 pub mod storage;
 
-pub use http::{client_request, client_request_full, Request, Response};
+pub use http::{client_request, client_request_full, client_request_with_backoff, Request, Response};
 pub use metrics::Metrics;
 pub use registry::{
     fsck, DataKind, DurabilityPolicy, FsckEntry, ProjectConfig, RecoveryStats, Registry,

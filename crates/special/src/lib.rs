@@ -39,6 +39,7 @@ mod incgamma;
 mod logsumexp;
 mod normal;
 mod recurrence;
+mod wide;
 
 pub use erf::{erf, erf_inv, erfc, erfc_inv};
 pub use gamma::{digamma, ln_beta, ln_binomial, ln_factorial, ln_gamma, trigamma};
@@ -51,3 +52,8 @@ pub use recurrence::{
     ln_gamma_p_step, ln_gamma_q_step, LnGammaLadder, REANCHOR_PERIOD,
 };
 pub use normal::{norm_cdf, norm_ln_pdf, norm_pdf, norm_ppf, norm_sf};
+pub use wide::{
+    active_simd, exp_lane, exp_shift_inplace_x4, ln_gamma_ladder_x4, ln_gamma_p_step_x4,
+    ln_gamma_q_step_x4, log_sum_exp_x4, F64x4, SimdDispatch, SimdPolicy, StreamingLogSumExpX4,
+    WIDE_LANES,
+};

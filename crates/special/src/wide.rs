@@ -1,0 +1,747 @@
+//! Portable lane-parallel (SIMD-style) kernels for the sweep hot loops.
+//!
+//! The VB2 component sweep and the NINT grid passes spend their time in
+//! long runs of *independent* per-element evaluations: one fixed point
+//! per candidate `N`, one log-posterior cell per quadrature node. These
+//! kernels batch four such elements into a [`F64x4`] struct-of-arrays
+//! register and evaluate them elementwise, which modern compilers lower
+//! to vector instructions (and which pipelines well even without them —
+//! four independent divisions or polynomial chains overlap in the
+//! out-of-order core where one serial chain cannot).
+//!
+//! # Dispatch and determinism
+//!
+//! The lane width is a *software* choice, never a CPU-feature probe:
+//! [`active_simd`] consults the `NHPP_SIMD` environment variable once
+//! per process (`scalar` forces the plain kernels) and otherwise picks
+//! the 4-lane path. Because no `cpuid`-style detection is involved, a
+//! recorded lane width plus the same inputs reproduces a run bitwise on
+//! any machine. Callers pin the width they used into their results (see
+//! `Vb2Posterior::lane_width` / `FitReport::lane_width` in `nhpp-vb`).
+//!
+//! Wide and scalar kernels may differ from each other by a few ulps
+//! (the wide exponential is a polynomial kernel, not libm), but each is
+//! individually deterministic: same inputs, same lane width, same bits,
+//! independent of thread count.
+//!
+//! # The guard seam
+//!
+//! [`ln_gamma_p_step_x4`] deliberately delegates to the scalar
+//! [`ln_gamma_p_step`] lane by lane: the P-recurrence's cancellation
+//! guard makes a *decision* (re-anchor with a direct evaluation or
+//! keep the recurrence), and scalar and lane paths must agree bitwise
+//! on where that boundary sits — a lane that re-anchors one step later
+//! than the scalar path would drift by the whole cancelled mass. The
+//! property tests pin this agreement across the guard boundary.
+
+use crate::recurrence::ln_gamma_p_step;
+use std::ops::{Add, Div, Mul, Sub};
+use std::sync::OnceLock;
+
+/// Lane count of the wide kernels.
+pub const WIDE_LANES: usize = 4;
+
+/// Which kernel family a sweep runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdDispatch {
+    /// Plain one-element kernels (the pre-lane code paths, unchanged).
+    Scalar,
+    /// Four-lane struct-of-arrays kernels.
+    Wide4,
+}
+
+impl SimdDispatch {
+    /// The lane width this dispatch evaluates per step.
+    pub fn lane_width(self) -> usize {
+        match self {
+            SimdDispatch::Scalar => 1,
+            SimdDispatch::Wide4 => WIDE_LANES,
+        }
+    }
+}
+
+/// A caller-facing lane policy: follow the process-wide dispatch or
+/// force one side (tests and reproduction runs pin the width this way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimdPolicy {
+    /// Use [`active_simd`] (wide unless `NHPP_SIMD=scalar`).
+    #[default]
+    Auto,
+    /// Force the scalar kernels.
+    ForceScalar,
+    /// Force the 4-lane kernels (where the caller supports them).
+    ForceWide,
+}
+
+impl SimdPolicy {
+    /// Resolves the policy against the process-wide default.
+    pub fn resolve(self) -> SimdDispatch {
+        match self {
+            SimdPolicy::Auto => active_simd(),
+            SimdPolicy::ForceScalar => SimdDispatch::Scalar,
+            SimdPolicy::ForceWide => SimdDispatch::Wide4,
+        }
+    }
+}
+
+static ACTIVE: OnceLock<SimdDispatch> = OnceLock::new();
+
+/// The process-wide kernel dispatch, decided once: `NHPP_SIMD=scalar`
+/// (or `off`/`0`) forces the scalar kernels, anything else — including
+/// the variable being unset — selects the 4-lane kernels. Purely a
+/// software switch; no CPU feature detection is involved, so the choice
+/// (and therefore every result) reproduces on any machine.
+pub fn active_simd() -> SimdDispatch {
+    *ACTIVE.get_or_init(|| match std::env::var("NHPP_SIMD").as_deref() {
+        Ok("scalar") | Ok("off") | Ok("0") => SimdDispatch::Scalar,
+        _ => SimdDispatch::Wide4,
+    })
+}
+
+/// Four `f64` lanes evaluated elementwise — the struct-of-arrays unit
+/// of every wide kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F64x4(pub [f64; 4]);
+
+impl F64x4 {
+    /// All four lanes set to `v`.
+    pub fn splat(v: f64) -> F64x4 {
+        F64x4([v; 4])
+    }
+
+    /// Lanes loaded from the first four elements of `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` has fewer than four elements.
+    pub fn from_slice(s: &[f64]) -> F64x4 {
+        F64x4([s[0], s[1], s[2], s[3]])
+    }
+
+    /// The lanes as an array.
+    pub fn to_array(self) -> [f64; 4] {
+        self.0
+    }
+
+    fn zip(self, rhs: F64x4, f: impl Fn(f64, f64) -> f64) -> F64x4 {
+        let (a, b) = (self.0, rhs.0);
+        F64x4([f(a[0], b[0]), f(a[1], b[1]), f(a[2], b[2]), f(a[3], b[3])])
+    }
+
+    fn map(self, f: impl Fn(f64) -> f64) -> F64x4 {
+        let a = self.0;
+        F64x4([f(a[0]), f(a[1]), f(a[2]), f(a[3])])
+    }
+
+    /// Lane-wise fused multiply-add `self * a + b`, bitwise the scalar
+    /// [`f64::mul_add`] per lane.
+    pub fn mul_add(self, a: F64x4, b: F64x4) -> F64x4 {
+        let (x, y, z) = (self.0, a.0, b.0);
+        F64x4([
+            x[0].mul_add(y[0], z[0]),
+            x[1].mul_add(y[1], z[1]),
+            x[2].mul_add(y[2], z[2]),
+            x[3].mul_add(y[3], z[3]),
+        ])
+    }
+
+    /// Lane-wise natural log. Delegates to libm per lane: the callers
+    /// that need `ln` (ladder steps, weight assembly) need its bitwise
+    /// agreement with the scalar paths more than they need throughput.
+    pub fn ln(self) -> F64x4 {
+        self.map(f64::ln)
+    }
+
+    /// Lane-wise `ln(1 + x)`, libm per lane (see [`F64x4::ln`]).
+    pub fn ln_1p(self) -> F64x4 {
+        self.map(f64::ln_1p)
+    }
+
+    /// Lane-wise exponential via the polynomial kernel [`exp_lane`] —
+    /// a branch-free range-reduced evaluation that the compiler can
+    /// keep in vector registers, accurate to a couple of ulps.
+    pub fn exp(self) -> F64x4 {
+        let a = self.0;
+        let core = [
+            exp_core(a[0]),
+            exp_core(a[1]),
+            exp_core(a[2]),
+            exp_core(a[3]),
+        ];
+        let mut out = [0.0; 4];
+        for (o, (&x, &e)) in out.iter_mut().zip(a.iter().zip(core.iter())) {
+            *o = exp_fixup(x, e);
+        }
+        F64x4(out)
+    }
+}
+
+impl Add for F64x4 {
+    type Output = F64x4;
+    fn add(self, rhs: F64x4) -> F64x4 {
+        self.zip(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub for F64x4 {
+    type Output = F64x4;
+    fn sub(self, rhs: F64x4) -> F64x4 {
+        self.zip(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul for F64x4 {
+    type Output = F64x4;
+    fn mul(self, rhs: F64x4) -> F64x4 {
+        self.zip(rhs, |a, b| a * b)
+    }
+}
+
+impl Div for F64x4 {
+    type Output = F64x4;
+    fn div(self, rhs: F64x4) -> F64x4 {
+        self.zip(rhs, |a, b| a / b)
+    }
+}
+
+/// `exp(x)` for one lane through the same polynomial kernel the wide
+/// exponential uses, so ragged-tail elements match their in-lane
+/// neighbours bitwise.
+pub fn exp_lane(x: f64) -> f64 {
+    exp_fixup(x, exp_core(x))
+}
+
+// Argument beyond which exp overflows f64.
+const EXP_OVERFLOW: f64 = 709.782712893384;
+// Argument below which exp underflows to zero (past the last subnormal).
+const EXP_UNDERFLOW: f64 = -745.2;
+// 1.5 · 2^52: adding and subtracting rounds to the nearest integer.
+const ROUND_MAGIC: f64 = 6_755_399_441_055_744.0;
+const LOG2_E: f64 = std::f64::consts::LOG2_E;
+// ln 2 split hi/lo so `x − k·ln2` is exact in the leading term.
+const LN2_HI: f64 = 6.931_471_803_691_238e-1;
+const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+
+/// Branch-free core of the polynomial exponential: clamp, reduce by
+/// `k = round(x / ln 2)`, evaluate the degree-13 Taylor polynomial of
+/// `exp(r)` on `|r| ≤ ln2/2` (truncation ≈ 4e−18 relative), scale by
+/// `2^k` through two exponent-bit factors so subnormal results stay
+/// exact. Specials are repaired afterwards by [`exp_fixup`].
+#[inline(always)]
+fn exp_core(x: f64) -> f64 {
+    let xc = x.clamp(EXP_UNDERFLOW, EXP_OVERFLOW);
+    let kf = (xc * LOG2_E + ROUND_MAGIC) - ROUND_MAGIC;
+    let r = (xc - kf * LN2_HI) - kf * LN2_LO;
+    // Horner over 1/k! for k = 13 down to 0, in plain mul/add on
+    // purpose: `f64::mul_add` on a build without compiled-in FMA (the
+    // baseline x86-64 target) lowers to a libm *call* per step, which
+    // made this kernel slower than libm's own `exp`. The separate
+    // roundings cost ≈1 extra ulp over |r| ≤ ln2/2 — inside this
+    // kernel's couple-of-ulps contract — and `k·LN2_HI` stays exact
+    // regardless (LN2_HI carries enough trailing zero bits).
+    let mut p: f64 = 1.605_904_383_682_161_3e-10; // 1/13!
+    p = p * r + 2.087_675_698_786_81e-9; // 1/12!
+    p = p * r + 2.505_210_838_544_172e-8; // 1/11!
+    p = p * r + 2.755_731_922_398_589e-7; // 1/10!
+    p = p * r + 2.755_731_922_398_589_3e-6; // 1/9!
+    p = p * r + 2.480_158_730_158_73e-5; // 1/8!
+    p = p * r + 1.984_126_984_126_984e-4; // 1/7!
+    p = p * r + 1.388_888_888_888_889e-3; // 1/6!
+    p = p * r + 8.333_333_333_333_333e-3; // 1/5!
+    p = p * r + 4.166_666_666_666_666_4e-2; // 1/4!
+    p = p * r + 1.666_666_666_666_666_6e-1; // 1/3!
+    p = p * r + 0.5;
+    p = p * r + 1.0;
+    p = p * r + 1.0;
+    // 2^k as two factors, each with an in-range exponent, so k down to
+    // −1074 (subnormal results) and up to +1024 (overflow to ∞) work.
+    let k = kf as i64;
+    let k_hi = k / 2;
+    let k_lo = k - k_hi;
+    p * pow2(k_hi) * pow2(k_lo)
+}
+
+/// `2^k` by exponent-bit construction; `k` must lie in `[−1022, 1023]`.
+#[inline(always)]
+fn pow2(k: i64) -> f64 {
+    f64::from_bits(((1023 + k) as u64) << 52)
+}
+
+/// Repairs the special cases the branch-free core clamped away.
+#[inline(always)]
+fn exp_fixup(x: f64, core: f64) -> f64 {
+    if x.is_nan() {
+        f64::NAN
+    } else if x > EXP_OVERFLOW {
+        f64::INFINITY
+    } else if x < EXP_UNDERFLOW {
+        0.0
+    } else {
+        core
+    }
+}
+
+/// Four ln-gamma ladder steps at once: given `ln Γ(x)`, returns
+/// `[ln Γ(x), ln Γ(x+1), ln Γ(x+2), ln Γ(x+3)]` and `ln Γ(x+4)` via
+/// one wide `ln` over `x..x+3` plus prefix sums — the lane-batched form
+/// of four `LnGammaLadder::advance` calls (without the re-anchor, which
+/// remains the caller's periodic responsibility).
+pub fn ln_gamma_ladder_x4(x: f64, ln_gamma_x: f64) -> (F64x4, f64) {
+    let lns = F64x4([x, x + 1.0, x + 2.0, x + 3.0]).ln().0;
+    let v0 = ln_gamma_x;
+    let v1 = v0 + lns[0];
+    let v2 = v1 + lns[1];
+    let v3 = v2 + lns[2];
+    (F64x4([v0, v1, v2, v3]), v3 + lns[3])
+}
+
+/// Four independent Q-recurrence steps: `ln Q(a+1, x)` from
+/// `ln Q(a, x)` per lane (see the scalar [`ln_gamma_q_step`]). The sum
+/// `Q + increment` never cancels, so the step is safe to evaluate in
+/// wide arithmetic; the pairwise log-sum-exp runs on the polynomial
+/// exponential, which costs a couple of ulps against the scalar step.
+pub fn ln_gamma_q_step_x4(
+    a: F64x4,
+    x: F64x4,
+    ln_x: F64x4,
+    ln_q_a: F64x4,
+    ln_gamma_a1: F64x4,
+) -> F64x4 {
+    let mut out = [0.0; 4];
+    let inc = a.mul_add(ln_x, F64x4::splat(0.0) - x) - ln_gamma_a1;
+    for (i, o) in out.iter_mut().enumerate() {
+        let (av, xv, qv, iv) = (a.0[i], x.0[i], ln_q_a.0[i], inc.0[i]);
+        *o = if !(av > 0.0) || !(xv >= 0.0) || qv.is_nan() {
+            f64::NAN
+        } else if xv == 0.0 {
+            0.0
+        } else if xv == f64::INFINITY {
+            f64::NEG_INFINITY
+        } else {
+            log_sum_exp_pair_lane(qv, iv)
+        };
+    }
+    F64x4(out)
+}
+
+/// `ln(exp(a) + exp(b))` on the lane kernels ([`exp_lane`] + `ln_1p`).
+fn log_sum_exp_pair_lane(a: f64, b: f64) -> f64 {
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    if hi == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    hi + exp_lane(lo - hi).ln_1p()
+}
+
+/// Four P-recurrence steps, delegated lane by lane to the scalar
+/// [`ln_gamma_p_step`]: the cancellation guard's re-anchor decision
+/// must agree *bitwise* between scalar and lane paths (see the module
+/// docs), so the wide form is a layout change only, never a numeric
+/// re-derivation.
+pub fn ln_gamma_p_step_x4(
+    a: F64x4,
+    x: F64x4,
+    ln_x: F64x4,
+    ln_p_a: F64x4,
+    ln_gamma_a1: F64x4,
+) -> F64x4 {
+    let mut out = [0.0; 4];
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = ln_gamma_p_step(a.0[i], x.0[i], ln_x.0[i], ln_p_a.0[i], ln_gamma_a1.0[i]);
+    }
+    F64x4(out)
+}
+
+/// Streaming `ln Σ exp(xᵢ)` fed four lanes at a time: four running
+/// partial sums against one shared maximum, merged in a fixed order at
+/// the end, so the result is independent of how the input was blocked
+/// and deterministic for a given lane width. Matches
+/// [`crate::log_sum_exp`] semantics: `−∞` entries contribute nothing,
+/// any `+∞` makes the total `+∞`, any NaN makes it NaN.
+#[derive(Debug, Clone)]
+pub struct StreamingLogSumExpX4 {
+    max: f64,
+    sums: [f64; 4],
+    comps: [f64; 4],
+    saw_nan: bool,
+    saw_pos_inf: bool,
+}
+
+impl StreamingLogSumExpX4 {
+    /// An empty accumulator; [`value`](Self::value) is `−∞`.
+    pub fn new() -> Self {
+        StreamingLogSumExpX4 {
+            max: f64::NEG_INFINITY,
+            sums: [0.0; 4],
+            comps: [0.0; 4],
+            saw_nan: false,
+            saw_pos_inf: false,
+        }
+    }
+
+    /// Adds `exp(v)` for all four lanes of `v`.
+    pub fn push_x4(&mut self, v: F64x4) {
+        let mut block_max = f64::NEG_INFINITY;
+        let mut cleaned = v.0;
+        for lane in &mut cleaned {
+            if lane.is_nan() {
+                self.saw_nan = true;
+                *lane = f64::NEG_INFINITY;
+            } else if *lane == f64::INFINITY {
+                self.saw_pos_inf = true;
+                *lane = f64::NEG_INFINITY;
+            } else if *lane > block_max {
+                block_max = *lane;
+            }
+        }
+        if block_max > self.max {
+            let scale = exp_lane(self.max - block_max);
+            for (s, c) in self.sums.iter_mut().zip(self.comps.iter_mut()) {
+                *s *= scale;
+                *c *= scale;
+            }
+            self.max = block_max;
+        }
+        if self.max == f64::NEG_INFINITY {
+            return;
+        }
+        let terms = (F64x4(cleaned) - F64x4::splat(self.max)).exp().0;
+        // Kahan-compensated per-lane accumulation.
+        for ((s, c), &t) in self.sums.iter_mut().zip(self.comps.iter_mut()).zip(&terms) {
+            let y = t - *c;
+            let next = *s + y;
+            *c = (next - *s) - y;
+            *s = next;
+        }
+    }
+
+    /// Adds `exp(v)` for one trailing element (ragged tails).
+    pub fn push(&mut self, v: f64) {
+        self.push_x4(F64x4([v, f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY]));
+    }
+
+    /// The accumulated `ln Σ exp(xᵢ)`.
+    pub fn value(&self) -> f64 {
+        if self.saw_nan {
+            return f64::NAN;
+        }
+        if self.saw_pos_inf {
+            return f64::INFINITY;
+        }
+        if self.max == f64::NEG_INFINITY {
+            return f64::NEG_INFINITY;
+        }
+        // Fixed-order merge of the four partial sums (and then their
+        // compensations): deterministic for any input blocking.
+        let s = (self.sums[0] + self.sums[1]) + (self.sums[2] + self.sums[3]);
+        let c = (self.comps[0] + self.comps[1]) + (self.comps[2] + self.comps[3]);
+        self.max + (s - c).ln()
+    }
+}
+
+impl Default for StreamingLogSumExpX4 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Batch `ln Σ exp(xᵢ)` over a slice on the lane kernels — the wide
+/// counterpart of [`crate::log_sum_exp`], used by the NINT grid
+/// normalisation. Two passes like the scalar batch function (a wide
+/// max, then a wide exp-sum with one Kahan accumulator per lane merged
+/// in fixed order) rather than the streaming accumulator: a
+/// materialised slice never needs the streaming rescale, which costs a
+/// renormalisation every time a block raises the running maximum.
+/// Same special-value semantics: `−∞` entries contribute nothing, any
+/// `+∞` makes the total `+∞`, any NaN makes it NaN.
+pub fn log_sum_exp_x4(values: &[f64]) -> f64 {
+    // Pass 1: per-lane maxima and NaN detection, branch-light so the
+    // loop vectorises (`v > m` is false for NaN, so a NaN never
+    // becomes the max; the flag is folded separately).
+    let mut maxes = [f64::NEG_INFINITY; WIDE_LANES];
+    let mut saw_nan = false;
+    let mut chunks = values.chunks_exact(WIDE_LANES);
+    for chunk in &mut chunks {
+        for (m, &v) in maxes.iter_mut().zip(chunk) {
+            saw_nan |= v.is_nan();
+            if v > *m {
+                *m = v;
+            }
+        }
+    }
+    let mut max = f64::NEG_INFINITY;
+    for m in maxes {
+        if m > max {
+            max = m;
+        }
+    }
+    for &v in chunks.remainder() {
+        saw_nan |= v.is_nan();
+        if v > max {
+            max = v;
+        }
+    }
+    if saw_nan {
+        return f64::NAN;
+    }
+    if max.is_infinite() {
+        return max;
+    }
+
+    // Pass 2: Σ exp(xᵢ − max), Kahan-compensated per lane. `−∞`
+    // entries exponentiate to exactly `0.0` through the clamped
+    // kernel, contributing nothing.
+    let mut sums = [0.0; WIDE_LANES];
+    let mut comps = [0.0; WIDE_LANES];
+    let max_v = F64x4::splat(max);
+    let mut chunks = values.chunks_exact(WIDE_LANES);
+    for chunk in &mut chunks {
+        let terms = (F64x4::from_slice(chunk) - max_v).exp().0;
+        for ((s, c), &t) in sums.iter_mut().zip(comps.iter_mut()).zip(&terms) {
+            let y = t - *c;
+            let next = *s + y;
+            *c = (next - *s) - y;
+            *s = next;
+        }
+    }
+    for &v in chunks.remainder() {
+        let t = exp_lane(v - max);
+        let y = t - comps[0];
+        let next = sums[0] + y;
+        comps[0] = (next - sums[0]) - y;
+        sums[0] = next;
+    }
+    // Fixed-order merge: deterministic for a given lane width.
+    let s = (sums[0] + sums[1]) + (sums[2] + sums[3]);
+    let c = (comps[0] + comps[1]) + (comps[2] + comps[3]);
+    max + (s - c).ln()
+}
+
+/// In-place `vᵢ ← exp(vᵢ − shift)` on the lane kernels — the NINT
+/// probability-normalisation pass. Ragged tails go through
+/// [`exp_lane`], so every element sees the same arithmetic.
+pub fn exp_shift_inplace_x4(values: &mut [f64], shift: f64) {
+    let s = F64x4::splat(shift);
+    let mut chunks = values.chunks_exact_mut(WIDE_LANES);
+    for chunk in &mut chunks {
+        let e = (F64x4::from_slice(chunk) - s).exp().0;
+        chunk.copy_from_slice(&e);
+    }
+    for v in chunks.into_remainder() {
+        *v = exp_lane(*v - shift);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gamma::ln_gamma;
+    use crate::incgamma::{ln_gamma_p, ln_gamma_q};
+    use crate::logsumexp::log_sum_exp;
+
+    #[test]
+    fn exp_lane_matches_libm_to_couple_ulps() {
+        for k in -3000..=3000 {
+            let x = k as f64 * 0.237;
+            let got = exp_lane(x);
+            let want = x.exp();
+            if want == 0.0 || want.is_infinite() {
+                assert_eq!(got, want, "x={x}");
+            } else {
+                // A couple of ulps in the bulk; the two-factor 2^k
+                // scaling near the underflow boundary costs a few more.
+                let bound = if x.abs() > 700.0 { 1e-14 } else { 4.0 * f64::EPSILON };
+                let rel = ((got - want) / want).abs();
+                assert!(rel <= bound, "x={x}: got={got}, want={want}");
+            }
+        }
+    }
+
+    #[test]
+    fn exp_lane_specials_and_extremes() {
+        assert!(exp_lane(f64::NAN).is_nan());
+        assert_eq!(exp_lane(f64::INFINITY), f64::INFINITY);
+        assert_eq!(exp_lane(f64::NEG_INFINITY), 0.0);
+        assert_eq!(exp_lane(0.0), 1.0);
+        assert_eq!(exp_lane(800.0), f64::INFINITY);
+        assert_eq!(exp_lane(-800.0), 0.0);
+        // Subnormal results stay proportionally accurate.
+        let x = -730.0;
+        let got = exp_lane(x);
+        let want = x.exp();
+        assert!(got > 0.0 && (got / want - 1.0).abs() < 1e-9, "{got} vs {want}");
+    }
+
+    #[test]
+    fn wide_exp_lanes_match_exp_lane_bitwise() {
+        let v = F64x4([-3.5, 0.0, 17.25, -701.0]);
+        let wide = v.exp().0;
+        for (i, &x) in v.0.iter().enumerate() {
+            assert_eq!(wide[i].to_bits(), exp_lane(x).to_bits());
+        }
+    }
+
+    #[test]
+    fn arithmetic_is_lanewise() {
+        let a = F64x4([1.0, 2.0, 3.0, 4.0]);
+        let b = F64x4::splat(2.0);
+        assert_eq!((a + b).0, [3.0, 4.0, 5.0, 6.0]);
+        assert_eq!((a - b).0, [-1.0, 0.0, 1.0, 2.0]);
+        assert_eq!((a * b).0, [2.0, 4.0, 6.0, 8.0]);
+        assert_eq!((a / b).0, [0.5, 1.0, 1.5, 2.0]);
+        assert_eq!(a.mul_add(b, b).0, [4.0, 6.0, 8.0, 10.0]);
+        assert_eq!(F64x4::from_slice(&[1.0, 2.0, 3.0, 4.0, 9.0]).0, a.0);
+    }
+
+    #[test]
+    fn ladder_x4_matches_four_scalar_steps() {
+        for &x0 in &[0.5, 4.2, 1000.5, 20000.25] {
+            let base = ln_gamma(x0);
+            let (vals, next) = ln_gamma_ladder_x4(x0, base);
+            let mut v = base;
+            for (k, &got) in vals.0.iter().enumerate() {
+                assert_eq!(got.to_bits(), v.to_bits(), "x0={x0}, k={k}");
+                v += (x0 + k as f64).ln();
+            }
+            assert_eq!(next.to_bits(), v.to_bits(), "x0={x0} final");
+            // And the whole thing still tracks direct ln Γ.
+            assert!((next - ln_gamma(x0 + 4.0)).abs() <= 1e-12 * ln_gamma(x0 + 4.0).abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn q_step_x4_agrees_with_scalar_step() {
+        let a = F64x4([0.5, 2.0, 500.0, 5000.0]);
+        let frac = [0.05, 0.5, 1.8, 3.0];
+        let mut x = [0.0; 4];
+        for i in 0..4 {
+            x[i] = a.0[i] * frac[i];
+        }
+        let x = F64x4(x);
+        let ln_x = x.ln();
+        let mut ln_q = [0.0; 4];
+        let mut gln1 = [0.0; 4];
+        for i in 0..4 {
+            ln_q[i] = ln_gamma_q(a.0[i], x.0[i]);
+            gln1[i] = ln_gamma(a.0[i] + 1.0);
+        }
+        let wide = ln_gamma_q_step_x4(a, x, ln_x, F64x4(ln_q), F64x4(gln1)).0;
+        for i in 0..4 {
+            let direct = ln_gamma_q(a.0[i] + 1.0, x.0[i]);
+            let tol = 1e-12 * direct.abs().max(1.0)
+                + 32.0 * f64::EPSILON * (a.0[i] * x.0[i].ln().abs() + x.0[i] + gln1[i].abs());
+            assert!(
+                (wide[i] - direct).abs() <= tol,
+                "lane {i}: wide={}, direct={direct}",
+                wide[i]
+            );
+        }
+    }
+
+    #[test]
+    fn q_step_x4_edge_lanes() {
+        let wide = ln_gamma_q_step_x4(
+            F64x4([2.0, 2.0, -1.0, 2.0]),
+            F64x4([0.0, f64::INFINITY, 1.0, 1.0]),
+            F64x4([f64::NEG_INFINITY, f64::INFINITY, 0.0, 0.0]),
+            F64x4([0.0, f64::NEG_INFINITY, 0.0, f64::NAN]),
+            F64x4::splat(ln_gamma(3.0)),
+        )
+        .0;
+        assert_eq!(wide[0], 0.0);
+        assert_eq!(wide[1], f64::NEG_INFINITY);
+        assert!(wide[2].is_nan());
+        assert!(wide[3].is_nan());
+    }
+
+    #[test]
+    fn p_step_x4_is_bitwise_scalar_per_lane() {
+        // Lanes straddling the cancellation-guard boundary: deep lower
+        // tail (re-anchors), bulk and upper tail (recurrence holds).
+        let a = F64x4([500.0, 0.5, 30.0, 5000.0]);
+        let frac = [1e-3, 0.5, 1.0, 5.0];
+        let mut xs = [0.0; 4];
+        for i in 0..4 {
+            xs[i] = a.0[i] * frac[i];
+        }
+        let x = F64x4(xs);
+        let ln_x = x.ln();
+        let mut ln_p = [0.0; 4];
+        let mut gln1 = [0.0; 4];
+        for i in 0..4 {
+            ln_p[i] = ln_gamma_p(a.0[i], x.0[i]);
+            gln1[i] = ln_gamma(a.0[i] + 1.0);
+        }
+        let wide = ln_gamma_p_step_x4(a, x, ln_x, F64x4(ln_p), F64x4(gln1)).0;
+        for i in 0..4 {
+            let scalar = ln_gamma_p_step(a.0[i], xs[i], xs[i].ln(), ln_p[i], gln1[i]);
+            assert_eq!(wide[i].to_bits(), scalar.to_bits(), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn streaming_x4_matches_batch() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![],
+            vec![0.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![-1000.0, -1000.0, -999.5, -1001.0, -1000.2],
+            (0..37).map(|k| -(k as f64) * 3.7).collect(),
+            vec![700.0, -700.0, 3.0, 2.0, 1.0],
+            vec![f64::NEG_INFINITY; 5],
+            vec![f64::NEG_INFINITY, -4.0, -5.0, -6.0],
+            vec![f64::INFINITY, 0.0, 1.0, 2.0],
+            vec![f64::NAN, 0.0, 1.0, 2.0],
+        ];
+        for case in &cases {
+            let batch = log_sum_exp(case);
+            let wide = log_sum_exp_x4(case);
+            if batch.is_nan() {
+                assert!(wide.is_nan(), "{case:?}");
+            } else if batch.is_finite() {
+                assert!(
+                    (batch - wide).abs() <= 1e-12 * batch.abs().max(1.0),
+                    "{case:?}: wide={wide}, batch={batch}"
+                );
+            } else {
+                assert_eq!(batch, wide, "{case:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_x4_blocking_independent() {
+        let values: Vec<f64> = (0..103).map(|k| ((k * 37) % 101) as f64 * 0.31 - 15.0).collect();
+        let a = log_sum_exp_x4(&values);
+        // Push the same values one at a time: same accumulator state
+        // evolution per lane 0, different blocking.
+        let mut acc = StreamingLogSumExpX4::new();
+        for &v in &values {
+            acc.push(v);
+        }
+        let b = acc.value();
+        assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn exp_shift_inplace_matches_elementwise() {
+        let mut v: Vec<f64> = (0..11).map(|k| -(k as f64) * 1.7).collect();
+        let shift = -3.0;
+        let expect: Vec<f64> = v.iter().map(|&x| exp_lane(x - shift)).collect();
+        exp_shift_inplace_x4(&mut v, shift);
+        for (got, want) in v.iter().zip(&expect) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn dispatch_policy_resolution() {
+        assert_eq!(SimdPolicy::ForceScalar.resolve(), SimdDispatch::Scalar);
+        assert_eq!(SimdPolicy::ForceWide.resolve(), SimdDispatch::Wide4);
+        assert_eq!(SimdDispatch::Scalar.lane_width(), 1);
+        assert_eq!(SimdDispatch::Wide4.lane_width(), 4);
+        // Auto resolves to whatever the process-wide switch says; both
+        // sides are legal, it just must be stable.
+        assert_eq!(SimdPolicy::Auto.resolve(), SimdPolicy::Auto.resolve());
+    }
+}

@@ -33,6 +33,7 @@ fn elbo_lower_bounds_nint_evidence() {
             NintOptions {
                 n_omega: 320,
                 n_beta: 320,
+                ..NintOptions::default()
             },
         )
         .unwrap();
