@@ -20,7 +20,8 @@ use nhpp_models::{LogPosterior, ModelSpec, Posterior};
 use nhpp_numeric::quadrature::GaussLegendre;
 use nhpp_numeric::roots::bisect;
 use nhpp_special::{
-    exp_shift_inplace_x4, log_sum_exp, log_sum_exp_x4, SimdDispatch, SimdPolicy, WIDE_LANES,
+    exp_shift_inplace_x4, exp_shift_inplace_x8, log_sum_exp, log_sum_exp_x4, log_sum_exp_x8,
+    SimdDispatch, SimdPolicy, WIDE8_LANES, WIDE_LANES,
 };
 use std::cell::RefCell;
 
@@ -38,6 +39,15 @@ struct NintScratch {
     weights: Vec<f64>,
     values: Vec<f64>,
 }
+
+/// Grid-cell count below which [`SimdPolicy::Auto`] keeps the
+/// normalisation pass scalar. The lane kernels trade the libm
+/// exponential for a polynomial split that only pays when evaluations
+/// are amortised across solver iterations (the VB2 sweep); on a
+/// single streaming pass they measured ~1.5× *slower* at the default
+/// 200×200 grid, so the gate sits well above it. Forced policies
+/// bypass the gate entirely.
+pub const WIDE_AUTO_MIN_CELLS: usize = 1 << 20;
 
 /// Integration rectangle: `((ω_lo, ω_hi), (β_lo, β_hi))`.
 pub type Bounds = ((f64, f64), (f64, f64));
@@ -67,8 +77,11 @@ pub struct NintOptions {
     pub n_beta: usize,
     /// SIMD lane policy of the grid reduction (the streaming
     /// log-sum-exp and the normalising exponential pass).
-    /// [`SimdPolicy::Auto`] follows the process-wide dispatch;
-    /// forcing a lane width reproduces a recorded fit bitwise.
+    /// [`SimdPolicy::Auto`] follows the process-wide dispatch once the
+    /// grid reaches [`WIDE_AUTO_MIN_CELLS`] cells and stays scalar
+    /// below it (lane packing loses on small single-pass reductions);
+    /// forcing a lane width reproduces a recorded fit bitwise at any
+    /// grid size.
     pub lanes: SimdPolicy,
 }
 
@@ -153,10 +166,24 @@ impl NintPosterior {
                 *cell += ln_ww + lb;
             }
         }
-        let dispatch = options.lanes.resolve();
+        // Lane packing does not pay for this single streaming pass at
+        // realistic grid sizes: the scalar reduction leans on the libm
+        // exponential while the lane kernels pay the polynomial-
+        // split-and-fixup price per element with no reuse to amortise
+        // it (measured ~0.85 ms scalar vs ~1.3 ms wide on the default
+        // 200×200 grid — the BENCH_7 `nint-fit` regression). `Auto`
+        // therefore stays scalar below [`WIDE_AUTO_MIN_CELLS`]; forced
+        // policies are always honoured, and the width that actually ran
+        // is pinned in the posterior either way, so recorded fits still
+        // replay bitwise.
+        let dispatch = match options.lanes {
+            SimdPolicy::Auto if cells.len() < WIDE_AUTO_MIN_CELLS => SimdDispatch::Scalar,
+            policy => policy.resolve(),
+        };
         let ln_norm = match dispatch {
             SimdDispatch::Scalar => log_sum_exp(&cells),
             SimdDispatch::Wide4 => log_sum_exp_x4(&cells),
+            SimdDispatch::Wide8 => log_sum_exp_x8(&cells),
         };
         if !ln_norm.is_finite() {
             return Err(BayesError::IllPosed {
@@ -171,6 +198,7 @@ impl NintPosterior {
                 }
             }
             SimdDispatch::Wide4 => exp_shift_inplace_x4(&mut prob, ln_norm),
+            SimdDispatch::Wide8 => exp_shift_inplace_x8(&mut prob, ln_norm),
         }
         let mut marg_omega = vec![0.0; omega_nodes.len()];
         let mut marg_beta = vec![0.0; beta_nodes.len()];
@@ -194,6 +222,7 @@ impl NintPosterior {
             lane_width: match dispatch {
                 SimdDispatch::Scalar => 1,
                 SimdDispatch::Wide4 => WIDE_LANES,
+                SimdDispatch::Wide8 => WIDE8_LANES,
             },
         })
     }
@@ -204,8 +233,9 @@ impl NintPosterior {
     }
 
     /// SIMD lane width the grid reduction ran at (`1` = scalar,
-    /// [`nhpp_special::WIDE_LANES`] = wide). Replaying a fit with the
-    /// matching [`SimdPolicy`] reproduces it bitwise on any machine.
+    /// [`nhpp_special::WIDE_LANES`] or [`nhpp_special::WIDE8_LANES`] =
+    /// wide). Replaying a fit with the matching [`SimdPolicy`]
+    /// reproduces it bitwise on any machine.
     pub fn lane_width(&self) -> usize {
         self.lane_width
     }
@@ -676,20 +706,28 @@ mod tests {
         };
         let scalar = fit(SimdPolicy::ForceScalar);
         let wide = fit(SimdPolicy::ForceWide);
+        let wide8 = fit(SimdPolicy::ForceWide8);
         assert_eq!(scalar.lane_width(), 1);
         assert_eq!(wide.lane_width(), WIDE_LANES);
-        // The two reductions differ only by ulp-level regrouping.
-        assert!(
-            (scalar.mean_omega() - wide.mean_omega()).abs() < 1e-12 * scalar.mean_omega()
-        );
-        assert!((scalar.log_evidence() - wide.log_evidence()).abs() < 1e-10);
+        assert_eq!(wide8.lane_width(), WIDE8_LANES);
+        // The reductions differ only by ulp-level regrouping.
+        for other in [&wide, &wide8] {
+            assert!(
+                (scalar.mean_omega() - other.mean_omega()).abs()
+                    < 1e-12 * scalar.mean_omega()
+            );
+            assert!((scalar.log_evidence() - other.log_evidence()).abs() < 1e-10);
+        }
         // Each width reproduces itself bitwise on a repeat fit.
-        let wide2 = fit(SimdPolicy::ForceWide);
-        assert_eq!(wide.mean_omega().to_bits(), wide2.mean_omega().to_bits());
-        assert_eq!(wide.ln_norm.to_bits(), wide2.ln_norm.to_bits());
-        assert_eq!(wide.prob.len(), wide2.prob.len());
-        for (a, b) in wide.prob.iter().zip(&wide2.prob) {
-            assert_eq!(a.to_bits(), b.to_bits());
+        for (first, policy) in [(&wide, SimdPolicy::ForceWide), (&wide8, SimdPolicy::ForceWide8)]
+        {
+            let second = fit(policy);
+            assert_eq!(first.mean_omega().to_bits(), second.mean_omega().to_bits());
+            assert_eq!(first.ln_norm.to_bits(), second.ln_norm.to_bits());
+            assert_eq!(first.prob.len(), second.prob.len());
+            for (a, b) in first.prob.iter().zip(&second.prob) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

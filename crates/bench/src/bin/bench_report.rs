@@ -12,9 +12,11 @@
 //! bench_report compare OLD.json NEW.json [--max-regression 0.10] [--smoke]
 //! ```
 //!
-//! In `compare`, a metric that regressed more than `--max-regression`
-//! exits non-zero unless `--smoke` is given (CI smoke mode: warn but
-//! pass). A file that fails to parse is a hard error in both modes.
+//! `compare` prints the full per-metric delta table (old ms, new ms,
+//! ratio, PASS/WARN/FAIL) whether or not the gate holds; a metric that
+//! regressed more than `--max-regression` exits non-zero unless
+//! `--smoke` is given (CI smoke mode: warn but pass). A file that
+//! fails to parse is a hard error in both modes.
 
 use nhpp_bayes::nint::{bounds_from_posterior, NintOptions, NintPosterior};
 use nhpp_bench::perf::{compare_full, Metric, Report};
@@ -326,14 +328,28 @@ fn run_compare(args: &[String]) -> ExitCode {
             eprintln!("  {name:<20} MISSING from new report");
         }
     }
+    // The full per-metric delta table, printed on every run (pass or
+    // fail): PASS = at or below baseline, WARN = slower but inside the
+    // gate, FAIL = regressed past `--max-regression`.
     let mut regressed = false;
+    println!(
+        "  {:<20} {:>12} {:>12} {:>8}  verdict",
+        "metric", "old ms", "new ms", "ratio"
+    );
     for d in &comparison.deltas {
-        let verdict = if d.regressed { "REGRESSED" } else { "ok" };
+        let verdict = if d.regressed {
+            "FAIL"
+        } else if d.change > 0.0 {
+            "WARN"
+        } else {
+            "PASS"
+        };
         println!(
-            "  {:<20} {:>10.3} ms -> {:>10.3} ms  {:+7.1}%  {verdict}",
+            "  {:<20} {:>12.3} {:>12.3} {:>7.3}x  {verdict} ({:+.1}%)",
             d.name,
             d.old_ms,
             d.new_ms,
+            d.new_ms / d.old_ms,
             d.change * 100.0
         );
         regressed |= d.regressed;

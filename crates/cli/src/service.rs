@@ -179,11 +179,20 @@ pub fn cmd_compact(args: &ParsedArgs) -> Result<String, CliError> {
 
 /// One client request with shed-aware retries: a 503 is retried up to
 /// three times, honouring the server's `Retry-After` (capped at 2 s per
-/// wait) so scripted clients ride out transient overload instead of
-/// failing on the first shed.
+/// wait, 5 s of sleeping in total) so scripted clients ride out
+/// transient overload instead of failing on the first shed, without a
+/// long shed sequence stalling them past the fit-deadline budget.
 fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> Result<(u16, String), CliError> {
-    client_request_with_backoff(addr, method, path, body, 3, Duration::from_secs(2))
-        .map_err(run_err(&format!("{method} {path} against {addr}")))
+    client_request_with_backoff(
+        addr,
+        method,
+        path,
+        body,
+        3,
+        Duration::from_secs(2),
+        Duration::from_secs(5),
+    )
+    .map_err(run_err(&format!("{method} {path} against {addr}")))
 }
 
 /// Issues a request that must succeed, returning the raw body.

@@ -9,8 +9,8 @@
 //! exponential forms when `α₀ = 1` (Goel–Okumoto).
 
 use nhpp_special::{
-    ln_gamma_p_step, ln_gamma_pq_given, ln_gamma_q_given, ln_gamma_q_step, ln_gamma_q_step_x4,
-    log_diff_exp, F64x4,
+    exp_lane, ln_gamma_p_step, ln_gamma_pq_given, ln_gamma_q_given, ln_gamma_q_step,
+    ln_gamma_q_step_lane, log_diff_exp,
 };
 
 /// The regularised incomplete-gamma state at one scaled endpoint
@@ -52,43 +52,26 @@ impl Endpoint {
         (ln_q, ln_gamma_q_step(alpha0, x, x.ln(), ln_q, gln1))
     }
 
-    /// Four-lane [`Endpoint::eval_tail`]: the same two upper tails for
-    /// four rate candidates `ξ` at once, in struct-of-arrays form. The
-    /// base shape uses the exact `Q(1, x) = e^{−x}` branch when
-    /// `α₀ = 1` (the only shape the wide VB2 sweep engages for today)
-    /// and otherwise delegates lane by lane to the scalar evaluation;
-    /// the `α₀ + 1` tails step forward through the wide Q-recurrence.
-    pub(crate) fn eval_tail_x4(
+    /// One lane of the wide [`Endpoint::eval_tail`]: the same two upper
+    /// tails on the *lane* kernels, so a width-generic sweep gets
+    /// bitwise-identical per-element results at any block size (4, 8,
+    /// or a ragged tail). The base shape uses the exact
+    /// `Q(1, x) = e^{−x}` branch when `α₀ = 1` and otherwise delegates
+    /// to the scalar evaluation; the `α₀ + 1` tail steps forward
+    /// through the lane Q-recurrence ([`ln_gamma_q_step_lane`]).
+    pub(crate) fn eval_tail_lane(
         alpha0: f64,
-        xi: F64x4,
+        xi: f64,
         t: f64,
         gln: f64,
         gln1: f64,
-    ) -> (F64x4, F64x4) {
-        let x = xi * F64x4::splat(t);
+    ) -> (f64, f64) {
+        let x = xi * t;
         if alpha0 == 1.0 {
-            let mut ln_q = [0.0; 4];
-            for (q, &xv) in ln_q.iter_mut().zip(&x.0) {
-                *q = if xv == 0.0 { 0.0 } else { -xv };
-            }
-            let ln_q = F64x4(ln_q);
-            let ln_q1 = ln_gamma_q_step_x4(
-                F64x4::splat(alpha0),
-                x,
-                x.ln(),
-                ln_q,
-                F64x4::splat(gln1),
-            );
-            (ln_q, ln_q1)
+            let ln_q = if x == 0.0 { 0.0 } else { -x };
+            (ln_q, ln_gamma_q_step_lane(alpha0, x, x.ln(), ln_q, gln1))
         } else {
-            let mut ln_q = [0.0; 4];
-            let mut ln_q1 = [0.0; 4];
-            for i in 0..4 {
-                let (q, q1) = Endpoint::eval_tail(alpha0, xi.0[i], t, gln, gln1);
-                ln_q[i] = q;
-                ln_q1[i] = q1;
-            }
-            (F64x4(ln_q), F64x4(ln_q1))
+            Endpoint::eval_tail(alpha0, xi, t, gln, gln1)
         }
     }
 
@@ -150,16 +133,17 @@ pub(crate) fn mean_from_masses(alpha0: f64, xi: f64, ln_mass: f64, ln_mass1: f64
     (alpha0 / xi) * (ln_mass1 - ln_mass).exp()
 }
 
-/// Four-lane [`mean_from_masses`] for the censored tail `(t, ∞)`,
-/// where the mass is never zero: `(α₀/ξ)·exp(ln M_{α₀+1} − ln M_{α₀})`
-/// per lane on the wide exponential kernel.
-pub(crate) fn tail_mean_from_masses_x4(
+/// One lane of the wide [`mean_from_masses`] for the censored tail
+/// `(t, ∞)`, where the mass is never zero:
+/// `(α₀/ξ)·exp(ln M_{α₀+1} − ln M_{α₀})` on the lane exponential
+/// kernel ([`exp_lane`]) — per-element bitwise at any block width.
+pub(crate) fn tail_mean_from_masses_lane(
     alpha0: f64,
-    xi: F64x4,
-    ln_mass: F64x4,
-    ln_mass1: F64x4,
-) -> F64x4 {
-    (F64x4::splat(alpha0) / xi) * (ln_mass1 - ln_mass).exp()
+    xi: f64,
+    ln_mass: f64,
+    ln_mass1: f64,
+) -> f64 {
+    (alpha0 / xi) * exp_lane(ln_mass1 - ln_mass)
 }
 
 #[cfg(test)]
@@ -192,30 +176,28 @@ mod tests {
     }
 
     #[test]
-    fn wide_tail_tracks_scalar_tail() {
+    fn lane_tail_tracks_scalar_tail() {
         for &alpha0 in &[1.0, 2.5] {
             let gln = ln_gamma(alpha0);
             let gln1 = ln_gamma(alpha0 + 1.0);
             let t = 3.2;
-            let xis = F64x4([0.05, 0.7, 2.0, 9.5]);
-            let (wq, wq1) = Endpoint::eval_tail_x4(alpha0, xis, t, gln, gln1);
-            let means = tail_mean_from_masses_x4(alpha0, xis, wq, wq1);
-            for i in 0..4 {
-                let (sq, sq1) = Endpoint::eval_tail(alpha0, xis.0[i], t, gln, gln1);
+            let xis = [0.05, 0.7, 2.0, 9.5];
+            for (i, &xi) in xis.iter().enumerate() {
+                let (wq, wq1) = Endpoint::eval_tail_lane(alpha0, xi, t, gln, gln1);
+                let mean = tail_mean_from_masses_lane(alpha0, xi, wq, wq1);
+                let (sq, sq1) = Endpoint::eval_tail(alpha0, xi, t, gln, gln1);
                 // The base-shape tail is closed form at α₀ = 1 (and a
-                // lane-wise delegate otherwise): bitwise equal. The
-                // stepped shape runs on the wide kernels, which trade
+                // scalar delegate otherwise): bitwise equal. The
+                // stepped shape runs on the lane kernels, which trade
                 // a couple of ulps for lane throughput.
-                assert_eq!(wq.0[i].to_bits(), sq.to_bits(), "alpha0={alpha0} lane {i}");
+                assert_eq!(wq.to_bits(), sq.to_bits(), "alpha0={alpha0} lane {i}");
                 assert!(
-                    (wq1.0[i] - sq1).abs() <= 1e-12 * sq1.abs().max(1.0),
-                    "alpha0={alpha0} lane {i}: {} vs {sq1}",
-                    wq1.0[i]
+                    (wq1 - sq1).abs() <= 1e-12 * sq1.abs().max(1.0),
+                    "alpha0={alpha0} lane {i}: {wq1} vs {sq1}"
                 );
-                let scalar_mean =
-                    mean_from_masses(alpha0, xis.0[i], sq, sq1);
+                let scalar_mean = mean_from_masses(alpha0, xi, sq, sq1);
                 assert!(
-                    (means.0[i] - scalar_mean).abs() <= 1e-12 * scalar_mean.abs(),
+                    (mean - scalar_mean).abs() <= 1e-12 * scalar_mean.abs(),
                     "mean lane {i}"
                 );
             }

@@ -53,10 +53,10 @@ use nhpp_numeric::fixed_point::{
     bisection_fixed_point, newton_fixed_point_budgeted, successive_substitution_budgeted,
 };
 use nhpp_numeric::{parallel, Budget, NumericError, SharedBudget};
-use crate::endpoint::{ln_mass_between, mean_from_masses, tail_mean_from_masses_x4, Endpoint};
+use crate::endpoint::{ln_mass_between, mean_from_masses, tail_mean_from_masses_lane, Endpoint};
 use nhpp_special::{
-    ln_factorial, ln_gamma, F64x4, LnGammaLadder, SimdDispatch, SimdPolicy, StreamingLogSumExp,
-    WIDE_LANES,
+    ln_factorial, ln_gamma, LnGammaLadder, SimdDispatch, SimdPolicy, StreamingLogSumExp,
+    WIDE8_LANES, WIDE_LANES,
 };
 use std::cell::RefCell;
 use std::time::Duration;
@@ -162,13 +162,15 @@ pub struct Vb2Options {
     /// the robustness tests; `None` in production).
     pub fault: Option<FaultKind>,
     /// Lane policy for the component sweep's kernels: follow the
-    /// process-wide dispatch (`NHPP_SIMD`), or force the scalar /
-    /// 4-lane path. The width actually used is pinned into the result
-    /// ([`Vb2Posterior::lane_width`]); forcing it reproduces a recorded
-    /// run bitwise on any machine. The wide path engages only where the
-    /// sweep supports it (iterative Goel–Okumoto failure-time solves,
-    /// no fault injection) — everywhere else fits run scalar and are
-    /// bitwise identical under every policy.
+    /// process-wide dispatch (`NHPP_SIMD`), or force the scalar,
+    /// 4-lane, or 8-lane path. The width actually used is pinned into
+    /// the result ([`Vb2Posterior::lane_width`]); forcing it reproduces
+    /// a recorded run bitwise on any machine. The wide path engages
+    /// only where the sweep supports it — iterative substitution
+    /// sweeps over failure times (any integer `α₀ ≤ 8`) or grouped
+    /// counts (`α₀ = 1`), without fault injection (see `DESIGN.md`
+    /// §14 for the eligibility table) — everywhere else fits run
+    /// scalar and are bitwise identical under every policy.
     pub lanes: SimdPolicy,
 }
 
@@ -528,7 +530,7 @@ pub struct Vb2Posterior {
     elbo: f64,
     n_max: u64,
     inner_iterations: usize,
-    /// Kernel lane width the sweep ran on (1 = scalar, 4 = wide).
+    /// Kernel lane width the sweep ran on (1 = scalar, 4/8 = wide).
     lane_width: usize,
 }
 
@@ -676,6 +678,10 @@ impl Vb2Posterior {
             },
             warm: warm.filter(|w| !w.is_empty()),
             dispatch: options.lanes.resolve(),
+            grouped_agg: match (&summary, alpha0 == 1.0) {
+                (DataSummary::Grouped { bins, .. }, true) => GroupedAgg::build(bins),
+                _ => None,
+            },
             options,
         };
         // Pinned into the result: the lane width is part of the
@@ -683,7 +689,7 @@ impl Vb2Posterior {
         // same bits, on any machine — dispatch is a software choice,
         // never a CPU-feature probe).
         let lane_width = if wide_sweep_eligible(&ctx) {
-            WIDE_LANES
+            ctx.dispatch.lane_width()
         } else {
             1
         };
@@ -967,8 +973,98 @@ struct FitContext<'a> {
     /// The resolved lane dispatch (policy against the process default),
     /// fixed once per fit so every chunk sees the same kernels.
     dispatch: SimdDispatch,
+    /// Per-distinct-width aggregates of the grouped bins, built once
+    /// per fit when the lane sweep's closed-form ΔG terms apply
+    /// (grouped data, `α₀ = 1`); `None` otherwise.
+    grouped_agg: Option<GroupedAgg>,
     options: Vb2Options,
 }
+
+/// Grouped-data aggregates for the lane sweep's closed-form ΔG terms
+/// (`α₀ = 1`, the exponential law). The conditional bin mean is
+/// `lo + g(ξ, δ)` with `g = 1/ξ − δ/expm1(ξδ)` and the log bin mass is
+/// `−ξ·lo + ln(−expm1(−ξδ))`, so everything data-dependent collapses
+/// to `Σ count·lo` plus one coefficient per *distinct* bin width:
+/// each solver iteration costs one `expm1` per width instead of one
+/// endpoint-recurrence pair per bin.
+struct GroupedAgg {
+    /// `Σ count·lo` over the occupied bins.
+    s_lo: f64,
+    /// `(δ, Σ count)` per distinct bin width, in first-appearance
+    /// order (a pure function of the bin list, so chunked sweeps stay
+    /// deterministic).
+    widths: Vec<(f64, f64)>,
+}
+
+impl GroupedAgg {
+    /// Aggregates the occupied bins, or `None` when any occupied bin
+    /// is malformed for the closed forms (non-finite or non-positive
+    /// width, non-finite lower edge) — those fits keep the scalar path.
+    fn build(bins: &[(f64, f64, u64)]) -> Option<GroupedAgg> {
+        let mut s_lo = 0.0;
+        let mut widths: Vec<(f64, f64)> = Vec::new();
+        for &(lo, hi, count) in bins {
+            if count == 0 {
+                continue;
+            }
+            let d = hi - lo;
+            if !d.is_finite() || !(d > 0.0) || !lo.is_finite() || !(lo >= 0.0) {
+                return None;
+            }
+            let c = count as f64;
+            s_lo += c * lo;
+            match widths.iter_mut().find(|(w, _)| *w == d) {
+                Some((_, acc)) => *acc += c,
+                None => widths.push((d, c)),
+            }
+        }
+        Some(GroupedAgg { s_lo, widths })
+    }
+}
+
+/// Crossover of the within-bin mean `g(ξ, δ) = 1/ξ − δ/expm1(ξδ)` to
+/// its Bernoulli series: below `z = ξδ = 0.05` the direct form cancels
+/// (both terms are `≈ δ/z` while `g ≈ δ/2`) and the series truncation
+/// error is still `< 2e−15` relative.
+const GROUPED_SERIES_Z: f64 = 0.05;
+
+/// `E[T′ | T′ < δ]` for `T′ ~ Exp(ξ)` — the within-bin part of the
+/// conditional bin mean `lo + g(ξ, δ)`. `recip` is the caller-hoisted
+/// `1/ξ` (shared across the widths of one lane iteration).
+fn exp_bin_mean(xi: f64, recip: f64, d: f64) -> f64 {
+    let z = xi * d;
+    if z <= GROUPED_SERIES_Z {
+        // g = δ·(1/2 − z/12 + z³/720 − z⁵/30240 + O(z⁷/1209600)).
+        let z2 = z * z;
+        d * (0.5 - z * (1.0 / 12.0 - z2 * (1.0 / 720.0 - z2 * (1.0 / 30240.0))))
+    } else {
+        recip - d / z.exp_m1()
+    }
+}
+
+/// `(e_k(x), e_{k+1}(x))` with `e_j(x) = Σ_{i<j} xⁱ/i!` — the truncated
+/// exponential sums behind the integer-shape survival
+/// `Q(j, x) = e^{−x}·e_j(x)`. Terms accumulate in fixed ascending
+/// order (all positive, no cancellation), so the value is a pure
+/// function of `(k, x)`.
+fn exp_sum_pair(k: u32, x: f64) -> (f64, f64) {
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    for j in 1..k {
+        term = term * x / j as f64;
+        sum += term;
+    }
+    let e_k = sum;
+    term = term * x / k as f64;
+    (e_k, sum + term)
+}
+
+/// Largest scaled endpoint `x = ξ·t_e` the integer-shape lane tail
+/// evaluates through [`exp_sum_pair`]: far past it the leading term
+/// `x^{α₀}/α₀!` approaches the overflow threshold (for `α₀ ≤ 8` that
+/// is `x ≈ 1e38`), so those lanes fall back to the scalar
+/// [`Endpoint::eval_tail`] recurrence, which is exact there.
+const INT_TAIL_X_MAX: f64 = 1e37;
 
 impl FitContext<'_> {
     /// `ζ(ξ)` through the shared one-pass evaluation, with the
@@ -1000,24 +1096,70 @@ fn uses_closed_form(ctx: &FitContext) -> bool {
         )
 }
 
-/// Whether the component sweep may run its iterative fixed points on
-/// the 4-lane kernels. The wide path is the iterative Goel–Okumoto /
-/// failure-time sweep (`α₀ = 1`, where the censored-tail terms have
-/// closed algebraic forms per lane): the benchmark-critical Table 7
-/// protocol and every explicit-substitution fit. Everything else — the
-/// closed form (already iteration-free), grouped data, `α₀ ≠ 1`
-/// shapes, Newton/bisection solvers, fault injection — keeps the
+/// Which closed-form lane map a wide sweep runs (see [`solve_lanes`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LaneKind {
+    /// Failure times, `α₀ = 1`: the censored-tail mean is `t_e + 1/ξ`
+    /// in closed form, so the fixed-point map is pure lane arithmetic.
+    TimesExp,
+    /// Failure times, integer `α₀ = k ≥ 2` (delayed S-shaped): the
+    /// survival is `Q(k, x) = e^{−x}·e_k(x)` with `e_k` the truncated
+    /// exponential sum, so the tail mean is `(k/ξ)·e_{k+1}(x)/e_k(x)` —
+    /// lanes past the [`INT_TAIL_X_MAX`] overflow guard fall back to
+    /// the scalar tail recurrence element-wise.
+    TimesInt(u32),
+    /// Grouped counts, `α₀ = 1`: per-bin truncated-exponential means
+    /// and log masses in closed form, aggregated per distinct bin
+    /// width (see [`GroupedAgg`]).
+    GroupedExp,
+}
+
+/// Which lane map (if any) the component sweep may run its iterative
+/// fixed points on. The wide path covers the iterative successive-
+/// substitution sweeps whose per-`N` map has a closed algebraic form
+/// per lane: failure times at any ladder-integral `α₀` (`α₀ = 1` and
+/// the delayed-S-shaped `α₀ = 2` included) and grouped counts at
+/// `α₀ = 1`. Everything else — the closed form (already
+/// iteration-free), non-integer or `> 8` shapes, grouped data with
+/// `α₀ ≠ 1`, Newton/bisection solvers, fault injection — keeps the
 /// scalar path, bitwise unchanged from previous releases.
-fn wide_sweep_eligible(ctx: &FitContext) -> bool {
-    ctx.dispatch == SimdDispatch::Wide4
-        && !uses_closed_form(ctx)
-        && ctx.options.fault.is_none()
-        && ctx.alpha0 == 1.0
-        && matches!(ctx.summary, DataSummary::Times { .. })
-        && matches!(
+fn wide_sweep_kind(ctx: &FitContext) -> Option<LaneKind> {
+    if ctx.dispatch == SimdDispatch::Scalar
+        || uses_closed_form(ctx)
+        || ctx.options.fault.is_some()
+        || !matches!(
             ctx.options.solver,
             SolverKind::Auto | SolverKind::SuccessiveSubstitution
         )
+    {
+        return None;
+    }
+    match ctx.summary {
+        DataSummary::Times { .. } => {
+            if ctx.alpha0 == 1.0 {
+                Some(LaneKind::TimesExp)
+            } else {
+                match ctx.b_stride {
+                    Some(k) if k >= 2 => Some(LaneKind::TimesInt(k)),
+                    _ => None,
+                }
+            }
+        }
+        DataSummary::Grouped { .. } => {
+            if ctx.alpha0 == 1.0 && ctx.grouped_agg.is_some() {
+                Some(LaneKind::GroupedExp)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Whether the component sweep runs on the wide kernels (any lane map,
+/// any wide width) — the gate behind the pinned
+/// [`Vb2Posterior::lane_width`].
+fn wide_sweep_eligible(ctx: &FitContext) -> bool {
+    wide_sweep_kind(ctx).is_some()
 }
 
 /// A cheap, coarse pre-solve of the chunk head's `ξ` so the chunk's
@@ -1127,36 +1269,25 @@ fn solve_chunk(
     let mut ladder_b = ctx
         .b_stride
         .map(|_| LnGammaLadder::new(ctx.a_b + n0 as f64 * ctx.alpha0));
-    // Lane-parallel sweep: whole quads of consecutive `N` solve their
-    // fixed points side by side in struct-of-arrays form; the ragged
-    // tail (and any ineligible fit) takes the scalar loop below, which
-    // continues from the same ladder and warm-chain state. Quad
-    // staging lives in registers; results fold back into the
-    // array-of-structs scratch, so the chunk output layout (and the
-    // chunk partition, and therefore thread-count determinism) is
-    // unchanged.
+    // Lane-parallel sweep: whole blocks of consecutive `N` (4 or 8
+    // wide, per the resolved dispatch) solve their fixed points side
+    // by side in struct-of-arrays form; the ragged tail (and any
+    // ineligible fit) takes the scalar loop below, which continues
+    // from the same ladder and warm-chain state. Block staging lives
+    // in registers; results fold back into the array-of-structs
+    // scratch, so the chunk output layout (and the chunk partition,
+    // and therefore thread-count determinism) is unchanged.
     let mut idx = 0;
-    if wide_sweep_eligible(ctx) {
-        while idx + WIDE_LANES <= ns.len() {
-            let quad_ns = [ns[idx], ns[idx + 1], ns[idx + 2], ns[idx + 3]];
-            let mut lga = [0.0; 4];
-            let mut lgb = [0.0; 4];
-            for i in 0..WIDE_LANES {
-                lga[i] = ladder_a.value();
-                lgb[i] = match &ladder_b {
-                    Some(ladder) => ladder.value(),
-                    None => ln_gamma(ctx.a_b + quad_ns[i] as f64 * ctx.alpha0),
-                };
-                ladder_a.advance();
-                if let (Some(ladder), Some(stride)) = (&mut ladder_b, ctx.b_stride) {
-                    ladder.advance_by(stride);
-                }
-            }
-            let quad = solve_quad(ctx, quad_ns, warm_xi, lga, lgb, shared)?;
-            warm_xi = Some(quad[WIDE_LANES - 1].xi);
-            out[idx..idx + WIDE_LANES].copy_from_slice(&quad);
-            idx += WIDE_LANES;
-        }
+    if let Some(kind) = wide_sweep_kind(ctx) {
+        idx = match ctx.dispatch {
+            SimdDispatch::Wide8 => solve_lane_blocks::<WIDE8_LANES>(
+                ctx, kind, ns, out, &mut warm_xi, &mut ladder_a, &mut ladder_b, shared,
+            )?,
+            SimdDispatch::Wide4 => solve_lane_blocks::<WIDE_LANES>(
+                ctx, kind, ns, out, &mut warm_xi, &mut ladder_a, &mut ladder_b, shared,
+            )?,
+            SimdDispatch::Scalar => unreachable!("guarded by wide_sweep_kind"),
+        };
     }
     for (&n, slot) in ns[idx..].iter().zip(out[idx..].iter_mut()) {
         let ln_gamma_a = ladder_a.value();
@@ -1182,59 +1313,102 @@ fn solve_chunk(
     Ok(())
 }
 
-/// Solves four consecutive components side by side on the 4-lane
-/// kernels (Goel–Okumoto, failure-time data, `α₀ = 1` — see
-/// [`wide_sweep_eligible`]).
+/// Drains whole `L`-wide blocks of a chunk through [`solve_lanes`],
+/// advancing the caller's ladders and warm chain exactly as the scalar
+/// loop would, and returns the index of the first component left for
+/// the scalar ragged tail.
+#[allow(clippy::too_many_arguments)]
+fn solve_lane_blocks<const L: usize>(
+    ctx: &FitContext,
+    kind: LaneKind,
+    ns: &[u64],
+    out: &mut [Component],
+    warm_xi: &mut Option<f64>,
+    ladder_a: &mut LnGammaLadder,
+    ladder_b: &mut Option<LnGammaLadder>,
+    shared: &SharedBudget,
+) -> Result<usize, VbError> {
+    let mut idx = 0;
+    while idx + L <= ns.len() {
+        let mut block_ns = [0u64; L];
+        block_ns.copy_from_slice(&ns[idx..idx + L]);
+        let mut lga = [0.0; L];
+        let mut lgb = [0.0; L];
+        for i in 0..L {
+            lga[i] = ladder_a.value();
+            lgb[i] = match &*ladder_b {
+                Some(ladder) => ladder.value(),
+                None => ln_gamma(ctx.a_b + block_ns[i] as f64 * ctx.alpha0),
+            };
+            ladder_a.advance();
+            if let (Some(ladder), Some(stride)) = (ladder_b.as_mut(), ctx.b_stride) {
+                ladder.advance_by(stride);
+            }
+        }
+        let block = solve_lanes::<L>(ctx, kind, block_ns, *warm_xi, lga, lgb, shared)?;
+        *warm_xi = Some(block[L - 1].xi);
+        out[idx..idx + L].copy_from_slice(&block);
+        idx += L;
+    }
+    Ok(idx)
+}
+
+/// Solves `L` consecutive components side by side on the lane kernels
+/// (see [`wide_sweep_kind`] for the eligible maps).
 ///
-/// With `α₀ = 1` the censored-tail mean is `t_e + 1/ξ` in closed form,
-/// so the per-iteration fixed-point map collapses to
-/// `ξ ← (m_β + N) / (φ_β + Σt + r·t_e + r/ξ)` — pure lane arithmetic,
-/// no transcendentals — and the four lanes' divisions pipeline. Each
-/// lane replicates the scalar successive-substitution contract
-/// exactly: one budget charge per executed iteration, a `NonFinite`
-/// error on an escaped iterate, convergence at
-/// `|Δξ| <= tol·max(|ξ|, 1)`, and the per-component `inner_max_iter`
-/// cap; converged lanes freeze while the rest keep iterating. Weights
-/// then finish through the wide tail recurrence
-/// ([`Endpoint::eval_tail_x4`]) in the same shape as the scalar
-/// [`zeta_and_data`].
+/// Each [`LaneKind`] gives the fixed-point map `ξ ← B/(φ_β + ζ(ξ))` a
+/// closed algebraic form per lane — the exponential censored tail
+/// `t_e + 1/ξ`, the integer-shape truncated-sum ratio, or the per-
+/// distinct-width grouped bin means — so an iteration is pure lane
+/// arithmetic (at most one `expm1` per distinct bin width), and the
+/// independent lanes pipeline. Where a lane's closed form would
+/// overflow (the [`INT_TAIL_X_MAX`] guard), that lane alone falls back
+/// to the shared scalar evaluation, so guard decisions stay element-
+/// wise like the scalar path's. Each lane replicates the scalar
+/// successive-substitution contract exactly: one budget charge per
+/// executed iteration, a `NonFinite` error on an escaped iterate,
+/// convergence at `|Δξ| <= tol·max(|ξ|, 1)`, and the per-component
+/// `inner_max_iter` cap; converged lanes freeze while the rest keep
+/// iterating.
 ///
 /// Lanes seed through the same [`pick_seed`] race as the scalar path —
-/// warm-table entry vs. the predecessor quad's last converged `ξ` (the
-/// chunk-head seed for the first quad), whichever has the smaller
-/// fixed-point residual — pure functions of `N` and chunk-local state,
-/// so the bitwise thread-count determinism of the sweep is preserved
-/// and a stale table never costs a warm refit more iterations than the
-/// chain would. Wide
-/// results may differ from scalar results by inner-tolerance-sized
-/// amounts (different iterate sequence, polynomial exponential); the
-/// lane width pinned into the posterior records which path produced
-/// them.
-fn solve_quad(
+/// warm-table entry vs. the predecessor block's last converged `ξ`
+/// (the chunk-head seed for the first block), whichever has the
+/// smaller fixed-point residual — pure functions of `N` and
+/// chunk-local state, so the bitwise thread-count determinism of the
+/// sweep is preserved and a stale table never costs a warm refit more
+/// iterations than the chain would. Wide results may differ from
+/// scalar results by inner-tolerance-sized amounts (different iterate
+/// sequence, polynomial exponential); the lane width pinned into the
+/// posterior records which path produced them, and `L = 4` reproduces
+/// the 4-lane sweeps of previous releases bitwise.
+fn solve_lanes<const L: usize>(
     ctx: &FitContext,
-    ns: [u64; WIDE_LANES],
+    kind: LaneKind,
+    ns: [u64; L],
     chain: Option<f64>,
-    ln_gamma_a: [f64; WIDE_LANES],
-    ln_gamma_b: [f64; WIDE_LANES],
+    ln_gamma_a: [f64; L],
+    ln_gamma_b: [f64; L],
     shared: &SharedBudget,
-) -> Result<[Component; WIDE_LANES], VbError> {
-    let (sum_obs, t_end) = match ctx.summary {
-        DataSummary::Times { sum_obs, t_end, .. } => (*sum_obs, *t_end),
-        DataSummary::Grouped { .. } => unreachable!("guarded by wide_sweep_eligible"),
-    };
+) -> Result<[Component; L], VbError> {
     let m = ctx.summary.observed();
+    let t_end = ctx.summary.t_end();
+    let sum_obs = match ctx.summary {
+        DataSummary::Times { sum_obs, .. } => *sum_obs,
+        DataSummary::Grouped { .. } => 0.0,
+    };
     let tol = ctx.options.inner_tol;
     let max_iter = ctx.options.inner_max_iter;
     let mut local = shared.local(u64::MAX);
-    let result = (|| -> Result<[Component; WIDE_LANES], VbError> {
+    let result = (|| -> Result<[Component; L], VbError> {
         // The per-component head charges, as in the scalar path.
-        local.charge(WIDE_LANES as u64).map_err(VbError::from)?;
-        let mut b_shapes = [0.0; WIDE_LANES];
-        let mut denoms = [0.0; WIDE_LANES];
-        let mut coefs = [0.0; WIDE_LANES];
-        let mut rs = [0u64; WIDE_LANES];
-        let mut x = [0.0; WIDE_LANES];
-        for i in 0..WIDE_LANES {
+        local.charge(L as u64).map_err(VbError::from)?;
+        let mut b_shapes = [0.0; L];
+        let mut denoms = [0.0; L];
+        let mut rfs = [0.0; L];
+        let mut rs = [0u64; L];
+        let mut x = [0.0; L];
+        for i in 0..L {
             let n = ns[i];
             let Some(r) = n.checked_sub(m) else {
                 return Err(VbError::InvalidOption {
@@ -1243,26 +1417,26 @@ fn solve_quad(
             };
             rs[i] = r;
             let rf = r as f64;
+            rfs[i] = rf;
             b_shapes[i] = ctx.a_b + n as f64 * ctx.alpha0;
             denoms[i] = ctx.r_b + sum_obs + rf * t_end;
-            coefs[i] = rf;
             let seed = pick_seed(ctx, n, ctx.warm.and_then(|w| w.xi(n)), chain, shared)
-                .unwrap_or_else(|| {
-                    // Cold start at the ξ = α₀/t_e probe, algebraically:
-                    // ζ(α₀/t_e) = Σt + 2·r·t_e when α₀ = 1.
-                    b_shapes[i] / (ctx.r_b + sum_obs + 2.0 * rf * t_end)
+                .unwrap_or_else(|| match kind {
+                    // Cold start at the ξ = α₀/t_e probe, algebraically
+                    // where α₀ = 1 gives ζ(1/t_e) = Σt + 2·r·t_e, and
+                    // through the shared scalar evaluation otherwise.
+                    LaneKind::TimesExp => b_shapes[i] / (ctx.r_b + sum_obs + 2.0 * rf * t_end),
+                    LaneKind::TimesInt(_) | LaneKind::GroupedExp => {
+                        b_shapes[i] / (ctx.r_b + ctx.zeta(ctx.alpha0 / t_end, n))
+                    }
                 });
             x[i] = ctx.options.init_scale * seed;
         }
-        let ones = F64x4::splat(1.0);
-        let b_shape_v = F64x4(b_shapes);
-        let denom_v = F64x4(denoms);
-        let coef_v = F64x4(coefs);
-        let mut iters = [0usize; WIDE_LANES];
-        let mut done = [false; WIDE_LANES];
+        let mut iters = [0usize; L];
+        let mut done = [false; L];
         loop {
             let mut active = 0u64;
-            for i in 0..WIDE_LANES {
+            for i in 0..L {
                 if !done[i] {
                     if iters[i] >= max_iter {
                         // The scalar path's per-component sub-budget
@@ -1279,13 +1453,51 @@ fn solve_quad(
                 break;
             }
             local.charge(active).map_err(VbError::from)?;
-            let xv = F64x4(x);
-            let next = b_shape_v / (coef_v.mul_add(ones / xv, denom_v));
-            for i in 0..WIDE_LANES {
+            let mut next = [0.0; L];
+            match kind {
+                LaneKind::TimesExp => {
+                    // ξ ← (m_β + N) / (φ_β + Σt + r·t_e + r/ξ): the
+                    // same per-lane arithmetic (scalar `mul_add`) as
+                    // the 4-lane sweeps of previous releases.
+                    for i in 0..L {
+                        next[i] = b_shapes[i] / rfs[i].mul_add(1.0 / x[i], denoms[i]);
+                    }
+                }
+                LaneKind::TimesInt(k) => {
+                    for i in 0..L {
+                        let xi = x[i];
+                        let xx = xi * t_end;
+                        let zeta = if xx < INT_TAIL_X_MAX {
+                            let (e_k, e_k1) = exp_sum_pair(k, xx);
+                            sum_obs + rfs[i] * (ctx.alpha0 / xi) * (e_k1 / e_k)
+                        } else {
+                            // Far-tail overflow guard: the scalar
+                            // evaluation is exact there and just as
+                            // deterministic.
+                            ctx.zeta(xi, ns[i])
+                        };
+                        next[i] = b_shapes[i] / (ctx.r_b + zeta);
+                    }
+                }
+                LaneKind::GroupedExp => {
+                    let agg = ctx.grouped_agg.as_ref().expect("guarded by wide_sweep_kind");
+                    for i in 0..L {
+                        let xi = x[i];
+                        let recip = 1.0 / xi;
+                        let mut zeta = agg.s_lo;
+                        for &(d, c) in &agg.widths {
+                            zeta += c * exp_bin_mean(xi, recip, d);
+                        }
+                        zeta += rfs[i] * (t_end + recip);
+                        next[i] = b_shapes[i] / (ctx.r_b + zeta);
+                    }
+                }
+            }
+            for i in 0..L {
                 if done[i] {
                     continue;
                 }
-                let nx = next.0[i];
+                let nx = next[i];
                 iters[i] += 1;
                 if !nx.is_finite() {
                     return Err(VbError::from(NumericError::NonFinite {
@@ -1300,42 +1512,84 @@ fn solve_quad(
         }
 
         // Weight assembly in the same shape as the scalar
-        // `zeta_and_data` + `solve_component` finish, on the wide
-        // kernels: tail recurrence, ζ, data factor, ln weight.
-        let xi_v = F64x4(x);
-        let (ln_q, ln_q1) = Endpoint::eval_tail_x4(
-            ctx.alpha0,
-            xi_v,
-            t_end,
-            ctx.ln_gamma_alpha0,
-            ctx.ln_gamma_alpha0p1,
-        );
-        let mean = tail_mean_from_masses_x4(ctx.alpha0, xi_v, ln_q, ln_q1);
-        let rf_v = F64x4(coefs);
-        let tail_mean_term = rf_v * mean;
-        let zeta_v = F64x4::splat(sum_obs) + tail_mean_term;
-        let ln_xi = xi_v.ln();
-        let alpha0_v = F64x4::splat(ctx.alpha0);
-        let ln_data = xi_v * tail_mean_term - rf_v * alpha0_v * ln_xi + rf_v * ln_q;
-        let ln_rw1 = F64x4::splat((ctx.r_w + 1.0).ln());
-        let ln_rb_zeta = (F64x4::splat(ctx.r_b) + zeta_v).ln();
-        let mut comps = [Component::PLACEHOLDER; WIDE_LANES];
-        for i in 0..WIDE_LANES {
+        // `zeta_and_data` + `solve_component` finish, on the lane
+        // kernels: tail (and, for grouped data, bin) terms, ζ, data
+        // factor, ln weight.
+        let ln_rw1 = (ctx.r_w + 1.0).ln();
+        let mut comps = [Component::PLACEHOLDER; L];
+        for i in 0..L {
             let n = ns[i];
+            let xi = x[i];
+            let rf = rfs[i];
+            let (zeta, ln_data) = match kind {
+                LaneKind::TimesExp => {
+                    let (ln_q, ln_q1) = Endpoint::eval_tail_lane(
+                        ctx.alpha0,
+                        xi,
+                        t_end,
+                        ctx.ln_gamma_alpha0,
+                        ctx.ln_gamma_alpha0p1,
+                    );
+                    let mean = tail_mean_from_masses_lane(ctx.alpha0, xi, ln_q, ln_q1);
+                    let tail_mean_term = rf * mean;
+                    let zeta = sum_obs + tail_mean_term;
+                    let ln_data =
+                        xi * tail_mean_term - rf * ctx.alpha0 * xi.ln() + rf * ln_q;
+                    (zeta, ln_data)
+                }
+                LaneKind::TimesInt(k) => {
+                    let xx = xi * t_end;
+                    let (ln_q, mean) = if xx < INT_TAIL_X_MAX {
+                        let (e_k, e_k1) = exp_sum_pair(k, xx);
+                        (e_k.ln() - xx, (ctx.alpha0 / xi) * (e_k1 / e_k))
+                    } else {
+                        let (ln_q, ln_q1) = Endpoint::eval_tail(
+                            ctx.alpha0,
+                            xi,
+                            t_end,
+                            ctx.ln_gamma_alpha0,
+                            ctx.ln_gamma_alpha0p1,
+                        );
+                        (ln_q, mean_from_masses(ctx.alpha0, xi, ln_q, ln_q1))
+                    };
+                    let tail_mean_term = rf * mean;
+                    let zeta = sum_obs + tail_mean_term;
+                    let ln_data =
+                        xi * tail_mean_term - rf * ctx.alpha0 * xi.ln() + rf * ln_q;
+                    (zeta, ln_data)
+                }
+                LaneKind::GroupedExp => {
+                    let agg = ctx.grouped_agg.as_ref().expect("guarded by wide_sweep_kind");
+                    let recip = 1.0 / xi;
+                    let mut zeta = agg.s_lo;
+                    let mut ln_bins = -xi * agg.s_lo;
+                    for &(d, c) in &agg.widths {
+                        zeta += c * exp_bin_mean(xi, recip, d);
+                        ln_bins += c * (-(-xi * d).exp_m1()).ln();
+                    }
+                    zeta += rf * (t_end + recip);
+                    let xx = xi * t_end;
+                    let ln_q = if xx == 0.0 { 0.0 } else { -xx };
+                    let ln_data =
+                        xi * zeta - n as f64 * ctx.alpha0 * xi.ln() + rf * ln_q + ln_bins;
+                    (zeta, ln_data)
+                }
+            };
             let a_shape = ctx.a_w + n as f64;
-            let ln_w = ln_gamma_a[i] - a_shape * ln_rw1.0[i] + ln_gamma_b[i]
-                - b_shapes[i] * ln_rb_zeta.0[i]
+            let ln_rb_zeta = (ctx.r_b + zeta).ln();
+            let ln_w = ln_gamma_a[i] - a_shape * ln_rw1 + ln_gamma_b[i]
+                - b_shapes[i] * ln_rb_zeta
                 - ln_factorial(rs[i])
-                + ln_data.0[i];
+                + ln_data;
             if ln_w.is_nan() {
                 return Err(VbError::DegenerateWeights {
-                    message: format!("ln weight is NaN at N={n} (ζ={}, ξ={})", zeta_v.0[i], x[i]),
+                    message: format!("ln weight is NaN at N={n} (ζ={zeta}, ξ={xi})"),
                 });
             }
             comps[i] = Component {
                 n,
-                zeta: zeta_v.0[i],
-                xi: x[i],
+                zeta,
+                xi,
                 ln_weight: ln_w,
                 inner_iterations: iters[i],
             };
@@ -2062,8 +2316,8 @@ mod tests {
 
     #[test]
     fn ineligible_sweeps_report_scalar_lane_width() {
-        // The closed-form path and grouped data never take the lanes,
-        // even when the policy asks for them.
+        // The closed-form path and non-substitution solvers never take
+        // the lanes, even when the policy asks for them.
         let times: ObservedData = sys17::failure_times().into();
         let closed = Vb2Posterior::fit(
             spec(),
@@ -2076,8 +2330,22 @@ mod tests {
         )
         .unwrap();
         assert_eq!(closed.lane_width(), 1);
-        let grouped = Vb2Posterior::fit(
+        let newton = Vb2Posterior::fit(
             spec(),
+            NhppPrior::paper_info_times(),
+            &times,
+            Vb2Options {
+                solver: SolverKind::Newton,
+                lanes: SimdPolicy::ForceWide,
+                ..Vb2Options::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(newton.lane_width(), 1);
+        // Grouped counts ride the lanes only at α₀ = 1: the delayed
+        // S-shaped grouped likelihood still runs scalar.
+        let grouped_dss = Vb2Posterior::fit(
+            ModelSpec::delayed_s_shaped(),
             NhppPrior::paper_info_grouped(),
             &sys17::grouped().into(),
             Vb2Options {
@@ -2087,7 +2355,78 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(grouped.lane_width(), 1);
+        assert_eq!(grouped_dss.lane_width(), 1);
+    }
+
+    #[test]
+    fn widened_gate_reports_lane_width_for_grouped_and_dss_sweeps() {
+        // The PR-8 gate: grouped counts at α₀ = 1 and failure times at
+        // integer α₀ ≥ 2 both take the lanes, and agree with the scalar
+        // solve to well inside the inner tolerance.
+        let grouped: ObservedData = sys17::grouped().into();
+        let times: ObservedData = sys17::failure_times().into();
+        for (label, spec, prior, data) in [
+            (
+                "grouped-exp",
+                spec(),
+                NhppPrior::paper_info_grouped(),
+                &grouped,
+            ),
+            (
+                "times-int",
+                ModelSpec::delayed_s_shaped(),
+                NhppPrior::paper_info_times(),
+                &times,
+            ),
+        ] {
+            let base = Vb2Options {
+                solver: SolverKind::SuccessiveSubstitution,
+                ..Vb2Options::default()
+            };
+            let wide = Vb2Posterior::fit(
+                spec,
+                prior,
+                data,
+                Vb2Options {
+                    lanes: SimdPolicy::ForceWide,
+                    ..base
+                },
+            )
+            .unwrap();
+            assert_eq!(wide.lane_width(), WIDE_LANES, "{label}");
+            let wide8 = Vb2Posterior::fit(
+                spec,
+                prior,
+                data,
+                Vb2Options {
+                    lanes: SimdPolicy::ForceWide8,
+                    ..base
+                },
+            )
+            .unwrap();
+            assert_eq!(wide8.lane_width(), nhpp_special::WIDE8_LANES, "{label}");
+            let scalar = Vb2Posterior::fit(
+                spec,
+                prior,
+                data,
+                Vb2Options {
+                    lanes: SimdPolicy::ForceScalar,
+                    ..base
+                },
+            )
+            .unwrap();
+            assert_eq!(scalar.lane_width(), 1, "{label}");
+            for other in [&wide, &wide8] {
+                assert!(
+                    (other.mean_omega() - scalar.mean_omega()).abs()
+                        < 1e-8 * scalar.mean_omega(),
+                    "{label}: {} vs {}",
+                    other.mean_omega(),
+                    scalar.mean_omega()
+                );
+                assert!((other.elbo() - scalar.elbo()).abs() < 1e-6, "{label}");
+            }
+        }
     }
 
     #[test]

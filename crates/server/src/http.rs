@@ -277,9 +277,14 @@ pub fn client_request_full(
 
 /// [`client_request`] with shed-aware retries: on a 503 the client
 /// sleeps for the server's `Retry-After` interval (capped at
-/// `max_wait`, defaulting to one second when the header is absent) and
-/// reissues the request, up to `max_retries` additional attempts. Any
-/// other status — success or error — is returned immediately; the
+/// `max_wait` per wait, defaulting to one second when the header is
+/// absent) and reissues the request, up to `max_retries` additional
+/// attempts. Cumulative sleeping is further capped at `deadline`: a
+/// long shed sequence shortens its final wait to land exactly on the
+/// budget, and once the budget is spent the current 503 is returned
+/// instead of sleeping again — the client never overshoots the
+/// caller's deadline, no matter what intervals the server advertises.
+/// Any other status — success or error — is returned immediately; the
 /// caller still decides what non-2xx means.
 ///
 /// # Errors
@@ -292,16 +297,25 @@ pub fn client_request_with_backoff(
     body: Option<&str>,
     max_retries: u32,
     max_wait: std::time::Duration,
+    deadline: std::time::Duration,
 ) -> io::Result<(u16, String)> {
     let mut attempt = 0u32;
+    let mut slept = std::time::Duration::ZERO;
     loop {
         let (status, retry_after, text) = client_request_full(addr, method, path_and_query, body)?;
         if status != 503 || attempt >= max_retries {
             return Ok((status, text));
         }
-        let wait =
-            std::time::Duration::from_secs(u64::from(retry_after.unwrap_or(1))).min(max_wait);
+        let wait = std::time::Duration::from_secs(u64::from(retry_after.unwrap_or(1)))
+            .min(max_wait)
+            .min(deadline.saturating_sub(slept));
+        if wait.is_zero() && slept >= deadline {
+            // The cumulative backoff budget is spent: surface the shed
+            // response rather than stall past the caller's deadline.
+            return Ok((status, text));
+        }
         std::thread::sleep(wait);
+        slept += wait;
         attempt += 1;
     }
 }
@@ -417,9 +431,11 @@ mod tests {
             .unwrap();
         let (addr, handle) = serve_raw(vec![shed, ok]);
         let cap = std::time::Duration::from_millis(40);
+        let deadline = std::time::Duration::from_millis(500);
         let started = std::time::Instant::now();
         let (status, body) =
-            client_request_with_backoff(&addr, "GET", "/projects/p/fit", None, 3, cap).unwrap();
+            client_request_with_backoff(&addr, "GET", "/projects/p/fit", None, 3, cap, deadline)
+                .unwrap();
         assert_eq!(status, 200);
         assert!(body.contains("\"ok\":true"), "{body}");
         // The advertised 1 s interval was honoured but clamped to the cap.
@@ -438,10 +454,43 @@ mod tests {
             .unwrap();
         let (addr, handle) = serve_raw(vec![shed.clone(), shed.clone(), shed]);
         let cap = std::time::Duration::from_millis(10);
+        let deadline = std::time::Duration::from_millis(100);
         let (status, body) =
-            client_request_with_backoff(&addr, "GET", "/", None, 2, cap).unwrap();
+            client_request_with_backoff(&addr, "GET", "/", None, 2, cap, deadline).unwrap();
         assert_eq!(status, 503);
         assert!(body.contains("overloaded"), "{body}");
         assert_eq!(handle.join().unwrap(), 3);
+    }
+
+    /// A server shedding with long `Retry-After` intervals cannot make
+    /// the client sleep past its cumulative deadline: the waits shrink
+    /// to fit the remaining budget and, once it is spent, the shed
+    /// response comes back immediately even with retries left.
+    #[test]
+    fn backoff_caps_cumulative_sleeps_at_the_deadline() {
+        let mut shed = Vec::new();
+        Response::json(503, "{\"error\":\"overloaded\"}".into())
+            .with_retry_after(60)
+            .write_to(&mut shed)
+            .unwrap();
+        // Far more sheds queued than the deadline allows sleeps for.
+        let (addr, handle) = serve_raw(vec![shed.clone(), shed.clone(), shed.clone(), shed]);
+        let per_wait = std::time::Duration::from_millis(30);
+        let deadline = std::time::Duration::from_millis(75);
+        let started = std::time::Instant::now();
+        let (status, body) =
+            client_request_with_backoff(&addr, "GET", "/projects/p/fit", None, 10, per_wait, deadline)
+                .unwrap();
+        let elapsed = started.elapsed();
+        assert_eq!(status, 503);
+        assert!(body.contains("overloaded"), "{body}");
+        // Three sleeps fit the 75 ms budget (30 + 30 + 15); the fourth
+        // shed returns without sleeping, with six retries still unused.
+        assert_eq!(handle.join().unwrap(), 4);
+        assert!(elapsed >= deadline, "slept only {elapsed:?}");
+        assert!(
+            elapsed < deadline + std::time::Duration::from_secs(1),
+            "overshot the deadline: {elapsed:?}"
+        );
     }
 }

@@ -192,10 +192,15 @@ pub fn ensure_fit(
     let deadline_at = settings.deadline.map(|d| Instant::now() + d);
 
     let mut slot = project.fit.lock().expect("fit slot poisoned");
+    // A caller is counted once: as a cache hit *or* as a coalesced
+    // join, never both. Without the flag, a waiter that joined an
+    // in-flight fit would re-enter the loop after waking and also take
+    // the cache-hit branch, double-counting itself.
+    let mut coalesced = false;
     let warm = loop {
         if let Some((v, outcome)) = &slot.last {
             if *v == version {
-                if outcome.is_ok() {
+                if outcome.is_ok() && !coalesced {
                     metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
                 }
                 return outcome.clone().map_err(FitServeError::Fit);
@@ -203,7 +208,8 @@ pub fn ensure_fit(
         }
         match slot.in_flight {
             Some(v) => {
-                if v == version {
+                if v == version && !coalesced {
+                    coalesced = true;
                     metrics.fits_coalesced.fetch_add(1, Ordering::Relaxed);
                 }
                 slot = match deadline_at {

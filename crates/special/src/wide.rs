@@ -13,8 +13,9 @@
 //!
 //! The lane width is a *software* choice, never a CPU-feature probe:
 //! [`active_simd`] consults the `NHPP_SIMD` environment variable once
-//! per process (`scalar` forces the plain kernels) and otherwise picks
-//! the 4-lane path. Because no `cpuid`-style detection is involved, a
+//! per process (`scalar` forces the plain kernels, `wide8` the 8-lane
+//! tier) and otherwise picks the 4-lane path. Because no `cpuid`-style
+//! detection is involved, a
 //! recorded lane width plus the same inputs reproduces a run bitwise on
 //! any machine. Callers pin the width they used into their results (see
 //! `Vb2Posterior::lane_width` / `FitReport::lane_width` in `nhpp-vb`).
@@ -38,8 +39,11 @@ use crate::recurrence::ln_gamma_p_step;
 use std::ops::{Add, Div, Mul, Sub};
 use std::sync::OnceLock;
 
-/// Lane count of the wide kernels.
+/// Lane count of the 4-wide kernels.
 pub const WIDE_LANES: usize = 4;
+
+/// Lane count of the 8-wide kernels.
+pub const WIDE8_LANES: usize = 8;
 
 /// Which kernel family a sweep runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +52,11 @@ pub enum SimdDispatch {
     Scalar,
     /// Four-lane struct-of-arrays kernels.
     Wide4,
+    /// Eight-lane struct-of-arrays kernels: the same per-lane
+    /// arithmetic as [`SimdDispatch::Wide4`], twice the block width —
+    /// results differ from the 4-lane path only where a reduction's
+    /// grouping depends on the lane count.
+    Wide8,
 }
 
 impl SimdDispatch {
@@ -56,6 +65,7 @@ impl SimdDispatch {
         match self {
             SimdDispatch::Scalar => 1,
             SimdDispatch::Wide4 => WIDE_LANES,
+            SimdDispatch::Wide8 => WIDE8_LANES,
         }
     }
 }
@@ -64,13 +74,15 @@ impl SimdDispatch {
 /// force one side (tests and reproduction runs pin the width this way).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SimdPolicy {
-    /// Use [`active_simd`] (wide unless `NHPP_SIMD=scalar`).
+    /// Use [`active_simd`] (wide unless `NHPP_SIMD` forces otherwise).
     #[default]
     Auto,
     /// Force the scalar kernels.
     ForceScalar,
     /// Force the 4-lane kernels (where the caller supports them).
     ForceWide,
+    /// Force the 8-lane kernels (where the caller supports them).
+    ForceWide8,
 }
 
 impl SimdPolicy {
@@ -80,6 +92,7 @@ impl SimdPolicy {
             SimdPolicy::Auto => active_simd(),
             SimdPolicy::ForceScalar => SimdDispatch::Scalar,
             SimdPolicy::ForceWide => SimdDispatch::Wide4,
+            SimdPolicy::ForceWide8 => SimdDispatch::Wide8,
         }
     }
 }
@@ -87,13 +100,15 @@ impl SimdPolicy {
 static ACTIVE: OnceLock<SimdDispatch> = OnceLock::new();
 
 /// The process-wide kernel dispatch, decided once: `NHPP_SIMD=scalar`
-/// (or `off`/`0`) forces the scalar kernels, anything else — including
-/// the variable being unset — selects the 4-lane kernels. Purely a
+/// (or `off`/`0`) forces the scalar kernels, `NHPP_SIMD=wide8` the
+/// 8-lane kernels, and anything else — `wide4`, `wide`, or the
+/// variable being unset — selects the 4-lane kernels. Purely a
 /// software switch; no CPU feature detection is involved, so the choice
 /// (and therefore every result) reproduces on any machine.
 pub fn active_simd() -> SimdDispatch {
     *ACTIVE.get_or_init(|| match std::env::var("NHPP_SIMD").as_deref() {
         Ok("scalar") | Ok("off") | Ok("0") => SimdDispatch::Scalar,
+        Ok("wide8") => SimdDispatch::Wide8,
         _ => SimdDispatch::Wide4,
     })
 }
@@ -204,6 +219,117 @@ impl Div for F64x4 {
     }
 }
 
+/// Eight `f64` lanes evaluated elementwise — the struct-of-arrays unit
+/// of the [`SimdDispatch::Wide8`] tier. Every operation is the same
+/// per-lane arithmetic as [`F64x4`] (scalar `mul_add`, libm `ln`, the
+/// polynomial [`exp_lane`]), so a value computed in one lane of either
+/// width is bitwise identical; only reductions whose grouping depends
+/// on the lane count can differ between the tiers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F64x8(pub [f64; 8]);
+
+impl F64x8 {
+    /// All eight lanes set to `v`.
+    pub fn splat(v: f64) -> F64x8 {
+        F64x8([v; 8])
+    }
+
+    /// Lanes loaded from the first eight elements of `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` has fewer than eight elements.
+    pub fn from_slice(s: &[f64]) -> F64x8 {
+        let mut out = [0.0; 8];
+        out.copy_from_slice(&s[..8]);
+        F64x8(out)
+    }
+
+    /// The lanes as an array.
+    pub fn to_array(self) -> [f64; 8] {
+        self.0
+    }
+
+    fn zip(self, rhs: F64x8, f: impl Fn(f64, f64) -> f64) -> F64x8 {
+        let mut out = [0.0; 8];
+        for (o, (&a, &b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *o = f(a, b);
+        }
+        F64x8(out)
+    }
+
+    fn map(self, f: impl Fn(f64) -> f64) -> F64x8 {
+        let mut out = [0.0; 8];
+        for (o, &a) in out.iter_mut().zip(self.0.iter()) {
+            *o = f(a);
+        }
+        F64x8(out)
+    }
+
+    /// Lane-wise fused multiply-add `self * a + b`, bitwise the scalar
+    /// [`f64::mul_add`] per lane.
+    pub fn mul_add(self, a: F64x8, b: F64x8) -> F64x8 {
+        let mut out = [0.0; 8];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.0[i].mul_add(a.0[i], b.0[i]);
+        }
+        F64x8(out)
+    }
+
+    /// Lane-wise natural log, libm per lane (see [`F64x4::ln`]).
+    pub fn ln(self) -> F64x8 {
+        self.map(f64::ln)
+    }
+
+    /// Lane-wise `ln(1 + x)`, libm per lane.
+    pub fn ln_1p(self) -> F64x8 {
+        self.map(f64::ln_1p)
+    }
+
+    /// Lane-wise exponential via the polynomial kernel [`exp_lane`],
+    /// bitwise the 4-lane [`F64x4::exp`] per lane.
+    pub fn exp(self) -> F64x8 {
+        let a = self.0;
+        let mut core = [0.0; 8];
+        for (c, &x) in core.iter_mut().zip(a.iter()) {
+            *c = exp_core(x);
+        }
+        let mut out = [0.0; 8];
+        for (o, (&x, &e)) in out.iter_mut().zip(a.iter().zip(core.iter())) {
+            *o = exp_fixup(x, e);
+        }
+        F64x8(out)
+    }
+}
+
+impl Add for F64x8 {
+    type Output = F64x8;
+    fn add(self, rhs: F64x8) -> F64x8 {
+        self.zip(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub for F64x8 {
+    type Output = F64x8;
+    fn sub(self, rhs: F64x8) -> F64x8 {
+        self.zip(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul for F64x8 {
+    type Output = F64x8;
+    fn mul(self, rhs: F64x8) -> F64x8 {
+        self.zip(rhs, |a, b| a * b)
+    }
+}
+
+impl Div for F64x8 {
+    type Output = F64x8;
+    fn div(self, rhs: F64x8) -> F64x8 {
+        self.zip(rhs, |a, b| a / b)
+    }
+}
+
 /// `exp(x)` for one lane through the same polynomial kernel the wide
 /// exponential uses, so ragged-tail elements match their in-lane
 /// neighbours bitwise.
@@ -308,20 +434,28 @@ pub fn ln_gamma_q_step_x4(
     ln_gamma_a1: F64x4,
 ) -> F64x4 {
     let mut out = [0.0; 4];
-    let inc = a.mul_add(ln_x, F64x4::splat(0.0) - x) - ln_gamma_a1;
     for (i, o) in out.iter_mut().enumerate() {
-        let (av, xv, qv, iv) = (a.0[i], x.0[i], ln_q_a.0[i], inc.0[i]);
-        *o = if !(av > 0.0) || !(xv >= 0.0) || qv.is_nan() {
-            f64::NAN
-        } else if xv == 0.0 {
-            0.0
-        } else if xv == f64::INFINITY {
-            f64::NEG_INFINITY
-        } else {
-            log_sum_exp_pair_lane(qv, iv)
-        };
+        *o = ln_gamma_q_step_lane(a.0[i], x.0[i], ln_x.0[i], ln_q_a.0[i], ln_gamma_a1.0[i]);
     }
     F64x4(out)
+}
+
+/// One Q-recurrence step on the lane kernels: exactly the arithmetic of
+/// a single [`ln_gamma_q_step_x4`] lane (scalar `mul_add` increment,
+/// [`exp_lane`]-based pairwise log-sum-exp), factored out so width-
+/// generic sweeps can evaluate any block size and ragged tails with
+/// bitwise-identical per-lane results.
+pub fn ln_gamma_q_step_lane(a: f64, x: f64, ln_x: f64, ln_q_a: f64, ln_gamma_a1: f64) -> f64 {
+    let inc = a.mul_add(ln_x, 0.0 - x) - ln_gamma_a1;
+    if !(a > 0.0) || !(x >= 0.0) || ln_q_a.is_nan() {
+        f64::NAN
+    } else if x == 0.0 {
+        0.0
+    } else if x == f64::INFINITY {
+        f64::NEG_INFINITY
+    } else {
+        log_sum_exp_pair_lane(ln_q_a, inc)
+    }
 }
 
 /// `ln(exp(a) + exp(b))` on the lane kernels ([`exp_lane`] + `ln_1p`).
@@ -455,12 +589,30 @@ impl Default for StreamingLogSumExpX4 {
 /// Same special-value semantics: `−∞` entries contribute nothing, any
 /// `+∞` makes the total `+∞`, any NaN makes it NaN.
 pub fn log_sum_exp_x4(values: &[f64]) -> f64 {
+    log_sum_exp_wide::<WIDE_LANES>(values)
+}
+
+/// 8-lane batch `ln Σ exp(xᵢ)` — [`log_sum_exp_x4`] at the
+/// [`SimdDispatch::Wide8`] block width. Differs from the 4-lane result
+/// only through the partial-sum grouping (twice as many Kahan
+/// accumulators, one more merge level), never through the per-lane
+/// arithmetic.
+pub fn log_sum_exp_x8(values: &[f64]) -> f64 {
+    log_sum_exp_wide::<WIDE8_LANES>(values)
+}
+
+/// Width-generic batch `ln Σ exp(xᵢ)` over `L` lanes: the shared body
+/// behind [`log_sum_exp_x4`] / [`log_sum_exp_x8`]. At `L = 4` this is
+/// the original 4-lane kernel verbatim — same per-lane arithmetic,
+/// same remainder handling (into lane 0), same adjacent-pair merge
+/// order — so the refactor is bitwise-invisible to recorded runs.
+pub fn log_sum_exp_wide<const L: usize>(values: &[f64]) -> f64 {
     // Pass 1: per-lane maxima and NaN detection, branch-light so the
     // loop vectorises (`v > m` is false for NaN, so a NaN never
     // becomes the max; the flag is folded separately).
-    let mut maxes = [f64::NEG_INFINITY; WIDE_LANES];
+    let mut maxes = [f64::NEG_INFINITY; L];
     let mut saw_nan = false;
-    let mut chunks = values.chunks_exact(WIDE_LANES);
+    let mut chunks = values.chunks_exact(L);
     for chunk in &mut chunks {
         for (m, &v) in maxes.iter_mut().zip(chunk) {
             saw_nan |= v.is_nan();
@@ -491,13 +643,12 @@ pub fn log_sum_exp_x4(values: &[f64]) -> f64 {
     // Pass 2: Σ exp(xᵢ − max), Kahan-compensated per lane. `−∞`
     // entries exponentiate to exactly `0.0` through the clamped
     // kernel, contributing nothing.
-    let mut sums = [0.0; WIDE_LANES];
-    let mut comps = [0.0; WIDE_LANES];
-    let max_v = F64x4::splat(max);
-    let mut chunks = values.chunks_exact(WIDE_LANES);
+    let mut sums = [0.0; L];
+    let mut comps = [0.0; L];
+    let mut chunks = values.chunks_exact(L);
     for chunk in &mut chunks {
-        let terms = (F64x4::from_slice(chunk) - max_v).exp().0;
-        for ((s, c), &t) in sums.iter_mut().zip(comps.iter_mut()).zip(&terms) {
+        for ((s, c), &v) in sums.iter_mut().zip(comps.iter_mut()).zip(chunk) {
+            let t = exp_lane(v - max);
             let y = t - *c;
             let next = *s + y;
             *c = (next - *s) - y;
@@ -511,21 +662,52 @@ pub fn log_sum_exp_x4(values: &[f64]) -> f64 {
         comps[0] = (next - sums[0]) - y;
         sums[0] = next;
     }
-    // Fixed-order merge: deterministic for a given lane width.
-    let s = (sums[0] + sums[1]) + (sums[2] + sums[3]);
-    let c = (comps[0] + comps[1]) + (comps[2] + comps[3]);
+    // Fixed-order adjacent-pair merge: deterministic for a given lane
+    // width, and identical to `(s0+s1)+(s2+s3)` at L = 4.
+    let s = tree_sum(sums);
+    let c = tree_sum(comps);
     max + (s - c).ln()
+}
+
+/// Adjacent-pair reduction tree over `L` lanes: `(v0+v1)+(v2+v3)+…` in
+/// a fixed bracketing, so the merge order is a function of `L` alone.
+fn tree_sum<const L: usize>(mut v: [f64; L]) -> f64 {
+    let mut n = L;
+    while n > 1 {
+        let half = n / 2;
+        for i in 0..half {
+            v[i] = v[2 * i] + v[2 * i + 1];
+        }
+        if n % 2 == 1 {
+            v[half] = v[n - 1];
+        }
+        n = half + n % 2;
+    }
+    v[0]
 }
 
 /// In-place `vᵢ ← exp(vᵢ − shift)` on the lane kernels — the NINT
 /// probability-normalisation pass. Ragged tails go through
 /// [`exp_lane`], so every element sees the same arithmetic.
 pub fn exp_shift_inplace_x4(values: &mut [f64], shift: f64) {
-    let s = F64x4::splat(shift);
-    let mut chunks = values.chunks_exact_mut(WIDE_LANES);
+    exp_shift_inplace_wide::<WIDE_LANES>(values, shift);
+}
+
+/// 8-lane in-place `vᵢ ← exp(vᵢ − shift)`. Bitwise identical to the
+/// 4-lane (and scalar-tail) form for every element — the exponential
+/// is per-lane pure, so the block width only changes the loop shape.
+pub fn exp_shift_inplace_x8(values: &mut [f64], shift: f64) {
+    exp_shift_inplace_wide::<WIDE8_LANES>(values, shift);
+}
+
+/// Width-generic body of [`exp_shift_inplace_x4`] /
+/// [`exp_shift_inplace_x8`].
+pub fn exp_shift_inplace_wide<const L: usize>(values: &mut [f64], shift: f64) {
+    let mut chunks = values.chunks_exact_mut(L);
     for chunk in &mut chunks {
-        let e = (F64x4::from_slice(chunk) - s).exp().0;
-        chunk.copy_from_slice(&e);
+        for v in chunk {
+            *v = exp_lane(*v - shift);
+        }
     }
     for v in chunks.into_remainder() {
         *v = exp_lane(*v - shift);
@@ -738,10 +920,82 @@ mod tests {
     fn dispatch_policy_resolution() {
         assert_eq!(SimdPolicy::ForceScalar.resolve(), SimdDispatch::Scalar);
         assert_eq!(SimdPolicy::ForceWide.resolve(), SimdDispatch::Wide4);
+        assert_eq!(SimdPolicy::ForceWide8.resolve(), SimdDispatch::Wide8);
         assert_eq!(SimdDispatch::Scalar.lane_width(), 1);
         assert_eq!(SimdDispatch::Wide4.lane_width(), 4);
-        // Auto resolves to whatever the process-wide switch says; both
+        assert_eq!(SimdDispatch::Wide8.lane_width(), 8);
+        // Auto resolves to whatever the process-wide switch says; all
         // sides are legal, it just must be stable.
         assert_eq!(SimdPolicy::Auto.resolve(), SimdPolicy::Auto.resolve());
+    }
+
+    #[test]
+    fn x8_arithmetic_and_exp_are_lanewise_bitwise_with_x4() {
+        let xs = [-3.5, 0.0, 17.25, -701.0, 1.0, -0.125, 650.0, -2.0e-8];
+        let a8 = F64x8(xs);
+        let b8 = F64x8::splat(1.5);
+        let e8 = a8.exp().0;
+        let m8 = a8.mul_add(b8, b8).0;
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(e8[i].to_bits(), exp_lane(x).to_bits(), "exp lane {i}");
+            assert_eq!(m8[i].to_bits(), x.mul_add(1.5, 1.5).to_bits(), "fma lane {i}");
+        }
+        assert_eq!((a8 + b8).0[3], xs[3] + 1.5);
+        assert_eq!((a8 * b8).0[6], xs[6] * 1.5);
+        assert_eq!(F64x8::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 99.0]).0[7], 8.0);
+    }
+
+    #[test]
+    fn q_step_lane_is_bitwise_a_x4_lane() {
+        let a = [0.5, 2.0, 500.0, 5000.0];
+        let frac = [0.05, 0.5, 1.8, 3.0];
+        for i in 0..4 {
+            let x = a[i] * frac[i];
+            let ln_q = ln_gamma_q(a[i], x);
+            let gln1 = ln_gamma(a[i] + 1.0);
+            let wide = ln_gamma_q_step_x4(
+                F64x4::splat(a[i]),
+                F64x4::splat(x),
+                F64x4::splat(x.ln()),
+                F64x4::splat(ln_q),
+                F64x4::splat(gln1),
+            )
+            .0[0];
+            let lane = ln_gamma_q_step_lane(a[i], x, x.ln(), ln_q, gln1);
+            assert_eq!(wide.to_bits(), lane.to_bits(), "case {i}");
+        }
+    }
+
+    #[test]
+    fn x8_reductions_match_x4_to_tolerance_and_tails_bitwise() {
+        let values: Vec<f64> = (0..53).map(|k| ((k * 29) % 97) as f64 * 0.41 - 12.0).collect();
+        let a = log_sum_exp_x4(&values);
+        let b = log_sum_exp_x8(&values);
+        assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "{a} vs {b}");
+        assert!(log_sum_exp_x8(&[f64::NAN, 1.0]).is_nan());
+        assert_eq!(log_sum_exp_x8(&[f64::INFINITY, 1.0]), f64::INFINITY);
+        assert_eq!(log_sum_exp_x8(&[f64::NEG_INFINITY; 9]), f64::NEG_INFINITY);
+
+        // exp-shift is per-lane pure: x8 and x4 agree bitwise on every
+        // element, whatever the blocking.
+        let mut v4 = values.clone();
+        let mut v8 = values.clone();
+        exp_shift_inplace_x4(&mut v4, a);
+        exp_shift_inplace_x8(&mut v8, a);
+        for (x, y) in v4.iter().zip(&v8) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn tree_sum_matches_fixed_bracketing() {
+        let v4 = [1.0e16, 3.0, -1.0e16, 7.5];
+        assert_eq!(
+            tree_sum(v4).to_bits(),
+            ((v4[0] + v4[1]) + (v4[2] + v4[3])).to_bits()
+        );
+        let v8 = [1.0e16, 3.0, -1.0e16, 7.5, 0.25, -4.0, 1.0e-9, 2.0];
+        let want = ((v8[0] + v8[1]) + (v8[2] + v8[3])) + ((v8[4] + v8[5]) + (v8[6] + v8[7]));
+        assert_eq!(tree_sum(v8).to_bits(), want.to_bits());
     }
 }

@@ -21,7 +21,7 @@ use nhpp_models::prior::NhppPrior;
 use nhpp_models::{ModelSpec, Posterior};
 use nhpp_vb::{
     fit_many_supervised, RobustOptions, RobustPosterior, RobustTask, SimdPolicy, SolverKind,
-    Truncation, Vb2Options, Vb2Posterior, Vb2Task, WIDE_LANES,
+    Truncation, Vb2Options, Vb2Posterior, Vb2Task, WIDE8_LANES, WIDE_LANES,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -373,42 +373,82 @@ fn lane_options(policy: SimdPolicy, threads: usize) -> Vb2Options {
     }
 }
 
+/// The PR-8 lane-gate fixtures: every data/model shape the widened
+/// `wide_sweep_eligible` accepts — failure times at `α₀ = 1`
+/// (Goel–Okumoto), grouped counts at `α₀ = 1`, and failure times at
+/// integer `α₀ = 2` (delayed S-shaped).
+fn lane_gate_fixtures() -> Vec<(&'static str, ModelSpec, NhppPrior, ObservedData)> {
+    vec![
+        (
+            "times-exp",
+            ModelSpec::goel_okumoto(),
+            NhppPrior::paper_info_times(),
+            simulated_times(23, 40.0, 1e-5),
+        ),
+        (
+            "grouped-exp",
+            ModelSpec::goel_okumoto(),
+            NhppPrior::paper_info_grouped(),
+            simulated_grouped(23, 40.0, 1e-5, 12),
+        ),
+        (
+            "times-dss",
+            ModelSpec::delayed_s_shaped(),
+            NhppPrior::paper_info_times(),
+            simulated_times(23, 40.0, 1e-5),
+        ),
+    ]
+}
+
 #[test]
 fn forced_dispatch_fits_are_thread_invariant_and_pin_their_width() {
-    let data = simulated_times(23, 40.0, 1e-5);
-    assert!(data.total_count() >= 3, "seed 23 yields enough events");
-    let spec = ModelSpec::goel_okumoto();
-    let prior = NhppPrior::paper_info_times();
-    let mut by_policy = Vec::new();
-    for (policy, width) in [
-        (SimdPolicy::ForceScalar, 1),
-        (SimdPolicy::ForceWide, WIDE_LANES),
-    ] {
-        let serial = Vb2Posterior::fit(spec, prior, &data, lane_options(policy, 1)).unwrap();
-        assert_eq!(serial.lane_width(), width, "{policy:?} pinned wrong width");
-        let reference = fingerprint(&serial);
-        for threads in thread_counts() {
-            let fit =
-                Vb2Posterior::fit(spec, prior, &data, lane_options(policy, threads)).unwrap();
-            assert_eq!(fit.lane_width(), width);
+    for (label, spec, prior, data) in lane_gate_fixtures() {
+        assert!(data.total_count() >= 3, "{label}: too few events");
+        let mut by_policy = Vec::new();
+        for (policy, width) in [
+            (SimdPolicy::ForceScalar, 1),
+            (SimdPolicy::ForceWide, WIDE_LANES),
+            (SimdPolicy::ForceWide8, WIDE8_LANES),
+        ] {
+            let serial = Vb2Posterior::fit(spec, prior, &data, lane_options(policy, 1)).unwrap();
+            assert_eq!(
+                serial.lane_width(),
+                width,
+                "{label}: {policy:?} pinned wrong width"
+            );
+            let reference = fingerprint(&serial);
+            for threads in thread_counts() {
+                let fit =
+                    Vb2Posterior::fit(spec, prior, &data, lane_options(policy, threads)).unwrap();
+                assert_eq!(fit.lane_width(), width);
+                assert!(
+                    fingerprint(&fit) == reference,
+                    "{label}: {policy:?} diverged at threads={threads}"
+                );
+            }
+            by_policy.push(serial);
+        }
+        // Across dispatches the sweeps agree as oracles, not bitwise:
+        // the wide paths reassociate the mixture reductions and take
+        // closed-form lane maps for ζ.
+        let scalar = &by_policy[0];
+        for wide in &by_policy[1..] {
             assert!(
-                fingerprint(&fit) == reference,
-                "{policy:?} diverged at threads={threads}"
+                (scalar.mean_omega() - wide.mean_omega()).abs() <= 1e-8 * scalar.mean_omega(),
+                "{label} ω: scalar {} vs wide {}",
+                scalar.mean_omega(),
+                wide.mean_omega()
+            );
+            assert!(
+                (scalar.mean_beta() - wide.mean_beta()).abs() <= 1e-8 * scalar.mean_beta(),
+                "{label} β"
+            );
+            assert!(
+                (scalar.elbo() - wide.elbo()).abs() <= 1e-6 * scalar.elbo().abs(),
+                "{label} elbo"
             );
         }
-        by_policy.push(serial);
     }
-    // Across dispatches the two sweeps agree as oracles, not bitwise:
-    // the wide path reassociates the mixture reductions.
-    let (scalar, wide) = (&by_policy[0], &by_policy[1]);
-    assert!(
-        (scalar.mean_omega() - wide.mean_omega()).abs() <= 1e-8 * scalar.mean_omega(),
-        "ω: scalar {} vs wide {}",
-        scalar.mean_omega(),
-        wide.mean_omega()
-    );
-    assert!((scalar.mean_beta() - wide.mean_beta()).abs() <= 1e-8 * scalar.mean_beta());
-    assert!((scalar.elbo() - wide.elbo()).abs() <= 1e-6 * scalar.elbo().abs());
 }
 
 #[test]
@@ -426,10 +466,9 @@ fn recorded_lane_width_reproduces_the_run_bitwise() {
         Vb2Posterior::fit(spec, prior, &data, lane_options(SimdPolicy::Auto, 2)).unwrap();
     let forced = match auto.lane_width() {
         1 => SimdPolicy::ForceScalar,
-        w => {
-            assert_eq!(w, WIDE_LANES, "unknown recorded lane width");
-            SimdPolicy::ForceWide
-        }
+        WIDE_LANES => SimdPolicy::ForceWide,
+        WIDE8_LANES => SimdPolicy::ForceWide8,
+        w => panic!("unknown recorded lane width {w}"),
     };
     let reference = fingerprint(&auto);
     for threads in thread_counts() {
@@ -439,6 +478,107 @@ fn recorded_lane_width_reproduces_the_run_bitwise() {
             fingerprint(&replay) == reference,
             "forced-width replay diverged at threads={threads}"
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Lane seams of the grouped ΔG kernel: each chunk's N-range splits
+    /// into whole lane blocks plus a scalar ragged tail, and that split
+    /// is chunk-local — so for every forced dispatch the fit is bitwise
+    /// invariant in the thread count, on random bin layouts whose
+    /// truncation range deliberately straddles block boundaries. Across
+    /// dispatches (different seam placement, different ζ evaluation
+    /// order) the sweeps agree as numeric oracles.
+    #[test]
+    fn grouped_lane_seams_are_bitwise_thread_invariant(
+        seed in 0u64..1000,
+        omega in 20.0f64..60.0,
+        beta in 5e-6f64..2e-5,
+        bins in 5usize..15,
+    ) {
+        let data = simulated_grouped(seed, omega, beta, bins);
+        prop_assume!(data.total_count() >= 3);
+        let spec = ModelSpec::goel_okumoto();
+        let prior = NhppPrior::paper_info_grouped();
+        let mut by_policy = Vec::new();
+        for (policy, width) in [
+            (SimdPolicy::ForceScalar, 1),
+            (SimdPolicy::ForceWide, WIDE_LANES),
+            (SimdPolicy::ForceWide8, WIDE8_LANES),
+        ] {
+            let serial =
+                Vb2Posterior::fit(spec, prior, &data, lane_options(policy, 1)).unwrap();
+            prop_assert_eq!(serial.lane_width(), width);
+            let reference = fingerprint(&serial);
+            for threads in thread_counts() {
+                let fit =
+                    Vb2Posterior::fit(spec, prior, &data, lane_options(policy, threads))
+                        .unwrap();
+                prop_assert!(
+                    fingerprint(&fit) == reference,
+                    "{:?} diverged at threads={}",
+                    policy,
+                    threads
+                );
+            }
+            by_policy.push(serial);
+        }
+        let scalar = &by_policy[0];
+        for wide in &by_policy[1..] {
+            prop_assert!(
+                (scalar.mean_omega() - wide.mean_omega()).abs()
+                    <= 1e-8 * scalar.mean_omega()
+            );
+            prop_assert!((scalar.elbo() - wide.elbo()).abs() <= 1e-6 * scalar.elbo().abs());
+        }
+    }
+
+    /// The α₀ ≠ 1 lane map (delayed S-shaped failure times) under the
+    /// same seam property: bitwise thread invariance per dispatch,
+    /// oracle agreement across dispatches.
+    #[test]
+    fn dss_lane_seams_are_bitwise_thread_invariant(
+        seed in 0u64..1000,
+        omega in 20.0f64..60.0,
+        beta in 5e-6f64..2e-5,
+    ) {
+        let data = simulated_times(seed, omega, beta);
+        prop_assume!(data.total_count() >= 3);
+        let spec = ModelSpec::delayed_s_shaped();
+        let prior = NhppPrior::paper_info_times();
+        let mut by_policy = Vec::new();
+        for (policy, width) in [
+            (SimdPolicy::ForceScalar, 1),
+            (SimdPolicy::ForceWide, WIDE_LANES),
+            (SimdPolicy::ForceWide8, WIDE8_LANES),
+        ] {
+            let serial =
+                Vb2Posterior::fit(spec, prior, &data, lane_options(policy, 1)).unwrap();
+            prop_assert_eq!(serial.lane_width(), width);
+            let reference = fingerprint(&serial);
+            for threads in thread_counts() {
+                let fit =
+                    Vb2Posterior::fit(spec, prior, &data, lane_options(policy, threads))
+                        .unwrap();
+                prop_assert!(
+                    fingerprint(&fit) == reference,
+                    "{:?} diverged at threads={}",
+                    policy,
+                    threads
+                );
+            }
+            by_policy.push(serial);
+        }
+        let scalar = &by_policy[0];
+        for wide in &by_policy[1..] {
+            prop_assert!(
+                (scalar.mean_omega() - wide.mean_omega()).abs()
+                    <= 1e-8 * scalar.mean_omega()
+            );
+            prop_assert!((scalar.elbo() - wide.elbo()).abs() <= 1e-6 * scalar.elbo().abs());
+        }
     }
 }
 
@@ -469,15 +609,20 @@ fn golden_quantities(scenario: &Scenario, posterior: &dyn Posterior) -> Vec<(Str
 }
 
 #[test]
-fn golden_smoke_holds_under_both_forced_dispatches() {
-    // The checked-in golden fixture is dispatch-neutral: both the
-    // forced-scalar and the forced-wide sweeps land every pinned
-    // `DT-Info` VB2 and NINT quantity inside its tolerance band, so a
-    // machine that falls back to scalar still reproduces the paper.
+fn golden_smoke_holds_under_all_forced_dispatches() {
+    // The checked-in golden fixture is dispatch-neutral: the
+    // forced-scalar, forced-4-lane and forced-8-lane sweeps all land
+    // every pinned `DT-Info` VB2 and NINT quantity inside its tolerance
+    // band, so a machine that falls back to scalar still reproduces the
+    // paper.
     let fixture = golden::parse(include_str!("../golden/smoke.txt")).expect("fixture parses");
     let scenario = Scenario::dt_info();
     let spec = ModelSpec::goel_okumoto();
-    for policy in [SimdPolicy::ForceScalar, SimdPolicy::ForceWide] {
+    for policy in [
+        SimdPolicy::ForceScalar,
+        SimdPolicy::ForceWide,
+        SimdPolicy::ForceWide8,
+    ] {
         let vb2 = Vb2Posterior::fit(
             spec,
             scenario.prior,
