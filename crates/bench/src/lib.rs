@@ -11,7 +11,7 @@
 // numerical code needs.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 pub mod coverage;
-pub mod json;
+pub use nhpp_data::json;
 pub mod perf;
 pub mod reports;
 

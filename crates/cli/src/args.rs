@@ -12,6 +12,8 @@ use std::fmt;
 pub struct ParsedArgs {
     /// The subcommand (first positional argument).
     pub command: String,
+    /// An optional second positional operand (e.g. `calibrate learn`).
+    pub op: Option<String>,
     /// `--key value` options.
     options: BTreeMap<String, String>,
     /// Bare `--flag` switches.
@@ -61,7 +63,14 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Boolean switches recognised by any subcommand.
-const FLAGS: &[&str] = &["grouped", "quiet", "strict", "fallback"];
+const FLAGS: &[&str] = &[
+    "grouped",
+    "quiet",
+    "strict",
+    "fallback",
+    "smoke",
+    "calibrated",
+];
 
 impl ParsedArgs {
     /// Parses `args` (excluding the program name).
@@ -75,13 +84,20 @@ impl ParsedArgs {
         if command.starts_with("--") {
             return Err(ArgError::MissingCommand);
         }
+        let mut op = None;
         let mut options = BTreeMap::new();
         let mut flags = Vec::new();
         while let Some(arg) = iter.next() {
-            let key = arg
-                .strip_prefix("--")
-                .ok_or_else(|| ArgError::Unexpected(arg.clone()))?
-                .to_string();
+            let Some(key) = arg.strip_prefix("--") else {
+                // At most one bare operand after the command, e.g.
+                // `calibrate learn`; a second is a genuine mistake.
+                if op.is_none() {
+                    op = Some(arg);
+                    continue;
+                }
+                return Err(ArgError::Unexpected(arg.clone()));
+            };
+            let key = key.to_string();
             if FLAGS.contains(&key.as_str()) {
                 flags.push(key);
             } else {
@@ -93,6 +109,7 @@ impl ParsedArgs {
         }
         Ok(ParsedArgs {
             command,
+            op,
             options,
             flags,
         })
@@ -175,13 +192,26 @@ mod tests {
         assert_eq!(parse(&[]).unwrap_err(), ArgError::MissingCommand);
         assert_eq!(parse(&["--fit"]).unwrap_err(), ArgError::MissingCommand);
         assert_eq!(
-            parse(&["fit", "stray"]).unwrap_err(),
+            parse(&["calibrate", "learn", "stray"]).unwrap_err(),
             ArgError::Unexpected("stray".into())
         );
         assert_eq!(
             parse(&["fit", "--data"]).unwrap_err(),
             ArgError::MissingValue("data".into())
         );
+    }
+
+    #[test]
+    fn captures_a_single_operand() {
+        let p = parse(&["calibrate", "learn", "--reps", "50", "--smoke"]).unwrap();
+        assert_eq!(p.command, "calibrate");
+        assert_eq!(p.op.as_deref(), Some("learn"));
+        assert_eq!(p.get("reps"), Some("50"));
+        assert!(p.flag("smoke"));
+        // The operand may also come after options.
+        let p = parse(&["calibrate", "--reps", "50", "show"]).unwrap();
+        assert_eq!(p.op.as_deref(), Some("show"));
+        assert_eq!(parse(&["fit"]).unwrap().op, None);
     }
 
     #[test]

@@ -77,6 +77,7 @@ COMMANDS:
   fsck      Verify a service data directory (checksums, snapshots,
             dry-run recovery) without modifying it
   compact   Snapshot projects and rewrite their logs to the minimum
+  calibrate Learn or inspect an interval-calibration dictionary
   help      Show this message
 
 COMMON OPTIONS:
@@ -111,6 +112,8 @@ SERVICE (see README \"Running as a service\"):
                                [default 64]
          --compact-at-bytes B  compact logs past B bytes, 0 = never
                                [default 1048576]
+         --calibration FILE    nhpp-calibration/v1 dictionary; enables
+                               ?calibrated=true on interval/band/spc
          --quiet         suppress per-request log lines
   fsck   --data-dir DIR [--project ID]  nonzero exit on corruption a
          restart could not absorb (torn tails are reported, but clean)
@@ -123,6 +126,14 @@ SERVICE (see README \"Running as a service\"):
          ingest:  --file CSV [--batch N]  replay a trace, N events at a time
          check:   --golden FILE --prefix P  compare the served posterior
                   against the golden fixture (nonzero exit on mismatch)
+         --calibrated    ask for calibrated intervals (interval | spc)
+
+CALIBRATION (conformance-driven interval recalibration):
+  calibrate learn  [--smoke] [--reps N] [--seed S] [--level L]
+                   [--label NAME] [--out FILE]
+                   sweep the scenario grid, learn per-regime factors,
+                   print (or write) the nhpp-calibration/v1 dictionary
+  calibrate show   --file FILE   pretty-print a learned dictionary
 
 EXAMPLES:
   nhpp fit --data failures.csv --prior 50,16,1e-5,3.2e-6 --method all
@@ -151,8 +162,89 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "client" => crate::service::cmd_client(args),
         "fsck" => crate::service::cmd_fsck(args),
         "compact" => crate::service::cmd_compact(args),
+        "calibrate" => cmd_calibrate(args),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
+}
+
+/// `nhpp calibrate <learn|show>`: run the conformance-driven interval
+/// calibration learner, or inspect a learned dictionary.
+fn cmd_calibrate(args: &ParsedArgs) -> Result<String, CliError> {
+    match args.op.as_deref() {
+        Some("learn") => cmd_calibrate_learn(args),
+        Some("show") => cmd_calibrate_show(args),
+        Some(other) => Err(CliError::Run(format!(
+            "unknown calibrate operation '{other}' (learn | show)"
+        ))),
+        None => Err(CliError::Run(
+            "calibrate needs an operation: learn | show".into(),
+        )),
+    }
+}
+
+fn cmd_calibrate_learn(args: &ParsedArgs) -> Result<String, CliError> {
+    use nhpp_conformance::{learn, CalibrateConfig, Grid};
+    let smoke = args.flag("smoke");
+    let mut config = CalibrateConfig {
+        label: format!("CALIBRATION_{}", if smoke { "SMOKE" } else { "FULL" }),
+        ..CalibrateConfig::default()
+    };
+    if let Some(label) = args.get("label") {
+        config.label = label.to_string();
+    }
+    config.replications = args.get_u64("reps", config.replications as u64)? as usize;
+    config.seed = args.get_u64("seed", config.seed)?;
+    config.level = args.get_f64("level", config.level)?;
+    if !(config.level > 0.0 && config.level < 1.0) {
+        return Err(CliError::Run("--level must lie strictly in (0, 1)".into()));
+    }
+    let grid = if smoke { Grid::Smoke } else { Grid::Full };
+    let dict = learn(&grid.cells(), &config);
+    let json = dict.to_json();
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(run_err(&format!("writing {path}")))?;
+            Ok(format!(
+                "calibration dictionary '{}' ({} entries) written to {path}\n",
+                dict.label,
+                dict.entries.len()
+            ))
+        }
+        None => Ok(json),
+    }
+}
+
+fn cmd_calibrate_show(args: &ParsedArgs) -> Result<String, CliError> {
+    use nhpp_vb::CalibrationDictionary;
+    let path = args.require("file")?;
+    let text = std::fs::read_to_string(path).map_err(run_err(&format!("reading {path}")))?;
+    let dict = CalibrationDictionary::parse(&text).map_err(run_err(&format!("parsing {path}")))?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "dictionary '{}' — {} entries, level {:.0}%, {} reps/regime, seed {:#x}",
+        dict.label,
+        dict.entries.len(),
+        dict.level * 100.0,
+        dict.replications,
+        dict.seed
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<24} {:>8} {:>10} {:>12} {:>8}",
+        "regime/method", "factor", "raw_cov", "cal_cov", "fitted"
+    )
+    .unwrap();
+    for (key, entry) in &dict.entries {
+        writeln!(
+            out,
+            "{:<24} {:>8.4} {:>10.4} {:>12.4} {:>8}",
+            key, entry.factor, entry.raw_rate, entry.calibrated_rate, entry.fitted
+        )
+        .unwrap();
+    }
+    Ok(out)
 }
 
 fn load_data(args: &ParsedArgs) -> Result<ObservedData, CliError> {
@@ -974,6 +1066,47 @@ mod tests {
         .unwrap_err();
         assert!(err.to_string().contains("at least 1"));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn calibrate_learn_and_show_round_trip() {
+        let path = std::env::temp_dir().join(format!(
+            "nhpp_cli_calibrate_{}.json",
+            std::process::id()
+        ));
+        let out = run(&parse(&[
+            "calibrate",
+            "learn",
+            "--smoke",
+            "--reps",
+            "2",
+            "--label",
+            "CLI_TEST",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("written to"), "{out}");
+        let shown = run(&parse(&[
+            "calibrate",
+            "show",
+            "--file",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(shown.contains("dictionary 'CLI_TEST'"), "{shown}");
+        assert!(shown.contains("/VB1"), "{shown}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn calibrate_requires_a_known_operation() {
+        let err = run(&parse(&["calibrate"])).unwrap_err();
+        assert!(err.to_string().contains("learn | show"), "{err}");
+        let err = run(&parse(&["calibrate", "frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"), "{err}");
+        let err = run(&parse(&["calibrate", "learn", "--level", "1.5"])).unwrap_err();
+        assert!(err.to_string().contains("(0, 1)"), "{err}");
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
     let config = ServerConfig {
         addr,
         data_dir,
+        calibration: args.get("calibration").map(std::path::PathBuf::from),
         workers,
         flush_interval: (flush_ms > 0).then(|| Duration::from_millis(flush_ms)),
         fit: FitSettings {
@@ -237,14 +238,23 @@ pub fn cmd_client(args: &ParsedArgs) -> Result<String, CliError> {
         "ingest" => cmd_ingest(args, addr),
         "fit" | "spc" => {
             let project = args.require("project")?;
-            let body = expect_ok(addr, "GET", &format!("/projects/{project}/{op}"), None)?;
+            let query = if op == "spc" && args.flag("calibrated") {
+                "?calibrated=true"
+            } else {
+                ""
+            };
+            let path = format!("/projects/{project}/{op}{query}");
+            let body = expect_ok(addr, "GET", &path, None)?;
             Ok(format!("{body}\n"))
         }
         "interval" => {
             let project = args.require("project")?;
             let level = args.get_f64("level", 0.99)?;
             let param = args.get("param").unwrap_or("omega");
-            let path = format!("/projects/{project}/interval?param={param}&level={level}");
+            let mut path = format!("/projects/{project}/interval?param={param}&level={level}");
+            if args.flag("calibrated") {
+                path.push_str("&calibrated=true");
+            }
             let body = expect_ok(addr, "GET", &path, None)?;
             Ok(format!("{body}\n"))
         }
@@ -312,35 +322,31 @@ fn cmd_ingest(args: &ParsedArgs, addr: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// One golden-fixture line: `<prefix>/<quantity> <value> <rel_tol>`.
+/// One golden quantity to check: `<quantity>` (the key with its
+/// `<prefix>/` stripped), pinned value and tolerance.
 struct GoldenEntry {
     quantity: String,
     value: f64,
     rel_tol: f64,
 }
 
+/// Loads a golden fixture through the conformance crate's parser — the
+/// single authority for the fixture format and its tolerance bands —
+/// keeping only the entries under `prefix`.
 fn load_golden(path: &str, prefix: &str) -> Result<Vec<GoldenEntry>, CliError> {
     let text = std::fs::read_to_string(path).map_err(run_err(&format!("reading {path}")))?;
-    let mut entries = Vec::new();
-    for line in text.lines() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.split_whitespace();
-        let (Some(key), Some(value), Some(tol)) = (parts.next(), parts.next(), parts.next())
-        else {
-            return Err(CliError::Run(format!("malformed golden line: {line}")));
-        };
-        let Some(quantity) = key.strip_prefix(prefix).and_then(|k| k.strip_prefix('/')) else {
-            continue;
-        };
-        entries.push(GoldenEntry {
-            quantity: quantity.to_string(),
-            value: value.parse().map_err(run_err("golden value"))?,
-            rel_tol: tol.parse().map_err(run_err("golden tolerance"))?,
-        });
-    }
+    let parsed = nhpp_conformance::golden::parse(&text).map_err(run_err(path))?;
+    let entries: Vec<GoldenEntry> = parsed
+        .into_iter()
+        .filter_map(|e| {
+            let quantity = e.key.strip_prefix(prefix)?.strip_prefix('/')?;
+            Some(GoldenEntry {
+                quantity: quantity.to_string(),
+                value: e.value,
+                rel_tol: e.rel_tol,
+            })
+        })
+        .collect();
     if entries.is_empty() {
         return Err(CliError::Run(format!(
             "no golden entries under prefix '{prefix}' in {path}"
@@ -549,6 +555,44 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("golden check failed"), "{err}");
+        std::fs::remove_file(csv).ok();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn calibrated_request_without_dictionary_is_refused() {
+        let handle = spawn_server();
+        let addr = handle.addr().to_string();
+        let csv = temp_times_csv("nocal");
+        cmd_client(&parse(&[
+            "client", "--addr", &addr, "--op", "create", "--project", "p", "--prior",
+            "paper-info-times",
+        ]))
+        .unwrap();
+        cmd_client(&parse(&[
+            "client",
+            "--addr",
+            &addr,
+            "--op",
+            "ingest",
+            "--project",
+            "p",
+            "--file",
+            csv.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = cmd_client(&parse(&[
+            "client",
+            "--addr",
+            &addr,
+            "--op",
+            "interval",
+            "--project",
+            "p",
+            "--calibrated",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("no dictionary"), "{err}");
         std::fs::remove_file(csv).ok();
         handle.shutdown();
     }

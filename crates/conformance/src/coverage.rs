@@ -23,6 +23,7 @@ use crate::methods::Method;
 use crate::scenario::{sample_prior, GridCell};
 use crate::stats::binomial_se;
 use nhpp_bench::coverage::Tally;
+use nhpp_vb::calibration::{Calibration, CalibrationDictionary};
 
 /// Coverage-runner configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,6 +47,25 @@ impl Default for CoverageConfig {
     }
 }
 
+/// Coverage of the *calibrated* interval for one (cell, method) pair,
+/// present when a calibration dictionary supplied a factor for the
+/// cell's regime.
+#[derive(Debug, Clone)]
+pub struct CalibratedCoverage {
+    /// The dictionary factor that was applied.
+    pub factor: f64,
+    /// Campaign accounting for the calibrated interval (same attempted
+    /// and fitted counts as the raw tally — calibration never changes
+    /// which campaigns fit, only which cover).
+    pub tally: Tally,
+    /// Empirical calibrated coverage rate (NaN if none fitted).
+    pub rate: f64,
+    /// Binomial standard error at the nominal level.
+    pub se: f64,
+    /// `|rate − level| ≤ 3·se` — what the calibrated gate checks.
+    pub within_band: bool,
+}
+
 /// Coverage outcome for one (cell, method) pair.
 #[derive(Debug, Clone)]
 pub struct MethodCoverage {
@@ -61,15 +81,34 @@ pub struct MethodCoverage {
     pub within_band: bool,
     /// `rate < level − 3·se` (the VB1 flag).
     pub under_covering: bool,
+    /// Calibrated-interval coverage, when a dictionary entry applied.
+    pub calibrated: Option<CalibratedCoverage>,
 }
 
-/// Runs the coverage study for every method on one cell.
-pub fn run_cell_coverage(cell: &GridCell, config: &CoverageConfig) -> Vec<MethodCoverage> {
+/// Runs the coverage study for every method on one cell. With a
+/// calibration dictionary, every campaign additionally tallies the
+/// calibrated interval (spread rescaled about the posterior median by
+/// the regime's learned factor) against the same truth — the held-out
+/// evidence behind the calibrated conformance gate.
+pub fn run_cell_coverage(
+    cell: &GridCell,
+    config: &CoverageConfig,
+    calibration: Option<&CalibrationDictionary>,
+) -> Vec<MethodCoverage> {
     let spec = cell.spec();
     let prior = cell.prior();
     let vb2_options = cell.vb2_options();
     let methods = Method::all();
+    let factors: Vec<Option<Calibration>> = methods
+        .iter()
+        .map(|m| {
+            calibration.and_then(|dict| {
+                dict.calibration(cell.model_key(), cell.data_key(), cell.prior_key(), m.label())
+            })
+        })
+        .collect();
     let mut tallies: Vec<Tally> = methods.iter().map(|_| Tally::default()).collect();
+    let mut cal_tallies: Vec<Tally> = methods.iter().map(|_| Tally::default()).collect();
 
     for rep in 0..config.replications {
         // One RNG per campaign, truth drawn before the trace, so the
@@ -80,19 +119,34 @@ pub fn run_cell_coverage(cell: &GridCell, config: &CoverageConfig) -> Vec<Method
             .unwrap_or((cell.omega_true(), cell.beta_true()));
         match cell.simulate_with(omega_true, beta_true, &mut rng) {
             Ok(data) => {
-                for (method, tally) in methods.iter().zip(tallies.iter_mut()) {
-                    tally.record(
-                        method
-                            .fit(spec, prior, &data, &vb2_options)
-                            .map(|p| p.credible_interval_omega(config.level)),
-                        omega_true,
-                    );
+                for (i, (method, tally)) in methods.iter().zip(tallies.iter_mut()).enumerate() {
+                    match method.fit(spec, prior, &data, &vb2_options) {
+                        Ok(p) => {
+                            let raw = p.credible_interval_omega(config.level);
+                            if let Some(cal) = &factors[i] {
+                                cal_tallies[i].record(
+                                    Ok(cal.interval(p.quantile_omega(0.5), raw, 0.0)),
+                                    omega_true,
+                                );
+                            }
+                            tally.record(Ok(raw), omega_true);
+                        }
+                        Err(reason) => {
+                            if factors[i].is_some() {
+                                cal_tallies[i].record(Err(reason.clone()), omega_true);
+                            }
+                            tally.record(Err(reason), omega_true);
+                        }
+                    }
                 }
             }
             Err(reason) => {
                 // An unusable campaign counts against every method's
                 // denominator, with its reason, instead of vanishing.
-                for tally in tallies.iter_mut() {
+                for (i, tally) in tallies.iter_mut().enumerate() {
+                    if factors[i].is_some() {
+                        cal_tallies[i].record(Err(reason.clone()), omega_true);
+                    }
                     tally.record(Err(reason.clone()), omega_true);
                 }
             }
@@ -102,10 +156,22 @@ pub fn run_cell_coverage(cell: &GridCell, config: &CoverageConfig) -> Vec<Method
     methods
         .iter()
         .zip(tallies)
-        .map(|(method, tally)| {
+        .zip(factors.iter().zip(cal_tallies))
+        .map(|((method, tally), (factor, cal_tally))| {
             let rate = tally.rate();
             let se = binomial_se(config.level, tally.fitted);
             let deviation = rate - config.level;
+            let calibrated = factor.map(|cal| {
+                let rate = cal_tally.rate();
+                let se = binomial_se(config.level, cal_tally.fitted);
+                CalibratedCoverage {
+                    factor: cal.factor,
+                    rate,
+                    se,
+                    within_band: cal_tally.fitted > 0 && (rate - config.level).abs() <= 3.0 * se,
+                    tally: cal_tally,
+                }
+            });
             MethodCoverage {
                 method: method.label(),
                 rate,
@@ -113,6 +179,7 @@ pub fn run_cell_coverage(cell: &GridCell, config: &CoverageConfig) -> Vec<Method
                 within_band: tally.fitted > 0 && deviation.abs() <= 3.0 * se,
                 under_covering: tally.fitted > 0 && deviation < -3.0 * se,
                 tally,
+                calibrated,
             }
         })
         .collect()
@@ -129,7 +196,7 @@ mod tests {
             replications: 25,
             ..CoverageConfig::default()
         };
-        let results = run_cell_coverage(&cell, &config);
+        let results = run_cell_coverage(&cell, &config, None);
         assert_eq!(results.len(), 4);
         for mc in &results {
             assert_eq!(mc.tally.attempted, config.replications, "{}", mc.method);
@@ -140,6 +207,48 @@ mod tests {
                 mc.method
             );
             assert!(!(mc.within_band && mc.under_covering), "{}", mc.method);
+            assert!(mc.calibrated.is_none(), "{}", mc.method);
+        }
+    }
+
+    #[test]
+    fn calibrated_tallies_share_the_raw_denominator() {
+        use nhpp_vb::calibration::{dictionary_key, CalibrationEntry};
+        let cell = GridCell::smoke_grid()[0];
+        let config = CoverageConfig {
+            replications: 12,
+            ..CoverageConfig::default()
+        };
+        let mut entries = std::collections::BTreeMap::new();
+        // A generous widening for VB1 only; other methods stay raw.
+        entries.insert(
+            dictionary_key(cell.model_key(), cell.data_key(), cell.prior_key(), "VB1"),
+            CalibrationEntry {
+                factor: 3.0,
+                raw_rate: 0.8,
+                calibrated_rate: 0.95,
+                fitted: 100,
+            },
+        );
+        let dict = CalibrationDictionary {
+            label: "CAL_UNIT".to_string(),
+            seed: 1,
+            replications: 100,
+            level: config.level,
+            entries,
+        };
+        let results = run_cell_coverage(&cell, &config, Some(&dict));
+        for mc in &results {
+            if mc.method == "VB1" {
+                let cal = mc.calibrated.as_ref().expect("dictionary entry applied");
+                assert_eq!(cal.factor, 3.0);
+                assert_eq!(cal.tally.attempted, mc.tally.attempted);
+                assert_eq!(cal.tally.fitted, mc.tally.fitted);
+                // Widening can only gain coverage.
+                assert!(cal.tally.covered >= mc.tally.covered);
+            } else {
+                assert!(mc.calibrated.is_none(), "{}", mc.method);
+            }
         }
     }
 }

@@ -33,12 +33,29 @@ pub struct GoldenEntry {
 }
 
 /// Relative tolerance for posterior moments and quantiles.
-const TOL_MOMENT: f64 = 1e-3;
+pub const TOL_MOMENT: f64 = 1e-3;
 /// Looser band for reliability quantities (they compound two quantile
-/// solves) and for everything MCMC (seeded but sensitive to any change
-/// in sampling order).
-const TOL_RELIABILITY: f64 = 5e-3;
-const TOL_MCMC: f64 = 2e-2;
+/// solves).
+pub const TOL_RELIABILITY: f64 = 5e-3;
+/// Band for everything MCMC (seeded but sensitive to any change in
+/// sampling order).
+pub const TOL_MCMC: f64 = 2e-2;
+
+/// The single tolerance authority for golden entries: every fixture
+/// line's `rel_tol` — whether generated here, blessed by the bin, or
+/// replayed by `nhpp check` against a live server — comes from this
+/// table keyed on the entry's `<method>` and `<quantity>` segments.
+/// A seam test in the integration suite holds the checked-in fixtures
+/// to it, so the bands can never drift apart by convention again.
+pub fn tolerance(method: &str, quantity: &str) -> f64 {
+    if method == "MCMC" {
+        TOL_MCMC
+    } else if quantity.starts_with("rel_") {
+        TOL_RELIABILITY
+    } else {
+        TOL_MOMENT
+    }
+}
 
 fn push_method_entries(
     entries: &mut Vec<GoldenEntry>,
@@ -46,39 +63,34 @@ fn push_method_entries(
     label: &str,
     posterior: &dyn Posterior,
 ) {
-    let (mtol, rtol) = if label == "MCMC" {
-        (TOL_MCMC, TOL_MCMC)
-    } else {
-        (TOL_MOMENT, TOL_RELIABILITY)
-    };
-    let mut push = |quantity: &str, value: f64, rel_tol: f64| {
+    let mut push = |quantity: &str, value: f64| {
         entries.push(GoldenEntry {
             key: format!("{}/{}/{}", scenario.name, label, quantity),
             value,
-            rel_tol,
+            rel_tol: tolerance(label, quantity),
         });
     };
     // Tables 1–3: posterior moments.
-    push("mean_omega", posterior.mean_omega(), mtol);
-    push("sd_omega", posterior.var_omega().sqrt(), mtol);
-    push("mean_beta", posterior.mean_beta(), mtol);
-    push("sd_beta", posterior.var_beta().sqrt(), mtol);
+    push("mean_omega", posterior.mean_omega());
+    push("sd_omega", posterior.var_omega().sqrt());
+    push("mean_beta", posterior.mean_beta());
+    push("sd_beta", posterior.var_beta().sqrt());
     // Tables 4–5: two-sided 99% credible intervals.
     let (lo, hi) = posterior.credible_interval_omega(0.99);
-    push("ci99_omega_lo", lo, mtol);
-    push("ci99_omega_hi", hi, mtol);
+    push("ci99_omega_lo", lo);
+    push("ci99_omega_hi", hi);
     let (lo, hi) = posterior.credible_interval_beta(0.99);
-    push("ci99_beta_lo", lo, mtol);
-    push("ci99_beta_hi", hi, mtol);
+    push("ci99_beta_lo", lo);
+    push("ci99_beta_hi", hi);
     // Tables 6–7 / Figure 1: reliability point and 99% interval at the
     // scenario's mission lengths.
     let t = scenario.data.observation_end();
     for &u in &scenario.missions {
         let r = posterior.reliability_point(t, u);
         let (rlo, rhi) = posterior.reliability_interval(t, u, 0.99);
-        push(&format!("rel_point_u{u}"), r, rtol);
-        push(&format!("rel_lo_u{u}"), rlo, rtol);
-        push(&format!("rel_hi_u{u}"), rhi, rtol);
+        push(&format!("rel_point_u{u}"), r);
+        push(&format!("rel_lo_u{u}"), rlo);
+        push(&format!("rel_hi_u{u}"), rhi);
     }
 }
 
@@ -236,6 +248,27 @@ mod tests {
         let mut nan = sample();
         nan[0].value = f64::NAN;
         assert!(!compare(&expected, &nan).is_empty());
+    }
+
+    #[test]
+    fn tolerance_table_is_the_only_authority() {
+        assert_eq!(tolerance("VB2", "mean_omega"), TOL_MOMENT);
+        assert_eq!(tolerance("VB1", "ci99_beta_lo"), TOL_MOMENT);
+        assert_eq!(tolerance("LAPL", "rel_point_u1000"), TOL_RELIABILITY);
+        assert_eq!(tolerance("NINT", "rel_hi_u5"), TOL_RELIABILITY);
+        // MCMC overrides every quantity class.
+        assert_eq!(tolerance("MCMC", "mean_omega"), TOL_MCMC);
+        assert_eq!(tolerance("MCMC", "rel_lo_u1000"), TOL_MCMC);
+        // Freshly generated entries carry exactly the table's bands.
+        for e in smoke_entries() {
+            let mut parts = e.key.split('/');
+            let (_scenario, method, quantity) = (
+                parts.next().unwrap(),
+                parts.next().unwrap(),
+                parts.next().unwrap(),
+            );
+            assert_eq!(e.rel_tol, tolerance(method, quantity), "{}", e.key);
+        }
     }
 
     #[test]

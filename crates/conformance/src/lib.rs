@@ -14,7 +14,11 @@
 //! * [`coverage`] — an empirical coverage runner with binomial error
 //!   bands and exhaustive per-method failure accounting;
 //! * [`golden`] — a golden oracle pinning the paper's Tables 1–7 /
-//!   Figure 1 numbers with tolerance bands and a `--bless` mode.
+//!   Figure 1 numbers with tolerance bands and a `--bless` mode;
+//! * [`calibrate`] — the offline learner behind the recalibration
+//!   layer: it grid-searches per-regime spread factors against
+//!   empirical coverage and emits the `nhpp-calibration/v1` dictionary
+//!   that `nhpp_vb::calibration` applies and `nhpp-serve` loads.
 //!
 //! The `conformance_report` bin sweeps a grid, emits a machine-readable
 //! `conformance/v1` report ([`report`]), and exits nonzero when the
@@ -25,6 +29,7 @@
 // NaN-rejecting by construction.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod calibrate;
 pub mod coverage;
 pub mod golden;
 pub mod methods;
@@ -33,7 +38,8 @@ pub mod sbc;
 pub mod scenario;
 pub mod stats;
 
-pub use coverage::{run_cell_coverage, CoverageConfig, MethodCoverage};
+pub use calibrate::{learn, CalibrateConfig};
+pub use coverage::{run_cell_coverage, CalibratedCoverage, CoverageConfig, MethodCoverage};
 pub use methods::{posterior_cdf_beta, posterior_cdf_omega, Method};
 pub use report::{gate_passed, run, ConformanceRun, Grid, SCHEMA};
 pub use sbc::{run_sbc, SbcConfig, SbcResult};

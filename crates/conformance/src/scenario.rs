@@ -71,26 +71,47 @@ pub struct GridCell {
 pub const GROUPED_BINS: usize = 20;
 
 impl GridCell {
+    /// Stable model-axis key, the first segment of [`GridCell::name`]
+    /// and of calibration-dictionary keys.
+    pub fn model_key(&self) -> &'static str {
+        match self.model {
+            ModelKind::GoelOkumoto => "go",
+            ModelKind::DelayedS => "dss",
+        }
+    }
+
+    /// Stable data-kind key (`"dt"` / `"dg"`).
+    pub fn data_key(&self) -> &'static str {
+        match self.data {
+            DataKind::Times => "dt",
+            DataKind::Grouped => "dg",
+        }
+    }
+
+    /// Stable prior-informativeness key (`"info"` / `"noinfo"`).
+    pub fn prior_key(&self) -> &'static str {
+        match self.prior {
+            PriorKind::Info => "info",
+            PriorKind::NoInfo => "noinfo",
+        }
+    }
+
+    /// Stable sample-size key (`"small"` / `"medium"`).
+    pub fn size_key(&self) -> &'static str {
+        match self.size {
+            SampleSize::Small => "small",
+            SampleSize::Medium => "medium",
+        }
+    }
+
     /// Stable cell label, e.g. `"go-dt-info-small"`.
     pub fn name(&self) -> String {
         format!(
             "{}-{}-{}-{}",
-            match self.model {
-                ModelKind::GoelOkumoto => "go",
-                ModelKind::DelayedS => "dss",
-            },
-            match self.data {
-                DataKind::Times => "dt",
-                DataKind::Grouped => "dg",
-            },
-            match self.prior {
-                PriorKind::Info => "info",
-                PriorKind::NoInfo => "noinfo",
-            },
-            match self.size {
-                SampleSize::Small => "small",
-                SampleSize::Medium => "medium",
-            }
+            self.model_key(),
+            self.data_key(),
+            self.prior_key(),
+            self.size_key()
         )
     }
 

@@ -54,6 +54,7 @@
 // numerical code needs.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 pub mod bands;
+pub mod calibration;
 pub mod empirical_bayes;
 mod endpoint;
 mod error;
@@ -66,6 +67,7 @@ pub mod simulation;
 mod vb1;
 mod vb2;
 
+pub use calibration::{Calibration, CalibrationDictionary, CalibrationEntry};
 pub use error::VbError;
 pub use fault::{FaultKind, FaultPlan};
 pub use model_average::AveragedPosterior;

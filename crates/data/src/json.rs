@@ -1,6 +1,13 @@
-//! Minimal JSON reading/writing shared by the machine-readable report
-//! pipelines (`bench/v1` in [`crate::perf`], `conformance/v1` in
-//! `nhpp-conformance`).
+//! Minimal JSON reading/writing shared by every machine-readable
+//! artifact in the workspace: `bench/v1` in `nhpp_bench::perf`,
+//! `conformance/v1` in `nhpp-conformance`, and `nhpp-calibration/v1`
+//! in `nhpp_vb::calibration`.
+//!
+//! It lives in the data crate — the lowest layer every consumer
+//! already depends on — so both the report pipelines at the top of the
+//! stack and the calibration dictionary loaded by `nhpp-serve` parse
+//! with one implementation. `nhpp_bench::json` re-exports this module
+//! for its historical callers.
 //!
 //! No serde in the tree (offline build), so this module carries a tiny
 //! JSON writer surface and a strict recursive-descent parser. Malformed

@@ -33,6 +33,7 @@ pub mod datasets;
 mod error;
 mod grouped;
 pub mod io;
+pub mod json;
 pub mod simulate;
 mod stats;
 pub mod sys17;

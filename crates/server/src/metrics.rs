@@ -51,6 +51,11 @@ pub struct Metrics {
     pub requests_shed: AtomicU64,
     /// Cached posteriors dropped by the LRU memory bound.
     pub posteriors_evicted: AtomicU64,
+    /// Queries answered with a calibration factor applied.
+    pub calibrated_queries: AtomicU64,
+    /// Calibrated queries refused with `400` (no dictionary loaded, or
+    /// no entry for the project's regime).
+    pub calibration_rejected: AtomicU64,
     /// Latency bucket counters (`LATENCY_BUCKETS_MS` + `+Inf`).
     pub latency_buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
     /// Total observed latency in microseconds.
@@ -183,6 +188,18 @@ impl Metrics {
             "posteriors_evicted_total",
             "Cached posteriors dropped by the LRU memory bound.",
             g(&self.posteriors_evicted),
+        );
+        counter(
+            &mut out,
+            "calibrated_queries_total",
+            "Queries answered with a calibration factor applied.",
+            g(&self.calibrated_queries),
+        );
+        counter(
+            &mut out,
+            "calibration_rejected_total",
+            "Calibrated queries refused (no dictionary or no regime entry).",
+            g(&self.calibration_rejected),
         );
         if let Some(recovery) = recovery {
             for (name, help, value) in [

@@ -27,8 +27,10 @@ use crate::registry::{CreateOutcome, ProjectConfig, RegistryError};
 use crate::scheduler::{cached_fit, ensure_fit, FitServeError};
 use crate::server::AppState;
 use nhpp_models::Posterior;
-use nhpp_vb::{FailureKind, FitFailure};
+use nhpp_vb::calibration::{dictionary_key, prior_informativeness};
+use nhpp_vb::{Calibration, FailureKind, FitFailure};
 use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
 
 /// SPC lower control limit on `P(T ≤ τ)` (3σ equivalent; Rao et al.).
 pub const SPC_LCL: f64 = 0.00135;
@@ -149,13 +151,138 @@ fn check_level(level: f64) -> Result<(), Response> {
     }
 }
 
+/// A calibration resolved for one query: the transform plus the
+/// provenance echoed back in the response body.
+struct AppliedCalibration {
+    cal: Calibration,
+    key: String,
+}
+
+/// Resolves the `calibrated` query parameter against the dictionary
+/// loaded at boot. `Ok(None)` means the query did not ask for
+/// calibration; a request that asks but cannot be honoured — no
+/// dictionary loaded, or no entry for the project's regime × the
+/// serving method — is a `400` with a body saying exactly which, never
+/// a silently-raw answer.
+fn resolve_calibration(
+    state: &AppState,
+    project: &crate::registry::Project,
+    method: &str,
+    req: &Request,
+) -> Result<Option<AppliedCalibration>, Response> {
+    match req.param("calibrated") {
+        None | Some("false") | Some("0") => return Ok(None),
+        Some("true") | Some("1") => {}
+        Some(other) => {
+            return Err(error_response(
+                400,
+                &format!("bad boolean parameter calibrated='{other}'"),
+            ))
+        }
+    }
+    let Some(dict) = &state.calibration else {
+        state
+            .metrics
+            .calibration_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        return Err(error_response(
+            400,
+            "calibration requested but no dictionary is loaded \
+             (start the server with --calibration <file>)",
+        ));
+    };
+    let config = project.config();
+    let data = match config.kind.as_str() {
+        "times" => "dt",
+        _ => "dg",
+    };
+    let key = dictionary_key(
+        &config.model_label,
+        data,
+        prior_informativeness(&config.prior),
+        method,
+    );
+    match dict.entries.get(&key) {
+        Some(entry) => {
+            state
+                .metrics
+                .calibrated_queries
+                .fetch_add(1, Ordering::Relaxed);
+            Ok(Some(AppliedCalibration {
+                cal: Calibration::new(entry.factor),
+                key,
+            }))
+        }
+        None => {
+            state
+                .metrics
+                .calibration_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            Err(error_response(
+                400,
+                &format!(
+                    "no calibration entry for regime '{key}' in dictionary '{}'",
+                    dict.label
+                ),
+            ))
+        }
+    }
+}
+
+/// The provenance object echoed by calibrated responses: which entry
+/// was applied and where the dictionary came from, so a served interval
+/// is traceable back to the learning sweep that justified it.
+fn calibration_json(state: &AppState, applied: Option<&AppliedCalibration>) -> String {
+    match (applied, &state.calibration) {
+        (Some(applied), Some(dict)) => format!(
+            "{{\"key\": {}, \"factor\": {}, \"dictionary\": {}, \"seed\": {}, \
+             \"replications\": {}, \"level\": {}}}",
+            jstr(&applied.key),
+            jnum(applied.cal.factor),
+            jstr(&dict.label),
+            dict.seed,
+            dict.replications,
+            jnum(dict.level),
+        ),
+        _ => "null".to_string(),
+    }
+}
+
 /// Dispatches one request against the shared state.
 pub fn handle(state: &AppState, req: &Request) -> Response {
     let segments = req.segments();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => Response::json(200, "{\"status\": \"ok\"}".to_string()),
         ("GET", ["metrics"]) => {
-            Response::text(200, state.metrics.render_with(Some(state.registry.stats())))
+            let mut text = state.metrics.render_with(Some(state.registry.stats()));
+            // Dictionary provenance rides along as gauges, so a scrape
+            // shows not just *that* calibration is on but *which* table.
+            let _ = writeln!(
+                text,
+                "# HELP nhpp_serve_calibration_loaded Whether a calibration dictionary is loaded."
+            );
+            let _ = writeln!(text, "# TYPE nhpp_serve_calibration_loaded gauge");
+            match &state.calibration {
+                Some(dict) => {
+                    let _ = writeln!(text, "nhpp_serve_calibration_loaded 1");
+                    let _ = writeln!(
+                        text,
+                        "# HELP nhpp_serve_calibration_entries Entries in the loaded dictionary."
+                    );
+                    let _ = writeln!(text, "# TYPE nhpp_serve_calibration_entries gauge");
+                    let _ = writeln!(
+                        text,
+                        "nhpp_serve_calibration_entries{{dictionary=\"{}\",seed=\"{:#x}\"}} {}",
+                        dict.label,
+                        dict.seed,
+                        dict.entries.len()
+                    );
+                }
+                None => {
+                    let _ = writeln!(text, "nhpp_serve_calibration_loaded 0");
+                }
+            }
+            Response::text(200, text)
         }
         ("GET", ["projects"]) => list_projects(state),
         ("PUT", ["projects", id]) => create_project(state, req, id),
@@ -166,7 +293,7 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
         ("GET", ["projects", id, "band"]) => band(state, req, id),
         ("GET", ["projects", id, "predict"]) => predict(state, req, id),
         ("GET", ["projects", id, "reliability"]) => reliability(state, req, id),
-        ("GET", ["projects", id, "spc"]) => spc(state, id),
+        ("GET", ["projects", id, "spc"]) => spc(state, req, id),
         ("GET" | "PUT" | "POST", _) => error_response(404, "no such route"),
         _ => error_response(405, "method not allowed"),
     }
@@ -329,23 +456,41 @@ fn interval(state: &AppState, req: &Request, id: &str) -> Response {
         return resp;
     }
     let param = req.param("param").unwrap_or("omega");
-    let (cached, _) = match current_fit(state, id) {
+    let (cached, project) = match current_fit(state, id) {
         Ok(pair) => pair,
         Err(resp) => return resp,
     };
-    let (lo, hi) = match param {
-        "omega" => cached.fit.posterior.credible_interval_omega(level),
-        "beta" => cached.fit.posterior.credible_interval_beta(level),
+    let posterior = &cached.fit.posterior;
+    let applied = match resolve_calibration(state, &project, posterior.method_name(), req) {
+        Ok(applied) => applied,
+        Err(resp) => return resp,
+    };
+    let (raw, median) = match param {
+        "omega" => (
+            posterior.credible_interval_omega(level),
+            posterior.quantile_omega(0.5),
+        ),
+        "beta" => (
+            posterior.credible_interval_beta(level),
+            posterior.quantile_beta(0.5),
+        ),
         other => return error_response(400, &format!("unknown param '{other}' (omega|beta)")),
+    };
+    let (lo, hi) = match &applied {
+        Some(a) => a.cal.interval(median, raw, 0.0),
+        None => raw,
     };
     Response::json(
         200,
         format!(
-            "{{\"param\": {}, \"level\": {}, \"lo\": {}, \"hi\": {}, \"data_version\": {}}}",
+            "{{\"param\": {}, \"level\": {}, \"lo\": {}, \"hi\": {}, \"calibrated\": {}, \
+             \"calibration\": {}, \"data_version\": {}}}",
             jstr(param),
             jnum(level),
             jnum(lo),
             jnum(hi),
+            applied.is_some(),
+            calibration_json(state, applied.as_ref()),
             cached.version,
         ),
     )
@@ -370,11 +515,19 @@ fn band(state: &AppState, req: &Request, id: &str) -> Response {
         Ok(pair) => pair,
         Err(resp) => return resp,
     };
+    let applied =
+        match resolve_calibration(state, &project, cached.fit.posterior.method_name(), req) {
+            Ok(applied) => applied,
+            Err(resp) => return resp,
+        };
     let t_end = project.summary().observation_end;
     let n = points as usize;
     let grid: Vec<f64> = (1..=n).map(|i| t_end * i as f64 / n as f64).collect();
     match cached.fit.posterior.mean_value_band(&grid, level) {
-        Some(Ok(band)) => {
+        Some(Ok(mut band)) => {
+            if let Some(a) = &applied {
+                a.cal.apply_band(&mut band);
+            }
             let rows: Vec<String> = band
                 .iter()
                 .map(|p| {
@@ -390,9 +543,12 @@ fn band(state: &AppState, req: &Request, id: &str) -> Response {
             Response::json(
                 200,
                 format!(
-                    "{{\"level\": {}, \"band\": [{}], \"data_version\": {}}}",
+                    "{{\"level\": {}, \"band\": [{}], \"calibrated\": {}, \
+                     \"calibration\": {}, \"data_version\": {}}}",
                     jnum(level),
                     rows.join(", "),
+                    applied.is_some(),
+                    calibration_json(state, applied.as_ref()),
                     cached.version
                 ),
             )
@@ -500,7 +656,7 @@ fn reliability(state: &AppState, req: &Request, id: &str) -> Response {
 /// LCL means failures are arriving much faster than the fitted process
 /// predicts (reliability deterioration); above the UCL, much slower
 /// (significant improvement).
-fn spc(state: &AppState, id: &str) -> Response {
+fn spc(state: &AppState, req: &Request, id: &str) -> Response {
     let Some(project) = state.registry.get(id) else {
         return error_response(404, &format!("unknown project '{id}'"));
     };
@@ -514,8 +670,22 @@ fn spc(state: &AppState, id: &str) -> Response {
         Ok(pair) => pair,
         Err(resp) => return resp,
     };
+    let applied =
+        match resolve_calibration(state, &project, cached.fit.posterior.method_name(), req) {
+            Ok(applied) => applied,
+            Err(resp) => return resp,
+        };
     let tau = t_last - t_prev;
-    let p = 1.0 - cached.fit.posterior.reliability_point(t_prev, tau);
+    // An under-dispersed posterior reports the observed gap as more
+    // extreme than a calibrated one would; the spread factor maps onto
+    // the chart as a contraction of the statistic towards the centre
+    // line, so calibrated control limits alarm at the rate the regime's
+    // measured coverage supports.
+    let raw = 1.0 - cached.fit.posterior.reliability_point(t_prev, tau);
+    let p = match &applied {
+        Some(a) => a.cal.spc_statistic(raw, SPC_CL),
+        None => raw,
+    };
     let status = if p < SPC_LCL {
         "deterioration-alarm"
     } else if p > SPC_UCL {
@@ -527,7 +697,8 @@ fn spc(state: &AppState, id: &str) -> Response {
         200,
         format!(
             "{{\"t_prev\": {}, \"t_last\": {}, \"gap\": {}, \"p\": {}, \"lcl\": {}, \
-             \"cl\": {}, \"ucl\": {}, \"status\": {}, \"data_version\": {}}}",
+             \"cl\": {}, \"ucl\": {}, \"status\": {}, \"calibrated\": {}, \
+             \"calibration\": {}, \"data_version\": {}}}",
             jnum(t_prev),
             jnum(t_last),
             jnum(tau),
@@ -536,6 +707,8 @@ fn spc(state: &AppState, id: &str) -> Response {
             jnum(SPC_CL),
             jnum(SPC_UCL),
             jstr(status),
+            applied.is_some(),
+            calibration_json(state, applied.as_ref()),
             cached.version,
         ),
     )
@@ -556,6 +729,7 @@ mod tests {
             fit: FitSettings::default(),
             cache: crate::scheduler::FitCache::new(0),
             retry_after_secs: 1,
+            calibration: None,
             quiet: true,
         }
     }

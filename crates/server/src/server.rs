@@ -21,6 +21,7 @@ use crate::metrics::Metrics;
 use crate::registry::{DurabilityPolicy, Registry};
 use crate::routes;
 use crate::scheduler::{flush_stale, FitCache, FitSettings};
+use nhpp_vb::CalibrationDictionary;
 use std::collections::VecDeque;
 use std::io::{self, BufReader, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -42,6 +43,10 @@ pub struct AppState {
     pub cache: FitCache,
     /// Seconds advertised in `Retry-After` on shed/deadline responses.
     pub retry_after_secs: u32,
+    /// Coverage-recalibration dictionary loaded at boot, when the
+    /// server was started with one; `?calibrated=true` queries resolve
+    /// their factors here.
+    pub calibration: Option<Arc<CalibrationDictionary>>,
     /// Suppress per-request log lines.
     pub quiet: bool,
 }
@@ -69,6 +74,9 @@ pub struct ServerConfig {
     pub retry_after_secs: u32,
     /// Snapshot/compaction policy applied to a durable registry.
     pub durability: DurabilityPolicy,
+    /// Path of an `nhpp-calibration/v1` dictionary to load at boot;
+    /// `None` serves raw intervals only (calibrated queries get `400`).
+    pub calibration: Option<PathBuf>,
     /// Suppress per-request log lines.
     pub quiet: bool,
 }
@@ -85,6 +93,7 @@ impl Default for ServerConfig {
             max_cached_fits: 0,
             retry_after_secs: 1,
             durability: DurabilityPolicy::default(),
+            calibration: None,
             quiet: false,
         }
     }
@@ -119,6 +128,22 @@ impl Server {
                 Registry::open_with(Arc::new(storage), config.durability).map_err(invalid)?
             }
         };
+        // A corrupt dictionary must fail the boot, not the first
+        // calibrated query: the served factors are a correctness
+        // artifact, so "loaded" has to mean "validated".
+        let calibration = match config.calibration.as_deref() {
+            None => None,
+            Some(path) => {
+                let text = std::fs::read_to_string(path)?;
+                let dict = CalibrationDictionary::parse(&text).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("calibration dictionary {}: {e}", path.display()),
+                    )
+                })?;
+                Some(Arc::new(dict))
+            }
+        };
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = if config.workers == 0 {
@@ -136,6 +161,7 @@ impl Server {
                 fit: config.fit,
                 cache: FitCache::new(config.max_cached_fits),
                 retry_after_secs: config.retry_after_secs,
+                calibration,
                 quiet: config.quiet,
             }),
             shutdown: Arc::new(AtomicBool::new(false)),
@@ -499,6 +525,7 @@ mod tests {
             fit: FitSettings::default(),
             cache: FitCache::new(0),
             retry_after_secs: 3,
+            calibration: None,
             quiet: true,
         };
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();

@@ -30,6 +30,29 @@ fn smoke_fixture_matches_current_tree() {
 }
 
 #[test]
+fn fixture_tolerances_come_from_the_single_table() {
+    // Satellite seam check: every checked-in band is exactly what
+    // `golden::tolerance` says for the entry's method × quantity — the
+    // fixture cannot carry a hand-edited band that the comparison code
+    // and the CLI's `check` op would not agree on.
+    let expected = golden::parse(SMOKE_FIXTURE).expect("checked-in fixture parses");
+    for e in &expected {
+        let mut parts = e.key.split('/');
+        let (_scenario, method, quantity) = (
+            parts.next().expect("scenario segment"),
+            parts.next().expect("method segment"),
+            parts.next().expect("quantity segment"),
+        );
+        assert_eq!(
+            e.rel_tol,
+            golden::tolerance(method, quantity),
+            "{}: fixture band drifted from the tolerance table",
+            e.key
+        );
+    }
+}
+
+#[test]
 fn smoke_fixture_is_in_sync_with_the_renderer() {
     // A fixture edited by hand into a shape `render` would not emit
     // (reordered keys, stray entries) still *compares* clean, so pin the
