@@ -6,6 +6,7 @@
 //! ```text
 //! bench_serve [--out BENCH_5.json] [--label BENCH_5] [--quick]
 //! bench_serve --overload [--out BENCH_6.json] [--quick]
+//! bench_serve --ingest [--out BENCH_9.json] [--quick]
 //! ```
 //!
 //! Default metrics (all milliseconds, lower is better, so the standard
@@ -32,13 +33,27 @@
 //!   median registry replay time of a long pure log vs the same state
 //!   after `force_compact`: the measured bound on replay cost.
 //!
+//! `--ingest` metrics (BENCH_9): the monitored write path.
+//!
+//! * `serve-ingest-p50-ms-c{N}` / `serve-ingest-p99-ms-c{N}` — per
+//!   single-event append latency with `--monitor` scoring inline, at
+//!   N concurrent clients each appending to its own project (so the
+//!   append path, not project-lock contention, is what's measured);
+//! * `serve-alert-append-ms` — median latency of the append that
+//!   carries a regime-shift burst: chart scoring, alert publication,
+//!   the alert journal write and the triggered refit all land inside
+//!   this request;
+//! * `serve-alert-wake-ms` — median delay from that append to a
+//!   blocked `/monitor/wait` long-poll returning the alert.
+//!
 //! Derived requests/sec per concurrency level is printed for humans.
 
+use nhpp_bench::json;
 use nhpp_bench::perf::{Metric, Report};
 use nhpp_data::sys17;
 use nhpp_serve::{
     client_request, client_request_full, metrics::scrape_counter, DurabilityPolicy, FsStorage,
-    ProjectConfig, Registry, Server, ServerConfig,
+    MonitorConfig, ProjectConfig, Registry, Server, ServerConfig,
 };
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -322,10 +337,196 @@ fn overload_main(out_path: &str, label: String, quick: bool) -> ExitCode {
     finish(out_path, label, metrics)
 }
 
+/// The `--ingest` scenario: the monitored write path under load, then
+/// the alert path (append-with-burst latency and long-poll wake).
+fn ingest_main(out_path: &str, label: String, quick: bool) -> ExitCode {
+    let per_client = if quick { 20 } else { 80 };
+    let alert_rounds = if quick { 3 } else { 7 };
+    let mut metrics = BTreeMap::new();
+
+    let handle = Server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        // Enough workers that a blocked /monitor/wait long-poll can
+        // never starve the append path (auto resolves to 1 on a
+        // single-core host, which would serialise the two).
+        workers: 4,
+        flush_interval: None,
+        quiet: true,
+        monitor: Some(MonitorConfig::default()),
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let addr = handle.addr().to_string();
+
+    // --- Write path: C clients, each streaming single-event appends
+    // into its own monitored project. Gaps grow geometrically so the
+    // traces roughly track the fitted (decaying-intensity) process and
+    // stay mostly in control; the occasional excursion is part of the
+    // measured path, exactly as in production.
+    for clients in [1usize, 8, 32] {
+        for c in 0..clients {
+            let project = format!("ing{clients}x{c}");
+            must_ok(
+                &addr,
+                "PUT",
+                &format!("/projects/{project}?kind=times&model=go&prior=paper-info-times"),
+                None,
+            );
+            must_ok(
+                &addr,
+                "POST",
+                &format!("/projects/{project}/events"),
+                Some(&sys17_batch()),
+            );
+            // Prime the chart: one fit, every historical gap scored, so
+            // the timed appends exercise the incremental path only.
+            must_ok(&addr, "GET", &format!("/projects/{project}/monitor"), None);
+        }
+        let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+            let addr = &addr;
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let path = format!("/projects/ing{clients}x{c}/events");
+                        let mut times = Vec::with_capacity(per_client);
+                        let mut prev_end = sys17::T_END;
+                        let mut gap = 6000.0;
+                        for _ in 0..per_client {
+                            let t = prev_end + gap;
+                            prev_end = t + 1.0;
+                            gap *= 1.05;
+                            let body = format!("# t_end={prev_end}\n{t}\n");
+                            let t0 = Instant::now();
+                            must_ok(addr, "POST", &path, Some(&body));
+                            times.push(t0.elapsed().as_secs_f64() * 1e3);
+                        }
+                        times
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        latencies.sort_by(f64::total_cmp);
+        let p50 = percentile(&latencies, 0.50);
+        let p99 = percentile(&latencies, 0.99);
+        let total_s: f64 = latencies.iter().sum::<f64>() / 1e3;
+        let rps = latencies.len() as f64 / (total_s / clients as f64);
+        eprintln!(
+            "c={clients:<3} {} monitored appends: p50 {p50:.3} ms, p99 {p99:.3} ms, \
+             ≈{rps:.0} appends/s",
+            latencies.len()
+        );
+        for (tag, value) in [("p50", p50), ("p99", p99)] {
+            metrics.insert(
+                format!("serve-ingest-{tag}-ms-c{clients}"),
+                Metric {
+                    median_ms: value,
+                    samples: latencies.len(),
+                    baseline_median_ms: None,
+                    speedup: None,
+                },
+            );
+        }
+    }
+
+    // --- Alert path: each round seeds a fresh project, then appends a
+    // burst of implausibly tight gaps. The append carries scoring,
+    // alert publication, journalling and the triggered refit; a
+    // long-poll subscriber blocked on /monitor/wait measures the wake.
+    let total_alerts = |addr: &str| -> u64 {
+        let body = must_ok(addr, "GET", "/monitor/status", None);
+        let value = json::parse(&body).expect("status parses");
+        value
+            .as_object()
+            .and_then(|o| o.get("total_alerts"))
+            .and_then(json::Value::as_f64)
+            .expect("total_alerts present") as u64
+    };
+    let mut append_ms = Vec::new();
+    let mut wake_ms = Vec::new();
+    for round in 0..alert_rounds {
+        let project = format!("alert{round}");
+        must_ok(
+            &addr,
+            "PUT",
+            &format!("/projects/{project}?kind=times&model=go&prior=paper-info-times"),
+            None,
+        );
+        must_ok(
+            &addr,
+            "POST",
+            &format!("/projects/{project}/events"),
+            Some(&sys17_batch()),
+        );
+        must_ok(&addr, "GET", &format!("/projects/{project}/monitor"), None);
+        let since = total_alerts(&addr);
+        let mut burst = format!("# t_end={}\n", sys17::T_END + 1.0);
+        for i in 1..=5 {
+            burst.push_str(&format!("{}\n", sys17::T_END + f64::from(i) * 0.01));
+        }
+        let t0 = Instant::now();
+        let (append_elapsed, wake_elapsed) = std::thread::scope(|scope| {
+            let addr = &addr;
+            let waiter = scope.spawn(move || {
+                let path = format!("/monitor/wait?since={since}&timeout_ms=10000");
+                let body = must_ok(addr, "GET", &path, None);
+                assert!(
+                    body.contains("deterioration-alarm"),
+                    "long-poll returned without the alert: {body}"
+                );
+                t0.elapsed().as_secs_f64() * 1e3
+            });
+            let body = must_ok(
+                addr,
+                "POST",
+                &format!("/projects/{project}/events"),
+                Some(&burst),
+            );
+            let append = t0.elapsed().as_secs_f64() * 1e3;
+            assert!(body.contains("\"alerts\": 2"), "burst must alarm: {body}");
+            (append, waiter.join().expect("waiter thread"))
+        });
+        append_ms.push(append_elapsed);
+        wake_ms.push(wake_elapsed);
+    }
+    append_ms.sort_by(f64::total_cmp);
+    wake_ms.sort_by(f64::total_cmp);
+    let append_median = append_ms[append_ms.len() / 2];
+    let wake_median = wake_ms[wake_ms.len() / 2];
+    eprintln!(
+        "alert path over {alert_rounds} rounds: append median {append_median:.3} ms, \
+         long-poll wake median {wake_median:.3} ms"
+    );
+    for (name, value) in [
+        ("serve-alert-append-ms", append_median),
+        ("serve-alert-wake-ms", wake_median),
+    ] {
+        metrics.insert(
+            name.to_string(),
+            Metric {
+                median_ms: value,
+                samples: alert_rounds,
+                baseline_median_ms: None,
+                speedup: None,
+            },
+        );
+    }
+
+    must_ok(&addr, "GET", "/healthz", None);
+    handle.shutdown();
+    finish(out_path, label, metrics)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let overload = args.iter().any(|a| a == "--overload");
-    let default_out = if overload {
+    let ingest = args.iter().any(|a| a == "--ingest");
+    let default_out = if ingest {
+        "BENCH_9.json"
+    } else if overload {
         "BENCH_6.json"
     } else {
         "BENCH_5.json"
@@ -340,6 +541,9 @@ fn main() -> ExitCode {
                 .unwrap_or_else(|| "BENCH".to_string())
         });
     let quick = args.iter().any(|a| a == "--quick");
+    if ingest {
+        return ingest_main(out_path, label, quick);
+    }
     if overload {
         return overload_main(out_path, label, quick);
     }

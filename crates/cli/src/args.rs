@@ -70,6 +70,7 @@ const FLAGS: &[&str] = &[
     "fallback",
     "smoke",
     "calibrated",
+    "monitor",
 ];
 
 impl ParsedArgs {

@@ -114,18 +114,26 @@ SERVICE (see README \"Running as a service\"):
                                [default 1048576]
          --calibration FILE    nhpp-calibration/v1 dictionary; enables
                                ?calibrated=true on interval/band/spc
+         --monitor             per-project SPC control charts scored on
+                               every ingest, with change-point alerts
+         --monitor-scheme S    alerting scheme: os | mmle | both
+                               [default both]
+         --monitor-run-length N  consecutive out-of-control points that
+                               raise an alert [default 3]
          --quiet         suppress per-request log lines
   fsck   --data-dir DIR [--project ID]  nonzero exit on corruption a
          restart could not absorb (torn tails are reported, but clean)
   compact --data-dir DIR [--project ID]  bound future replay cost
   client --addr A --op OP --project ID
          OP: create | ingest | fit | interval | predict | reliability
-             | spc | metrics | check
+             | spc | monitor | metrics | check
          create:  --kind times|grouped --model M --prior P
                   (prior also accepts paper-info-times / paper-info-grouped)
          ingest:  --file CSV [--batch N]  replay a trace, N events at a time
          check:   --golden FILE --prefix P  compare the served posterior
                   against the golden fixture (nonzero exit on mismatch)
+         monitor: [--since N] [--polls N] [--timeout-ms MS]  tail
+                  change-point alerts over the long-poll subscription
          --calibrated    ask for calibrated intervals (interval | spc)
 
 CALIBRATION (conformance-driven interval recalibration):

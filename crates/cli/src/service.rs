@@ -12,8 +12,8 @@ use crate::args::ParsedArgs;
 use crate::commands::CliError;
 use nhpp_bench::json;
 use nhpp_serve::{
-    client_request_with_backoff, DurabilityPolicy, FitSettings, FsStorage, Registry, Server,
-    ServerConfig, SnapshotStatus,
+    client_request_with_backoff, DurabilityPolicy, FitSettings, FsStorage, MonitorConfig,
+    Registry, SchemeSelect, Server, ServerConfig, SnapshotStatus,
 };
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -48,6 +48,19 @@ pub fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
         durability: DurabilityPolicy {
             snapshot_every: args.get_u64("snapshot-every", 64)?,
             compact_at_bytes: args.get_u64("compact-at-bytes", 1 << 20)?,
+        },
+        monitor: if args.flag("monitor") {
+            let schemes = match args.get("monitor-scheme") {
+                None => SchemeSelect::Both,
+                Some(raw) => SchemeSelect::parse(raw).map_err(CliError::Run)?,
+            };
+            Some(MonitorConfig {
+                schemes,
+                run_length: args.get_u64("monitor-run-length", 3)? as u32,
+                ..MonitorConfig::default()
+            })
+        } else {
+            None
         },
         quiet: args.flag("quiet"),
     };
@@ -268,9 +281,10 @@ pub fn cmd_client(args: &ParsedArgs) -> Result<String, CliError> {
         }
         "metrics" => expect_ok(addr, "GET", "/metrics", None),
         "check" => cmd_check(args, addr),
+        "monitor" => cmd_monitor(args, addr),
         other => Err(CliError::Run(format!(
             "unknown --op '{other}' (create | ingest | fit | interval | predict | \
-             reliability | spc | metrics | check)"
+             reliability | spc | monitor | metrics | check)"
         ))),
     }
 }
@@ -319,6 +333,82 @@ fn cmd_ingest(args: &ParsedArgs, addr: &str) -> Result<String, CliError> {
         all.len()
     )
     .unwrap();
+    Ok(out)
+}
+
+/// `--op monitor`: tail change-point alerts from the long-poll
+/// subscription route. Each round blocks server-side until an alert
+/// arrives or the poll timeout lapses; the `since` cursor advances so
+/// no alert prints twice, and `--polls` bounds the rounds so scripts
+/// terminate. The shared [`http`] helper's retry budget is tuned for
+/// one-shot operations, so this talks to the backoff client directly
+/// with room for the server-side wait (capped under the 60 s client
+/// read timeout) plus shed retries honouring `Retry-After`.
+fn cmd_monitor(args: &ParsedArgs, addr: &str) -> Result<String, CliError> {
+    let mut since = args.get_u64("since", 0)?;
+    let polls = args.get_u64("polls", 1)?.max(1);
+    let timeout_ms = args.get_u64("timeout-ms", 15_000)?.min(25_000);
+    let mut out = String::new();
+    let mut total = 0u64;
+    for _ in 0..polls {
+        let path = format!("/monitor/wait?since={since}&timeout_ms={timeout_ms}");
+        let (status, text) = client_request_with_backoff(
+            addr,
+            "GET",
+            &path,
+            None,
+            5,
+            Duration::from_secs(5),
+            Duration::from_secs(30),
+        )
+        .map_err(run_err(&format!("GET {path} against {addr}")))?;
+        if !(200..300).contains(&status) {
+            return Err(CliError::Run(format!("GET {path}: HTTP {status}: {text}")));
+        }
+        let parsed = json::parse(&text).map_err(run_err("parsing alert response"))?;
+        let object = parsed
+            .as_object()
+            .ok_or_else(|| CliError::Run("alert response is not an object".into()))?;
+        if object.get("dropped").and_then(json::Value::as_bool) == Some(true) {
+            writeln!(
+                out,
+                "warning: the alert ring dropped part of the requested range"
+            )
+            .unwrap();
+        }
+        let alerts = object
+            .get("alerts")
+            .and_then(json::Value::as_array)
+            .ok_or_else(|| CliError::Run("alert response is missing 'alerts'".into()))?;
+        for alert in alerts {
+            let num = |k: &str| json_field(alert, k);
+            let s = |k: &str| -> Result<&str, CliError> {
+                alert
+                    .as_object()
+                    .and_then(|o| o.get(k))
+                    .and_then(json::Value::as_str)
+                    .ok_or_else(|| CliError::Run(format!("alert is missing field '{k}'")))
+            };
+            writeln!(
+                out,
+                "alert seq={} project={} scheme={} side={} run={} index={} t={} p={:e} \
+                 fit_version={}",
+                num("seq")? as u64,
+                s("project")?,
+                s("scheme")?,
+                s("side")?,
+                num("run")? as u64,
+                num("index")? as u64,
+                num("t")?,
+                num("p")?,
+                num("fit_version")? as u64,
+            )
+            .unwrap();
+            total += 1;
+        }
+        since = json_field(&parsed, "next_since")? as u64;
+    }
+    writeln!(out, "{total} alert(s); resume with --since {since}").unwrap();
     Ok(out)
 }
 
@@ -594,6 +684,83 @@ mod tests {
         .unwrap_err();
         assert!(err.to_string().contains("no dictionary"), "{err}");
         std::fs::remove_file(csv).ok();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn monitor_op_tails_alerts_from_live_server() {
+        let handle = Server::spawn(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            flush_interval: None,
+            quiet: true,
+            monitor: Some(MonitorConfig::default()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let csv = temp_times_csv("monitor");
+        cmd_client(&parse(&[
+            "client", "--addr", &addr, "--op", "create", "--project", "p", "--prior",
+            "paper-info-times",
+        ]))
+        .unwrap();
+        cmd_client(&parse(&[
+            "client",
+            "--addr",
+            &addr,
+            "--op",
+            "ingest",
+            "--project",
+            "p",
+            "--file",
+            csv.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Seed the fit cache so the next ingest scores inline.
+        cmd_client(&parse(&[
+            "client", "--addr", &addr, "--op", "fit", "--project", "p",
+        ]))
+        .unwrap();
+        // A caught-up cursor times out empty (the deliverable either way
+        // is the resume cursor).
+        let out = cmd_client(&parse(&[
+            "client", "--addr", &addr, "--op", "monitor", "--timeout-ms", "50",
+        ]))
+        .unwrap();
+        assert!(out.contains("0 alert(s); resume with --since 0"), "{out}");
+
+        // Inject a failure burst; its tiny gaps trip the run threshold.
+        let burst_path = std::env::temp_dir().join(format!(
+            "nhpp_client_test_burst_{}.csv",
+            std::process::id()
+        ));
+        let mut burst = format!("# t_end={}\n", sys17::T_END + 1.0);
+        for i in 1..=5 {
+            burst.push_str(&format!("{}\n", sys17::T_END + f64::from(i) * 0.01));
+        }
+        std::fs::write(&burst_path, &burst).unwrap();
+        cmd_client(&parse(&[
+            "client",
+            "--addr",
+            &addr,
+            "--op",
+            "ingest",
+            "--project",
+            "p",
+            "--file",
+            burst_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = cmd_client(&parse(&[
+            "client", "--addr", &addr, "--op", "monitor", "--timeout-ms", "2000",
+        ]))
+        .unwrap();
+        assert!(out.contains("alert seq=1"), "{out}");
+        assert!(out.contains("side=deterioration-alarm"), "{out}");
+        assert!(out.contains("2 alert(s); resume with --since 2"), "{out}");
+
+        std::fs::remove_file(csv).ok();
+        std::fs::remove_file(burst_path).ok();
         handle.shutdown();
     }
 

@@ -19,11 +19,18 @@
 //!     blessed dictionary under tests/golden/, --check re-learns and
 //!     diffs against the blessed copy (the CI drift gate), --out
 //!     writes anywhere, default prints to stdout.
+//!
+//! conformance_report monitor [--smoke] [--reps N] [--run-length N]
+//!     Seeded false-alarm-rate check for the SPC monitoring charts:
+//!     in-control traces per cell, both limit schemes, run-length
+//!     alarms counted. With --smoke at default settings the counts
+//!     are gated against the golden-pinned values.
 //! ```
 
 use nhpp_conformance::calibrate::{learn, CalibrateConfig};
 use nhpp_conformance::coverage::CoverageConfig;
 use nhpp_conformance::golden;
+use nhpp_conformance::monitor::{self, FalseAlarmConfig};
 use nhpp_conformance::report::{run, Grid};
 use nhpp_conformance::sbc::SbcConfig;
 use nhpp_vb::calibration::CalibrationDictionary;
@@ -246,10 +253,62 @@ fn cmd_calibrate(mut args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_monitor(mut args: Vec<String>) -> ExitCode {
+    let smoke = flag(&mut args, "--smoke");
+    let mut config = FalseAlarmConfig::default();
+    if let Some(n) = flag_value(&mut args, "--reps") {
+        config.replications = n.parse().expect("--reps takes an integer");
+    }
+    if let Some(n) = flag_value(&mut args, "--run-length") {
+        config.run_length = n.parse().expect("--run-length takes an integer");
+    }
+    if !args.is_empty() {
+        eprintln!("error: unrecognised arguments {args:?}");
+        return ExitCode::from(2);
+    }
+    let results = monitor::run_false_alarm(smoke, &config);
+    eprintln!(
+        "SPC false-alarm check ({} grid, {} reps/cell, run length {}, seed {:#x})",
+        if smoke { "smoke" } else { "full" },
+        config.replications,
+        config.run_length,
+        config.seed
+    );
+    eprintln!(
+        "{:<22} {:>6} {:>7} {:>9} {:>9} {:>10} {:>10}",
+        "cell", "traces", "points", "os-ooc", "mmle-ooc", "os-alarms", "mmle-alarms"
+    );
+    for r in &results {
+        eprintln!(
+            "{:<22} {:>6} {:>7} {:>9} {:>9} {:>10} {:>10}",
+            r.cell,
+            r.traces,
+            r.os.points,
+            r.os.deterioration + r.os.improvement,
+            r.mmle.deterioration + r.mmle.improvement,
+            r.os.alarms,
+            r.mmle.alarms
+        );
+    }
+    // The golden gate pins the smoke tier; custom tiers and settings
+    // only report.
+    if smoke && config == FalseAlarmConfig::default() {
+        let failures = monitor::gate_against_golden(&results);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("gate: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!("gate: alarm counts match the pinned golden values");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: conformance_report <run|golden|calibrate> [options]");
+        eprintln!("usage: conformance_report <run|golden|calibrate|monitor> [options]");
         return ExitCode::from(2);
     }
     let cmd = args.remove(0);
@@ -257,8 +316,11 @@ fn main() -> ExitCode {
         "run" => cmd_run(args),
         "golden" => cmd_golden(args),
         "calibrate" => cmd_calibrate(args),
+        "monitor" => cmd_monitor(args),
         other => {
-            eprintln!("unknown subcommand {other:?}; expected `run`, `golden` or `calibrate`");
+            eprintln!(
+                "unknown subcommand {other:?}; expected `run`, `golden`, `calibrate` or `monitor`"
+            );
             ExitCode::from(2)
         }
     }

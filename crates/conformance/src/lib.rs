@@ -18,7 +18,10 @@
 //! * [`calibrate`] — the offline learner behind the recalibration
 //!   layer: it grid-searches per-regime spread factors against
 //!   empirical coverage and emits the `nhpp-calibration/v1` dictionary
-//!   that `nhpp_vb::calibration` applies and `nhpp-serve` loads.
+//!   that `nhpp_vb::calibration` applies and `nhpp-serve` loads;
+//! * [`monitor`] — a seeded false-alarm-rate check for the streaming
+//!   SPC charts: in-control traces must (almost) never trip either
+//!   limit scheme's run-length alarm, with golden-pinned counts.
 //!
 //! The `conformance_report` bin sweeps a grid, emits a machine-readable
 //! `conformance/v1` report ([`report`]), and exits nonzero when the
@@ -33,6 +36,7 @@ pub mod calibrate;
 pub mod coverage;
 pub mod golden;
 pub mod methods;
+pub mod monitor;
 pub mod report;
 pub mod sbc;
 pub mod scenario;
@@ -41,6 +45,7 @@ pub mod stats;
 pub use calibrate::{learn, CalibrateConfig};
 pub use coverage::{run_cell_coverage, CalibratedCoverage, CoverageConfig, MethodCoverage};
 pub use methods::{posterior_cdf_beta, posterior_cdf_omega, Method};
+pub use monitor::{run_false_alarm, CellFalseAlarm, FalseAlarmConfig, SchemeTally};
 pub use report::{gate_passed, run, ConformanceRun, Grid, SCHEMA};
 pub use sbc::{run_sbc, SbcConfig, SbcResult};
 pub use scenario::{DataKind, GridCell, ModelKind, PriorKind, SampleSize};

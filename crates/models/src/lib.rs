@@ -44,6 +44,7 @@ mod posterior;
 pub mod prediction;
 pub mod prior;
 pub mod selection;
+pub mod spc;
 mod spec;
 
 pub use error::ModelError;

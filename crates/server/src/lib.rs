@@ -38,6 +38,7 @@
 
 pub mod http;
 pub mod metrics;
+pub mod monitor;
 pub mod registry;
 pub mod routes;
 pub mod scheduler;
@@ -46,6 +47,7 @@ pub mod storage;
 
 pub use http::{client_request, client_request_full, client_request_with_backoff, Request, Response};
 pub use metrics::Metrics;
+pub use monitor::{Alert, ChartPoint, ChartSnapshot, Monitor, MonitorConfig, SchemeSelect};
 pub use registry::{
     fsck, DataKind, DurabilityPolicy, FsckEntry, ProjectConfig, RecoveryStats, Registry,
     SnapshotStatus,

@@ -56,6 +56,24 @@ pub struct Metrics {
     /// Calibrated queries refused with `400` (no dictionary loaded, or
     /// no entry for the project's regime).
     pub calibration_rejected: AtomicU64,
+    /// Chart points scored by the monitor.
+    pub monitor_points: AtomicU64,
+    /// Chart points classified out of control (either side, any scheme).
+    pub monitor_out_of_control: AtomicU64,
+    /// Change-point alerts published.
+    pub monitor_alerts: AtomicU64,
+    /// Refits triggered by monitor alerts.
+    pub monitor_refits: AtomicU64,
+    /// Ingests whose chart scoring was deferred for lack of a cached
+    /// posterior (scored on the next fit-bearing query).
+    pub monitor_deferred: AtomicU64,
+    /// Chart-journal writes that failed (state stays in memory; the
+    /// points are rescored after the next recovery).
+    pub monitor_persist_errors: AtomicU64,
+    /// Long-poll waits answered with at least one alert.
+    pub monitor_wait_delivered: AtomicU64,
+    /// Long-poll waits that timed out empty.
+    pub monitor_wait_timeouts: AtomicU64,
     /// Latency bucket counters (`LATENCY_BUCKETS_MS` + `+Inf`).
     pub latency_buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
     /// Total observed latency in microseconds.
@@ -200,6 +218,54 @@ impl Metrics {
             "calibration_rejected_total",
             "Calibrated queries refused (no dictionary or no regime entry).",
             g(&self.calibration_rejected),
+        );
+        counter(
+            &mut out,
+            "monitor_points_total",
+            "Chart points scored by the monitor.",
+            g(&self.monitor_points),
+        );
+        counter(
+            &mut out,
+            "monitor_out_of_control_total",
+            "Chart points outside the control limits.",
+            g(&self.monitor_out_of_control),
+        );
+        counter(
+            &mut out,
+            "monitor_alerts_total",
+            "Change-point alerts published by the monitor.",
+            g(&self.monitor_alerts),
+        );
+        counter(
+            &mut out,
+            "monitor_refits_total",
+            "Refits triggered by monitor alerts.",
+            g(&self.monitor_refits),
+        );
+        counter(
+            &mut out,
+            "monitor_deferred_total",
+            "Ingests whose chart scoring awaited a first fitted posterior.",
+            g(&self.monitor_deferred),
+        );
+        counter(
+            &mut out,
+            "monitor_persist_errors_total",
+            "Chart-journal writes that failed.",
+            g(&self.monitor_persist_errors),
+        );
+        counter(
+            &mut out,
+            "monitor_wait_delivered_total",
+            "Long-poll waits answered with at least one alert.",
+            g(&self.monitor_wait_delivered),
+        );
+        counter(
+            &mut out,
+            "monitor_wait_timeouts_total",
+            "Long-poll waits that timed out empty.",
+            g(&self.monitor_wait_timeouts),
         );
         if let Some(recovery) = recovery {
             for (name, help, value) in [

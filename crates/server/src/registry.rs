@@ -387,6 +387,19 @@ impl Project {
         Ok((state.version, data, state.config.spec, state.config.prior))
     }
 
+    /// The failure-time suffix starting at index `from` for incremental
+    /// chart scoring: `(total_times, times[from..])`. `None` for grouped
+    /// projects — control charts plot inter-failure gaps, which grouped
+    /// data does not record.
+    pub fn times_from(&self, from: usize) -> Option<(u64, Vec<f64>)> {
+        let state = self.state.lock().expect("project state poisoned");
+        if state.config.kind != DataKind::Times {
+            return None;
+        }
+        let total = state.times.len();
+        Some((total as u64, state.times[from.min(total)..].to_vec()))
+    }
+
     /// The two newest failure times `(t_prev, t_last)` for the SPC
     /// check, when the project has at least two (`Times` only).
     pub fn newest_gap(&self) -> Option<(f64, f64)> {
@@ -848,6 +861,14 @@ impl Registry {
     /// The recovery/maintenance counters.
     pub fn stats(&self) -> &RecoveryStats {
         &self.stats
+    }
+
+    /// The storage backend, when the registry is durable. Subsystems
+    /// that persist sidecar state next to the project logs (the monitor
+    /// writes `<id>.mon` chart journals) share the backend through
+    /// this handle so chaos harnesses fault-inject both in one plan.
+    pub fn storage_handle(&self) -> Option<Arc<dyn Storage>> {
+        self.storage.clone()
     }
 
     /// The active durability policy.

@@ -16,6 +16,10 @@
 //! | `GET /projects/{id}/predict?window=&level=` | residual failures |
 //! | `GET /projects/{id}/reliability?window=&level=` | reliability |
 //! | `GET /projects/{id}/spc` | control-limit check on newest gap |
+//! | `GET /projects/{id}/monitor` | control-chart state (catch-up scores) |
+//! | `GET /monitor/status` | all charts + alert totals |
+//! | `GET /monitor/alerts?since=` | one-shot alert fetch |
+//! | `GET /monitor/wait?since=&timeout_ms=` | long-poll alert subscription |
 //!
 //! Fit failures answer `503` with a structured body carrying the
 //! cascade's [`nhpp_vb::FitReport`] essentials — the failure kind,
@@ -23,21 +27,26 @@
 //! — so operators see *why* without grepping server logs.
 
 use crate::http::{Request, Response};
+use crate::monitor::{Alert, ChartPoint, ChartSnapshot};
 use crate::registry::{CreateOutcome, ProjectConfig, RegistryError};
 use crate::scheduler::{cached_fit, ensure_fit, FitServeError};
 use crate::server::AppState;
+use nhpp_models::spc::ChartStatus;
 use nhpp_models::Posterior;
 use nhpp_vb::calibration::{dictionary_key, prior_informativeness};
 use nhpp_vb::{Calibration, FailureKind, FitFailure};
 use std::fmt::Write as _;
 use std::sync::atomic::Ordering;
+use std::time::Duration;
 
-/// SPC lower control limit on `P(T ≤ τ)` (3σ equivalent; Rao et al.).
-pub const SPC_LCL: f64 = 0.00135;
-/// SPC centre line.
-pub const SPC_CL: f64 = 0.5;
-/// SPC upper control limit.
-pub const SPC_UCL: f64 = 0.99865;
+// The control limits moved to `nhpp_models::spc` when the streaming
+// monitor joined the one-shot route; re-exported so existing callers
+// keep their import path.
+pub use nhpp_models::spc::{SPC_CL, SPC_LCL, SPC_UCL};
+
+/// Long-poll ceiling for `/monitor/wait`: safely inside the server's
+/// 30 s connection read timeout and the client's 60 s response timeout.
+const MAX_WAIT_MS: f64 = 25_000.0;
 
 /// Escapes a string into a JSON literal.
 fn jstr(s: &str) -> String {
@@ -140,6 +149,15 @@ fn parse_f64(req: &Request, key: &str, default: f64) -> Result<f64, Response> {
         Some(raw) => raw
             .parse()
             .map_err(|_| error_response(400, &format!("bad numeric parameter {key}='{raw}'"))),
+    }
+}
+
+fn parse_u64(req: &Request, key: &str, default: u64) -> Result<u64, Response> {
+    match req.param(key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| error_response(400, &format!("bad integer parameter {key}='{raw}'"))),
     }
 }
 
@@ -294,6 +312,10 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
         ("GET", ["projects", id, "predict"]) => predict(state, req, id),
         ("GET", ["projects", id, "reliability"]) => reliability(state, req, id),
         ("GET", ["projects", id, "spc"]) => spc(state, req, id),
+        ("GET", ["projects", id, "monitor"]) => project_monitor(state, id),
+        ("GET", ["monitor", "status"]) => monitor_status(state),
+        ("GET", ["monitor", "alerts"]) => monitor_alerts(state, req),
+        ("GET", ["monitor", "wait"]) => monitor_wait(state, req),
         ("GET" | "PUT" | "POST", _) => error_response(404, "no such route"),
         _ => error_response(405, "method not allowed"),
     }
@@ -375,10 +397,19 @@ fn ingest_events(state: &AppState, req: &Request, id: &str) -> Response {
                 .metrics
                 .events_ingested
                 .fetch_add(added, std::sync::atomic::Ordering::Relaxed);
+            // The monitoring hook on the event path: score the new gaps
+            // against the cached posterior and surface any change-point
+            // alerts they fired right in the ingest response.
+            let monitor_field = if state.monitor.is_some() {
+                let alerts = crate::monitor::observe_ingest(state, &project);
+                format!(", \"alerts\": {alerts}")
+            } else {
+                String::new()
+            };
             Response::json(
                 200,
                 format!(
-                    "{{\"ingested\": {added}, \"version\": {}}}",
+                    "{{\"ingested\": {added}, \"version\": {}{monitor_field}}}",
                     project.version()
                 ),
             )
@@ -401,6 +432,29 @@ fn current_fit(
             // the coldest cached posterior elsewhere.
             state.cache.touch(&project, &state.metrics);
             Ok((cached, project))
+        }
+        Err(err) => Err(fit_serve_error(state, &err)),
+    }
+}
+
+/// The status-check fit source: the cached posterior when one exists —
+/// stale by design, since control limits for the newest events must
+/// come from the fit computed *before* them — falling back to one
+/// coalesced fit only for a never-fitted project. Repeated status
+/// queries therefore cost zero refits regardless of ingest churn.
+fn cached_or_fit(
+    state: &AppState,
+    project: &std::sync::Arc<crate::registry::Project>,
+) -> Result<std::sync::Arc<crate::scheduler::CachedFit>, Response> {
+    if let Some(cached) = cached_fit(project) {
+        state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        state.cache.touch(project, &state.metrics);
+        return Ok(cached);
+    }
+    match ensure_fit(project, &state.fit, &state.metrics) {
+        Ok(cached) => {
+            state.cache.touch(project, &state.metrics);
+            Ok(cached)
         }
         Err(err) => Err(fit_serve_error(state, &err)),
     }
@@ -655,7 +709,9 @@ fn reliability(state: &AppState, req: &Request, id: &str) -> Response {
 /// probability of seeing the newest gap `τ` or shorter. `p` below the
 /// LCL means failures are arriving much faster than the fitted process
 /// predicts (reliability deterioration); above the UCL, much slower
-/// (significant improvement).
+/// (significant improvement). Sourced from the version-keyed fit cache
+/// via [`cached_or_fit`]: status checks never trigger refits of their
+/// own once a posterior exists.
 fn spc(state: &AppState, req: &Request, id: &str) -> Response {
     let Some(project) = state.registry.get(id) else {
         return error_response(404, &format!("unknown project '{id}'"));
@@ -666,8 +722,8 @@ fn spc(state: &AppState, req: &Request, id: &str) -> Response {
             "SPC needs a times project with at least two recorded failures",
         );
     };
-    let (cached, _) = match current_fit(state, id) {
-        Ok(pair) => pair,
+    let cached = match cached_or_fit(state, &project) {
+        Ok(cached) => cached,
         Err(resp) => return resp,
     };
     let applied =
@@ -714,6 +770,204 @@ fn spc(state: &AppState, req: &Request, id: &str) -> Response {
     )
 }
 
+// ---------------------------------------------------------------------
+// Streaming-monitor routes.
+// ---------------------------------------------------------------------
+
+fn point_json(p: &ChartPoint) -> String {
+    format!(
+        "{{\"index\": {}, \"fit_version\": {}, \"lane_width\": {}, \"t_prev\": {}, \
+         \"t\": {}, \"p_os\": {}, \"p_mmle\": {}, \"status_os\": {}, \"status_mmle\": {}}}",
+        p.index,
+        p.fit_version,
+        p.lane_width,
+        jnum(p.t_prev),
+        jnum(p.t),
+        jnum(p.p_os),
+        jnum(p.p_mmle),
+        jstr(p.status_os.as_str()),
+        jstr(p.status_mmle.as_str()),
+    )
+}
+
+fn alert_json(a: &Alert) -> String {
+    format!(
+        "{{\"seq\": {}, \"project\": {}, \"scheme\": {}, \"side\": {}, \"run\": {}, \
+         \"index\": {}, \"t\": {}, \"p\": {}, \"fit_version\": {}, \"refit_version\": {}}}",
+        a.seq,
+        jstr(&a.project),
+        jstr(a.scheme.as_str()),
+        jstr(a.side.as_str()),
+        a.run,
+        a.index,
+        jnum(a.t),
+        jnum(a.p),
+        a.fit_version,
+        match a.refit_version {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        },
+    )
+}
+
+fn run_json(run: Option<(ChartStatus, u32)>) -> String {
+    match run {
+        Some((side, length)) => format!(
+            "{{\"side\": {}, \"length\": {length}}}",
+            jstr(side.as_str())
+        ),
+        None => "null".to_string(),
+    }
+}
+
+fn snapshot_json(snap: &ChartSnapshot) -> String {
+    let tail: Vec<String> = snap.tail.iter().map(point_json).collect();
+    format!(
+        "{{\"scored_through\": {}, \"counts_os\": [{}, {}, {}], \
+         \"counts_mmle\": [{}, {}, {}], \"run_os\": {}, \"run_mmle\": {}, \
+         \"last\": {}, \"tail\": [{}]}}",
+        snap.scored_through,
+        snap.counts_os[0],
+        snap.counts_os[1],
+        snap.counts_os[2],
+        snap.counts_mmle[0],
+        snap.counts_mmle[1],
+        snap.counts_mmle[2],
+        run_json(snap.run_os),
+        run_json(snap.run_mmle),
+        match &snap.last {
+            Some(p) => point_json(p),
+            None => "null".to_string(),
+        },
+        tail.join(", "),
+    )
+}
+
+fn alerts_body(alerts: &[Alert], next_since: u64, dropped: bool) -> String {
+    let rows: Vec<String> = alerts.iter().map(alert_json).collect();
+    format!(
+        "{{\"alerts\": [{}], \"next_since\": {next_since}, \"dropped\": {dropped}}}",
+        rows.join(", ")
+    )
+}
+
+fn monitor_disabled() -> Response {
+    error_response(
+        409,
+        "monitoring is disabled (start the server with --monitor)",
+    )
+}
+
+/// One project's chart. Scores any events the ingest path could not
+/// (no posterior yet, or alerts deferred) before snapshotting, so the
+/// response always reflects every acknowledged event.
+fn project_monitor(state: &AppState, id: &str) -> Response {
+    let Some(monitor) = &state.monitor else {
+        return monitor_disabled();
+    };
+    let Some(project) = state.registry.get(id) else {
+        return error_response(404, &format!("unknown project '{id}'"));
+    };
+    if project.times_from(0).is_none() {
+        return error_response(409, "monitoring requires a times project");
+    }
+    let alerts = match crate::monitor::catch_up(state, &project) {
+        Ok(n) => n,
+        Err(err) => return fit_serve_error(state, &err),
+    };
+    let snap = monitor.snapshot(id);
+    Response::json(
+        200,
+        format!(
+            "{{\"project\": {}, \"scheme\": {}, \"run_length\": {}, \"lcl\": {}, \
+             \"cl\": {}, \"ucl\": {}, \"alerts_fired\": {alerts}, \"chart\": {}}}",
+            jstr(id),
+            jstr(monitor.config().schemes.as_str()),
+            monitor.config().run_length,
+            jnum(SPC_LCL),
+            jnum(SPC_CL),
+            jnum(SPC_UCL),
+            snapshot_json(&snap),
+        ),
+    )
+}
+
+fn monitor_status(state: &AppState) -> Response {
+    let Some(monitor) = &state.monitor else {
+        return monitor_disabled();
+    };
+    let charts: Vec<String> = monitor
+        .charts()
+        .iter()
+        .map(|(id, snap)| {
+            format!(
+                "{{\"project\": {}, \"chart\": {}}}",
+                jstr(id),
+                snapshot_json(snap)
+            )
+        })
+        .collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"scheme\": {}, \"run_length\": {}, \"total_alerts\": {}, \"charts\": [{}]}}",
+            jstr(monitor.config().schemes.as_str()),
+            monitor.config().run_length,
+            monitor.total_alerts(),
+            charts.join(", "),
+        ),
+    )
+}
+
+fn monitor_alerts(state: &AppState, req: &Request) -> Response {
+    let Some(monitor) = &state.monitor else {
+        return monitor_disabled();
+    };
+    let since = match parse_u64(req, "since", 0) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let (alerts, next_since, dropped) = monitor.alerts_since(since);
+    Response::json(200, alerts_body(&alerts, next_since, dropped))
+}
+
+/// Long-poll subscription: blocks (bounded by [`MAX_WAIT_MS`]) until an
+/// alert newer than the `since` cursor exists. An empty `alerts` array
+/// means the wait timed out; the client re-polls with the same cursor.
+fn monitor_wait(state: &AppState, req: &Request) -> Response {
+    let Some(monitor) = &state.monitor else {
+        return monitor_disabled();
+    };
+    let since = match parse_u64(req, "since", 0) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let timeout_ms = match parse_f64(req, "timeout_ms", 15_000.0) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if !(0.0..=MAX_WAIT_MS).contains(&timeout_ms) {
+        return error_response(
+            400,
+            &format!("timeout_ms must be in [0, {MAX_WAIT_MS}]"),
+        );
+    }
+    let (alerts, next_since, dropped) =
+        monitor.wait_alerts(since, Duration::from_millis(timeout_ms as u64));
+    if alerts.is_empty() {
+        state
+            .metrics
+            .monitor_wait_timeouts
+            .fetch_add(1, Ordering::Relaxed);
+    } else {
+        state
+            .metrics
+            .monitor_wait_delivered
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    Response::json(200, alerts_body(&alerts, next_since, dropped))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -730,6 +984,7 @@ mod tests {
             cache: crate::scheduler::FitCache::new(0),
             retry_after_secs: 1,
             calibration: None,
+            monitor: None,
             quiet: true,
         }
     }
@@ -876,6 +1131,188 @@ mod tests {
         assert_eq!(metrics.status, 200);
         assert!(
             crate::metrics::scrape_counter(&metrics.body, "nhpp_serve_fits_total") == Some(1)
+        );
+    }
+
+    fn monitor_state(run_length: u32) -> AppState {
+        let mut s = state();
+        s.monitor = Some(std::sync::Arc::new(crate::monitor::Monitor::new(
+            crate::monitor::MonitorConfig {
+                run_length,
+                ..crate::monitor::MonitorConfig::default()
+            },
+            None,
+        )));
+        s
+    }
+
+    #[test]
+    fn spc_reads_cached_fit_without_refitting() {
+        let state = state();
+        handle(
+            &state,
+            &request(
+                "PUT",
+                "/projects/p?kind=times&model=go&prior=paper-info-times",
+                "",
+            ),
+        );
+        handle(
+            &state,
+            &request("POST", "/projects/p/events", &sys17_batch()),
+        );
+        assert_eq!(handle(&state, &get("/projects/p/fit")).status, 200);
+        let fits = |state: &AppState| {
+            state
+                .metrics
+                .fits_total
+                .load(std::sync::atomic::Ordering::Relaxed)
+        };
+        assert_eq!(fits(&state), 1);
+        // New events bump the data version; the fit is now stale.
+        let t_end = sys17::T_END;
+        let batch = format!("# t_end={}\n{}\n{}\n", t_end + 200.0, t_end + 50.0, t_end + 100.0);
+        assert_eq!(
+            handle(&state, &request("POST", "/projects/p/events", &batch)).status,
+            200
+        );
+        // N status queries, zero extra fits: the check deliberately
+        // reads the posterior fitted before the events under test.
+        for _ in 0..5 {
+            let resp = handle(&state, &get("/projects/p/spc"));
+            assert_eq!(resp.status, 200, "{}", resp.body);
+            assert_eq!(extract_num(&resp.body, "data_version") as u64, 1);
+        }
+        assert_eq!(fits(&state), 1, "spc status checks must not refit");
+        assert!(
+            state
+                .metrics
+                .cache_hits
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 5
+        );
+    }
+
+    #[test]
+    fn monitor_routes_are_409_when_disabled() {
+        let state = state();
+        for path in [
+            "/monitor/status",
+            "/monitor/alerts",
+            "/monitor/wait?timeout_ms=1",
+            "/projects/x/monitor",
+        ] {
+            let resp = handle(&state, &get(path));
+            assert_eq!(resp.status, 409, "{path}: {}", resp.body);
+            assert!(resp.body.contains("--monitor"), "{}", resp.body);
+        }
+    }
+
+    #[test]
+    fn ingest_scores_chart_and_regime_shift_raises_alerts() {
+        let state = monitor_state(3);
+        handle(
+            &state,
+            &request(
+                "PUT",
+                "/projects/p?kind=times&model=go&prior=paper-info-times",
+                "",
+            ),
+        );
+        // First ingest arrives before any fit: scoring is deferred.
+        let ingest = handle(
+            &state,
+            &request("POST", "/projects/p/events", &sys17_batch()),
+        );
+        assert!(ingest.body.contains("\"alerts\": 0"), "{}", ingest.body);
+        assert_eq!(
+            state
+                .metrics
+                .monitor_deferred
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        // The chart route catches up: fits once, scores every gap.
+        let chart = handle(&state, &get("/projects/p/monitor"));
+        assert_eq!(chart.status, 200, "{}", chart.body);
+        assert_eq!(extract_num(&chart.body, "scored_through") as u64, 38);
+        let n = sys17::FAILURE_TIMES.len() as u64;
+        let points = state
+            .metrics
+            .monitor_points
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(points, n - 1, "one point per gap");
+
+        // Inject a regime shift: a burst of near-simultaneous failures
+        // just past the current observation end. Each tiny gap scores
+        // p ≈ λτ « LCL (deterioration side); the third consecutive one
+        // trips the run threshold on both schemes. (The gap from the
+        // last recorded failure into the burst may land anywhere on the
+        // chart, so the burst carries four tiny gaps of its own.)
+        let burst: Vec<f64> = (1..=5).map(|i| sys17::T_END + i as f64 * 0.01).collect();
+        let mut batch = format!("# t_end={}\n", sys17::T_END + 1.0);
+        for t in &burst {
+            batch.push_str(&format!("{t}\n"));
+        }
+        let ingest = handle(&state, &request("POST", "/projects/p/events", &batch));
+        assert_eq!(ingest.status, 200, "{}", ingest.body);
+        assert!(
+            ingest.body.contains("\"alerts\": 2"),
+            "os + mmle alerts expected: {}",
+            ingest.body
+        );
+        assert!(
+            state
+                .metrics
+                .monitor_alerts
+                .load(std::sync::atomic::Ordering::Relaxed)
+                == 2
+        );
+
+        // The subscription surfaces them; the long-poll returns at once.
+        let alerts = handle(&state, &get("/monitor/alerts?since=0"));
+        assert_eq!(alerts.status, 200);
+        assert!(
+            alerts.body.contains("\"side\": \"deterioration-alarm\""),
+            "{}",
+            alerts.body
+        );
+        assert_eq!(extract_num(&alerts.body, "next_since") as u64, 2);
+        let wait = handle(&state, &get("/monitor/wait?since=0&timeout_ms=25000"));
+        assert_eq!(wait.status, 200);
+        assert!(wait.body.contains("\"seq\": 1"), "{}", wait.body);
+        assert_eq!(
+            state
+                .metrics
+                .monitor_wait_delivered
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        // A caught-up cursor times out empty.
+        let wait = handle(&state, &get("/monitor/wait?since=2&timeout_ms=1"));
+        assert!(wait.body.contains("\"alerts\": []"), "{}", wait.body);
+        assert_eq!(
+            state
+                .metrics
+                .monitor_wait_timeouts
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+
+        // Global status sees the chart and the alert total.
+        let status = handle(&state, &get("/monitor/status"));
+        assert_eq!(status.status, 200);
+        assert_eq!(extract_num(&status.body, "total_alerts") as u64, 2);
+        assert!(status.body.contains("\"project\": \"p\""), "{}", status.body);
+
+        // Validation still bites.
+        assert_eq!(
+            handle(&state, &get("/monitor/wait?timeout_ms=60000")).status,
+            400
+        );
+        assert_eq!(
+            handle(&state, &get("/monitor/alerts?since=x")).status,
+            400
         );
     }
 

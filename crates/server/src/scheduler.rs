@@ -342,11 +342,14 @@ fn evict_posterior(project: &Project, metrics: &Metrics) -> bool {
     }
 }
 
-/// The cached fit for the current version if one exists, without ever
-/// fitting — the cheap path for read-only endpoints that can tolerate
-/// answering from a posterior one version behind is *not* offered;
-/// queries always go through [`ensure_fit`]. This accessor exists for
-/// introspection (`GET /projects/{id}`).
+/// The last successfully cached fit, at whatever version it was
+/// computed, without ever fitting. Two callers use it: introspection
+/// (`GET /projects/{id}`), and read paths that deliberately tolerate a
+/// posterior a version behind — the SPC status check and the monitor's
+/// per-event chart scoring, where the control limits are *supposed* to
+/// come from the fit before the events under test (and a refit storm
+/// per status poll would defeat the coalescing scheduler). Interval,
+/// band and prediction queries still always go through [`ensure_fit`].
 pub fn cached_fit(project: &Project) -> Option<Arc<CachedFit>> {
     let slot = project.fit.lock().expect("fit slot poisoned");
     match &slot.last {

@@ -47,6 +47,9 @@ pub struct AppState {
     /// server was started with one; `?calibrated=true` queries resolve
     /// their factors here.
     pub calibration: Option<Arc<CalibrationDictionary>>,
+    /// Streaming SPC monitor, when the server was started with
+    /// monitoring enabled; `None` answers monitor routes with `409`.
+    pub monitor: Option<Arc<crate::monitor::Monitor>>,
     /// Suppress per-request log lines.
     pub quiet: bool,
 }
@@ -77,6 +80,9 @@ pub struct ServerConfig {
     /// Path of an `nhpp-calibration/v1` dictionary to load at boot;
     /// `None` serves raw intervals only (calibrated queries get `400`).
     pub calibration: Option<PathBuf>,
+    /// Streaming SPC monitor configuration; `None` disables the
+    /// monitor routes and the per-ingest chart scoring.
+    pub monitor: Option<crate::monitor::MonitorConfig>,
     /// Suppress per-request log lines.
     pub quiet: bool,
 }
@@ -94,6 +100,7 @@ impl Default for ServerConfig {
             retry_after_secs: 1,
             durability: DurabilityPolicy::default(),
             calibration: None,
+            monitor: None,
             quiet: false,
         }
     }
@@ -144,6 +151,12 @@ impl Server {
                 Some(Arc::new(dict))
             }
         };
+        // Chart journals recover against the registry's acknowledged
+        // prefix, so the monitor is built after replay completes.
+        let monitor = match config.monitor {
+            None => None,
+            Some(mc) => Some(Arc::new(crate::monitor::Monitor::recover(mc, &registry)?)),
+        };
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = if config.workers == 0 {
@@ -162,6 +175,7 @@ impl Server {
                 cache: FitCache::new(config.max_cached_fits),
                 retry_after_secs: config.retry_after_secs,
                 calibration,
+                monitor,
                 quiet: config.quiet,
             }),
             shutdown: Arc::new(AtomicBool::new(false)),
@@ -526,6 +540,7 @@ mod tests {
             cache: FitCache::new(0),
             retry_after_secs: 3,
             calibration: None,
+            monitor: None,
             quiet: true,
         };
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();

@@ -1,0 +1,204 @@
+//! Chaos-recovery cases for the streaming monitor (DESIGN §16): the
+//! chart journal must replay to exactly the acknowledged-ingest
+//! prefix, no matter how the `.mon` file and the data log disagree
+//! after a crash.
+//!
+//! Two failure shapes are exercised directly on storage snapshots:
+//!
+//! 1. a torn `.mon` tail (garbage or a half-written frame) — recovery
+//!    truncates to the last valid frame and the catch-up path rescores
+//!    the missing gap bitwise-identically;
+//! 2. a `.mon` journal *ahead* of the data log (chart points and
+//!    alerts for events the registry never acknowledged) — recovery
+//!    drops the unacknowledged suffix, rewrites the journal to the
+//!    acknowledged prefix, and a replayed ingest reproduces the
+//!    original journal bitwise.
+
+use nhpp_data::sys17;
+use nhpp_serve::routes::handle;
+use nhpp_serve::scheduler::FitSettings;
+use nhpp_serve::{
+    AppState, DurabilityPolicy, FitCache, MemStorage, Metrics, Monitor, MonitorConfig, Registry,
+    Request, Storage,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn request(method: &str, path_and_query: &str, body: &str) -> Request {
+    let (path, query_text) = match path_and_query.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path_and_query, ""),
+    };
+    let mut query = BTreeMap::new();
+    for pair in query_text.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.insert(k.to_string(), v.to_string());
+    }
+    Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query,
+        body: body.as_bytes().to_vec(),
+    }
+}
+
+fn sys17_batch() -> String {
+    let mut text = format!("# t_end={}\n", sys17::T_END);
+    for t in sys17::FAILURE_TIMES {
+        text.push_str(&format!("{t}\n"));
+    }
+    text
+}
+
+fn burst_batch() -> String {
+    let mut text = format!("# t_end={}\n", sys17::T_END + 1.0);
+    for i in 1..=5 {
+        text.push_str(&format!("{}\n", sys17::T_END + f64::from(i) * 0.01));
+    }
+    text
+}
+
+/// Boots a monitored server over the given storage snapshot.
+fn boot(files: BTreeMap<String, Vec<u8>>) -> (AppState, Arc<MemStorage>) {
+    let mem = Arc::new(MemStorage::from_map(files));
+    let storage: Arc<dyn Storage> = mem.clone();
+    let registry =
+        Registry::open_with(storage, DurabilityPolicy::default()).expect("registry opens");
+    let monitor = Monitor::recover(MonitorConfig::default(), &registry).expect("monitor recovers");
+    let state = AppState {
+        registry,
+        metrics: Metrics::new(),
+        fit: FitSettings::default(),
+        cache: FitCache::new(0),
+        retry_after_secs: 1,
+        calibration: None,
+        monitor: Some(Arc::new(monitor)),
+        quiet: true,
+    };
+    (state, mem)
+}
+
+/// Runs the monitored sys17 workload up to (not including) the regime
+/// shift and returns the storage snapshot plus the chart snapshot.
+fn in_control_run() -> (BTreeMap<String, Vec<u8>>, String) {
+    let (state, mem) = boot(BTreeMap::new());
+    let create = handle(
+        &state,
+        &request(
+            "PUT",
+            "/projects/p?kind=times&model=go&prior=paper-info-times",
+            "",
+        ),
+    );
+    assert_eq!(create.status, 201, "{}", create.body);
+    let ingest = handle(&state, &request("POST", "/projects/p/events", &sys17_batch()));
+    assert_eq!(ingest.status, 200, "{}", ingest.body);
+    // Catch-up through the chart route: fit once, score every gap.
+    let chart = handle(&state, &request("GET", "/projects/p/monitor", ""));
+    assert_eq!(chart.status, 200, "{}", chart.body);
+    let snapshot = format!("{:?}", state.monitor.as_ref().unwrap().snapshot("p"));
+    (mem.dump(), snapshot)
+}
+
+#[test]
+fn torn_mon_tail_is_truncated_and_rescored() {
+    let (reference, reference_snapshot) = in_control_run();
+    let journal = reference.get("p.mon").expect("journal exists").clone();
+    assert!(!journal.is_empty());
+
+    // A garbage suffix (a torn frame that never completed) is dropped
+    // without losing any valid record: the recovered chart is bitwise
+    // the reference.
+    let mut torn = reference.clone();
+    torn.insert("p.mon".into(), {
+        let mut bytes = journal.clone();
+        bytes.extend_from_slice(b"\x07garbage-torn-frame");
+        bytes
+    });
+    let (state, mem) = boot(torn);
+    assert_eq!(
+        mem.dump().get("p.mon"),
+        Some(&journal),
+        "garbage tail should be truncated away on recovery"
+    );
+    assert_eq!(
+        format!("{:?}", state.monitor.as_ref().unwrap().snapshot("p")),
+        reference_snapshot
+    );
+
+    // Chopping into the last frame loses exactly that record; the
+    // surviving prefix is untouched and catch-up rescores the missing
+    // gap against the same (deterministic) fit, so the journal
+    // converges back to the reference bitwise.
+    let mut short = reference.clone();
+    short.insert("p.mon".into(), journal[..journal.len() - 4].to_vec());
+    let (state, mem) = boot(short);
+    let recovered = mem.dump().get("p.mon").cloned().expect("journal survives");
+    assert!(recovered.len() < journal.len());
+    assert_eq!(journal[..recovered.len()], recovered[..], "valid prefix kept");
+    let monitor = state.monitor.clone().expect("monitor enabled");
+    let before = monitor.snapshot("p");
+    assert_eq!(before.scored_through, 37, "last point lost with the tear");
+    let chart = handle(&state, &request("GET", "/projects/p/monitor", ""));
+    assert_eq!(chart.status, 200, "{}", chart.body);
+    assert_eq!(monitor.snapshot("p").scored_through, 38);
+    assert_eq!(
+        mem.dump().get("p.mon"),
+        Some(&journal),
+        "rescored journal must be bitwise the reference"
+    );
+    assert_eq!(format!("{:?}", monitor.snapshot("p")), reference_snapshot);
+}
+
+#[test]
+fn chart_journal_ahead_of_data_log_replays_to_acknowledged_prefix() {
+    // Full run including the regime shift, capturing storage both
+    // before and after the burst.
+    let (before_burst, _) = in_control_run();
+    let (state, mem) = boot(before_burst.clone());
+    // Prime the fit cache (a fresh boot has none) so the burst is
+    // scored inline rather than deferred.
+    let chart = handle(&state, &request("GET", "/projects/p/monitor", ""));
+    assert_eq!(chart.status, 200, "{}", chart.body);
+    let ingest = handle(&state, &request("POST", "/projects/p/events", &burst_batch()));
+    assert_eq!(ingest.status, 200, "{}", ingest.body);
+    assert!(ingest.body.contains("\"alerts\": 2"), "{}", ingest.body);
+    let after_burst = mem.dump();
+    let acknowledged = before_burst.get("p.mon").expect("prefix journal").clone();
+    let full = after_burst.get("p.mon").expect("full journal").clone();
+    assert!(full.len() > acknowledged.len());
+
+    // Crash shape: the chart journal reached storage but the burst's
+    // data-log append did not — the monitor knows about events the
+    // registry never acknowledged.
+    let mut mixed = before_burst.clone();
+    mixed.insert("p.mon".into(), full.clone());
+    let (state, mem) = boot(mixed);
+    let monitor = state.monitor.clone().expect("monitor enabled");
+    assert_eq!(
+        mem.dump().get("p.mon"),
+        Some(&acknowledged),
+        "recovery must rewrite the journal to the acknowledged-ingest prefix"
+    );
+    let snap = monitor.snapshot("p");
+    assert_eq!(snap.scored_through, 38, "unacknowledged points dropped");
+    assert_eq!(
+        monitor.total_alerts(),
+        0,
+        "alerts for unacknowledged events are discarded"
+    );
+
+    // Replaying the lost ingest reproduces the original journal and
+    // alerts bitwise: same data, same fit, same scores.
+    let chart = handle(&state, &request("GET", "/projects/p/monitor", ""));
+    assert_eq!(chart.status, 200, "{}", chart.body);
+    let ingest = handle(&state, &request("POST", "/projects/p/events", &burst_batch()));
+    assert_eq!(ingest.status, 200, "{}", ingest.body);
+    assert!(ingest.body.contains("\"alerts\": 2"), "{}", ingest.body);
+    assert_eq!(
+        mem.dump().get("p.mon"),
+        Some(&full),
+        "replayed journal must be bitwise the pre-crash journal"
+    );
+    assert_eq!(monitor.total_alerts(), 2);
+}
